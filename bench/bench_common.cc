@@ -1,0 +1,141 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "src/core/report.h"
+#include "src/util/string_util.h"
+
+namespace gdbmicro {
+namespace bench {
+
+namespace {
+
+std::vector<std::string> SplitList(const char* value) {
+  return Split(value, ',');
+}
+
+}  // namespace
+
+BenchProfile ParseFlags(int argc, char** argv, double default_scale,
+                        int default_deadline_ms, uint64_t default_budget) {
+  BenchProfile profile;
+  profile.scale = default_scale;
+  profile.deadline_ms = default_deadline_ms;
+  profile.memory_budget = default_budget;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      if (std::strncmp(arg, prefix, len) == 0) return arg + len;
+      return nullptr;
+    };
+    if (const char* v = value_of("--scale=")) {
+      profile.scale = std::atof(v);
+    } else if (const char* v = value_of("--deadline-ms=")) {
+      profile.deadline_ms = std::atoi(v);
+    } else if (const char* v = value_of("--batch=")) {
+      profile.batch = std::atoi(v);
+    } else if (const char* v = value_of("--engines=")) {
+      profile.engines = SplitList(v);
+    } else if (const char* v = value_of("--datasets=")) {
+      profile.datasets = SplitList(v);
+    } else if (const char* v = value_of("--seed=")) {
+      profile.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--memory-budget=")) {
+      profile.memory_budget = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--no-cost-model") == 0) {
+      profile.cost_model = false;
+    } else if (std::strcmp(arg, "--indexed") == 0) {
+      profile.indexed = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "flags: --scale=F --deadline-ms=N --batch=N --engines=a,b,c\n"
+          "       --datasets=a,b,c --seed=N --memory-budget=N\n"
+          "       --no-cost-model --indexed\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg);
+      std::exit(2);
+    }
+  }
+  return profile;
+}
+
+std::vector<std::string> AllEngines() {
+  return {"arango", "blaze",    "neo19", "neo30",  "orient",
+          "sparksee", "sqlg",  "titan05", "titan10"};
+}
+
+const GraphData& GetDataset(const std::string& name, double scale) {
+  static std::map<std::string, GraphData>* cache =
+      new std::map<std::string, GraphData>();
+  std::string key = name + "@" + StrFormat("%.6f", scale);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  datasets::GenOptions options;
+  options.scale = scale;
+  auto data = datasets::GenerateByName(name, options);
+  if (!data.ok()) {
+    std::fprintf(stderr, "cannot generate dataset %s: %s\n", name.c_str(),
+                 data.status().ToString().c_str());
+    std::exit(2);
+  }
+  return cache->emplace(key, std::move(data).value()).first->second;
+}
+
+core::RunnerOptions RunnerOptionsFrom(const BenchProfile& profile) {
+  core::RunnerOptions options;
+  options.deadline = std::chrono::milliseconds(profile.deadline_ms);
+  options.batch_iterations = profile.batch > 0 ? profile.batch : 10;
+  options.run_batch = profile.batch > 0;
+  options.enable_cost_model = profile.cost_model;
+  options.memory_budget_bytes = profile.memory_budget;
+  options.workload_seed = profile.seed;
+  options.create_property_index = profile.indexed;
+  return options;
+}
+
+void PrintBanner(const std::string& title, const BenchProfile& profile) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf(
+      "   scale=%.3f (paper sizes x %.2f)  deadline=%dms  batch=%d  "
+      "cost-model=%s%s\n\n",
+      profile.scale, profile.scale * 20.0, profile.deadline_ms, profile.batch,
+      profile.cost_model ? "on" : "off", profile.indexed ? "  indexed" : "");
+}
+
+std::vector<core::Measurement> RunAndPrint(
+    const BenchProfile& profile, const std::vector<std::string>& datasets,
+    const std::vector<int>& query_numbers) {
+  std::vector<std::string> names =
+      profile.datasets.empty() ? datasets : profile.datasets;
+  std::vector<std::string> engines =
+      profile.engines.empty() ? AllEngines() : profile.engines;
+  core::Runner runner(RunnerOptionsFrom(profile));
+  auto specs = core::QueriesByNumber(query_numbers);
+
+  std::vector<core::Measurement> all;
+  for (const std::string& name : names) {
+    const GraphData& data = GetDataset(name, profile.scale);
+    std::printf("-- %s (%llu nodes / %llu edges) --\n", name.c_str(),
+                (unsigned long long)data.VertexCount(),
+                (unsigned long long)data.EdgeCount());
+    std::fflush(stdout);
+    auto results = runner.RunAll(engines, data, specs);
+
+    core::PivotOptions pivot;
+    pivot.dataset = name;
+    pivot.mode = core::Measurement::Mode::kSingle;
+    pivot.engine_order = engines;
+    std::printf("%s\n", core::PivotTable(results, pivot).c_str());
+    all.insert(all.end(), std::make_move_iterator(results.begin()),
+               std::make_move_iterator(results.end()));
+  }
+  return all;
+}
+
+}  // namespace bench
+}  // namespace gdbmicro

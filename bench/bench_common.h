@@ -1,0 +1,71 @@
+// Shared scaffolding for the per-figure bench binaries: flag parsing, the
+// default bench profile (dataset scale, deadlines, engine list), dataset
+// caching, and header printing.
+//
+// Every binary accepts:
+//   --scale=<f>        dataset scale (default per binary; 0.05 = 1/20th of
+//                      the paper's sizes)
+//   --deadline-ms=<n>  per-test deadline
+//   --batch=<n>        batch iterations (0 disables batch mode)
+//   --engines=a,b,c    subset of engines
+//   --datasets=a,b,c   subset of datasets
+//   --no-cost-model    disable the out-of-process cost models
+//   --seed=<n>         workload seed
+//   --indexed          create the Q.11 attribute index before running
+
+#ifndef GDBMICRO_BENCH_BENCH_COMMON_H_
+#define GDBMICRO_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/datasets/generators.h"
+
+namespace gdbmicro {
+namespace bench {
+
+struct BenchProfile {
+  double scale = 0.05;
+  int deadline_ms = 5000;
+  int batch = 10;
+  bool cost_model = true;
+  bool indexed = false;
+  uint64_t seed = 42;
+  uint64_t memory_budget = 24ULL << 20;
+  std::vector<std::string> engines;   // empty = all nine
+  std::vector<std::string> datasets;  // empty = binary default
+};
+
+/// Parses the common flags; unknown flags abort with usage help.
+/// `default_budget` is the per-query memory budget (see EngineOptions);
+/// the failure boundaries of Fig. 1(c)/Fig. 5(b) scale with the dataset,
+/// so binaries pass a budget matched to their default scale.
+BenchProfile ParseFlags(int argc, char** argv, double default_scale,
+                        int default_deadline_ms,
+                        uint64_t default_budget = 24ULL << 20);
+
+/// All nine engine variants in Table 1 order.
+std::vector<std::string> AllEngines();
+
+/// Generates (and memoizes per process) a dataset at the profile scale.
+const GraphData& GetDataset(const std::string& name, double scale);
+
+/// Runner configured from the profile.
+core::RunnerOptions RunnerOptionsFrom(const BenchProfile& profile);
+
+/// Prints the figure banner.
+void PrintBanner(const std::string& title, const BenchProfile& profile);
+
+/// Shared driver for the per-figure binaries: runs the Table 2 queries
+/// with the given numbers on each dataset across the profile's engines and
+/// prints one pivot table (queries x engines) per dataset and mode.
+/// Returns all measurements (for additional aggregation by the caller).
+std::vector<core::Measurement> RunAndPrint(
+    const BenchProfile& profile, const std::vector<std::string>& datasets,
+    const std::vector<int>& query_numbers);
+
+}  // namespace bench
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,20 @@
+// Figure 3(b,c): single-operation insertions (Q.2-Q.7), updates
+// (Q.16-Q.17) and deletions (Q.18-Q.21) across the Freebase samples.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace gdbmicro;
+  bench::BenchProfile profile = bench::ParseFlags(argc, argv, 0.01, 2500);
+  bench::PrintBanner(
+      "Figure 3(b,c): Insertions (Q2-7), updates and deletions (Q16-21)",
+      profile);
+  bench::RunAndPrint(profile, {"frb-s", "frb-o", "frb-m", "frb-l"},
+                     {2, 3, 4, 5, 6, 7, 16, 17, 18, 19, 20, 21});
+  std::printf(
+      "(paper shape: sparksee/neo19/arango fastest (sub-100ms class, with\n"
+      " arango's async-write caveat); neo30 >10x neo19 (wrapper); sqlg fast\n"
+      " on plain inserts, slow when the schema grows (Q5/Q6); titan seconds\n"
+      " per op but deletions an order cheaper (tombstones); blaze slowest)\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 5: traversal operations. (a) local neighborhood access
+// (Q.22-Q.27) and (b) whole-graph degree filtering (Q.28-Q.31) — the
+// experiment where the paper separates native from hybrid architectures
+// and where Sparksee's Gremlin adapter exhausts memory.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace gdbmicro;
+  bench::BenchProfile profile = bench::ParseFlags(argc, argv, 0.02, 2000, 8ULL << 20);
+  bench::PrintBanner(
+      "Figure 5: local traversals (Q22-27) and degree filters (Q28-31)",
+      profile);
+  bench::RunAndPrint(profile, {"frb-s", "frb-o", "frb-m", "frb-l"},
+                     {22, 23, 24, 25, 26, 27, 28, 29, 30, 31});
+  std::printf(
+      "(paper shape: orient/neo19/arango fastest on neighborhoods, sqlg\n"
+      " slowest unless label-filtered; on Q28-31 only the neo variants\n"
+      " complete everywhere, sparksee exhausts memory on every frb sample,\n"
+      " arango fails m+l, sqlg completes only Q31, blaze fails everything)\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 6: breadth-first traversal (Q.32) at depths 2, 3, 4 and 5 on the
+// Freebase samples.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace gdbmicro;
+  bench::BenchProfile profile = bench::ParseFlags(argc, argv, 0.01, 2500);
+  bench::PrintBanner("Figure 6: breadth-first traversal, depths 2-5 (Q32)",
+                     profile);
+  bench::RunAndPrint(profile, {"frb-s", "frb-o", "frb-m", "frb-l"}, {32});
+  std::printf(
+      "(paper shape: neo4j scales best at every depth; orient and titan\n"
+      " second at depth 2, orient slightly ahead deeper; sqlg and sparksee\n"
+      " slowest — sqlg pays a join union across every edge table per hop)\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks of the engine primitives themselves
+// (no cost model): AddVertex/AddEdge, id lookup, neighborhood expansion —
+// the honest in-process data-structure costs under every figure.
+
+#include <benchmark/benchmark.h>
+
+#include "src/datasets/generators.h"
+#include "src/graph/registry.h"
+#include "src/util/rng.h"
+
+namespace gdbmicro {
+namespace {
+
+std::unique_ptr<GraphEngine> FreshEngine(const std::string& name) {
+  RegisterBuiltinEngines();
+  EngineOptions options;  // cost model off: measure the data structures
+  auto engine = OpenEngine(name, options);
+  return engine.ok() ? std::move(engine).value() : nullptr;
+}
+
+const GraphData& SmallGraph() {
+  static GraphData* data = [] {
+    datasets::GenOptions options;
+    options.scale = 0.01;
+    return new GraphData(datasets::GenerateMiCo(options));
+  }();
+  return *data;
+}
+
+void BM_EngineAddVertex(benchmark::State& state, const std::string& name) {
+  auto engine = FreshEngine(name);
+  PropertyMap props;
+  props.emplace_back("name", PropertyValue("benchmark"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->AddVertex("node", props));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EngineAddEdge(benchmark::State& state, const std::string& name) {
+  auto engine = FreshEngine(name);
+  std::vector<VertexId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(engine->AddVertex("node", {}).value());
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->AddEdge(ids[rng.Uniform(ids.size())],
+                                             ids[rng.Uniform(ids.size())],
+                                             "link", {}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EngineGetVertex(benchmark::State& state, const std::string& name) {
+  auto engine = FreshEngine(name);
+  auto mapping = engine->BulkLoad(SmallGraph()).value();
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->GetVertex(
+        mapping.vertex_ids[rng.Uniform(mapping.vertex_ids.size())]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EngineNeighbors(benchmark::State& state, const std::string& name) {
+  auto engine = FreshEngine(name);
+  auto mapping = engine->BulkLoad(SmallGraph()).value();
+  CancelToken never;
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->NeighborsOf(
+        mapping.vertex_ids[rng.Uniform(mapping.vertex_ids.size())],
+        Direction::kBoth, nullptr, never));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+#define ENGINE_BENCH(engine_name)                                         \
+  BENCHMARK_CAPTURE(BM_EngineAddVertex, engine_name, #engine_name);      \
+  BENCHMARK_CAPTURE(BM_EngineAddEdge, engine_name, #engine_name);        \
+  BENCHMARK_CAPTURE(BM_EngineGetVertex, engine_name, #engine_name);      \
+  BENCHMARK_CAPTURE(BM_EngineNeighbors, engine_name, #engine_name)
+
+ENGINE_BENCH(neo19);
+ENGINE_BENCH(neo30);
+ENGINE_BENCH(orient);
+ENGINE_BENCH(sparksee);
+ENGINE_BENCH(arango);
+ENGINE_BENCH(blaze);
+ENGINE_BENCH(sqlg);
+ENGINE_BENCH(titan05);
+ENGINE_BENCH(titan10);
+
+}  // namespace
+}  // namespace gdbmicro
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+// google-benchmark microbenchmarks for the storage primitives — the
+// ablation layer under the engines: B+Tree vs hash point ops, bitmap set
+// operations, record-file access, delta/varint coding. These quantify the
+// per-structure costs the engine-level results are built from.
+
+#include <benchmark/benchmark.h>
+
+#include "src/storage/append_store.h"
+#include "src/storage/bitmap.h"
+#include "src/storage/btree.h"
+#include "src/storage/hash_index.h"
+#include "src/storage/record_file.h"
+#include "src/util/rng.h"
+#include "src/util/varint.h"
+
+namespace gdbmicro {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BTree<uint64_t, uint64_t> tree;
+    Rng rng(1);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert(rng.Next(), static_cast<uint64_t>(i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BTreePointLookup(benchmark::State& state) {
+  BTree<uint64_t, uint64_t> tree;
+  Rng rng(2);
+  std::vector<uint64_t> keys;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    uint64_t k = rng.Next();
+    keys.push_back(k);
+    tree.Insert(k, static_cast<uint64_t>(i));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Contains(keys[i++ % keys.size()], 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreePointLookup)->Arg(10000)->Arg(1000000);
+
+void BM_HashIndexPut(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    HashIndex<uint64_t, uint64_t> idx;
+    Rng rng(3);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      idx.Put(rng.Next(), static_cast<uint64_t>(i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashIndexPut)->Arg(1000)->Arg(100000);
+
+void BM_HashIndexGet(benchmark::State& state) {
+  HashIndex<uint64_t, uint64_t> idx;
+  Rng rng(4);
+  std::vector<uint64_t> keys;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    uint64_t k = rng.Next();
+    keys.push_back(k);
+    idx.Put(k, static_cast<uint64_t>(i));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Get(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashIndexGet)->Arg(10000)->Arg(1000000);
+
+void BM_BitmapAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Bitmap bm;
+    Rng rng(5);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      bm.Add(rng.Uniform(1 << 22));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BitmapAdd)->Arg(1000)->Arg(100000);
+
+void BM_BitmapIntersect(benchmark::State& state) {
+  Bitmap a, b;
+  Rng rng(6);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    a.Add(rng.Uniform(1 << 20));
+    b.Add(rng.Uniform(1 << 20));
+  }
+  for (auto _ : state) {
+    Bitmap c = a;
+    c.IntersectWith(b);
+    benchmark::DoNotOptimize(c.Cardinality());
+  }
+}
+BENCHMARK(BM_BitmapIntersect)->Arg(10000)->Arg(100000);
+
+void BM_RecordFileReadById(benchmark::State& state) {
+  RecordFile rf(64);
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t id = rf.Allocate();
+    rf.Write(id, "payload-bytes").ok();
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rf.Read(rng.Uniform(static_cast<uint64_t>(n))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordFileReadById)->Arg(1000000);
+
+void BM_AppendStoreUpdateChurn(benchmark::State& state) {
+  AppendStore store;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(store.Append("initial-value"));
+  Rng rng(8);
+  for (auto _ : state) {
+    store.Update(ids[rng.Uniform(ids.size())], "rewritten-value").ok();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppendStoreUpdateChurn);
+
+void BM_DeltaListEncode(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<uint64_t> ids;
+  uint64_t cur = 0;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    cur += 1 + rng.Uniform(64);
+    ids.push_back(cur);
+  }
+  for (auto _ : state) {
+    std::string out;
+    EncodeDeltaList(ids, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_DeltaListEncode)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace gdbmicro
+
+BENCHMARK_MAIN();

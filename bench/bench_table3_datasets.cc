@@ -1,0 +1,30 @@
+// Table 3: dataset characteristics (|V|, |E|, |L|, components, density,
+// modularity, degree statistics, diameter) for every dataset the suite
+// generates, computed by datasets::ComputeStats.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "src/datasets/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace gdbmicro;
+  bench::BenchProfile profile = bench::ParseFlags(argc, argv, 0.01, 5000);
+  bench::PrintBanner("Table 3: Dataset Characteristics", profile);
+
+  std::vector<std::string> names = profile.datasets.empty()
+                                       ? datasets::AllDatasetNames()
+                                       : profile.datasets;
+  for (const std::string& name : names) {
+    const GraphData& data = bench::GetDataset(name, profile.scale);
+    datasets::MetricsOptions options;
+    options.diameter_samples = 4;
+    datasets::GraphStats stats = datasets::ComputeStats(data, options);
+    std::printf("%s\n", datasets::FormatStatsRow(stats).c_str());
+  }
+  std::printf(
+      "\n(paper Table 3 regimes to compare: yeast/ldbc dense, frb sparse &\n"
+      " fragmented with high modularity; ldbc one component, modularity 0;\n"
+      " frb max-degree hubs orders above the average)\n");
+  return 0;
+}

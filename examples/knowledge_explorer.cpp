@@ -1,0 +1,122 @@
+// Knowledge-base exploration scenario: a Freebase-style sample (paper §5).
+// Demonstrates the "needle in the haystack" workload graph databases are
+// built for — id lookups, label-restricted expansion, hub discovery — and
+// contrasts two engines side by side on the same operations, which is the
+// microbenchmark idea in miniature.
+//
+// Usage: ./build/examples/example_knowledge_explorer [engineA] [engineB]
+
+#include <cstdio>
+
+#include "src/core/runner.h"
+#include "src/datasets/generators.h"
+#include "src/query/traversal.h"
+#include "src/util/string_util.h"
+#include "src/util/timer.h"
+
+using namespace gdbmicro;
+
+namespace {
+
+struct Session {
+  std::string name;
+  core::LoadedEngine loaded;
+};
+
+double TimeMs(const std::function<void()>& fn) {
+  Timer timer;
+  fn();
+  return timer.ElapsedMillis();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string engine_a = argc > 1 ? argv[1] : "neo19";
+  const std::string engine_b = argc > 2 ? argv[2] : "sqlg";
+
+  datasets::GenOptions gen;
+  gen.scale = 0.02;
+  GraphData data = datasets::GenerateFreebase(datasets::FreebaseKind::kTopic,
+                                              gen);
+  std::printf("knowledge base (frb-o style): %llu entities / %llu facts\n\n",
+              (unsigned long long)data.VertexCount(),
+              (unsigned long long)data.EdgeCount());
+
+  core::RunnerOptions options;
+  options.enable_cost_model = false;
+  core::Runner runner(options);
+
+  std::vector<Session> sessions;
+  for (const std::string& name : {engine_a, engine_b}) {
+    auto loaded = runner.Load(name, data);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s load failed: %s\n", name.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    sessions.push_back(Session{name, std::move(loaded).value()});
+  }
+
+  CancelToken never;
+  std::printf("%-44s %12s %12s\n", "operation", engine_a.c_str(),
+              engine_b.c_str());
+
+  auto row = [&](const char* label,
+                 const std::function<uint64_t(GraphEngine&,
+                                              const datasets::Workload&)>& op) {
+    std::printf("%-44s", label);
+    for (Session& s : sessions) {
+      uint64_t items = 0;
+      double ms = TimeMs([&] {
+        items = op(*s.loaded.engine, *s.loaded.workload);
+      });
+      std::printf(" %7s/%-6llu", HumanMillis(ms).c_str(),
+                  (unsigned long long)items);
+    }
+    std::printf("\n");
+    return 0;
+  };
+
+  row("entity lookup by id (Q14)",
+      [&](GraphEngine& e, const datasets::Workload& w) -> uint64_t {
+        return e.GetVertex(w.ReadVertex(1)).ok() ? 1 : 0;
+      });
+  row("facts with a given predicate (Q13)",
+      [&](GraphEngine& e, const datasets::Workload& w) -> uint64_t {
+        auto r = e.FindEdgesByLabel(w.EdgeLabel(2), never);
+        return r.ok() ? r->size() : 0;
+      });
+  row("neighbourhood of an entity (Q23)",
+      [&](GraphEngine& e, const datasets::Workload& w) -> uint64_t {
+        auto r = e.NeighborsOf(w.ReadVertex(3), Direction::kBoth, nullptr,
+                               never);
+        return r.ok() ? r->size() : 0;
+      });
+  row("label-restricted expansion (Q24)",
+      [&](GraphEngine& e, const datasets::Workload& w) -> uint64_t {
+        std::string label = w.EdgeLabel(4);
+        auto r = e.NeighborsOf(w.ReadVertex(5), Direction::kBoth, &label,
+                               never);
+        return r.ok() ? r->size() : 0;
+      });
+  row("hub entities, degree >= 2x average (Q30)",
+      [&](GraphEngine& e, const datasets::Workload& w) -> uint64_t {
+        auto r = query::Traversal::V()
+                     .WhereDegreeAtLeast(Direction::kBoth, w.DegreeK())
+                     .Count()
+                     .ExecuteCount(e, never);
+        return r.ok() ? *r : 0;
+      });
+  row("well-referenced entities (Q31)",
+      [&](GraphEngine& e, const datasets::Workload&) -> uint64_t {
+        auto r = query::Traversal::V().Out().Dedup().Count().ExecuteCount(
+            e, never);
+        return r.ok() ? *r : 0;
+      });
+
+  std::printf(
+      "\n(cells are time/result-count; this is the microbenchmark idea in\n"
+      " miniature: same primitive, same data, two architectures)\n");
+  return 0;
+}

@@ -1,0 +1,301 @@
+#include "src/core/complex.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "src/query/algorithms.h"
+#include "src/query/traversal.h"
+#include "src/util/string_util.h"
+
+namespace gdbmicro {
+namespace core {
+
+namespace {
+
+using datasets::Workload;
+
+/// Deterministically samples a dataset index whose vertex has `label`,
+/// scanning circularly from a seeded start.
+uint64_t SampleIndexWithLabel(const Workload& w, const std::string& label,
+                              int i) {
+  const GraphData& d = w.data();
+  uint64_t start = w.ReadVertexIndex(9000 + i);
+  for (uint64_t off = 0; off < d.vertices.size(); ++off) {
+    uint64_t idx = (start + off) % d.vertices.size();
+    if (d.vertices[idx].label == label) return idx;
+  }
+  return start;
+}
+
+VertexId SampleWithLabel(const Workload& w, const std::string& label, int i) {
+  return w.mapping().vertex_ids[SampleIndexWithLabel(w, label, i)];
+}
+
+/// All persons: scan + label check (the step-wise Gremlin plan).
+Result<std::vector<VertexId>> AllPersons(QueryContext& ctx) {
+  std::vector<VertexId> persons;
+  Status inner = Status::OK();
+  GDB_RETURN_IF_ERROR(ctx.engine->ScanVertices(ctx.cancel, [&](VertexId id) {
+    auto rec = ctx.engine->GetVertex(id);
+    if (!rec.ok()) {
+      inner = rec.status();
+      return false;
+    }
+    if (rec->label == "person") persons.push_back(id);
+    return true;
+  }));
+  GDB_RETURN_IF_ERROR(inner);
+  return persons;
+}
+
+Result<QueryResult> MaxDegreePerson(QueryContext& ctx, Direction dir) {
+  GDB_ASSIGN_OR_RETURN(std::vector<VertexId> persons, AllPersons(ctx));
+  uint64_t best = 0;
+  VertexId best_id = kInvalidId;
+  for (VertexId p : persons) {
+    GDB_CHECK_CANCEL(ctx.cancel);
+    GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> edges,
+                         ctx.engine->EdgesOf(p, dir, nullptr, ctx.cancel));
+    if (edges.size() >= best) {
+      best = edges.size();
+      best_id = p;
+    }
+  }
+  (void)best_id;
+  return QueryResult{best};
+}
+
+Result<std::vector<VertexId>> Friends(QueryContext& ctx, VertexId person) {
+  std::string knows = "knows";
+  GDB_ASSIGN_OR_RETURN(
+      std::vector<VertexId> friends,
+      ctx.engine->NeighborsOf(person, Direction::kBoth, &knows, ctx.cancel));
+  std::sort(friends.begin(), friends.end());
+  friends.erase(std::unique(friends.begin(), friends.end()), friends.end());
+  friends.erase(std::remove(friends.begin(), friends.end(), person),
+                friends.end());
+  return friends;
+}
+
+std::vector<ComplexQuerySpec> BuildComplexCatalog() {
+  std::vector<ComplexQuerySpec> catalog;
+
+  catalog.push_back({"max-iid", "Person with maximum incoming degree", false,
+                     [](QueryContext& ctx) {
+                       return MaxDegreePerson(ctx, Direction::kIn);
+                     }});
+  catalog.push_back({"max-oid", "Person with maximum outgoing degree", false,
+                     [](QueryContext& ctx) {
+                       return MaxDegreePerson(ctx, Direction::kOut);
+                     }});
+
+  catalog.push_back(
+      {"create",
+       "Create an account and fill the profile (city, university, company, "
+       "initial friends)",
+       true, [](QueryContext& ctx) -> Result<QueryResult> {
+         const Workload& w = *ctx.workload;
+         PropertyMap props;
+         props.emplace_back("firstName", PropertyValue(StrFormat(
+                                             "newuser%d", ctx.iteration)));
+         props.emplace_back("lastName", PropertyValue("benchmark"));
+         GDB_ASSIGN_OR_RETURN(VertexId p,
+                              ctx.engine->AddVertex("person", props));
+         PropertyMap since;
+         since.emplace_back("since", PropertyValue(int64_t{20180101}));
+         GDB_ASSIGN_OR_RETURN(
+             EdgeId e1, ctx.engine->AddEdge(
+                            p, SampleWithLabel(w, "city", ctx.iteration),
+                            "isLocatedIn", since));
+         GDB_ASSIGN_OR_RETURN(
+             EdgeId e2,
+             ctx.engine->AddEdge(p,
+                                 SampleWithLabel(w, "university",
+                                                 ctx.iteration),
+                                 "studyAt", since));
+         GDB_ASSIGN_OR_RETURN(
+             EdgeId e3, ctx.engine->AddEdge(
+                            p, SampleWithLabel(w, "company", ctx.iteration),
+                            "workAt", since));
+         (void)e1;
+         (void)e2;
+         (void)e3;
+         for (int i = 0; i < 3; ++i) {
+           GDB_ASSIGN_OR_RETURN(
+               EdgeId k,
+               ctx.engine->AddEdge(
+                   p, SampleWithLabel(w, "person", 10 * ctx.iteration + i),
+                   "knows", since));
+           (void)k;
+         }
+         return QueryResult{7};
+       }});
+
+  auto members_of = [](QueryContext& ctx, const std::string& target_label,
+                       const std::string& edge_label) -> Result<QueryResult> {
+    VertexId target =
+        SampleWithLabel(*ctx.workload, target_label, ctx.iteration);
+    GDB_ASSIGN_OR_RETURN(std::vector<VertexId> members,
+                         ctx.engine->NeighborsOf(target, Direction::kIn,
+                                                 &edge_label, ctx.cancel));
+    return QueryResult{members.size()};
+  };
+  catalog.push_back({"city", "People located in a given city", false,
+                     [members_of](QueryContext& ctx) {
+                       return members_of(ctx, "city", "isLocatedIn");
+                     }});
+  catalog.push_back({"company", "People working at a given company", false,
+                     [members_of](QueryContext& ctx) {
+                       return members_of(ctx, "company", "workAt");
+                     }});
+  catalog.push_back({"university", "People who studied at a university",
+                     false, [members_of](QueryContext& ctx) {
+                       return members_of(ctx, "university", "studyAt");
+                     }});
+
+  catalog.push_back(
+      {"friend1", "Direct friends of a person", false,
+       [](QueryContext& ctx) -> Result<QueryResult> {
+         VertexId p = SampleWithLabel(*ctx.workload, "person", ctx.iteration);
+         GDB_ASSIGN_OR_RETURN(std::vector<VertexId> friends, Friends(ctx, p));
+         return QueryResult{friends.size()};
+       }});
+
+  catalog.push_back(
+      {"friend2", "Friends of friends (excluding directs)", false,
+       [](QueryContext& ctx) -> Result<QueryResult> {
+         VertexId p = SampleWithLabel(*ctx.workload, "person", ctx.iteration);
+         GDB_ASSIGN_OR_RETURN(std::vector<VertexId> friends, Friends(ctx, p));
+         std::unordered_set<VertexId> exclude(friends.begin(), friends.end());
+         exclude.insert(p);
+         std::unordered_set<VertexId> fof;
+         for (VertexId f : friends) {
+           GDB_ASSIGN_OR_RETURN(std::vector<VertexId> ff, Friends(ctx, f));
+           for (VertexId x : ff) {
+             if (exclude.find(x) == exclude.end()) fof.insert(x);
+           }
+         }
+         return QueryResult{fof.size()};
+       }});
+
+  catalog.push_back(
+      {"friend-tags", "Tags of content created by friends", false,
+       [](QueryContext& ctx) -> Result<QueryResult> {
+         VertexId p = SampleWithLabel(*ctx.workload, "person", ctx.iteration);
+         GDB_ASSIGN_OR_RETURN(std::vector<VertexId> friends, Friends(ctx, p));
+         std::string has_creator = "hasCreator";
+         std::string has_tag = "hasTag";
+         std::unordered_set<VertexId> tags;
+         for (VertexId f : friends) {
+           GDB_ASSIGN_OR_RETURN(
+               std::vector<VertexId> posts,
+               ctx.engine->NeighborsOf(f, Direction::kIn, &has_creator,
+                                       ctx.cancel));
+           for (VertexId post : posts) {
+             GDB_ASSIGN_OR_RETURN(
+                 std::vector<VertexId> post_tags,
+                 ctx.engine->NeighborsOf(post, Direction::kOut, &has_tag,
+                                         ctx.cancel));
+             tags.insert(post_tags.begin(), post_tags.end());
+           }
+         }
+         return QueryResult{tags.size()};
+       }});
+
+  catalog.push_back(
+      {"add-tags", "Tag a person's post with new tags", true,
+       [](QueryContext& ctx) -> Result<QueryResult> {
+         VertexId p = SampleWithLabel(*ctx.workload, "person", ctx.iteration);
+         std::string has_creator = "hasCreator";
+         GDB_ASSIGN_OR_RETURN(
+             std::vector<VertexId> posts,
+             ctx.engine->NeighborsOf(p, Direction::kIn, &has_creator,
+                                     ctx.cancel));
+         if (posts.empty()) return QueryResult{0};
+         PropertyMap weight;
+         weight.emplace_back("weight", PropertyValue(int64_t{1}));
+         uint64_t added = 0;
+         for (int i = 0; i < 2; ++i) {
+           VertexId tag = SampleWithLabel(*ctx.workload, "tag",
+                                          10 * ctx.iteration + i);
+           GDB_ASSIGN_OR_RETURN(
+               EdgeId e,
+               ctx.engine->AddEdge(posts.front(), tag, "hasTag", weight));
+           (void)e;
+           ++added;
+         }
+         return QueryResult{added};
+       }});
+
+  catalog.push_back(
+      {"friend-of-friend",
+       "People up to 3 hops away, sorted by last name, top 10", false,
+       [](QueryContext& ctx) -> Result<QueryResult> {
+         VertexId p = SampleWithLabel(*ctx.workload, "person", ctx.iteration);
+         GDB_ASSIGN_OR_RETURN(
+             query::BfsResult bfs,
+             query::BreadthFirst(*ctx.engine, p, 3, std::string("knows"),
+                                 ctx.cancel));
+         std::vector<std::pair<std::string, VertexId>> named;
+         for (VertexId v : bfs.visited) {
+           GDB_ASSIGN_OR_RETURN(VertexRecord rec, ctx.engine->GetVertex(v));
+           const PropertyValue* last = FindProperty(rec.properties, "lastName");
+           named.emplace_back(last != nullptr ? last->ToString() : "",
+                              v);
+         }
+         std::sort(named.begin(), named.end());
+         uint64_t top = std::min<uint64_t>(10, named.size());
+         return QueryResult{top};
+       }});
+
+  catalog.push_back(
+      {"triangle", "Triangles in a person's friendship neighborhood", false,
+       [](QueryContext& ctx) -> Result<QueryResult> {
+         VertexId p = SampleWithLabel(*ctx.workload, "person", ctx.iteration);
+         GDB_ASSIGN_OR_RETURN(std::vector<VertexId> friends, Friends(ctx, p));
+         std::unordered_set<VertexId> friend_set(friends.begin(),
+                                                 friends.end());
+         uint64_t closed = 0;
+         for (VertexId f : friends) {
+           GDB_ASSIGN_OR_RETURN(std::vector<VertexId> ff, Friends(ctx, f));
+           for (VertexId x : ff) {
+             if (friend_set.find(x) != friend_set.end()) ++closed;
+           }
+         }
+         return QueryResult{closed / 2};
+       }});
+
+  catalog.push_back(
+      {"places", "Top-3 places among friends' locations", false,
+       [](QueryContext& ctx) -> Result<QueryResult> {
+         VertexId p = SampleWithLabel(*ctx.workload, "person", ctx.iteration);
+         GDB_ASSIGN_OR_RETURN(std::vector<VertexId> friends, Friends(ctx, p));
+         std::string located = "isLocatedIn";
+         std::map<VertexId, uint64_t> counts;
+         for (VertexId f : friends) {
+           GDB_ASSIGN_OR_RETURN(
+               std::vector<VertexId> places,
+               ctx.engine->NeighborsOf(f, Direction::kOut, &located,
+                                       ctx.cancel));
+           for (VertexId place : places) ++counts[place];
+         }
+         std::vector<std::pair<uint64_t, VertexId>> ranked;
+         for (const auto& [place, n] : counts) ranked.emplace_back(n, place);
+         std::sort(ranked.rbegin(), ranked.rend());
+         return QueryResult{std::min<uint64_t>(3, ranked.size())};
+       }});
+
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<ComplexQuerySpec>& ComplexQueryCatalog() {
+  static const std::vector<ComplexQuerySpec>* catalog =
+      new std::vector<ComplexQuerySpec>(BuildComplexCatalog());
+  return *catalog;
+}
+
+}  // namespace core
+}  // namespace gdbmicro

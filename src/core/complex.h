@@ -1,0 +1,34 @@
+// The complex query workload (paper §4.7 / Fig. 2): 13 queries derived
+// from the LDBC Social Network benchmark, mimicking the activity of a new
+// social-network user — from account creation and profile fill-up to
+// friend-of-friend exploration and recommendation queries with multi-hop
+// joins, sorting, top-k and max aggregation. Run on the ldbc dataset.
+
+#ifndef GDBMICRO_CORE_COMPLEX_H_
+#define GDBMICRO_CORE_COMPLEX_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/queries.h"
+
+namespace gdbmicro {
+namespace core {
+
+struct ComplexQuerySpec {
+  std::string name;         // Fig. 2 x-axis label
+  std::string description;
+  bool mutates = false;
+  std::function<Result<QueryResult>(QueryContext&)> run;
+};
+
+/// The 13 complex queries in Fig. 2 order: max-iid, max-oid, create, city,
+/// company, university, friend1, friend2, friend-tags, add-tags,
+/// friend-of-friend, triangle, places.
+const std::vector<ComplexQuerySpec>& ComplexQueryCatalog();
+
+}  // namespace core
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_CORE_COMPLEX_H_

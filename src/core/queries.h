@@ -1,0 +1,71 @@
+// The microbenchmark query catalog: the paper's Table 2, operational.
+//
+// Each QuerySpec carries the original Gremlin text, the category tag
+// (L/C/R/U/D/T), and an executable implementation over the GraphEngine
+// interface — the same decomposition into primitive operations the paper's
+// suite performs through the TinkerPop adapters. Parametrized classes
+// (BFS depth, label-filtered variants) appear as separate specs so that
+// every figure's series has its own entry, giving ~70 tests across single
+// and batch modes as in the paper.
+
+#ifndef GDBMICRO_CORE_QUERIES_H_
+#define GDBMICRO_CORE_QUERIES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/datasets/workload.h"
+#include "src/graph/engine.h"
+
+namespace gdbmicro {
+namespace core {
+
+enum class Category {
+  kLoad,      // L
+  kCreate,    // C
+  kRead,      // R
+  kUpdate,    // U
+  kDelete,    // D
+  kTraversal  // T
+};
+
+std::string_view CategoryToString(Category c);
+
+/// Execution context handed to each query implementation.
+struct QueryContext {
+  GraphEngine* engine = nullptr;
+  const datasets::Workload* workload = nullptr;
+  CancelToken cancel;
+  /// Batch iteration index; implementations vary their sampled parameters
+  /// with it so a batch is 10 distinct random picks, as in the paper.
+  int iteration = 0;
+};
+
+struct QueryResult {
+  /// Elements produced/affected; used for sanity checks and reporting.
+  uint64_t items = 0;
+};
+
+struct QuerySpec {
+  std::string name;         // "Q8", "Q32(d=3)"
+  int number = 0;           // Table 2 row
+  int variant = 0;          // BFS depth, or 0
+  std::string gremlin;      // Table 2 query text
+  std::string description;  // Table 2 description
+  Category category = Category::kRead;
+  bool mutates = false;
+  std::function<Result<QueryResult>(QueryContext&)> run;
+};
+
+/// The full catalog (Q2..Q35 plus depth variants; Q1, the bulk load, is
+/// executed by the runner itself since it needs a fresh instance).
+const std::vector<QuerySpec>& QueryCatalog();
+
+/// Catalog subset by Table 2 numbers (e.g. {28,29,30,31} for Fig. 5(b)).
+std::vector<const QuerySpec*> QueriesByNumber(const std::vector<int>& numbers);
+
+}  // namespace core
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_CORE_QUERIES_H_

@@ -1,0 +1,264 @@
+#include "src/core/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "src/util/string_util.h"
+
+namespace gdbmicro {
+namespace core {
+
+std::string FormatCell(const Measurement& m) {
+  if (m.status.ok()) return HumanMillis(m.millis);
+  if (m.status.IsDeadlineExceeded()) return "timeout";
+  if (m.status.IsResourceExhausted()) return "oom";
+  return "err";
+}
+
+std::string PivotTable(const std::vector<Measurement>& results,
+                       const PivotOptions& options) {
+  // Collect row keys (dataset/query) in first-seen order and columns.
+  std::vector<std::string> engines = options.engine_order;
+  auto engine_col = [&](const std::string& e) -> size_t {
+    for (size_t i = 0; i < engines.size(); ++i) {
+      if (engines[i] == e) return i;
+    }
+    engines.push_back(e);
+    return engines.size() - 1;
+  };
+
+  std::vector<std::string> row_keys;
+  std::map<std::string, std::map<std::string, std::string>> cells;
+  for (const Measurement& m : results) {
+    if (options.dataset && m.dataset != *options.dataset) continue;
+    if (options.mode && m.mode != *options.mode) continue;
+    std::string row = options.dataset ? m.query : m.dataset + " " + m.query;
+    if (cells.find(row) == cells.end()) row_keys.push_back(row);
+    engine_col(m.engine);
+    cells[row][m.engine] = FormatCell(m);
+  }
+
+  // Column widths.
+  size_t row_width = options.row_header.size();
+  for (const auto& r : row_keys) row_width = std::max(row_width, r.size());
+  std::vector<size_t> widths(engines.size());
+  for (size_t i = 0; i < engines.size(); ++i) {
+    widths[i] = engines[i].size();
+  }
+  for (const auto& [row, row_cells] : cells) {
+    (void)row;
+    for (size_t i = 0; i < engines.size(); ++i) {
+      auto it = row_cells.find(engines[i]);
+      if (it != row_cells.end()) widths[i] = std::max(widths[i], it->second.size());
+    }
+  }
+
+  std::string out;
+  auto pad = [](const std::string& s, size_t w) {
+    std::string padded = s;
+    padded.resize(std::max(w, s.size()), ' ');
+    return padded;
+  };
+  out += pad(options.row_header, row_width);
+  for (size_t i = 0; i < engines.size(); ++i) {
+    out += "  " + pad(engines[i], widths[i]);
+  }
+  out += '\n';
+  out += std::string(row_width, '-');
+  for (size_t i = 0; i < engines.size(); ++i) {
+    out += "  " + std::string(widths[i], '-');
+  }
+  out += '\n';
+  for (const std::string& row : row_keys) {
+    out += pad(row, row_width);
+    for (size_t i = 0; i < engines.size(); ++i) {
+      auto it = cells[row].find(engines[i]);
+      out += "  " + pad(it == cells[row].end() ? "-" : it->second, widths[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::map<std::string, uint64_t> CountFailures(
+    const std::vector<Measurement>& results, Measurement::Mode mode) {
+  std::map<std::string, uint64_t> counts;
+  for (const Measurement& m : results) {
+    if (m.mode != mode) continue;
+    counts.try_emplace(m.engine, 0);
+    if (m.status.IsDeadlineExceeded() || m.status.IsResourceExhausted()) {
+      ++counts[m.engine];
+    }
+  }
+  return counts;
+}
+
+std::map<std::string, double> CumulativeMillis(
+    const std::vector<Measurement>& results, const std::string& dataset,
+    Measurement::Mode mode, double deadline_millis) {
+  std::map<std::string, double> totals;
+  for (const Measurement& m : results) {
+    if (m.dataset != dataset || m.mode != mode) continue;
+    totals[m.engine] += m.status.ok() ? m.millis : deadline_millis;
+  }
+  return totals;
+}
+
+Status WriteCsv(const std::vector<Measurement>& results,
+                const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "engine,dataset,query,category,mode,status,millis,items\n";
+  for (const Measurement& m : results) {
+    out << m.engine << ',' << m.dataset << ',' << m.query << ','
+        << CategoryToString(m.category) << ','
+        << (m.mode == Measurement::Mode::kSingle ? "single" : "batch") << ','
+        << StatusCodeToString(m.status.code()) << ',' << m.millis << ','
+        << m.items << '\n';
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Table 4 column groups: name + predicate over (query name, number).
+struct Group {
+  const char* name;
+  int lo;  // inclusive query-number range
+  int hi;
+};
+constexpr Group kGroups[] = {
+    {"Load", 1, 1},
+    {"Insertions", 2, 7},
+    {"GraphStatistics", 8, 10},
+    {"SearchPropertyLabel", 11, 13},
+    {"SearchById", 14, 15},
+    {"Updates", 16, 17},
+    {"DeleteNode", 18, 18},
+    {"OtherDeletions", 19, 21},
+    {"Neighbors", 22, 24},
+    {"NodeEdgeLabels", 25, 27},
+    {"DegreeFilter", 28, 31},
+    {"BFS", 32, 33},
+    {"ShortestPath", 34, 35},
+};
+
+int QueryNumber(const std::string& name) {
+  if (name == "Q1" || name == "load") return 1;
+  if (name.size() < 2 || name[0] != 'Q') return -1;
+  return std::atoi(name.c_str() + 1);
+}
+
+}  // namespace
+
+std::vector<std::string> SummaryGroups() {
+  std::vector<std::string> names;
+  for (const Group& g : kGroups) names.push_back(g.name);
+  return names;
+}
+
+std::string_view SummarySymbolToString(SummarySymbol s) {
+  switch (s) {
+    case SummarySymbol::kGood:
+      return "+";
+    case SummarySymbol::kMid:
+      return ".";
+    case SummarySymbol::kWarn:
+      return "!";
+  }
+  return "?";
+}
+
+std::map<std::string, std::map<std::string, SummarySymbol>> SummarizeTable4(
+    const std::vector<Measurement>& results) {
+  // Gather per (group, engine): total time over OK runs and failure count,
+  // across datasets and modes (the paper aggregates over its whole grid).
+  struct Cell {
+    double total_ms = 0;
+    uint64_t ok_runs = 0;
+    uint64_t failures = 0;
+  };
+  std::map<std::string, std::map<std::string, Cell>> grid;  // group -> engine
+  std::set<std::string> engines;
+  for (const Measurement& m : results) {
+    int number = QueryNumber(m.query);
+    if (number < 0) continue;
+    for (const Group& g : kGroups) {
+      if (number < g.lo || number > g.hi) continue;
+      Cell& cell = grid[g.name][m.engine];
+      engines.insert(m.engine);
+      if (m.status.ok()) {
+        cell.total_ms += m.millis;
+        ++cell.ok_runs;
+      } else {
+        ++cell.failures;
+      }
+    }
+  }
+
+  std::map<std::string, std::map<std::string, SummarySymbol>> table;
+  for (const auto& [group, row] : grid) {
+    // Best mean among engines with no failures.
+    double best = -1;
+    for (const auto& [engine, cell] : row) {
+      (void)engine;
+      if (cell.failures > 0 || cell.ok_runs == 0) continue;
+      double mean = cell.total_ms / static_cast<double>(cell.ok_runs);
+      if (best < 0 || mean < best) best = mean;
+    }
+    for (const auto& [engine, cell] : row) {
+      SummarySymbol symbol = SummarySymbol::kMid;
+      if (cell.failures > 0 || cell.ok_runs == 0) {
+        symbol = SummarySymbol::kWarn;
+      } else {
+        double mean = cell.total_ms / static_cast<double>(cell.ok_runs);
+        if (best > 0 && mean <= 3.0 * best) {
+          symbol = SummarySymbol::kGood;
+        } else if (best > 0 && mean >= 30.0 * best) {
+          symbol = SummarySymbol::kWarn;
+        }
+      }
+      table[engine][group] = symbol;
+    }
+  }
+  return table;
+}
+
+std::string FormatTable4(
+    const std::map<std::string, std::map<std::string, SummarySymbol>>& table,
+    const std::vector<std::string>& engine_order) {
+  std::vector<std::string> groups = SummaryGroups();
+  size_t name_width = 8;
+  for (const auto& [engine, row] : table) {
+    (void)row;
+    name_width = std::max(name_width, engine.size());
+  }
+  std::string out(name_width, ' ');
+  for (const std::string& g : groups) {
+    out += "  " + g;
+  }
+  out += "\n";
+  out += "  (+ near-best, . mid-field, ! low end / failures)\n";
+  for (const std::string& engine : engine_order) {
+    auto row_it = table.find(engine);
+    if (row_it == table.end()) continue;
+    std::string line = engine;
+    line.resize(name_width, ' ');
+    for (const std::string& g : groups) {
+      auto cell = row_it->second.find(g);
+      std::string sym = cell == row_it->second.end()
+                            ? "-"
+                            : std::string(SummarySymbolToString(cell->second));
+      line += "  ";
+      std::string padded = sym;
+      padded.resize(g.size(), ' ');
+      line += padded;
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace gdbmicro

@@ -1,0 +1,71 @@
+// Reporting: turns Measurement streams into the paper's tables and figure
+// series — aligned text pivots (queries x engines), timeout counts
+// (Fig. 1(c)), cumulative suite times (Fig. 7(c,d)), CSV export, and the
+// Table 4 ✓/⚠ qualitative summary.
+
+#ifndef GDBMICRO_CORE_REPORT_H_
+#define GDBMICRO_CORE_REPORT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/runner.h"
+
+namespace gdbmicro {
+namespace core {
+
+/// Cell text for one measurement: time, or the failure class
+/// ("timeout", "oom", "err").
+std::string FormatCell(const Measurement& m);
+
+struct PivotOptions {
+  std::optional<std::string> dataset;               // filter
+  std::optional<Measurement::Mode> mode;            // filter
+  std::vector<std::string> engine_order;            // column order
+  std::string row_header = "query";
+};
+
+/// Renders an aligned table: one row per query (per dataset when no
+/// dataset filter is set), one column per engine.
+std::string PivotTable(const std::vector<Measurement>& results,
+                       const PivotOptions& options);
+
+/// Number of tests (single or batch) that failed with DeadlineExceeded or
+/// ResourceExhausted for each engine — the paper's Fig. 1(c) bars.
+std::map<std::string, uint64_t> CountFailures(
+    const std::vector<Measurement>& results, Measurement::Mode mode);
+
+/// Cumulative suite time per engine on a dataset; failed tests are charged
+/// the deadline, as the paper's Fig. 7(c,d) totals do.
+std::map<std::string, double> CumulativeMillis(
+    const std::vector<Measurement>& results, const std::string& dataset,
+    Measurement::Mode mode, double deadline_millis);
+
+/// CSV export (one row per measurement).
+Status WriteCsv(const std::vector<Measurement>& results,
+                const std::string& path);
+
+/// The Table 4 column groups, in paper order.
+std::vector<std::string> SummaryGroups();
+
+enum class SummarySymbol { kGood, kMid, kWarn };
+std::string_view SummarySymbolToString(SummarySymbol s);
+
+/// Derives the paper's Table 4: per engine per query group, kGood if the
+/// engine is near-best (median time within 3x of the group's best engine,
+/// no failures), kWarn if it failed any test in the group or its median is
+/// beyond 30x the best, kMid otherwise.
+std::map<std::string, std::map<std::string, SummarySymbol>> SummarizeTable4(
+    const std::vector<Measurement>& results);
+
+/// Renders the Table 4 grid.
+std::string FormatTable4(
+    const std::map<std::string, std::map<std::string, SummarySymbol>>& table,
+    const std::vector<std::string>& engine_order);
+
+}  // namespace core
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_CORE_REPORT_H_

@@ -1,0 +1,160 @@
+#include "src/core/runner.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "src/util/timer.h"
+
+namespace gdbmicro {
+namespace core {
+
+Result<LoadedEngine> Runner::Load(const std::string& engine_name,
+                                  const GraphData& data) const {
+  EngineOptions engine_options;
+  engine_options.enable_cost_model = options_.enable_cost_model;
+  engine_options.memory_budget_bytes = options_.memory_budget_bytes;
+  GDB_ASSIGN_OR_RETURN(std::unique_ptr<GraphEngine> engine,
+                       OpenEngine(engine_name, engine_options));
+
+  LoadedEngine loaded;
+  Timer timer;
+  GDB_ASSIGN_OR_RETURN(LoadMapping mapping, engine->BulkLoad(data));
+  double load_ms = timer.ElapsedMillis();
+
+  loaded.engine = std::move(engine);
+  loaded.mapping = std::make_unique<LoadMapping>(std::move(mapping));
+  loaded.workload = std::make_unique<datasets::Workload>(
+      &data, loaded.mapping.get(), options_.workload_seed);
+  loaded.load_measurement.engine = engine_name;
+  loaded.load_measurement.dataset = data.name;
+  loaded.load_measurement.query = "Q1";
+  loaded.load_measurement.category = Category::kLoad;
+  loaded.load_measurement.status = Status::OK();
+  loaded.load_measurement.millis = load_ms;
+  loaded.load_measurement.items = data.VertexCount() + data.EdgeCount();
+
+  if (options_.create_property_index) {
+    auto [name, value] = loaded.workload->VertexProperty(0);
+    (void)value;
+    // Unsupported index creation is not an error: the paper simply notes
+    // which systems cannot exploit it.
+    loaded.engine->CreateVertexPropertyIndex(name).ok();
+  }
+  return loaded;
+}
+
+std::vector<Measurement> Runner::RunQuery(LoadedEngine& loaded,
+                                          const GraphData& data,
+                                          const QuerySpec& spec) const {
+  std::vector<Measurement> out;
+  auto run_mode = [&](Measurement::Mode mode, int iterations) {
+    Measurement m;
+    m.engine = std::string(loaded.engine->name());
+    m.dataset = data.name;
+    m.query = spec.name;
+    m.category = spec.category;
+    m.mode = mode;
+    QueryContext ctx;
+    ctx.engine = loaded.engine.get();
+    ctx.workload = loaded.workload.get();
+    ctx.cancel = CancelToken::WithTimeout(options_.deadline);
+    Timer timer;
+    Status status = Status::OK();
+    uint64_t items = 0;
+    for (int i = 0; i < iterations; ++i) {
+      // Batch iterations use indexes 1..N so they never resample the
+      // single run's pick (deletion victims must be distinct).
+      ctx.iteration = mode == Measurement::Mode::kBatch ? i + 1 : 0;
+      loaded.engine->BeginQuery();
+      Result<QueryResult> r = spec.run(ctx);
+      if (!r.ok()) {
+        status = std::move(r).status();
+        break;
+      }
+      items += r->items;
+      if (ctx.cancel.Expired()) {
+        status = ctx.cancel.ToStatus();
+        break;
+      }
+    }
+    m.millis = timer.ElapsedMillis();
+    m.status = std::move(status);
+    m.items = items;
+    out.push_back(std::move(m));
+  };
+  run_mode(Measurement::Mode::kSingle, 1);
+  if (options_.run_batch) {
+    run_mode(Measurement::Mode::kBatch, options_.batch_iterations);
+  }
+  return out;
+}
+
+Result<std::vector<Measurement>> Runner::RunEngine(
+    const std::string& engine_name, const GraphData& data,
+    const std::vector<const QuerySpec*>& specs) const {
+  GDB_ASSIGN_OR_RETURN(LoadedEngine loaded, Load(engine_name, data));
+  std::vector<Measurement> results;
+  results.push_back(loaded.load_measurement);
+
+  // Non-mutating queries first (stable order otherwise), so reads and
+  // traversals observe the pristine dataset.
+  std::vector<const QuerySpec*> ordered = specs;
+  std::stable_partition(ordered.begin(), ordered.end(),
+                        [](const QuerySpec* s) { return !s->mutates; });
+
+  for (const QuerySpec* spec : ordered) {
+    std::vector<Measurement> rs = RunQuery(loaded, data, *spec);
+    results.insert(results.end(), std::make_move_iterator(rs.begin()),
+                   std::make_move_iterator(rs.end()));
+  }
+  return results;
+}
+
+std::vector<Measurement> Runner::RunAll(
+    const std::vector<std::string>& engines, const GraphData& data,
+    const std::vector<const QuerySpec*>& specs) const {
+  std::vector<Measurement> all;
+  for (const std::string& name : engines) {
+    Result<std::vector<Measurement>> rs = RunEngine(name, data, specs);
+    if (rs.ok()) {
+      all.insert(all.end(), std::make_move_iterator(rs->begin()),
+                 std::make_move_iterator(rs->end()));
+    } else {
+      Measurement failed;
+      failed.engine = name;
+      failed.dataset = data.name;
+      failed.query = "Q1";
+      failed.category = Category::kLoad;
+      failed.status = std::move(rs).status();
+      all.push_back(std::move(failed));
+    }
+  }
+  return all;
+}
+
+Result<uint64_t> DirectoryBytes(const std::string& dir) {
+  std::error_code ec;
+  uint64_t total = 0;
+  std::filesystem::recursive_directory_iterator it(dir, ec), end;
+  if (ec) return Status::IOError("cannot iterate " + dir);
+  for (; it != end; it.increment(ec)) {
+    if (ec) return Status::IOError("cannot iterate " + dir);
+    if (it->is_regular_file(ec)) {
+      total += it->file_size(ec);
+    }
+  }
+  return total;
+}
+
+Result<uint64_t> MeasureSpace(const GraphEngine& engine,
+                              const std::string& scratch_dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(scratch_dir, ec);
+  GDB_RETURN_IF_ERROR(engine.Checkpoint(scratch_dir));
+  GDB_ASSIGN_OR_RETURN(uint64_t bytes, DirectoryBytes(scratch_dir));
+  std::filesystem::remove_all(scratch_dir, ec);
+  return bytes;
+}
+
+}  // namespace core
+}  // namespace gdbmicro

@@ -1,0 +1,113 @@
+// The benchmark runner: the paper's evaluation methodology (§5) executed.
+//
+// For every (engine, dataset): a fresh instance is created and bulk-loaded
+// (Q.1), then every query in the requested set runs in isolation (single
+// mode) and as a 10-iteration batch, each under a deadline; timeouts and
+// resource-exhaustion failures are recorded as results, not errors — they
+// are data (Fig. 1(c), Fig. 5(b)).
+
+#ifndef GDBMICRO_CORE_RUNNER_H_
+#define GDBMICRO_CORE_RUNNER_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/queries.h"
+#include "src/datasets/workload.h"
+#include "src/graph/registry.h"
+
+namespace gdbmicro {
+namespace core {
+
+struct RunnerOptions {
+  /// Per-test deadline (single run or whole batch). The paper used 2 hours
+  /// at 20x our default dataset scale.
+  std::chrono::milliseconds deadline{10000};
+  /// Batch size (the paper ran batches of 10).
+  int batch_iterations = 10;
+  /// Run batch mode in addition to single mode.
+  bool run_batch = true;
+  /// Enable the engines' out-of-process cost models (see cost_model.h).
+  bool enable_cost_model = true;
+  /// Per-query working-memory budget enforced by engines that track it
+  /// (the Sparksee-like engine's session arena). 0 = unlimited.
+  uint64_t memory_budget_bytes = 24ULL << 20;
+  /// Seed for the workload parameter picker (same across engines).
+  uint64_t workload_seed = 42;
+  /// Create a user attribute index on the Q.11 property before running
+  /// (the paper's §6.4 indexing experiment).
+  bool create_property_index = false;
+};
+
+/// One measured test execution.
+struct Measurement {
+  std::string engine;
+  std::string dataset;
+  std::string query;  // "Q8", "Q32(d=3)", "load", complex-query names
+  Category category = Category::kRead;
+  enum class Mode { kSingle, kBatch } mode = Mode::kSingle;
+  Status status;      // OK, DeadlineExceeded, ResourceExhausted, ...
+  double millis = 0;  // wall time of the whole test (batch: all iterations)
+  uint64_t items = 0;
+
+  bool ok() const { return status.ok(); }
+  bool timed_out() const { return status.IsDeadlineExceeded(); }
+};
+
+/// A loaded engine + its workload, reusable across query runs. The mapping
+/// is heap-allocated because the workload keeps a pointer into it and the
+/// struct is returned by value.
+struct LoadedEngine {
+  std::unique_ptr<GraphEngine> engine;
+  std::unique_ptr<LoadMapping> mapping;
+  std::unique_ptr<datasets::Workload> workload;
+  Measurement load_measurement;  // the Q.1 data point
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options) : options_(options) {}
+
+  const RunnerOptions& options() const { return options_; }
+
+  /// Creates a fresh engine instance and bulk-loads `data` into it.
+  Result<LoadedEngine> Load(const std::string& engine_name,
+                            const GraphData& data) const;
+
+  /// Runs one query spec (single + optional batch) on a loaded engine.
+  std::vector<Measurement> RunQuery(LoadedEngine& loaded,
+                                    const GraphData& data,
+                                    const QuerySpec& spec) const;
+
+  /// Full sweep: load once, run all `specs`. Read/traversal queries run
+  /// before mutating ones so they observe the pristine dataset (the
+  /// paper executed every test on a freshly prepared instance).
+  Result<std::vector<Measurement>> RunEngine(
+      const std::string& engine_name, const GraphData& data,
+      const std::vector<const QuerySpec*>& specs) const;
+
+  /// Convenience: RunEngine over several engines, concatenating results.
+  /// Engines that fail to load contribute a failed "load" measurement.
+  std::vector<Measurement> RunAll(const std::vector<std::string>& engines,
+                                  const GraphData& data,
+                                  const std::vector<const QuerySpec*>& specs)
+      const;
+
+ private:
+  RunnerOptions options_;
+};
+
+/// Measures checkpointed on-disk size: engine.Checkpoint(tmp dir) + du.
+/// The directory is removed afterwards.
+Result<uint64_t> MeasureSpace(const GraphEngine& engine,
+                              const std::string& scratch_dir);
+
+/// Recursive directory size in bytes.
+Result<uint64_t> DirectoryBytes(const std::string& dir);
+
+}  // namespace core
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_CORE_RUNNER_H_

@@ -1,0 +1,453 @@
+#include "src/datasets/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace gdbmicro {
+namespace datasets {
+
+namespace {
+
+// Vocabulary for synthetic text properties.
+const char* const kSyllables[] = {"ra", "ne", "ko", "ta", "mi", "su", "lo",
+                                  "ve", "da", "pu", "chi", "bel", "gor",
+                                  "fin", "mar", "tel", "qua", "zen"};
+
+std::string SyntheticWord(Rng& rng, int min_syllables, int max_syllables) {
+  int n = static_cast<int>(rng.UniformRange(min_syllables, max_syllables));
+  std::string word;
+  for (int i = 0; i < n; ++i) {
+    word += kSyllables[rng.Uniform(std::size(kSyllables))];
+  }
+  return word;
+}
+
+std::string SyntheticSentence(Rng& rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i) out += ' ';
+    out += SyntheticWord(rng, 1, 3);
+  }
+  return out;
+}
+
+}  // namespace
+
+GraphData GenerateYeast(const GenOptions& options) {
+  GraphData data;
+  data.name = "yeast";
+  Rng rng(options.seed ^ 0x79656173ULL);
+  double scale = std::max(1.0, options.scale * 20.0);  // never below paper size
+  const uint64_t n_vertices = static_cast<uint64_t>(2361 * scale);
+  const uint64_t n_edges = static_cast<uint64_t>(7182 * scale);
+  const int n_classes = 13;  // function classes; 13*13 = 169 ~ 167 labels
+
+  data.vertices.reserve(n_vertices);
+  std::vector<int> klass(n_vertices);
+  for (uint64_t i = 0; i < n_vertices; ++i) {
+    GraphData::Vertex v;
+    v.label = "protein";
+    int c = static_cast<int>(rng.Uniform(n_classes));
+    klass[i] = c;
+    std::string shortname = StrFormat("Y%c%03u", 'A' + c,
+                                      static_cast<unsigned>(i % 1000));
+    v.properties.emplace_back("shortname", PropertyValue(shortname));
+    v.properties.emplace_back(
+        "longname", PropertyValue(SyntheticWord(rng, 3, 5) + " protein"));
+    v.properties.emplace_back("description",
+                              PropertyValue(SyntheticSentence(rng, 6)));
+    v.properties.emplace_back("class", PropertyValue(int64_t{c}));
+    data.vertices.push_back(std::move(v));
+  }
+
+  // Interaction edges: preferential attachment within a core (giant
+  // component ~95% of nodes, paper: 2.2K of 2.3K) plus ~100 isolated-ish
+  // stragglers.
+  uint64_t core = n_vertices * 95 / 100;
+  ZipfSampler hub(core, 0.8);
+  data.edges.reserve(n_edges);
+  for (uint64_t i = 0; i < n_edges; ++i) {
+    uint64_t a = hub.Sample(rng);
+    uint64_t b;
+    if (i < core - 1) {
+      // Spanning chain keeps the core connected.
+      a = i + 1;
+      b = rng.Uniform(i + 1);
+    } else {
+      b = hub.Sample(rng);
+      if (a == b) b = (b + 1) % core;
+    }
+    GraphData::Edge e;
+    e.src = a;
+    e.dst = b;
+    e.label = StrFormat("c%d-c%d", klass[a], klass[b]);
+    data.edges.push_back(std::move(e));
+  }
+  return data;
+}
+
+GraphData GenerateMiCo(const GenOptions& options) {
+  GraphData data;
+  data.name = "mico";
+  Rng rng(options.seed ^ 0x6d69636fULL);
+  const uint64_t n_vertices =
+      std::max<uint64_t>(500, static_cast<uint64_t>(100000 * options.scale));
+  const uint64_t n_edges =
+      std::max<uint64_t>(2000, static_cast<uint64_t>(1080156 * options.scale));
+
+  data.vertices.reserve(n_vertices);
+  for (uint64_t i = 0; i < n_vertices; ++i) {
+    GraphData::Vertex v;
+    v.label = "author";
+    v.properties.emplace_back(
+        "name", PropertyValue(SyntheticWord(rng, 2, 3) + " " +
+                              SyntheticWord(rng, 2, 4)));
+    v.properties.emplace_back("field",
+                              PropertyValue(static_cast<int64_t>(
+                                  rng.Uniform(24))));
+    data.vertices.push_back(std::move(v));
+  }
+
+  // Co-authorship: strong hubs (max degree ~1.3% of |V| in the paper).
+  ZipfSampler hub(n_vertices, 1.05);
+  ZipfSampler papers(106, 1.4);  // edge label: #co-authored papers, 106 values
+  data.edges.reserve(n_edges);
+  for (uint64_t i = 0; i < n_edges; ++i) {
+    uint64_t a = hub.Sample(rng);
+    uint64_t b = hub.Sample(rng);
+    if (a == b) b = (b + 1) % n_vertices;
+    GraphData::Edge e;
+    e.src = a;
+    e.dst = b;
+    e.label = StrFormat("%llu",
+                        static_cast<unsigned long long>(papers.Sample(rng) + 1));
+    data.edges.push_back(std::move(e));
+  }
+  return data;
+}
+
+namespace {
+
+const char* const kFrbDomains[] = {
+    "organization", "business", "government", "finance",
+    "geography",    "military", "music",      "film",
+    "people",       "sports",   "education",  "medicine"};
+constexpr int kTopicDomains = 6;  // first six are the Frb-O topics
+
+GraphData GenerateFreebaseLike(const std::string& name, uint64_t n_vertices,
+                               uint64_t n_edges, uint32_t n_labels,
+                               bool topic_only, double hub_skew,
+                               uint64_t block_size, double bridge_p,
+                               uint64_t seed) {
+  GraphData data;
+  data.name = name;
+  Rng rng(seed);
+
+  const int n_domains = static_cast<int>(std::size(kFrbDomains));
+  data.vertices.reserve(n_vertices);
+  std::vector<uint8_t> domain_of(n_vertices);
+  for (uint64_t i = 0; i < n_vertices; ++i) {
+    int domain = topic_only
+                     ? static_cast<int>(rng.Uniform(kTopicDomains))
+                     : static_cast<int>(rng.Uniform(n_domains));
+    domain_of[i] = static_cast<uint8_t>(domain);
+    GraphData::Vertex v;
+    v.label = kFrbDomains[domain];
+    v.properties.emplace_back(
+        "mid", PropertyValue(StrFormat("/m/%07llx",
+                                       static_cast<unsigned long long>(
+                                           i * 2654435761ULL & 0xFFFFFFF))));
+    if (rng.Chance(0.4)) {
+      v.properties.emplace_back("name",
+                                PropertyValue(SyntheticWord(rng, 2, 4)));
+    }
+    data.vertices.push_back(std::move(v));
+  }
+
+  // Pre-materialize label strings (predicate names).
+  std::vector<std::string> labels;
+  labels.reserve(n_labels);
+  for (uint32_t l = 0; l < n_labels; ++l) {
+    labels.push_back(StrFormat("%s.rel_%04u",
+                               kFrbDomains[l % (topic_only ? kTopicDomains
+                                                           : n_domains)],
+                               static_cast<unsigned>(l)));
+  }
+
+  // Edges follow the knowledge-base structure of the paper's snapshots:
+  // facts cluster around entity neighbourhoods ("blocks"), giving the
+  // high-modularity, fragmented shape of Table 3; a small bridge fraction
+  // routes edges to global zipf-skewed hub targets, creating the giant
+  // components and the extreme max-degree hubs of Frb-O/Frb-L.
+  const uint64_t n_blocks = std::max<uint64_t>(1, n_vertices / block_size);
+  ZipfSampler block_sampler(n_blocks, 0.6);
+  ZipfSampler within(block_size, hub_skew);
+  ZipfSampler global_hub(n_vertices, 1.05);
+  ZipfSampler label_sampler(n_labels, 1.1);
+  data.edges.reserve(n_edges);
+  for (uint64_t i = 0; i < n_edges; ++i) {
+    uint64_t block = block_sampler.Sample(rng);
+    uint64_t base = block * block_size;
+    uint64_t a = std::min(base + within.Sample(rng), n_vertices - 1);
+    uint64_t b;
+    if (rng.Chance(bridge_p)) {
+      b = global_hub.Sample(rng);  // cross-block bridge to a hub
+    } else {
+      b = std::min(base + within.Sample(rng), n_vertices - 1);
+    }
+    if (a == b) b = (b + 1) % n_vertices;
+    GraphData::Edge e;
+    e.src = a;
+    e.dst = b;
+    e.label = labels[label_sampler.Sample(rng)];
+    data.edges.push_back(std::move(e));
+  }
+  return data;
+}
+
+}  // namespace
+
+GraphData GenerateFreebase(FreebaseKind kind, const GenOptions& options) {
+  const double s = options.scale * 20.0;  // paper-size multiplier
+  auto scaled = [&](double paper_count) {
+    return std::max<uint64_t>(
+        200, static_cast<uint64_t>(paper_count / 20.0 * s));
+  };
+  switch (kind) {
+    case FreebaseKind::kSmall:
+      // Paper: 0.5M nodes, 0.3M edges, 1814 labels, 0.16M components,
+      // modularity 0.99 — isolated entity neighbourhoods, few bridges.
+      return GenerateFreebaseLike("frb-s", scaled(0.5e6), scaled(0.3e6), 1814,
+                                  false, 0.85, /*block_size=*/6,
+                                  /*bridge_p=*/0.002, options.seed ^ 0xF5ULL);
+    case FreebaseKind::kTopic:
+      // Paper: 1.9M nodes, 4.3M edges, 424 labels, topic-restricted,
+      // avg degree 4.3, modularity 0.98, giant component.
+      return GenerateFreebaseLike("frb-o", scaled(1.9e6), scaled(4.3e6), 424,
+                                  true, 0.95, /*block_size=*/400,
+                                  /*bridge_p=*/0.05, options.seed ^ 0xF0ULL);
+    case FreebaseKind::kMedium:
+      // Paper: 4M nodes, 3.1M edges, 2912 labels, modularity 0.8.
+      return GenerateFreebaseLike("frb-m", scaled(4e6), scaled(3.1e6), 2912,
+                                  false, 0.9, /*block_size=*/8,
+                                  /*bridge_p=*/0.03, options.seed ^ 0xF3ULL);
+    case FreebaseKind::kLarge:
+      // Paper: 28.4M nodes, 31.2M edges, 3821 labels, max degree 1.4M,
+      // giant component of 23M.
+      return GenerateFreebaseLike("frb-l", scaled(28.4e6), scaled(31.2e6),
+                                  3821, false, 0.95, /*block_size=*/12,
+                                  /*bridge_p=*/0.06, options.seed ^ 0xF1ULL);
+  }
+  return GraphData{};
+}
+
+GraphData GenerateLdbc(const GenOptions& options) {
+  GraphData data;
+  data.name = "ldbc";
+  Rng rng(options.seed ^ 0x6c646263ULL);
+  const double s = options.scale * 20.0;
+
+  // Paper dataset: 1000 users, 3 years of activity -> 184K nodes, 1.5M
+  // edges, 15 labels, ONE connected component, properties on nodes AND
+  // edges, avg degree 16.6.
+  const uint64_t n_persons = std::max<uint64_t>(40, static_cast<uint64_t>(1000 / 20.0 * s));
+  const uint64_t n_posts = n_persons * 7;
+  const uint64_t n_tags = std::max<uint64_t>(20, n_persons / 8);
+  const uint64_t n_places = std::max<uint64_t>(12, n_persons / 12);
+  const uint64_t n_orgs = std::max<uint64_t>(10, n_persons / 16);
+
+  const char* const kFirstNames[] = {"alice", "bruno",  "carla", "deniz",
+                                     "elena", "farid",  "gita",  "hans",
+                                     "ines",  "jorge",  "kala",  "liam"};
+  const char* const kBrowsers[] = {"firefox", "chrome", "safari", "opera"};
+
+  // --- vertices ---------------------------------------------------------
+  // Layout: [persons][posts][tags][places][orgs]
+  const uint64_t person0 = 0;
+  const uint64_t post0 = person0 + n_persons;
+  const uint64_t tag0 = post0 + n_posts;
+  const uint64_t place0 = tag0 + n_tags;
+  const uint64_t org0 = place0 + n_places;
+  const uint64_t n_total = org0 + n_orgs;
+  data.vertices.reserve(n_total);
+
+  for (uint64_t i = 0; i < n_persons; ++i) {
+    GraphData::Vertex v;
+    v.label = "person";
+    v.properties.emplace_back(
+        "firstName", PropertyValue(kFirstNames[rng.Uniform(std::size(kFirstNames))]));
+    v.properties.emplace_back("lastName",
+                              PropertyValue(SyntheticWord(rng, 2, 3)));
+    v.properties.emplace_back(
+        "birthday", PropertyValue(static_cast<int64_t>(
+                        19600101 + rng.Uniform(400000))));
+    v.properties.emplace_back(
+        "browserUsed",
+        PropertyValue(kBrowsers[rng.Uniform(std::size(kBrowsers))]));
+    data.vertices.push_back(std::move(v));
+  }
+  for (uint64_t i = 0; i < n_posts; ++i) {
+    GraphData::Vertex v;
+    v.label = "post";
+    v.properties.emplace_back("content",
+                              PropertyValue(SyntheticSentence(rng, 8)));
+    v.properties.emplace_back(
+        "creationDate",
+        PropertyValue(static_cast<int64_t>(20100101 + rng.Uniform(30000))));
+    data.vertices.push_back(std::move(v));
+  }
+  for (uint64_t i = 0; i < n_tags; ++i) {
+    GraphData::Vertex v;
+    v.label = "tag";
+    v.properties.emplace_back("name", PropertyValue(SyntheticWord(rng, 2, 4)));
+    data.vertices.push_back(std::move(v));
+  }
+  for (uint64_t i = 0; i < n_places; ++i) {
+    GraphData::Vertex v;
+    v.label = i % 6 == 0 ? "country" : "city";
+    v.properties.emplace_back("name",
+                              PropertyValue(SyntheticWord(rng, 2, 4) + "ville"));
+    data.vertices.push_back(std::move(v));
+  }
+  for (uint64_t i = 0; i < n_orgs; ++i) {
+    GraphData::Vertex v;
+    v.label = i % 2 == 0 ? "university" : "company";
+    v.properties.emplace_back(
+        "name", PropertyValue(SyntheticWord(rng, 3, 4) +
+                              (i % 2 == 0 ? " university" : " corp")));
+    data.vertices.push_back(std::move(v));
+  }
+
+  // --- edges ------------------------------------------------------------
+  auto date_prop = [&rng] {
+    return PropertyValue(static_cast<int64_t>(20100101 + rng.Uniform(30000)));
+  };
+
+  // knows: assortative power-law friendship graph, forced connected by a
+  // spanning chain over persons.
+  ZipfSampler popular(n_persons, 0.8);
+  const uint64_t knows_per_person = 9;
+  for (uint64_t i = 1; i < n_persons; ++i) {
+    GraphData::Edge e;
+    e.src = i;
+    e.dst = rng.Uniform(i);
+    e.label = "knows";
+    e.properties.emplace_back("since", date_prop());
+    data.edges.push_back(std::move(e));
+  }
+  for (uint64_t i = 0; i < n_persons * (knows_per_person - 1); ++i) {
+    uint64_t a = popular.Sample(rng);
+    uint64_t b = popular.Sample(rng);
+    if (a == b) b = (b + 1) % n_persons;
+    GraphData::Edge e;
+    e.src = a;
+    e.dst = b;
+    e.label = "knows";
+    e.properties.emplace_back("since", date_prop());
+    data.edges.push_back(std::move(e));
+  }
+  // posts: hasCreator, hasTag; likes from persons.
+  ZipfSampler tag_popularity(n_tags, 1.1);
+  for (uint64_t p = 0; p < n_posts; ++p) {
+    GraphData::Edge creator;
+    creator.src = post0 + p;
+    creator.dst = rng.Uniform(n_persons);
+    creator.label = "hasCreator";
+    creator.properties.emplace_back("creationDate", date_prop());
+    data.edges.push_back(std::move(creator));
+    uint64_t tags_here = 1 + rng.Uniform(3);
+    for (uint64_t t = 0; t < tags_here; ++t) {
+      GraphData::Edge e;
+      e.src = post0 + p;
+      e.dst = tag0 + tag_popularity.Sample(rng);
+      e.label = "hasTag";
+      e.properties.emplace_back("weight",
+                                PropertyValue(static_cast<int64_t>(
+                                    1 + rng.Uniform(10))));
+      data.edges.push_back(std::move(e));
+    }
+    uint64_t likes = rng.Uniform(5);
+    for (uint64_t l = 0; l < likes; ++l) {
+      GraphData::Edge e;
+      e.src = rng.Uniform(n_persons);
+      e.dst = post0 + p;
+      e.label = "likes";
+      e.properties.emplace_back("creationDate", date_prop());
+      data.edges.push_back(std::move(e));
+    }
+  }
+  // person -> place, org; tag/org/place anchoring edges.
+  for (uint64_t i = 0; i < n_persons; ++i) {
+    GraphData::Edge loc;
+    loc.src = i;
+    loc.dst = place0 + rng.Uniform(n_places);
+    loc.label = "isLocatedIn";
+    loc.properties.emplace_back("since", date_prop());
+    data.edges.push_back(std::move(loc));
+    if (rng.Chance(0.7)) {
+      GraphData::Edge study;
+      study.src = i;
+      study.dst = org0 + rng.Uniform(n_orgs);
+      study.label = data.vertices[study.dst].label == "university" ? "studyAt"
+                                                                   : "workAt";
+      study.properties.emplace_back(
+          "classYear",
+          PropertyValue(static_cast<int64_t>(1990 + rng.Uniform(25))));
+      data.edges.push_back(std::move(study));
+    }
+  }
+  // Anchor tags, places, orgs into the single component.
+  for (uint64_t t = 0; t < n_tags; ++t) {
+    GraphData::Edge e;
+    e.src = tag0 + t;
+    e.dst = place0 + rng.Uniform(n_places);
+    e.label = "hasType";
+    e.properties.emplace_back("weight", PropertyValue(int64_t{1}));
+    data.edges.push_back(std::move(e));
+  }
+  for (uint64_t p = 0; p < n_places; ++p) {
+    GraphData::Edge e;
+    e.src = place0 + p;
+    e.dst = place0 + (p % 6 == 0 ? p : p - (p % 6));  // city -> its country
+    if (e.src == e.dst) e.dst = place0;               // country -> root
+    if (e.src == e.dst) {
+      e.dst = rng.Uniform(n_persons);  // root country anchored to a person
+      e.label = "isPartOf";
+    } else {
+      e.label = "isPartOf";
+    }
+    e.properties.emplace_back("weight", PropertyValue(int64_t{1}));
+    data.edges.push_back(std::move(e));
+  }
+  for (uint64_t o = 0; o < n_orgs; ++o) {
+    GraphData::Edge e;
+    e.src = org0 + o;
+    e.dst = place0 + rng.Uniform(n_places);
+    e.label = "isLocatedIn";
+    e.properties.emplace_back("weight", PropertyValue(int64_t{1}));
+    data.edges.push_back(std::move(e));
+  }
+  return data;
+}
+
+Result<GraphData> GenerateByName(const std::string& name,
+                                 const GenOptions& options) {
+  if (name == "yeast") return GenerateYeast(options);
+  if (name == "mico") return GenerateMiCo(options);
+  if (name == "frb-s") return GenerateFreebase(FreebaseKind::kSmall, options);
+  if (name == "frb-o") return GenerateFreebase(FreebaseKind::kTopic, options);
+  if (name == "frb-m") return GenerateFreebase(FreebaseKind::kMedium, options);
+  if (name == "frb-l") return GenerateFreebase(FreebaseKind::kLarge, options);
+  if (name == "ldbc") return GenerateLdbc(options);
+  return Status::NotFound("unknown dataset \"" + name + "\"");
+}
+
+std::vector<std::string> AllDatasetNames() {
+  return {"yeast", "mico", "frb-o", "frb-s", "frb-m", "frb-l", "ldbc"};
+}
+
+}  // namespace datasets
+}  // namespace gdbmicro

@@ -1,0 +1,89 @@
+// Deterministic workload parameter picker.
+//
+// The paper's methodology (§5): "Any random selection made in one system
+// (e.g., a random selection of a node in order to query it) has been
+// maintained the same across the other systems." This class realizes that
+// rule: parameters are drawn from the *dataset* (indexes into GraphData)
+// with a seeded RNG, then translated into each engine's ids via its
+// LoadMapping — so every engine is asked about the same logical elements.
+//
+// Elements sampled for destructive queries come from a reserved pool (the
+// tail 5% of the dataset) so that read and traversal queries, which sample
+// from the head pool, never observe deleted elements.
+
+#ifndef GDBMICRO_DATASETS_WORKLOAD_H_
+#define GDBMICRO_DATASETS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph_data.h"
+#include "src/util/rng.h"
+
+namespace gdbmicro {
+namespace datasets {
+
+class Workload {
+ public:
+  /// `data` and `mapping` must outlive the workload.
+  Workload(const GraphData* data, const LoadMapping* mapping, uint64_t seed);
+
+  // --- sampled elements (same logical element across engines) ------------
+
+  /// i-th sampled vertex from the read pool, as an engine id.
+  VertexId ReadVertex(int i) const;
+  /// Same vertex as a dataset index.
+  uint64_t ReadVertexIndex(int i) const;
+  /// i-th sampled edge from the read pool.
+  EdgeId ReadEdge(int i) const;
+  uint64_t ReadEdgeIndex(int i) const;
+
+  /// i-th deletion victim (reserved tail pool; disjoint stream from reads).
+  VertexId DeleteVertex(int i) const;
+  EdgeId DeleteEdge(int i) const;
+
+  // --- sampled schema elements -------------------------------------------
+
+  /// An edge label that exists in the dataset.
+  std::string EdgeLabel(int i) const;
+  /// An existing (name, value) vertex property, taken from a sampled
+  /// vertex — guarantees non-empty search results.
+  std::pair<std::string, PropertyValue> VertexProperty(int i) const;
+  /// An existing (name, value) edge property; falls back to a synthetic
+  /// miss ("weight", 424242) on datasets without edge properties, which
+  /// still exercises the full scan exactly as the paper's queries do.
+  std::pair<std::string, PropertyValue> EdgeProperty(int i) const;
+
+  /// k for the degree-filter queries Q.28-Q.30: twice the dataset's
+  /// average degree (so the result is selective but non-empty).
+  uint64_t DegreeK() const;
+
+  /// Endpoints for the shortest-path queries: a sampled pair from the
+  /// read pool with preference for pairs in the same component
+  /// neighbourhood (sampled from edges' endpoints a few hops apart).
+  std::pair<VertexId, VertexId> PathEndpoints(int i) const;
+
+  /// Fresh property payload for insert queries (Q.2-Q.7).
+  PropertyMap NewProperties(int i) const;
+
+  const GraphData& data() const { return *data_; }
+  const LoadMapping& mapping() const { return *mapping_; }
+
+ private:
+  uint64_t HeadVertexIndex(uint64_t stream, int i) const;
+  uint64_t HeadEdgeIndex(uint64_t stream, int i) const;
+  uint64_t TailVertexIndex(int i) const;
+  uint64_t TailEdgeIndex(int i) const;
+
+  const GraphData* data_;
+  const LoadMapping* mapping_;
+  uint64_t seed_;
+  uint64_t avg_degree_x2_;
+};
+
+}  // namespace datasets
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_DATASETS_WORKLOAD_H_

@@ -1,0 +1,79 @@
+// String dictionary: interns label and property-key strings to dense
+// uint32 ids. Several engines keep labels/types in a dedicated file
+// (paper §3.2: Neo4j has "one file for labels and types"); this is that
+// file's in-memory form plus its serialization.
+
+#ifndef GDBMICRO_ENGINES_COMMON_DICTIONARY_H_
+#define GDBMICRO_ENGINES_COMMON_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/storage/hash_index.h"
+#include "src/util/result.h"
+#include "src/util/varint.h"
+
+namespace gdbmicro {
+
+class Dictionary {
+ public:
+  static constexpr uint32_t kNoId = ~0u;
+
+  /// Returns the id for `s`, interning it if new.
+  uint32_t Intern(std::string_view s) {
+    std::string key(s);
+    if (const uint32_t* id = ids_.Get(key)) return *id;
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.push_back(key);
+    ids_.Put(key, id);
+    return id;
+  }
+
+  /// Returns the id for `s` or kNoId if absent (does not intern).
+  uint32_t Lookup(std::string_view s) const {
+    const uint32_t* id = ids_.Get(std::string(s));
+    return id != nullptr ? *id : kNoId;
+  }
+
+  const std::string& Get(uint32_t id) const { return strings_[id]; }
+
+  uint32_t size() const { return static_cast<uint32_t>(strings_.size()); }
+
+  uint64_t MemoryBytes() const {
+    uint64_t n = ids_.MemoryBytes();
+    for (const auto& s : strings_) n += s.size() + sizeof(std::string);
+    return n;
+  }
+
+  void Serialize(std::string* out) const {
+    PutVarint64(out, strings_.size());
+    for (const auto& s : strings_) {
+      PutVarint64(out, s.size());
+      out->append(s);
+    }
+  }
+
+  static Result<Dictionary> Deserialize(const std::string& in, size_t* pos) {
+    Dictionary d;
+    GDB_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(in, pos));
+    for (uint64_t i = 0; i < n; ++i) {
+      GDB_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(in, pos));
+      if (*pos + len > in.size()) {
+        return Status::Corruption("truncated dictionary");
+      }
+      d.Intern(std::string_view(in.data() + *pos, len));
+      *pos += len;
+    }
+    return d;
+  }
+
+ private:
+  std::vector<std::string> strings_;
+  HashIndex<std::string, uint32_t> ids_;
+};
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_ENGINES_COMMON_DICTIONARY_H_

@@ -1,0 +1,545 @@
+#include "src/engines/orientish/orient_engine.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+#include "src/util/varint.h"
+
+namespace gdbmicro {
+
+EngineInfo OrientEngine::info() const {
+  EngineInfo info;
+  info.name = "orient";
+  info.emulates = "OrientDB 2.2";
+  info.type = "Native";
+  info.storage = "Linked records in per-label clusters (logical id map)";
+  info.edge_traversal = "2-hop pointer";
+  info.query_execution = "Mixed (partially conflated)";
+  info.supports_property_index = true;
+  return info;
+}
+
+Status OrientEngine::Open(const EngineOptions& options) {
+  GDB_RETURN_IF_ERROR(GraphEngine::Open(options));
+  // Cluster bookkeeping overhead per new edge label, charged on cluster
+  // creation (the paper: OrientDB "was performing a lot of bookkeeping
+  // tasks for each edge-label it was loading").
+  cost_.per_write_us = 200;
+  cost_.enabled = options.enable_cost_model;
+  return Status::OK();
+}
+
+// --- encoding ---------------------------------------------------------------
+
+void OrientEngine::EncodeVertex(const VertexData& v, std::string* out) {
+  PutVarint64(out, v.label);
+  EncodePropertyMap(v.props, out);
+  out->push_back(v.external_adj ? 1 : 0);
+  if (!v.external_adj) {
+    PutVarint64(out, v.out_edges.size());
+    for (EdgeId e : v.out_edges) PutVarint64(out, e);
+    PutVarint64(out, v.in_edges.size());
+    for (EdgeId e : v.in_edges) PutVarint64(out, e);
+  }
+}
+
+Result<OrientEngine::VertexData> OrientEngine::DecodeVertex(
+    std::string_view blob) const {
+  std::string buf(blob);
+  size_t pos = 0;
+  VertexData v;
+  GDB_ASSIGN_OR_RETURN(uint64_t label, GetVarint64(buf, &pos));
+  v.label = static_cast<uint32_t>(label);
+  GDB_ASSIGN_OR_RETURN(v.props, DecodePropertyMap(buf, &pos));
+  if (pos >= buf.size()) return Status::Corruption("truncated vertex record");
+  v.external_adj = buf[pos++] != 0;
+  if (!v.external_adj) {
+    GDB_ASSIGN_OR_RETURN(uint64_t n_out, GetVarint64(buf, &pos));
+    v.out_edges.reserve(n_out);
+    for (uint64_t i = 0; i < n_out; ++i) {
+      GDB_ASSIGN_OR_RETURN(uint64_t e, GetVarint64(buf, &pos));
+      v.out_edges.push_back(e);
+    }
+    GDB_ASSIGN_OR_RETURN(uint64_t n_in, GetVarint64(buf, &pos));
+    v.in_edges.reserve(n_in);
+    for (uint64_t i = 0; i < n_in; ++i) {
+      GDB_ASSIGN_OR_RETURN(uint64_t e, GetVarint64(buf, &pos));
+      v.in_edges.push_back(e);
+    }
+  }
+  return v;
+}
+
+void OrientEngine::EncodeEdge(const EdgeData& e, std::string* out) {
+  PutVarint64(out, e.src);
+  PutVarint64(out, e.dst);
+  EncodePropertyMap(e.props, out);
+}
+
+Result<OrientEngine::EdgeData> OrientEngine::DecodeEdge(
+    std::string_view blob) const {
+  std::string buf(blob);
+  size_t pos = 0;
+  EdgeData e;
+  GDB_ASSIGN_OR_RETURN(e.src, GetVarint64(buf, &pos));
+  GDB_ASSIGN_OR_RETURN(e.dst, GetVarint64(buf, &pos));
+  GDB_ASSIGN_OR_RETURN(e.props, DecodePropertyMap(buf, &pos));
+  return e;
+}
+
+Result<OrientEngine::VertexData> OrientEngine::LoadVertex(VertexId id) const {
+  GDB_ASSIGN_OR_RETURN(std::string_view blob, vertex_store_.Read(id));
+  return DecodeVertex(blob);
+}
+
+Status OrientEngine::StoreVertex(VertexId id, const VertexData& v) {
+  std::string blob;
+  EncodeVertex(v, &blob);
+  return vertex_store_.Update(id, blob);
+}
+
+Result<OrientEngine::EdgeData> OrientEngine::LoadEdge(EdgeId id) const {
+  uint64_t cluster = ClusterOf(id);
+  if (cluster >= clusters_.size()) return Status::NotFound("edge not found");
+  GDB_ASSIGN_OR_RETURN(std::string_view blob,
+                       clusters_[cluster].store.Read(LocalOf(id)));
+  return DecodeEdge(blob);
+}
+
+Status OrientEngine::StoreEdge(EdgeId id, const EdgeData& e) {
+  uint64_t cluster = ClusterOf(id);
+  if (cluster >= clusters_.size()) return Status::NotFound("edge not found");
+  std::string blob;
+  EncodeEdge(e, &blob);
+  return clusters_[cluster].store.Update(LocalOf(id), blob);
+}
+
+uint64_t OrientEngine::ClusterForLabel(std::string_view label) {
+  auto it = cluster_by_label_.find(std::string(label));
+  if (it != cluster_by_label_.end()) return it->second;
+  uint64_t idx = clusters_.size();
+  clusters_.push_back(Cluster{std::string(label), AppendStore{}});
+  cluster_by_label_.emplace(std::string(label), idx);
+  cost_.ChargeWrite();  // cluster bookkeeping
+  return idx;
+}
+
+// --- adjacency --------------------------------------------------------------
+
+Status OrientEngine::AppendAdjacency(VertexId v, EdgeId e, bool outgoing) {
+  auto bag_it = bags_.find(v);
+  if (bag_it != bags_.end()) {
+    (outgoing ? bag_it->second.out_edges : bag_it->second.in_edges).push_back(e);
+    return Status::OK();
+  }
+  GDB_ASSIGN_OR_RETURN(VertexData data, LoadVertex(v));
+  std::vector<EdgeId>& list = outgoing ? data.out_edges : data.in_edges;
+  list.push_back(e);
+  if (list.size() > kEmbeddedAdjLimit) {
+    // Switch to external bag (ridbag tree).
+    ExternalBag bag;
+    bag.out_edges = std::move(data.out_edges);
+    bag.in_edges = std::move(data.in_edges);
+    bags_.emplace(v, std::move(bag));
+    data.out_edges.clear();
+    data.in_edges.clear();
+    data.external_adj = true;
+  }
+  return StoreVertex(v, data);
+}
+
+Status OrientEngine::EraseAdjacency(VertexId v, EdgeId e, bool outgoing) {
+  auto bag_it = bags_.find(v);
+  if (bag_it != bags_.end()) {
+    std::vector<EdgeId>& list =
+        outgoing ? bag_it->second.out_edges : bag_it->second.in_edges;
+    auto it = std::find(list.begin(), list.end(), e);
+    if (it != list.end()) list.erase(it);
+    return Status::OK();
+  }
+  GDB_ASSIGN_OR_RETURN(VertexData data, LoadVertex(v));
+  std::vector<EdgeId>& list = outgoing ? data.out_edges : data.in_edges;
+  auto it = std::find(list.begin(), list.end(), e);
+  if (it != list.end()) {
+    list.erase(it);
+    return StoreVertex(v, data);
+  }
+  return Status::OK();
+}
+
+Status OrientEngine::CollectAdjacency(VertexId v, Direction dir,
+                                      std::vector<EdgeId>* out) const {
+  const std::vector<EdgeId>* out_list = nullptr;
+  const std::vector<EdgeId>* in_list = nullptr;
+  VertexData data;
+  auto bag_it = bags_.find(v);
+  if (bag_it != bags_.end()) {
+    out_list = &bag_it->second.out_edges;
+    in_list = &bag_it->second.in_edges;
+  } else {
+    GDB_ASSIGN_OR_RETURN(data, LoadVertex(v));
+    out_list = &data.out_edges;
+    in_list = &data.in_edges;
+  }
+  if (dir == Direction::kOut || dir == Direction::kBoth) {
+    out->insert(out->end(), out_list->begin(), out_list->end());
+  }
+  if (dir == Direction::kIn || dir == Direction::kBoth) {
+    out->insert(out->end(), in_list->begin(), in_list->end());
+  }
+  return Status::OK();
+}
+
+// --- CRUD -------------------------------------------------------------------
+
+Result<VertexId> OrientEngine::AddVertex(std::string_view label,
+                                         const PropertyMap& props) {
+  VertexData v;
+  v.label = vertex_labels_.Intern(label);
+  v.props = props;
+  std::string blob;
+  EncodeVertex(v, &blob);
+  VertexId id = vertex_store_.Append(blob);
+  for (const auto& [k, val] : props) IndexInsert(k, val, id);
+  return id;
+}
+
+Result<EdgeId> OrientEngine::AddEdge(VertexId src, VertexId dst,
+                                     std::string_view label,
+                                     const PropertyMap& props) {
+  if (!vertex_store_.IsLive(src) || !vertex_store_.IsLive(dst)) {
+    return Status::NotFound("edge endpoint not found");
+  }
+  uint64_t cluster = ClusterForLabel(label);
+  EdgeData e;
+  e.src = src;
+  e.dst = dst;
+  e.props = props;
+  std::string blob;
+  EncodeEdge(e, &blob);
+  EdgeId id = PackEdgeId(cluster, clusters_[cluster].store.Append(blob));
+  GDB_RETURN_IF_ERROR(AppendAdjacency(src, id, /*outgoing=*/true));
+  if (dst != src) {
+    GDB_RETURN_IF_ERROR(AppendAdjacency(dst, id, /*outgoing=*/false));
+  } else {
+    GDB_RETURN_IF_ERROR(AppendAdjacency(src, id, /*outgoing=*/false));
+  }
+  return id;
+}
+
+Status OrientEngine::SetVertexProperty(VertexId v, std::string_view name,
+                                       const PropertyValue& value) {
+  GDB_ASSIGN_OR_RETURN(VertexData data, LoadVertex(v));
+  if (const PropertyValue* prev = FindProperty(data.props, name)) {
+    IndexErase(name, *prev, v);
+  }
+  SetProperty(&data.props, name, value);
+  GDB_RETURN_IF_ERROR(StoreVertex(v, data));
+  IndexInsert(name, value, v);
+  return Status::OK();
+}
+
+Status OrientEngine::SetEdgeProperty(EdgeId e, std::string_view name,
+                                     const PropertyValue& value) {
+  GDB_ASSIGN_OR_RETURN(EdgeData data, LoadEdge(e));
+  SetProperty(&data.props, name, value);
+  return StoreEdge(e, data);
+}
+
+Result<VertexRecord> OrientEngine::GetVertex(VertexId id) const {
+  GDB_ASSIGN_OR_RETURN(VertexData data, LoadVertex(id));
+  VertexRecord rec;
+  rec.id = id;
+  rec.label = vertex_labels_.Get(data.label);
+  rec.properties = std::move(data.props);
+  return rec;
+}
+
+Result<EdgeRecord> OrientEngine::GetEdge(EdgeId id) const {
+  GDB_ASSIGN_OR_RETURN(EdgeData data, LoadEdge(id));
+  EdgeRecord rec;
+  rec.id = id;
+  rec.src = data.src;
+  rec.dst = data.dst;
+  rec.label = clusters_[ClusterOf(id)].label;
+  rec.properties = std::move(data.props);
+  return rec;
+}
+
+Result<std::vector<std::string>> OrientEngine::DistinctEdgeLabels(
+    const CancelToken& cancel) const {
+  (void)cancel;
+  // Edge classes are schema objects: one per cluster.
+  std::vector<std::string> labels;
+  labels.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) {
+    if (c.store.LiveCount() > 0) labels.push_back(c.label);
+  }
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+Result<std::vector<EdgeId>> OrientEngine::FindEdgesByLabel(
+    std::string_view label, const CancelToken& cancel) const {
+  auto it = cluster_by_label_.find(std::string(label));
+  if (it == cluster_by_label_.end()) return std::vector<EdgeId>{};
+  const AppendStore& store = clusters_[it->second].store;
+  std::vector<EdgeId> out;
+  out.reserve(store.LiveCount());
+  for (uint64_t local = 0; local < store.LogicalCount(); ++local) {
+    GDB_CHECK_CANCEL(cancel);
+    if (store.IsLive(local)) out.push_back(PackEdgeId(it->second, local));
+  }
+  return out;
+}
+
+Result<std::vector<VertexId>> OrientEngine::FindVerticesByProperty(
+    std::string_view prop, const PropertyValue& value,
+    const CancelToken& cancel) const {
+  auto it = indexes_.find(prop);
+  if (it != indexes_.end()) {
+    std::vector<VertexId> out;
+    it->second.ScanKey(value, [&](const VertexId& id) {
+      out.push_back(id);
+      return true;
+    });
+    return out;
+  }
+  return GraphEngine::FindVerticesByProperty(prop, value, cancel);
+}
+
+Status OrientEngine::RemoveEdgeInternal(EdgeId e, VertexId skip_endpoint) {
+  GDB_ASSIGN_OR_RETURN(EdgeData data, LoadEdge(e));
+  if (data.src != skip_endpoint) {
+    GDB_RETURN_IF_ERROR(EraseAdjacency(data.src, e, /*outgoing=*/true));
+  }
+  VertexId in_endpoint = data.dst == data.src ? data.src : data.dst;
+  if (in_endpoint != skip_endpoint) {
+    GDB_RETURN_IF_ERROR(EraseAdjacency(in_endpoint, e, /*outgoing=*/false));
+  }
+  return clusters_[ClusterOf(e)].store.Delete(LocalOf(e));
+}
+
+Status OrientEngine::RemoveVertex(VertexId v) {
+  std::vector<EdgeId> incident;
+  GDB_RETURN_IF_ERROR(CollectAdjacency(v, Direction::kBoth, &incident));
+  std::sort(incident.begin(), incident.end());
+  incident.erase(std::unique(incident.begin(), incident.end()),
+                 incident.end());
+  for (EdgeId e : incident) {
+    GDB_RETURN_IF_ERROR(RemoveEdgeInternal(e, v));
+  }
+  GDB_ASSIGN_OR_RETURN(VertexData data, LoadVertex(v));
+  for (const auto& [k, val] : data.props) IndexErase(k, val, v);
+  bags_.erase(v);
+  return vertex_store_.Delete(v);
+}
+
+Status OrientEngine::RemoveEdge(EdgeId e) {
+  return RemoveEdgeInternal(e, kInvalidId);
+}
+
+Status OrientEngine::RemoveVertexProperty(VertexId v, std::string_view name) {
+  GDB_ASSIGN_OR_RETURN(VertexData data, LoadVertex(v));
+  if (const PropertyValue* prev = FindProperty(data.props, name)) {
+    IndexErase(name, *prev, v);
+  }
+  if (!EraseProperty(&data.props, name)) {
+    return Status::NotFound("no such property");
+  }
+  return StoreVertex(v, data);
+}
+
+Status OrientEngine::RemoveEdgeProperty(EdgeId e, std::string_view name) {
+  GDB_ASSIGN_OR_RETURN(EdgeData data, LoadEdge(e));
+  if (!EraseProperty(&data.props, name)) {
+    return Status::NotFound("no such property");
+  }
+  return StoreEdge(e, data);
+}
+
+// --- scans / traversal -------------------------------------------------------
+
+Status OrientEngine::ScanVertices(
+    const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
+  for (uint64_t id = 0; id < vertex_store_.LogicalCount(); ++id) {
+    GDB_CHECK_CANCEL(cancel);
+    if (vertex_store_.IsLive(id)) {
+      if (!fn(id)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status OrientEngine::ScanEdges(
+    const CancelToken& cancel,
+    const std::function<bool(const EdgeEnds&)>& fn) const {
+  for (uint64_t c = 0; c < clusters_.size(); ++c) {
+    const Cluster& cluster = clusters_[c];
+    for (uint64_t local = 0; local < cluster.store.LogicalCount(); ++local) {
+      GDB_CHECK_CANCEL(cancel);
+      if (!cluster.store.IsLive(local)) continue;
+      auto blob = cluster.store.Read(local);
+      if (!blob.ok()) continue;
+      GDB_ASSIGN_OR_RETURN(EdgeData data, DecodeEdge(*blob));
+      EdgeEnds ends;
+      ends.id = PackEdgeId(c, local);
+      ends.src = data.src;
+      ends.dst = data.dst;
+      ends.label = cluster.label;
+      if (!fn(ends)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<EdgeId>> OrientEngine::EdgesOf(
+    VertexId v, Direction dir, const std::string* label,
+    const CancelToken& cancel) const {
+  if (!vertex_store_.IsLive(v)) return Status::NotFound("vertex not found");
+  std::vector<EdgeId> all;
+  GDB_RETURN_IF_ERROR(CollectAdjacency(v, dir, &all));
+  if (dir == Direction::kBoth) {
+    // A self-loop sits in both ridbags; both() must report it once.
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+  }
+  if (label == nullptr) return all;
+  // Label filtering needs no edge-record read: the cluster id *is* the
+  // label (OrientDB's per-class clusters).
+  auto it = cluster_by_label_.find(*label);
+  if (it == cluster_by_label_.end()) return std::vector<EdgeId>{};
+  uint64_t cluster = it->second;
+  std::vector<EdgeId> out;
+  for (EdgeId e : all) {
+    GDB_CHECK_CANCEL(cancel);
+    if (ClusterOf(e) == cluster) out.push_back(e);
+  }
+  return out;
+}
+
+Result<EdgeEnds> OrientEngine::GetEdgeEnds(EdgeId e) const {
+  GDB_ASSIGN_OR_RETURN(EdgeData data, LoadEdge(e));
+  EdgeEnds ends;
+  ends.id = e;
+  ends.src = data.src;
+  ends.dst = data.dst;
+  ends.label = clusters_[ClusterOf(e)].label;
+  return ends;
+}
+
+Result<uint64_t> OrientEngine::DegreeOf(VertexId v, Direction dir,
+                                        const CancelToken& cancel) const {
+  if (!vertex_store_.IsLive(v)) return Status::NotFound("vertex not found");
+  GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> all,
+                       EdgesOf(v, dir, nullptr, cancel));
+  return static_cast<uint64_t>(all.size());
+}
+
+// --- index / persistence ------------------------------------------------------
+
+Status OrientEngine::CreateVertexPropertyIndex(std::string_view prop) {
+  std::string key(prop);
+  if (indexes_.count(key) != 0) return Status::OK();
+  BTree<PropertyValue, VertexId>& index = indexes_[key];  // SB-Tree
+  CancelToken never;
+  return ScanVertices(never, [&](VertexId id) {
+    auto data = LoadVertex(id);
+    if (data.ok()) {
+      if (const PropertyValue* v = FindProperty(data->props, prop)) {
+        index.Insert(*v, id);
+      }
+    }
+    return true;
+  });
+}
+
+bool OrientEngine::HasVertexPropertyIndex(std::string_view prop) const {
+  return indexes_.find(prop) != indexes_.end();
+}
+
+void OrientEngine::IndexInsert(std::string_view prop, const PropertyValue& v,
+                               VertexId id) {
+  auto it = indexes_.find(prop);
+  if (it != indexes_.end()) it->second.Insert(v, id);
+}
+
+void OrientEngine::IndexErase(std::string_view prop, const PropertyValue& v,
+                              VertexId id) {
+  auto it = indexes_.find(prop);
+  if (it != indexes_.end()) it->second.Erase(v, id);
+}
+
+Status OrientEngine::Checkpoint(const std::string& dir) const {
+  // Per-cluster page preallocation: every cluster file is page-aligned, so
+  // label-heavy datasets (Frb-S) pay a fixed per-cluster space overhead —
+  // the effect the paper measures in Fig. 1.
+  static constexpr size_t kClusterHeaderBytes = 16384;
+
+  std::string buf(kClusterHeaderBytes, '\0');
+  // Checkpoints write compacted cluster images: OrientDB reclaims the
+  // space of superseded record versions on flush.
+  vertex_store_.SerializeCompacted(&buf);
+  // External bags ride with the vertex cluster.
+  PutVarint64(&buf, bags_.size());
+  for (const auto& [v, bag] : bags_) {
+    PutVarint64(&buf, v);
+    PutVarint64(&buf, bag.out_edges.size());
+    for (EdgeId e : bag.out_edges) PutVarint64(&buf, e);
+    PutVarint64(&buf, bag.in_edges.size());
+    for (EdgeId e : bag.in_edges) PutVarint64(&buf, e);
+  }
+  GDB_RETURN_IF_ERROR(WriteFile(dir, "vertex.pcl", buf));
+
+  for (uint64_t c = 0; c < clusters_.size(); ++c) {
+    buf.assign(kClusterHeaderBytes, '\0');
+    clusters_[c].store.SerializeCompacted(&buf);
+    GDB_RETURN_IF_ERROR(
+        WriteFile(dir, StrFormat("edge_cluster_%04llu.pcl",
+                                 static_cast<unsigned long long>(c)),
+                  buf));
+  }
+
+  buf.clear();
+  vertex_labels_.Serialize(&buf);
+  PutVarint64(&buf, clusters_.size());
+  for (const Cluster& c : clusters_) {
+    PutVarint64(&buf, c.label.size());
+    buf.append(c.label);
+  }
+  GDB_RETURN_IF_ERROR(WriteFile(dir, "schema.odb", buf));
+
+  buf.clear();
+  PutVarint64(&buf, indexes_.size());
+  for (const auto& [prop, index] : indexes_) {
+    PutVarint64(&buf, prop.size());
+    buf.append(prop);
+    PutVarint64(&buf, index.size());
+    index.ScanAll([&buf](const PropertyValue& k, const VertexId& v) {
+      k.EncodeTo(&buf);
+      PutVarint64(&buf, v);
+      return true;
+    });
+  }
+  return WriteFile(dir, "sbtree.indexes.odb", buf);
+}
+
+uint64_t OrientEngine::MemoryBytes() const {
+  uint64_t total = vertex_store_.LogBytes() + vertex_labels_.MemoryBytes();
+  for (const Cluster& c : clusters_) total += c.store.LogBytes() + 128;
+  for (const auto& [v, bag] : bags_) {
+    (void)v;
+    total += (bag.out_edges.capacity() + bag.in_edges.capacity()) * 8 + 64;
+  }
+  for (const auto& [prop, index] : indexes_) {
+    (void)prop;
+    total += index.SerializedBytes(24);
+  }
+  return total;
+}
+
+std::unique_ptr<GraphEngine> MakeOrientEngine() {
+  return std::make_unique<OrientEngine>();
+}
+
+}  // namespace gdbmicro

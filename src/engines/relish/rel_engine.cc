@@ -1,0 +1,499 @@
+#include "src/engines/relish/rel_engine.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+#include "src/util/varint.h"
+
+namespace gdbmicro {
+
+EngineInfo RelEngine::info() const {
+  EngineInfo info;
+  info.name = "sqlg";
+  info.emulates = "Sqlg 1.2 / Postgres 9.6";
+  info.type = "Hybrid (Relational)";
+  info.storage = "Table per label, join tables for edges";
+  info.edge_traversal = "Table join (FK indexes)";
+  info.query_execution = "SQL, conflated (optimized)";
+  info.supports_property_index = true;
+  return info;
+}
+
+Status RelEngine::Open(const EngineOptions& options) {
+  GDB_RETURN_IF_ERROR(GraphEngine::Open(options));
+  // DDL fee: CREATE TABLE / ALTER TABLE ADD COLUMN round trip + catalog
+  // update, charged whenever the schema grows implicitly.
+  ddl_cost_.per_write_us = 2000;
+  ddl_cost_.enabled = options.enable_cost_model;
+  return Status::OK();
+}
+
+uint64_t RelEngine::VTableForLabel(std::string_view label) {
+  auto it = vtable_by_label_.find(std::string(label));
+  if (it != vtable_by_label_.end()) return it->second;
+  ddl_cost_.ChargeWrite();  // CREATE TABLE V_<label>
+  uint64_t idx = vtables_.size();
+  vtables_.push_back(VTable{std::string(label), {}, 0, {}});
+  vtable_by_label_.emplace(std::string(label), idx);
+  return idx;
+}
+
+uint64_t RelEngine::ETableForLabel(std::string_view label) {
+  auto it = etable_by_label_.find(std::string(label));
+  if (it != etable_by_label_.end()) return it->second;
+  ddl_cost_.ChargeWrite();  // CREATE TABLE E_<label> + two FK indexes
+  uint64_t idx = etables_.size();
+  etables_.emplace_back();
+  etables_.back().label = std::string(label);
+  etable_by_label_.emplace(std::string(label), idx);
+  return idx;
+}
+
+void RelEngine::EnsureColumn(std::set<std::string>* columns,
+                             std::string_view name) {
+  auto [it, inserted] = columns->insert(std::string(name));
+  (void)it;
+  if (inserted) ddl_cost_.ChargeWrite();  // ALTER TABLE ADD COLUMN
+}
+
+void RelEngine::EnsureColumns(std::set<std::string>* columns,
+                              const PropertyMap& props) {
+  for (const auto& [k, v] : props) {
+    (void)v;
+    EnsureColumn(columns, k);
+  }
+}
+
+// --- CRUD -----------------------------------------------------------------------
+
+Result<VertexId> RelEngine::AddVertex(std::string_view label,
+                                      const PropertyMap& props) {
+  uint64_t table = VTableForLabel(label);
+  VTable& t = vtables_[table];
+  EnsureColumns(&t.columns, props);
+  uint64_t row = t.rows.size();
+  t.rows.push_back(VRow{true, props});
+  ++t.live_count;
+  VertexId id = Pack(table, row);
+  for (const auto& [k, v] : props) IndexInsert(k, v, id);
+  return id;
+}
+
+Result<EdgeId> RelEngine::AddEdge(VertexId src, VertexId dst,
+                                  std::string_view label,
+                                  const PropertyMap& props) {
+  if (TableOf(src) >= vtables_.size() ||
+      RowOf(src) >= vtables_[TableOf(src)].rows.size() ||
+      !vtables_[TableOf(src)].rows[RowOf(src)].live ||
+      TableOf(dst) >= vtables_.size() ||
+      RowOf(dst) >= vtables_[TableOf(dst)].rows.size() ||
+      !vtables_[TableOf(dst)].rows[RowOf(dst)].live) {
+    return Status::NotFound("edge endpoint not found");
+  }
+  uint64_t table = ETableForLabel(label);
+  ETable& t = etables_[table];
+  EnsureColumns(&t.columns, props);
+  uint64_t row = t.rows.size();
+  t.rows.push_back(ERow{true, src, dst, props});
+  ++t.live_count;
+  t.src_index.Insert(src, row);
+  t.dst_index.Insert(dst, row);
+  return Pack(table, row);
+}
+
+Status RelEngine::SetVertexProperty(VertexId v, std::string_view name,
+                                    const PropertyValue& value) {
+  if (TableOf(v) >= vtables_.size()) return Status::NotFound("vertex not found");
+  VTable& t = vtables_[TableOf(v)];
+  if (RowOf(v) >= t.rows.size() || !t.rows[RowOf(v)].live) {
+    return Status::NotFound("vertex not found");
+  }
+  EnsureColumn(&t.columns, name);
+  VRow& row = t.rows[RowOf(v)];
+  if (const PropertyValue* prev = FindProperty(row.props, name)) {
+    IndexErase(name, *prev, v);
+  }
+  SetProperty(&row.props, name, value);
+  IndexInsert(name, value, v);
+  return Status::OK();
+}
+
+Status RelEngine::SetEdgeProperty(EdgeId e, std::string_view name,
+                                  const PropertyValue& value) {
+  if (TableOf(e) >= etables_.size()) return Status::NotFound("edge not found");
+  ETable& t = etables_[TableOf(e)];
+  if (RowOf(e) >= t.rows.size() || !t.rows[RowOf(e)].live) {
+    return Status::NotFound("edge not found");
+  }
+  EnsureColumn(&t.columns, name);
+  SetProperty(&t.rows[RowOf(e)].props, name, value);
+  return Status::OK();
+}
+
+Result<VertexRecord> RelEngine::GetVertex(VertexId id) const {
+  if (TableOf(id) >= vtables_.size()) {
+    return Status::NotFound("vertex not found");
+  }
+  const VTable& t = vtables_[TableOf(id)];
+  if (RowOf(id) >= t.rows.size() || !t.rows[RowOf(id)].live) {
+    return Status::NotFound("vertex not found");
+  }
+  VertexRecord rec;
+  rec.id = id;
+  rec.label = t.label;
+  rec.properties = t.rows[RowOf(id)].props;
+  return rec;
+}
+
+Result<EdgeRecord> RelEngine::GetEdge(EdgeId id) const {
+  if (TableOf(id) >= etables_.size()) return Status::NotFound("edge not found");
+  const ETable& t = etables_[TableOf(id)];
+  if (RowOf(id) >= t.rows.size() || !t.rows[RowOf(id)].live) {
+    return Status::NotFound("edge not found");
+  }
+  const ERow& row = t.rows[RowOf(id)];
+  EdgeRecord rec;
+  rec.id = id;
+  rec.src = row.src;
+  rec.dst = row.dst;
+  rec.label = t.label;
+  rec.properties = row.props;
+  return rec;
+}
+
+Result<std::vector<std::string>> RelEngine::DistinctEdgeLabels(
+    const CancelToken&) const {
+  // Labels are schema: DISTINCT over table names, a catalog query.
+  std::vector<std::string> labels;
+  for (const ETable& t : etables_) {
+    if (t.live_count > 0) labels.push_back(t.label);
+  }
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+Result<std::vector<EdgeId>> RelEngine::FindEdgesByLabel(
+    std::string_view label, const CancelToken& cancel) const {
+  // SELECT id FROM E_<label>: one sequential scan of one table.
+  auto it = etable_by_label_.find(std::string(label));
+  if (it == etable_by_label_.end()) return std::vector<EdgeId>{};
+  const ETable& t = etables_[it->second];
+  std::vector<EdgeId> out;
+  out.reserve(t.live_count);
+  for (uint64_t row = 0; row < t.rows.size(); ++row) {
+    GDB_CHECK_CANCEL(cancel);
+    if (t.rows[row].live) out.push_back(Pack(it->second, row));
+  }
+  return out;
+}
+
+Result<std::vector<VertexId>> RelEngine::FindVerticesByProperty(
+    std::string_view prop, const PropertyValue& value,
+    const CancelToken& cancel) const {
+  auto idx = indexes_.find(prop);
+  if (idx != indexes_.end()) {
+    std::vector<VertexId> out;
+    idx->second.ScanKey(value, [&](const VertexId& id) {
+      out.push_back(id);
+      return true;
+    });
+    return out;
+  }
+  // UNION ALL of sequential scans; tight row loops, no per-row record
+  // decode — the relational engine's strength on content filters.
+  std::vector<VertexId> out;
+  for (uint64_t table = 0; table < vtables_.size(); ++table) {
+    const VTable& t = vtables_[table];
+    if (t.columns.find(std::string(prop)) == t.columns.end()) continue;
+    for (uint64_t row = 0; row < t.rows.size(); ++row) {
+      GDB_CHECK_CANCEL(cancel);
+      const VRow& r = t.rows[row];
+      if (!r.live) continue;
+      const PropertyValue* p = FindProperty(r.props, prop);
+      if (p != nullptr && *p == value) out.push_back(Pack(table, row));
+    }
+  }
+  return out;
+}
+
+Status RelEngine::RemoveEdgeInternal(EdgeId e) {
+  if (TableOf(e) >= etables_.size()) return Status::NotFound("edge not found");
+  ETable& t = etables_[TableOf(e)];
+  uint64_t row = RowOf(e);
+  if (row >= t.rows.size() || !t.rows[row].live) {
+    return Status::NotFound("edge not found");
+  }
+  t.src_index.Erase(t.rows[row].src, row);
+  t.dst_index.Erase(t.rows[row].dst, row);
+  t.rows[row].live = false;
+  t.rows[row].props.clear();
+  --t.live_count;
+  return Status::OK();
+}
+
+Status RelEngine::RemoveVertex(VertexId v) {
+  if (TableOf(v) >= vtables_.size()) {
+    return Status::NotFound("vertex not found");
+  }
+  VTable& t = vtables_[TableOf(v)];
+  uint64_t row = RowOf(v);
+  if (row >= t.rows.size() || !t.rows[row].live) {
+    return Status::NotFound("vertex not found");
+  }
+  // Cascade: probe every edge table's FK indexes (one DELETE per table).
+  for (uint64_t table = 0; table < etables_.size(); ++table) {
+    ETable& et = etables_[table];
+    std::vector<uint64_t> rows;
+    et.src_index.ScanKey(v, [&](const uint64_t& r) {
+      rows.push_back(r);
+      return true;
+    });
+    et.dst_index.ScanKey(v, [&](const uint64_t& r) {
+      rows.push_back(r);
+      return true;
+    });
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    for (uint64_t r : rows) {
+      GDB_RETURN_IF_ERROR(RemoveEdgeInternal(Pack(table, r)));
+    }
+  }
+  for (const auto& [k, val] : t.rows[row].props) IndexErase(k, val, v);
+  t.rows[row].live = false;
+  t.rows[row].props.clear();
+  --t.live_count;
+  return Status::OK();
+}
+
+Status RelEngine::RemoveEdge(EdgeId e) { return RemoveEdgeInternal(e); }
+
+Status RelEngine::RemoveVertexProperty(VertexId v, std::string_view name) {
+  if (TableOf(v) >= vtables_.size()) {
+    return Status::NotFound("vertex not found");
+  }
+  VTable& t = vtables_[TableOf(v)];
+  if (RowOf(v) >= t.rows.size() || !t.rows[RowOf(v)].live) {
+    return Status::NotFound("vertex not found");
+  }
+  VRow& row = t.rows[RowOf(v)];
+  if (const PropertyValue* prev = FindProperty(row.props, name)) {
+    IndexErase(name, *prev, v);
+  }
+  if (!EraseProperty(&row.props, name)) {
+    return Status::NotFound("no such property");
+  }
+  return Status::OK();
+}
+
+Status RelEngine::RemoveEdgeProperty(EdgeId e, std::string_view name) {
+  if (TableOf(e) >= etables_.size()) return Status::NotFound("edge not found");
+  ETable& t = etables_[TableOf(e)];
+  if (RowOf(e) >= t.rows.size() || !t.rows[RowOf(e)].live) {
+    return Status::NotFound("edge not found");
+  }
+  if (!EraseProperty(&t.rows[RowOf(e)].props, name)) {
+    return Status::NotFound("no such property");
+  }
+  return Status::OK();
+}
+
+// --- scans / traversal ----------------------------------------------------------
+
+Status RelEngine::ScanVertices(
+    const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
+  for (uint64_t table = 0; table < vtables_.size(); ++table) {
+    const VTable& t = vtables_[table];
+    for (uint64_t row = 0; row < t.rows.size(); ++row) {
+      GDB_CHECK_CANCEL(cancel);
+      if (t.rows[row].live) {
+        if (!fn(Pack(table, row))) return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RelEngine::ScanEdges(
+    const CancelToken& cancel,
+    const std::function<bool(const EdgeEnds&)>& fn) const {
+  for (uint64_t table = 0; table < etables_.size(); ++table) {
+    const ETable& t = etables_[table];
+    for (uint64_t row = 0; row < t.rows.size(); ++row) {
+      GDB_CHECK_CANCEL(cancel);
+      if (!t.rows[row].live) continue;
+      EdgeEnds ends;
+      ends.id = Pack(table, row);
+      ends.src = t.rows[row].src;
+      ends.dst = t.rows[row].dst;
+      ends.label = t.label;
+      if (!fn(ends)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<EdgeId>> RelEngine::EdgesOf(
+    VertexId v, Direction dir, const std::string* label,
+    const CancelToken& cancel) const {
+  if (TableOf(v) >= vtables_.size() ||
+      RowOf(v) >= vtables_[TableOf(v)].rows.size() ||
+      !vtables_[TableOf(v)].rows[RowOf(v)].live) {
+    return Status::NotFound("vertex not found");
+  }
+  // Restricted to one label: a single table's FK index probe (fast path).
+  // Unrestricted: UNION ALL over every edge table (the slow path the
+  // paper measures for BFS/SP/degree queries).
+  uint64_t first = 0, last = etables_.size();
+  if (label != nullptr) {
+    auto it = etable_by_label_.find(*label);
+    if (it == etable_by_label_.end()) return std::vector<EdgeId>{};
+    first = it->second;
+    last = first + 1;
+  }
+  std::vector<EdgeId> out;
+  for (uint64_t table = first; table < last; ++table) {
+    GDB_CHECK_CANCEL(cancel);
+    const ETable& t = etables_[table];
+    if (dir == Direction::kOut || dir == Direction::kBoth) {
+      t.src_index.ScanKey(v, [&](const uint64_t& row) {
+        out.push_back(Pack(table, row));
+        return true;
+      });
+    }
+    if (dir == Direction::kIn || dir == Direction::kBoth) {
+      t.dst_index.ScanKey(v, [&](const uint64_t& row) {
+        // Self-loops already reported through the src index when kBoth.
+        if (dir == Direction::kBoth && t.rows[row].src == t.rows[row].dst) {
+          return true;
+        }
+        out.push_back(Pack(table, row));
+        return true;
+      });
+    }
+  }
+  return out;
+}
+
+Result<EdgeEnds> RelEngine::GetEdgeEnds(EdgeId e) const {
+  if (TableOf(e) >= etables_.size()) return Status::NotFound("edge not found");
+  const ETable& t = etables_[TableOf(e)];
+  if (RowOf(e) >= t.rows.size() || !t.rows[RowOf(e)].live) {
+    return Status::NotFound("edge not found");
+  }
+  EdgeEnds ends;
+  ends.id = e;
+  ends.src = t.rows[RowOf(e)].src;
+  ends.dst = t.rows[RowOf(e)].dst;
+  ends.label = t.label;
+  return ends;
+}
+
+// --- index / persistence ----------------------------------------------------------
+
+Status RelEngine::CreateVertexPropertyIndex(std::string_view prop) {
+  std::string key(prop);
+  if (indexes_.count(key) != 0) return Status::OK();
+  ddl_cost_.ChargeWrite();  // CREATE INDEX
+  BTree<PropertyValue, VertexId>& index = indexes_[key];
+  CancelToken never;
+  return ScanVertices(never, [&](VertexId id) {
+    const VTable& t = vtables_[TableOf(id)];
+    const PropertyValue* v = FindProperty(t.rows[RowOf(id)].props, prop);
+    if (v != nullptr) index.Insert(*v, id);
+    return true;
+  });
+}
+
+bool RelEngine::HasVertexPropertyIndex(std::string_view prop) const {
+  return indexes_.find(prop) != indexes_.end();
+}
+
+void RelEngine::IndexInsert(std::string_view prop, const PropertyValue& v,
+                            VertexId id) {
+  auto it = indexes_.find(prop);
+  if (it != indexes_.end()) it->second.Insert(v, id);
+}
+
+void RelEngine::IndexErase(std::string_view prop, const PropertyValue& v,
+                           VertexId id) {
+  auto it = indexes_.find(prop);
+  if (it != indexes_.end()) it->second.Erase(v, id);
+}
+
+Status RelEngine::Checkpoint(const std::string& dir) const {
+  // Postgres-style storage: 8 KiB pages, 24-byte tuple headers. Each
+  // table is written page-padded; FK indexes are written page-granular.
+  static constexpr uint64_t kPageBytes = 8192;
+  static constexpr uint64_t kTupleHeader = 24;
+
+  auto pad_to_page = [](std::string* buf) {
+    uint64_t rem = buf->size() % kPageBytes;
+    if (rem != 0) buf->append(kPageBytes - rem, '\0');
+  };
+
+  int file_no = 0;
+  for (const VTable& t : vtables_) {
+    std::string buf;
+    PutVarint64(&buf, t.rows.size());
+    for (const VRow& row : t.rows) {
+      buf.append(kTupleHeader, '\0');
+      buf.push_back(row.live ? 1 : 0);
+      EncodePropertyMap(row.props, &buf);
+    }
+    pad_to_page(&buf);
+    GDB_RETURN_IF_ERROR(WriteFile(dir, StrFormat("v_table_%04d.pg", file_no++), buf));
+  }
+  file_no = 0;
+  for (const ETable& t : etables_) {
+    std::string buf;
+    PutVarint64(&buf, t.rows.size());
+    for (const ERow& row : t.rows) {
+      buf.append(kTupleHeader, '\0');
+      buf.push_back(row.live ? 1 : 0);
+      PutVarint64(&buf, row.src);
+      PutVarint64(&buf, row.dst);
+      EncodePropertyMap(row.props, &buf);
+    }
+    // FK indexes, page-granular.
+    buf.append(t.src_index.SerializedBytes(16), '\0');
+    buf.append(t.dst_index.SerializedBytes(16), '\0');
+    pad_to_page(&buf);
+    GDB_RETURN_IF_ERROR(WriteFile(dir, StrFormat("e_table_%04d.pg", file_no++), buf));
+  }
+  // Catalog.
+  std::string buf;
+  PutVarint64(&buf, vtables_.size());
+  for (const VTable& t : vtables_) {
+    PutVarint64(&buf, t.label.size());
+    buf.append(t.label);
+  }
+  PutVarint64(&buf, etables_.size());
+  for (const ETable& t : etables_) {
+    PutVarint64(&buf, t.label.size());
+    buf.append(t.label);
+  }
+  return WriteFile(dir, "pg_catalog.pg", buf);
+}
+
+uint64_t RelEngine::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const VTable& t : vtables_) {
+    total += t.rows.capacity() * sizeof(VRow) + 256;
+  }
+  for (const ETable& t : etables_) {
+    total += t.rows.capacity() * sizeof(ERow) + 256 +
+             t.src_index.SerializedBytes(16) +
+             t.dst_index.SerializedBytes(16);
+  }
+  for (const auto& [prop, index] : indexes_) {
+    (void)prop;
+    total += index.SerializedBytes(24);
+  }
+  return total;
+}
+
+std::unique_ptr<GraphEngine> MakeRelEngine() {
+  return std::make_unique<RelEngine>();
+}
+
+}  // namespace gdbmicro

@@ -1,0 +1,47 @@
+// Deterministic cost model for emulated out-of-process work.
+//
+// The paper benchmarks client-observed latency against *servers*: ArangoDB
+// is driven over REST, Titan sits on a Cassandra write path with
+// consistency checks, etc. An in-process C++ store would hide those
+// architectural costs entirely, so each engine declares a CostModel and
+// charges it at the same boundaries the real system pays them. Charges are
+// busy-wait microseconds: deterministic, CPU-bound, and visible to the
+// wall-clock measurements exactly like real round trips.
+//
+// Every charge is documented in the engine that applies it. Setting
+// EngineOptions::enable_cost_model = false turns all charges off, leaving
+// the honest in-process data-structure costs (used by the unit tests).
+
+#ifndef GDBMICRO_GRAPH_COST_MODEL_H_
+#define GDBMICRO_GRAPH_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/util/timer.h"
+
+namespace gdbmicro {
+
+struct CostModel {
+  /// Per client API call (REST / wire protocol round trip).
+  int64_t per_call_us = 0;
+  /// Per backend write operation (commit path, consistency checks).
+  int64_t per_write_us = 0;
+  /// Per backend point read beyond the first (extra index hop).
+  int64_t per_read_us = 0;
+
+  bool enabled = false;
+
+  void ChargeCall() const {
+    if (enabled) SpinFor(per_call_us);
+  }
+  void ChargeWrite() const {
+    if (enabled) SpinFor(per_write_us);
+  }
+  void ChargeRead() const {
+    if (enabled) SpinFor(per_read_us);
+  }
+};
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_GRAPH_COST_MODEL_H_

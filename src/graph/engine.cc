@@ -1,0 +1,155 @@
+#include "src/graph/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+namespace gdbmicro {
+
+Result<LoadMapping> GraphEngine::BulkLoad(const GraphData& data) {
+  GDB_RETURN_IF_ERROR(data.Validate());
+  LoadMapping mapping;
+  mapping.vertex_ids.reserve(data.vertices.size());
+  mapping.edge_ids.reserve(data.edges.size());
+  for (const auto& v : data.vertices) {
+    GDB_ASSIGN_OR_RETURN(VertexId id, AddVertex(v.label, v.properties));
+    mapping.vertex_ids.push_back(id);
+  }
+  for (const auto& e : data.edges) {
+    GDB_ASSIGN_OR_RETURN(
+        EdgeId id, AddEdge(mapping.vertex_ids[e.src], mapping.vertex_ids[e.dst],
+                           e.label, e.properties));
+    mapping.edge_ids.push_back(id);
+  }
+  return mapping;
+}
+
+Result<uint64_t> GraphEngine::CountVertices(const CancelToken& cancel) const {
+  uint64_t n = 0;
+  GDB_RETURN_IF_ERROR(ScanVertices(cancel, [&](VertexId) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+Result<uint64_t> GraphEngine::CountEdges(const CancelToken& cancel) const {
+  uint64_t n = 0;
+  GDB_RETURN_IF_ERROR(ScanEdges(cancel, [&](const EdgeEnds&) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+Result<std::vector<std::string>> GraphEngine::DistinctEdgeLabels(
+    const CancelToken& cancel) const {
+  std::set<std::string> labels;
+  GDB_RETURN_IF_ERROR(ScanEdges(cancel, [&](const EdgeEnds& e) {
+    labels.insert(e.label);
+    return true;
+  }));
+  return std::vector<std::string>(labels.begin(), labels.end());
+}
+
+Result<std::vector<VertexId>> GraphEngine::FindVerticesByProperty(
+    std::string_view prop, const PropertyValue& value,
+    const CancelToken& cancel) const {
+  std::vector<VertexId> out;
+  Status scan_status = Status::OK();
+  GDB_RETURN_IF_ERROR(ScanVertices(cancel, [&](VertexId id) {
+    auto rec = GetVertex(id);
+    if (!rec.ok()) {
+      scan_status = rec.status();
+      return false;
+    }
+    const PropertyValue* p = FindProperty(rec->properties, prop);
+    if (p != nullptr && *p == value) out.push_back(id);
+    return true;
+  }));
+  GDB_RETURN_IF_ERROR(scan_status);
+  return out;
+}
+
+Result<std::vector<EdgeId>> GraphEngine::FindEdgesByProperty(
+    std::string_view prop, const PropertyValue& value,
+    const CancelToken& cancel) const {
+  std::vector<EdgeId> out;
+  Status scan_status = Status::OK();
+  GDB_RETURN_IF_ERROR(ScanEdges(cancel, [&](const EdgeEnds& e) {
+    auto rec = GetEdge(e.id);
+    if (!rec.ok()) {
+      scan_status = rec.status();
+      return false;
+    }
+    const PropertyValue* p = FindProperty(rec->properties, prop);
+    if (p != nullptr && *p == value) out.push_back(e.id);
+    return true;
+  }));
+  GDB_RETURN_IF_ERROR(scan_status);
+  return out;
+}
+
+Result<std::vector<EdgeId>> GraphEngine::FindEdgesByLabel(
+    std::string_view label, const CancelToken& cancel) const {
+  std::vector<EdgeId> out;
+  GDB_RETURN_IF_ERROR(ScanEdges(cancel, [&](const EdgeEnds& e) {
+    if (e.label == label) out.push_back(e.id);
+    return true;
+  }));
+  return out;
+}
+
+Result<std::vector<VertexId>> GraphEngine::NeighborsOf(
+    VertexId v, Direction dir, const std::string* label,
+    const CancelToken& cancel) const {
+  GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> edges,
+                       EdgesOf(v, dir, label, cancel));
+  std::vector<VertexId> out;
+  out.reserve(edges.size());
+  for (EdgeId e : edges) {
+    if (cancel.Expired()) return cancel.ToStatus();
+    GDB_ASSIGN_OR_RETURN(EdgeEnds ends, GetEdgeEnds(e));
+    out.push_back(ends.src == v ? ends.dst : ends.src);
+  }
+  return out;
+}
+
+Result<uint64_t> GraphEngine::DegreeOf(VertexId v, Direction dir,
+                                       const CancelToken& cancel) const {
+  GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> edges,
+                       EdgesOf(v, dir, nullptr, cancel));
+  return static_cast<uint64_t>(edges.size());
+}
+
+Result<uint64_t> GraphEngine::CountEdgesOf(VertexId v, Direction dir,
+                                           const CancelToken& cancel) const {
+  GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> edges,
+                       EdgesOf(v, dir, nullptr, cancel));
+  return static_cast<uint64_t>(edges.size());
+}
+
+Status GraphEngine::CreateVertexPropertyIndex(std::string_view prop) {
+  (void)prop;
+  return Status::Unimplemented(std::string(name()) +
+                               " does not support user attribute indexes");
+}
+
+bool GraphEngine::HasVertexPropertyIndex(std::string_view) const {
+  return false;
+}
+
+Status GraphEngine::WriteFile(const std::string& dir, const std::string& name,
+                              const std::string& content) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory " + dir);
+  std::ofstream out(dir + "/" + name, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + dir + "/" + name);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IOError("short write to " + name);
+  return Status::OK();
+}
+
+}  // namespace gdbmicro

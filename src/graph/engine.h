@@ -1,0 +1,199 @@
+// GraphEngine: the storage-engine interface every backend implements.
+//
+// The interface is the set of primitive operations the paper's Table 2
+// queries decompose into: CRUD on vertices/edges/properties, scans, label
+// and property search, id lookup, and the adjacency primitives the
+// traversal machine is built on. Engines differ only in *how* these are
+// implemented — which is precisely what the microbenchmark measures.
+
+#ifndef GDBMICRO_GRAPH_ENGINE_H_
+#define GDBMICRO_GRAPH_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/cost_model.h"
+#include "src/graph/graph_data.h"
+#include "src/graph/types.h"
+#include "src/util/cancel.h"
+#include "src/util/result.h"
+
+namespace gdbmicro {
+
+/// Static description of an engine: the row it contributes to the paper's
+/// Table 1.
+struct EngineInfo {
+  std::string name;            // registry key, e.g. "neo19"
+  std::string emulates;        // the paper system it models, e.g. "Neo4j 1.9"
+  std::string type;            // "Native" or "Hybrid (Document)" etc.
+  std::string storage;         // storage layout summary
+  std::string edge_traversal;  // mechanism used to hop an edge
+  std::string query_execution; // "step-wise" vs "conflated (optimized)"
+  bool supports_property_index = true;
+};
+
+/// Tunables shared by all engines.
+struct EngineOptions {
+  /// 0 = unlimited. Engines that track allocation (bitmapish) fail queries
+  /// with kResourceExhausted when their working set exceeds this.
+  uint64_t memory_budget_bytes = 0;
+
+  /// Enables the deterministic out-of-process cost model (see
+  /// cost_model.h). The benchmark profile turns this on; unit tests leave
+  /// it off.
+  bool enable_cost_model = false;
+
+  /// Capacity (entries) of the optional row cache used by engines that
+  /// model a caching backend (colish "titan10").
+  uint64_t row_cache_entries = 4096;
+};
+
+class GraphEngine {
+ public:
+  virtual ~GraphEngine() = default;
+
+  /// Registry key ("neo19", "sqlg", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Table 1 row.
+  virtual EngineInfo info() const = 0;
+
+  /// Prepares an empty instance. Must be called before any other method.
+  virtual Status Open(const EngineOptions& options) {
+    options_ = options;
+    return Status::OK();
+  }
+
+  /// Releases resources. The engine may not be reused after Close().
+  virtual Status Close() { return Status::OK(); }
+
+  /// Called by the benchmark runner before each measured query. Engines
+  /// that track per-query working memory (bitmapish's Gremlin-session
+  /// arena) reset it here.
+  virtual void BeginQuery() {}
+
+  // --- Create (paper Q.2-Q.7) ------------------------------------------
+
+  virtual Result<VertexId> AddVertex(std::string_view label,
+                                     const PropertyMap& props) = 0;
+  virtual Result<EdgeId> AddEdge(VertexId src, VertexId dst,
+                                 std::string_view label,
+                                 const PropertyMap& props) = 0;
+  virtual Status SetVertexProperty(VertexId v, std::string_view name,
+                                   const PropertyValue& value) = 0;
+  virtual Status SetEdgeProperty(EdgeId e, std::string_view name,
+                                 const PropertyValue& value) = 0;
+
+  /// Bulk-loads a dataset into an empty instance (paper Q.1). The default
+  /// inserts element by element; engines with a dedicated bulk path
+  /// override this (the paper notes which systems needed native loaders).
+  virtual Result<LoadMapping> BulkLoad(const GraphData& data);
+
+  // --- Read (paper Q.8-Q.15) -------------------------------------------
+
+  virtual Result<VertexRecord> GetVertex(VertexId id) const = 0;
+  virtual Result<EdgeRecord> GetEdge(EdgeId id) const = 0;
+
+  /// Q.8 / Q.9. Defaults scan; engines with cheap cardinality override.
+  virtual Result<uint64_t> CountVertices(const CancelToken& cancel) const;
+  virtual Result<uint64_t> CountEdges(const CancelToken& cancel) const;
+
+  /// Q.10: distinct edge labels.
+  virtual Result<std::vector<std::string>> DistinctEdgeLabels(
+      const CancelToken& cancel) const;
+
+  /// Q.11 / Q.12: property equality search. Defaults scan (or use the
+  /// property index when one exists).
+  virtual Result<std::vector<VertexId>> FindVerticesByProperty(
+      std::string_view prop, const PropertyValue& value,
+      const CancelToken& cancel) const;
+  virtual Result<std::vector<EdgeId>> FindEdgesByProperty(
+      std::string_view prop, const PropertyValue& value,
+      const CancelToken& cancel) const;
+
+  /// Q.13: edges by label. Defaults scan.
+  virtual Result<std::vector<EdgeId>> FindEdgesByLabel(
+      std::string_view label, const CancelToken& cancel) const;
+
+  // --- Delete (paper Q.18-Q.21) ----------------------------------------
+
+  /// Deletes a vertex and all its incident edges (paper Q.18 semantics).
+  virtual Status RemoveVertex(VertexId v) = 0;
+  virtual Status RemoveEdge(EdgeId e) = 0;
+  virtual Status RemoveVertexProperty(VertexId v, std::string_view name) = 0;
+  virtual Status RemoveEdgeProperty(EdgeId e, std::string_view name) = 0;
+
+  // --- Scan / traversal primitives (paper Q.22-Q.35 substrate) ----------
+
+  /// Visits every live vertex id. `fn` returns false to stop early.
+  virtual Status ScanVertices(
+      const CancelToken& cancel,
+      const std::function<bool(VertexId)>& fn) const = 0;
+
+  /// Visits every live edge (endpoints + label, no property
+  /// materialization unless the engine's architecture forces it).
+  virtual Status ScanEdges(
+      const CancelToken& cancel,
+      const std::function<bool(const EdgeEnds&)>& fn) const = 0;
+
+  /// Edges incident to `v` in direction `dir`, optionally restricted to
+  /// `label` (nullptr = any).
+  virtual Result<std::vector<EdgeId>> EdgesOf(
+      VertexId v, Direction dir, const std::string* label,
+      const CancelToken& cancel) const = 0;
+
+  /// Endpoints + label of an edge.
+  virtual Result<EdgeEnds> GetEdgeEnds(EdgeId e) const = 0;
+
+  /// Direct neighbors of `v`. Default: EdgesOf + GetEdgeEnds per edge.
+  /// Engines with direct adjacency override.
+  virtual Result<std::vector<VertexId>> NeighborsOf(
+      VertexId v, Direction dir, const std::string* label,
+      const CancelToken& cancel) const;
+
+  /// Number of incident edges. Default: |EdgesOf|.
+  virtual Result<uint64_t> DegreeOf(VertexId v, Direction dir,
+                                    const CancelToken& cancel) const;
+
+  /// The `it.inE.count()` primitive of the degree-filter queries
+  /// (Q.28-Q.31 inner step). Default: EdgesOf().size(). The Sparksee-like
+  /// engine overrides it to model its Gremlin adapter's defect: the
+  /// materialized intermediate edge lists accumulate in the query arena,
+  /// which is what made the paper's Q.28-Q.31 exhaust RAM on the Freebase
+  /// samples while ordinary traversals (BFS/SP) were unaffected.
+  virtual Result<uint64_t> CountEdgesOf(VertexId v, Direction dir,
+                                        const CancelToken& cancel) const;
+
+  // --- Indexing (paper §6.4 "Effect of Indexing") ------------------------
+
+  /// Creates a user attribute index on a vertex property. Default:
+  /// kUnimplemented (BlazeGraph offers no such control, paper §6.4).
+  virtual Status CreateVertexPropertyIndex(std::string_view prop);
+  virtual bool HasVertexPropertyIndex(std::string_view prop) const;
+
+  // --- Persistence / space (paper Fig. 1) --------------------------------
+
+  /// Serializes the store into files under `dir` (created if needed).
+  /// The files' total size is the engine's space-occupancy measurement.
+  virtual Status Checkpoint(const std::string& dir) const = 0;
+
+  /// Approximate resident bytes of the store's data structures.
+  virtual uint64_t MemoryBytes() const = 0;
+
+ protected:
+  const EngineOptions& options() const { return options_; }
+
+  /// Helper shared by checkpoint implementations: writes `content` to
+  /// dir/name, creating dir if needed.
+  static Status WriteFile(const std::string& dir, const std::string& name,
+                          const std::string& content);
+
+  EngineOptions options_;
+};
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_GRAPH_ENGINE_H_

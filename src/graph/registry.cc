@@ -1,0 +1,76 @@
+#include "src/graph/registry.h"
+
+#include "src/engines/bitmapish/bitmap_engine.h"
+#include "src/engines/colish/col_engine.h"
+#include "src/engines/docish/doc_engine.h"
+#include "src/engines/neoish/neo_engine.h"
+#include "src/engines/orientish/orient_engine.h"
+#include "src/engines/relish/rel_engine.h"
+#include "src/engines/tripleish/triple_engine.h"
+
+namespace gdbmicro {
+
+EngineRegistry& EngineRegistry::Instance() {
+  static EngineRegistry* registry = new EngineRegistry();
+  return *registry;
+}
+
+void EngineRegistry::Register(std::string name, EngineFactory factory) {
+  for (auto& [n, f] : factories_) {
+    if (n == name) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  factories_.emplace_back(std::move(name), std::move(factory));
+}
+
+Result<std::unique_ptr<GraphEngine>> EngineRegistry::Create(
+    std::string_view name) const {
+  for (const auto& [n, f] : factories_) {
+    if (n == name) return f();
+  }
+  return Status::NotFound("no engine named \"" + std::string(name) + "\"");
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) names.push_back(n);
+  return names;
+}
+
+bool EngineRegistry::Has(std::string_view name) const {
+  for (const auto& [n, f] : factories_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+void RegisterBuiltinEngines() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  EngineRegistry& r = EngineRegistry::Instance();
+  // Registration order matches the paper's Table 1 row order.
+  r.Register("arango", [] { return MakeDocEngine(); });
+  r.Register("blaze", [] { return MakeTripleEngine(); });
+  r.Register("neo19", [] { return MakeNeoEngine(false); });
+  r.Register("neo30", [] { return MakeNeoEngine(true); });
+  r.Register("orient", [] { return MakeOrientEngine(); });
+  r.Register("sparksee", [] { return MakeBitmapEngine(); });
+  r.Register("sqlg", [] { return MakeRelEngine(); });
+  r.Register("titan05", [] { return MakeColEngine(false); });
+  r.Register("titan10", [] { return MakeColEngine(true); });
+}
+
+Result<std::unique_ptr<GraphEngine>> OpenEngine(std::string_view name,
+                                                const EngineOptions& options) {
+  RegisterBuiltinEngines();
+  GDB_ASSIGN_OR_RETURN(std::unique_ptr<GraphEngine> engine,
+                       EngineRegistry::Instance().Create(name));
+  GDB_RETURN_IF_ERROR(engine->Open(options));
+  return engine;
+}
+
+}  // namespace gdbmicro

@@ -1,0 +1,49 @@
+// Engine registry: maps engine names ("neo19", "sqlg", ...) to factories.
+// Registration is explicit (RegisterBuiltinEngines) rather than via static
+// initializers, which would be silently dropped from a static library.
+
+#ifndef GDBMICRO_GRAPH_REGISTRY_H_
+#define GDBMICRO_GRAPH_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/engine.h"
+
+namespace gdbmicro {
+
+using EngineFactory = std::function<std::unique_ptr<GraphEngine>()>;
+
+class EngineRegistry {
+ public:
+  static EngineRegistry& Instance();
+
+  /// Registers a factory; re-registering a name replaces the old factory.
+  void Register(std::string name, EngineFactory factory);
+
+  /// Instantiates a registered engine (not yet Open()ed).
+  Result<std::unique_ptr<GraphEngine>> Create(std::string_view name) const;
+
+  /// Registered names in registration order.
+  std::vector<std::string> Names() const;
+
+  bool Has(std::string_view name) const;
+
+ private:
+  std::vector<std::pair<std::string, EngineFactory>> factories_;
+};
+
+/// Registers the nine built-in engine variants (the paper's Table 1
+/// systems). Idempotent; call once at program start.
+void RegisterBuiltinEngines();
+
+/// Convenience: RegisterBuiltinEngines() + Create + Open.
+Result<std::unique_ptr<GraphEngine>> OpenEngine(std::string_view name,
+                                                const EngineOptions& options);
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_GRAPH_REGISTRY_H_

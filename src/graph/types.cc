@@ -1,0 +1,169 @@
+#include "src/graph/types.h"
+
+#include "src/util/hash.h"
+#include "src/util/string_util.h"
+#include "src/util/varint.h"
+
+namespace gdbmicro {
+
+std::string_view DirectionToString(Direction d) {
+  switch (d) {
+    case Direction::kIn:
+      return "in";
+    case Direction::kOut:
+      return "out";
+    case Direction::kBoth:
+      return "both";
+  }
+  return "?";
+}
+
+std::string PropertyValue::ToString() const {
+  if (is_null()) return "null";
+  if (is_bool()) return bool_value() ? "true" : "false";
+  if (is_int()) return StrFormat("%lld", static_cast<long long>(int_value()));
+  if (is_double()) return StrFormat("%g", double_value());
+  return string_value();
+}
+
+uint64_t PropertyValue::Hash() const {
+  if (is_null()) return 0x6e756c6cULL;
+  if (is_bool()) return HashInt(bool_value() ? 3 : 5);
+  if (is_int()) return HashInt(static_cast<uint64_t>(int_value()));
+  if (is_double()) {
+    double d = double_value();
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    return HashInt(bits ^ 0xD0D0D0D0ULL);
+  }
+  return HashBytes(string_value());
+}
+
+void PropertyValue::EncodeTo(std::string* out) const {
+  if (is_null()) {
+    out->push_back(0);
+  } else if (is_bool()) {
+    out->push_back(1);
+    out->push_back(bool_value() ? 1 : 0);
+  } else if (is_int()) {
+    out->push_back(2);
+    PutVarint64(out, ZigZagEncode(int_value()));
+  } else if (is_double()) {
+    out->push_back(3);
+    double d = double_value();
+    out->append(reinterpret_cast<const char*>(&d), sizeof(d));
+  } else {
+    out->push_back(4);
+    PutVarint64(out, string_value().size());
+    out->append(string_value());
+  }
+}
+
+Result<PropertyValue> PropertyValue::DecodeFrom(const std::string& in,
+                                                size_t* pos) {
+  if (*pos >= in.size()) return Status::Corruption("truncated property value");
+  uint8_t tag = static_cast<uint8_t>(in[(*pos)++]);
+  switch (tag) {
+    case 0:
+      return PropertyValue();
+    case 1: {
+      if (*pos >= in.size()) return Status::Corruption("truncated bool");
+      return PropertyValue(in[(*pos)++] != 0);
+    }
+    case 2: {
+      GDB_ASSIGN_OR_RETURN(uint64_t z, GetVarint64(in, pos));
+      return PropertyValue(ZigZagDecode(z));
+    }
+    case 3: {
+      if (*pos + sizeof(double) > in.size()) {
+        return Status::Corruption("truncated double");
+      }
+      double d;
+      __builtin_memcpy(&d, in.data() + *pos, sizeof(d));
+      *pos += sizeof(d);
+      return PropertyValue(d);
+    }
+    case 4: {
+      GDB_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(in, pos));
+      if (*pos + len > in.size()) return Status::Corruption("truncated string");
+      PropertyValue v(in.substr(*pos, len));
+      *pos += len;
+      return v;
+    }
+    default:
+      return Status::Corruption("unknown property value tag");
+  }
+}
+
+Json PropertyValue::ToJson() const {
+  if (is_null()) return Json(nullptr);
+  if (is_bool()) return Json(bool_value());
+  if (is_int()) return Json(int_value());
+  if (is_double()) return Json(double_value());
+  return Json(string_value());
+}
+
+PropertyValue PropertyValue::FromJson(const Json& j) {
+  if (j.is_bool()) return PropertyValue(j.bool_value());
+  if (j.is_int()) return PropertyValue(j.int_value());
+  if (j.is_double()) return PropertyValue(j.double_value());
+  if (j.is_string()) return PropertyValue(j.string_value());
+  return PropertyValue();
+}
+
+const PropertyValue* FindProperty(const PropertyMap& props,
+                                  std::string_view name) {
+  for (const auto& [k, v] : props) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+bool SetProperty(PropertyMap* props, std::string_view name,
+                 PropertyValue value) {
+  for (auto& [k, v] : *props) {
+    if (k == name) {
+      v = std::move(value);
+      return false;
+    }
+  }
+  props->emplace_back(std::string(name), std::move(value));
+  return true;
+}
+
+void EncodePropertyMap(const PropertyMap& props, std::string* out) {
+  PutVarint64(out, props.size());
+  for (const auto& [k, v] : props) {
+    PutVarint64(out, k.size());
+    out->append(k);
+    v.EncodeTo(out);
+  }
+}
+
+Result<PropertyMap> DecodePropertyMap(const std::string& in, size_t* pos) {
+  GDB_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(in, pos));
+  PropertyMap props;
+  props.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    GDB_ASSIGN_OR_RETURN(uint64_t klen, GetVarint64(in, pos));
+    if (*pos + klen > in.size()) return Status::Corruption("truncated key");
+    std::string key(in, *pos, klen);
+    *pos += klen;
+    GDB_ASSIGN_OR_RETURN(PropertyValue v, PropertyValue::DecodeFrom(in, pos));
+    props.emplace_back(std::move(key), std::move(v));
+  }
+  return props;
+}
+
+bool EraseProperty(PropertyMap* props, std::string_view name) {
+  for (auto it = props->begin(); it != props->end(); ++it) {
+    if (it->first == name) {
+      props->erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gdbmicro

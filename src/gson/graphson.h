@@ -1,0 +1,35 @@
+// GraphSON reader/writer: the common input format of the test suite
+// (paper §5, "to perform the tests on a new dataset, one only needs to
+// place the dataset in GraphSON file (plain JSON)").
+//
+// The dialect is GraphSON 1.0-style adjacency documents:
+//   {"mode":"NORMAL",
+//    "vertices":[{"_id":0,"_label":"person","name":"x"}, ...],
+//    "edges":[{"_id":0,"_outV":0,"_inV":1,"_label":"knows","w":3}, ...]}
+// Reserved keys start with '_'; all other members are properties.
+
+#ifndef GDBMICRO_GSON_GRAPHSON_H_
+#define GDBMICRO_GSON_GRAPHSON_H_
+
+#include <string>
+
+#include "src/graph/graph_data.h"
+#include "src/util/result.h"
+
+namespace gdbmicro {
+
+/// Serializes a dataset to GraphSON text.
+std::string WriteGraphSON(const GraphData& data);
+
+/// Parses GraphSON text into a dataset. Vertex "_id"s may be arbitrary
+/// integers; they are compacted to dense indexes, and edge endpoints are
+/// remapped accordingly.
+Result<GraphData> ReadGraphSON(const std::string& text);
+
+/// File convenience wrappers.
+Status WriteGraphSONFile(const GraphData& data, const std::string& path);
+Result<GraphData> ReadGraphSONFile(const std::string& path);
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_GSON_GRAPHSON_H_

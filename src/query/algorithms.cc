@@ -1,0 +1,82 @@
+#include "src/query/algorithms.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gdbmicro {
+namespace query {
+
+Result<BfsResult> BreadthFirst(const GraphEngine& engine, VertexId start,
+                               int max_depth,
+                               const std::optional<std::string>& label,
+                               const CancelToken& cancel) {
+  const std::string* label_ptr = label.has_value() ? &*label : nullptr;
+  BfsResult result;
+  std::unordered_set<VertexId> stored;  // the Gremlin store(vs) side effect
+  stored.insert(start);
+  std::vector<VertexId> frontier{start};
+  for (int depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      GDB_CHECK_CANCEL(cancel);
+      GDB_ASSIGN_OR_RETURN(
+          std::vector<VertexId> neighbors,
+          engine.NeighborsOf(v, Direction::kBoth, label_ptr, cancel));
+      for (VertexId n : neighbors) {
+        if (stored.insert(n).second) {
+          next.push_back(n);
+          result.visited.push_back(n);
+        }
+      }
+    }
+    if (!next.empty()) result.depth_reached = depth + 1;
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+Result<PathResult> ShortestPath(const GraphEngine& engine, VertexId src,
+                                VertexId dst,
+                                const std::optional<std::string>& label,
+                                int max_depth, const CancelToken& cancel) {
+  PathResult result;
+  if (src == dst) {
+    result.found = true;
+    result.path = {src};
+    return result;
+  }
+  const std::string* label_ptr = label.has_value() ? &*label : nullptr;
+  std::unordered_map<VertexId, VertexId> parent;  // child -> parent
+  parent.emplace(src, src);
+  std::vector<VertexId> frontier{src};
+  for (int depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      GDB_CHECK_CANCEL(cancel);
+      GDB_ASSIGN_OR_RETURN(
+          std::vector<VertexId> neighbors,
+          engine.NeighborsOf(v, Direction::kBoth, label_ptr, cancel));
+      for (VertexId n : neighbors) {
+        if (parent.emplace(n, v).second) {
+          if (n == dst) {
+            // Reconstruct.
+            std::vector<VertexId> rev;
+            for (VertexId cur = dst; cur != src; cur = parent[cur]) {
+              rev.push_back(cur);
+            }
+            rev.push_back(src);
+            result.path.assign(rev.rbegin(), rev.rend());
+            result.found = true;
+            return result;
+          }
+          next.push_back(n);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;  // unreachable within max_depth
+}
+
+}  // namespace query
+}  // namespace gdbmicro

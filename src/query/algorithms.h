@@ -1,0 +1,52 @@
+// Graph traversal algorithms executed through the engine primitives:
+// breadth-first exploration (paper Q.32/Q.33) and unweighted shortest path
+// (paper Q.34/Q.35). Both follow the Gremlin loop semantics of Table 2:
+// expand with both(), exclude already-stored vertices, loop to a depth (or
+// until the target is reached).
+
+#ifndef GDBMICRO_QUERY_ALGORITHMS_H_
+#define GDBMICRO_QUERY_ALGORITHMS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/engine.h"
+
+namespace gdbmicro {
+namespace query {
+
+struct BfsResult {
+  /// Vertices reached (excluding the start), in visit order.
+  std::vector<VertexId> visited;
+  /// Depth actually reached (may be < max_depth if the frontier died out).
+  int depth_reached = 0;
+};
+
+/// Breadth-first exploration from `start` up to `max_depth` hops following
+/// both edge directions, optionally restricted to edges labeled `label`
+/// (Q.32 / Q.33: v.as('i').both(l?).except(vs).store(vs).loop('i')).
+Result<BfsResult> BreadthFirst(const GraphEngine& engine, VertexId start,
+                               int max_depth,
+                               const std::optional<std::string>& label,
+                               const CancelToken& cancel);
+
+struct PathResult {
+  /// Vertex sequence from src to dst inclusive; empty if unreachable.
+  std::vector<VertexId> path;
+  bool found = false;
+};
+
+/// Unweighted shortest path between two vertices following both edge
+/// directions, optionally restricted to one edge label (Q.34 / Q.35).
+/// `max_depth` bounds the search (Gremlin loops are depth-bounded in the
+/// suite to keep the semantics of the paper's queries).
+Result<PathResult> ShortestPath(const GraphEngine& engine, VertexId src,
+                                VertexId dst,
+                                const std::optional<std::string>& label,
+                                int max_depth, const CancelToken& cancel);
+
+}  // namespace query
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_QUERY_ALGORITHMS_H_

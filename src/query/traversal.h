@@ -1,0 +1,147 @@
+// A Gremlin-style traversal machine.
+//
+// A Traversal is a list of steps built fluently (V().Has(...).Out().Dedup()
+// .Count()) and interpreted step-wise against any GraphEngine, exactly like
+// the TinkerPop adapters the paper benchmarks: each step consumes the full
+// traverser set produced by the previous step and materializes its output
+// (the "large intermediate results" the paper blames for several systems'
+// failures are an inherent property of this execution model).
+//
+// Engines whose adapters conflate steps into native queries (Table 1's
+// "Optimized" column — Sqlg) get pattern-specific fast paths, applied only
+// when EngineInfo::query_execution reports conflation; everything else is
+// executed step by step.
+
+#ifndef GDBMICRO_QUERY_TRAVERSAL_H_
+#define GDBMICRO_QUERY_TRAVERSAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/engine.h"
+
+namespace gdbmicro {
+namespace query {
+
+/// A traverser: one element flowing through the pipeline.
+struct Traverser {
+  enum class Kind { kVertex, kEdge, kValue };
+  Kind kind = Kind::kVertex;
+  uint64_t id = kInvalidId;  // vertex or edge id
+  std::string value;         // label or property value (kValue)
+};
+
+/// Output of Execute(): the final traverser set, or just the count when the
+/// last step is Count().
+struct TraversalOutput {
+  std::vector<Traverser> traversers;
+  uint64_t count = 0;
+  bool counted = false;
+};
+
+class Traversal {
+ public:
+  /// g.V() — all vertices (full scan source).
+  static Traversal V();
+  /// g.V(id) — a single vertex.
+  static Traversal V(VertexId id);
+  /// g.E() — all edges.
+  static Traversal E();
+  /// g.E(id) — a single edge.
+  static Traversal E(EdgeId id);
+
+  /// Filters vertices/edges by label.
+  Traversal& HasLabel(std::string label);
+  /// Filters elements by property equality (paper Q.11/Q.12 shape).
+  Traversal& Has(std::string key, PropertyValue value);
+  /// 1-hop adjacency (paper Q.22-24). Empty optional = any label.
+  Traversal& Out(std::optional<std::string> label = std::nullopt);
+  Traversal& In(std::optional<std::string> label = std::nullopt);
+  Traversal& Both(std::optional<std::string> label = std::nullopt);
+  /// Incident edges (paper Q.25-27 substrate).
+  Traversal& OutE(std::optional<std::string> label = std::nullopt);
+  Traversal& InE(std::optional<std::string> label = std::nullopt);
+  Traversal& BothE(std::optional<std::string> label = std::nullopt);
+  /// Endpoints of edge traversers.
+  Traversal& OutV();
+  Traversal& InV();
+  /// Maps elements to their label string.
+  Traversal& Label();
+  /// Maps elements to a property value (missing property drops the
+  /// traverser, Gremlin semantics).
+  Traversal& Values(std::string key);
+  /// Removes duplicate traversers (paper Q.10/Q.31 shape).
+  Traversal& Dedup();
+  /// Keeps the first n traversers.
+  Traversal& Limit(uint64_t n);
+  /// Keeps vertices whose degree in `dir` is at least k — the
+  /// g.V.filter{it.bothE.count() >= k} shape of Q.28-Q.30. Executed
+  /// Gremlin-style: the inner count materializes the incident edge list.
+  Traversal& WhereDegreeAtLeast(Direction dir, uint64_t k);
+  /// Terminal count.
+  Traversal& Count();
+
+  /// Interprets the pipeline against `engine`.
+  Result<TraversalOutput> Execute(const GraphEngine& engine,
+                                  const CancelToken& cancel) const;
+
+  /// Convenience: Execute and return the final count (the size of the
+  /// traverser set if no Count() step is present).
+  Result<uint64_t> ExecuteCount(const GraphEngine& engine,
+                                const CancelToken& cancel) const;
+
+  /// Convenience: Execute and return vertex/edge ids.
+  Result<std::vector<uint64_t>> ExecuteIds(const GraphEngine& engine,
+                                           const CancelToken& cancel) const;
+
+  /// Convenience: Execute and return value strings.
+  Result<std::vector<std::string>> ExecuteValues(
+      const GraphEngine& engine, const CancelToken& cancel) const;
+
+ private:
+  enum class Op {
+    kSourceV,
+    kSourceVId,
+    kSourceE,
+    kSourceEId,
+    kHasLabel,
+    kHas,
+    kOut,
+    kIn,
+    kBoth,
+    kOutE,
+    kInE,
+    kBothE,
+    kOutV,
+    kInV,
+    kLabel,
+    kValues,
+    kDedup,
+    kLimit,
+    kDegreeFilter,
+    kCount,
+  };
+
+  struct Step {
+    Op op;
+    uint64_t id = 0;         // source id / limit n / degree k
+    std::string key;         // property key / label
+    PropertyValue value;     // Has() value
+    std::optional<std::string> label;  // adjacency label filter
+    Direction dir = Direction::kBoth;  // degree filter direction
+  };
+
+  // Conflated fast path for engines that translate to native queries.
+  // Returns true if the pattern was handled.
+  Result<bool> TryConflate(const GraphEngine& engine,
+                           const CancelToken& cancel,
+                           TraversalOutput* out) const;
+
+  std::vector<Step> steps_;
+};
+
+}  // namespace query
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_QUERY_TRAVERSAL_H_

@@ -1,0 +1,110 @@
+#include "src/storage/append_store.h"
+
+#include "src/util/varint.h"
+
+namespace gdbmicro {
+
+uint64_t AppendStore::AppendPhysical(std::string_view data) {
+  uint64_t offset = log_.size();
+  PutVarint64(&log_, data.size());
+  log_.append(data);
+  return offset;
+}
+
+uint64_t AppendStore::Append(std::string_view data) {
+  uint64_t id = positions_.size();
+  positions_.push_back(AppendPhysical(data));
+  ++live_count_;
+  return id;
+}
+
+Status AppendStore::Update(uint64_t id, std::string_view data) {
+  if (!IsLive(id)) return Status::NotFound("record not live");
+  positions_[id] = AppendPhysical(data);
+  return Status::OK();
+}
+
+Status AppendStore::Delete(uint64_t id) {
+  if (!IsLive(id)) return Status::NotFound("record not live");
+  positions_[id] = kTombstone;
+  --live_count_;
+  return Status::OK();
+}
+
+Result<std::string_view> AppendStore::Read(uint64_t id) const {
+  if (!IsLive(id)) return Status::NotFound("record not live");
+  size_t pos = positions_[id];
+  GDB_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(log_, &pos));
+  if (pos + len > log_.size()) return Status::Corruption("truncated record");
+  return std::string_view(log_.data() + pos, len);
+}
+
+void AppendStore::Compact() {
+  std::string new_log;
+  new_log.reserve(log_.size() / 2);
+  for (uint64_t id = 0; id < positions_.size(); ++id) {
+    if (positions_[id] == kTombstone) continue;
+    auto data = Read(id);
+    if (!data.ok()) continue;
+    uint64_t offset = new_log.size();
+    PutVarint64(&new_log, data.value().size());
+    new_log.append(data.value());
+    positions_[id] = offset;
+  }
+  log_ = std::move(new_log);
+}
+
+void AppendStore::Serialize(std::string* out) const {
+  PutVarint64(out, positions_.size());
+  for (uint64_t p : positions_) {
+    PutVarint64(out, p == kTombstone ? 0 : p + 1);
+  }
+  PutVarint64(out, log_.size());
+  out->append(log_);
+}
+
+void AppendStore::SerializeCompacted(std::string* out) const {
+  // Rebuild positions against a compacted log image.
+  std::string log;
+  std::vector<uint64_t> positions;
+  positions.reserve(positions_.size());
+  for (uint64_t id = 0; id < positions_.size(); ++id) {
+    if (positions_[id] == kTombstone) {
+      positions.push_back(kTombstone);
+      continue;
+    }
+    auto data = Read(id);
+    if (!data.ok()) {
+      positions.push_back(kTombstone);
+      continue;
+    }
+    positions.push_back(log.size());
+    PutVarint64(&log, data->size());
+    log.append(*data);
+  }
+  PutVarint64(out, positions.size());
+  for (uint64_t p : positions) {
+    PutVarint64(out, p == kTombstone ? 0 : p + 1);
+  }
+  PutVarint64(out, log.size());
+  out->append(log);
+}
+
+Result<AppendStore> AppendStore::Deserialize(const std::string& in,
+                                             size_t* pos) {
+  AppendStore store;
+  GDB_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(in, pos));
+  store.positions_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    GDB_ASSIGN_OR_RETURN(uint64_t p, GetVarint64(in, pos));
+    store.positions_.push_back(p == 0 ? kTombstone : p - 1);
+    if (p != 0) ++store.live_count_;
+  }
+  GDB_ASSIGN_OR_RETURN(uint64_t log_len, GetVarint64(in, pos));
+  if (*pos + log_len > in.size()) return Status::Corruption("truncated log");
+  store.log_.assign(in, *pos, log_len);
+  *pos += log_len;
+  return store;
+}
+
+}  // namespace gdbmicro

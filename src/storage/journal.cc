@@ -1,0 +1,50 @@
+#include "src/storage/journal.h"
+
+#include "src/util/varint.h"
+
+namespace gdbmicro {
+
+Journal::Journal(uint64_t extent_bytes, uint64_t initial_extents)
+    : extent_bytes_(extent_bytes), allocated_(extent_bytes * initial_extents) {
+  data_.reserve(allocated_);
+}
+
+uint64_t Journal::Append(std::string_view data) {
+  uint64_t offset = used_;
+  data_.append(data);
+  used_ += data.size();
+  while (used_ > allocated_) allocated_ += extent_bytes_;
+  return offset;
+}
+
+Result<std::string_view> Journal::Read(uint64_t offset, uint64_t len) const {
+  if (offset + len > used_) return Status::OutOfRange("journal read past end");
+  return std::string_view(data_.data() + offset, len);
+}
+
+void Journal::Serialize(std::string* out) const {
+  PutVarint64(out, extent_bytes_);
+  PutVarint64(out, allocated_);
+  PutVarint64(out, used_);
+  out->append(data_);
+  // Pad to the allocated extent boundary: the journal file on disk has
+  // fixed-size extents regardless of content.
+  if (allocated_ > used_) out->append(allocated_ - used_, '\0');
+}
+
+Result<Journal> Journal::Deserialize(const std::string& in, size_t* pos) {
+  GDB_ASSIGN_OR_RETURN(uint64_t extent, GetVarint64(in, pos));
+  GDB_ASSIGN_OR_RETURN(uint64_t allocated, GetVarint64(in, pos));
+  GDB_ASSIGN_OR_RETURN(uint64_t used, GetVarint64(in, pos));
+  if (*pos + allocated > in.size()) {
+    return Status::Corruption("truncated journal");
+  }
+  Journal j(extent, 0);
+  j.allocated_ = allocated;
+  j.used_ = used;
+  j.data_.assign(in, *pos, used);
+  *pos += allocated;
+  return j;
+}
+
+}  // namespace gdbmicro

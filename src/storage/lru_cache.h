@@ -1,0 +1,78 @@
+// Fixed-capacity LRU cache with hit/miss statistics. The Titan-like
+// engine's v1.0 variant fronts its adjacency rows with one of these (the
+// paper attributes part of Titan 1.0's complex-query speed to back-end
+// caching).
+
+#ifndef GDBMICRO_STORAGE_LRU_CACHE_H_
+#define GDBMICRO_STORAGE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace gdbmicro {
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns a pointer to the cached value (promoting it to MRU), or
+  /// nullptr on miss. The pointer is invalidated by the next Put().
+  Value* Get(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or refreshes; evicts the LRU entry when over capacity.
+  void Put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+    if (map_.size() > capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  /// Drops the entry if present.
+  void Invalidate(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    order_.erase(it->second);
+    map_.erase(it);
+  }
+
+  void Clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+  size_t size() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<Key, Value>> order_;
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+      map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_STORAGE_LRU_CACHE_H_

@@ -1,0 +1,74 @@
+// Cooperative cancellation. The benchmark runner arms a deadline before
+// every query; engines and the traversal machine check the token inside
+// their scan loops. This reproduces the paper's 2-hour query timeout
+// (Fig. 1(c)) without detaching threads.
+
+#ifndef GDBMICRO_UTIL_CANCEL_H_
+#define GDBMICRO_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+#include "src/util/status.h"
+
+namespace gdbmicro {
+
+/// Shared cancellation/deadline state. Copyable handle; all copies observe
+/// the same cancellation.
+class CancelToken {
+ public:
+  /// A token that never cancels.
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  /// A token that expires `deadline` after now. Non-positive => immediate.
+  static CancelToken WithTimeout(std::chrono::nanoseconds deadline) {
+    CancelToken t;
+    t.state_->deadline = Clock::now() + deadline;
+    t.state_->has_deadline = true;
+    return t;
+  }
+
+  /// Requests cancellation from another thread.
+  void Cancel() const { state_->cancelled.store(true, std::memory_order_relaxed); }
+
+  /// True if cancelled or past deadline. Cheap: deadline is consulted only
+  /// every 256 calls to keep the check out of the measured hot path.
+  bool Expired() const {
+    if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+    if (!state_->has_deadline) return false;
+    if ((++state_->poll_counter & 0xFF) != 0) return false;
+    if (Clock::now() >= state_->deadline) {
+      state_->cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Status to propagate when Expired() is observed.
+  Status ToStatus() const {
+    return Status::DeadlineExceeded("query exceeded its deadline");
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    mutable uint32_t poll_counter = 0;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Convenience guard used inside scan loops:
+///   GDB_CHECK_CANCEL(token);
+#define GDB_CHECK_CANCEL(token)                        \
+  do {                                                 \
+    if ((token).Expired()) return (token).ToStatus();  \
+  } while (false)
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_UTIL_CANCEL_H_

@@ -1,0 +1,37 @@
+// Hash functions used by the hash indexes and sampling code. FNV-1a for
+// strings (stable across platforms), a 64-bit mix for integer keys.
+
+#ifndef GDBMICRO_UTIL_HASH_H_
+#define GDBMICRO_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace gdbmicro {
+
+/// FNV-1a over bytes; deterministic across platforms and runs.
+inline uint64_t HashBytes(std::string_view data,
+                          uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Finalizer-style 64-bit integer mix (from splitmix64).
+inline uint64_t HashInt(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return HashInt(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_UTIL_HASH_H_

@@ -1,0 +1,100 @@
+// Minimal self-contained JSON document model, parser, and writer.
+//
+// Used by the GraphSON reader/writer (the paper's common data interchange
+// format) and by the document-store engine, which serializes every vertex
+// and edge as a JSON blob (ArangoDB architecture, paper §3.2).
+
+#ifndef GDBMICRO_UTIL_JSON_H_
+#define GDBMICRO_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace gdbmicro {
+
+/// A JSON value: null, bool, number (int64 or double), string, array, or
+/// object. Object member order is preserved (vector of pairs) so that
+/// serialization is deterministic.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}            // NOLINT
+  Json(bool b) : value_(b) {}                          // NOLINT
+  Json(int64_t i) : value_(i) {}                       // NOLINT
+  Json(int i) : value_(static_cast<int64_t>(i)) {}     // NOLINT
+  Json(uint64_t u) : value_(static_cast<int64_t>(u)) {}  // NOLINT
+  Json(double d) : value_(d) {}                        // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}        // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}      // NOLINT
+  Json(Array a) : value_(std::move(a)) {}              // NOLINT
+  Json(Object o) : value_(std::move(o)) {}             // NOLINT
+
+  static Json MakeArray() { return Json(Array{}); }
+  static Json MakeObject() { return Json(Object{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool bool_value() const { return std::get<bool>(value_); }
+  int64_t int_value() const {
+    return is_double() ? static_cast<int64_t>(std::get<double>(value_))
+                       : std::get<int64_t>(value_);
+  }
+  double double_value() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(value_))
+                    : std::get<double>(value_);
+  }
+  const std::string& string_value() const { return std::get<std::string>(value_); }
+
+  const Array& array() const { return std::get<Array>(value_); }
+  Array& array() { return std::get<Array>(value_); }
+  const Object& object() const { return std::get<Object>(value_); }
+  Object& object() { return std::get<Object>(value_); }
+
+  /// Object member lookup; returns nullptr if absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  /// Sets (or replaces) an object member. Value must be an object.
+  void Set(std::string key, Json value);
+
+  /// Appends to an array. Value must be an array.
+  void Append(Json value) { array().push_back(std::move(value)); }
+
+  /// Serializes compactly (no whitespace).
+  std::string Dump() const;
+
+  /// Serializes with 2-space indentation.
+  std::string Pretty() const;
+
+  /// Parses a complete JSON document. Trailing garbage is an error.
+  static Result<Json> Parse(std::string_view text);
+
+  bool operator==(const Json& other) const { return value_ == other.value_; }
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      value_;
+};
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_UTIL_JSON_H_

@@ -1,0 +1,139 @@
+// Status: lightweight error propagation for gdbmicro.
+//
+// The library does not throw exceptions on hot paths; fallible operations
+// return a Status (or a Result<T>, see result.h). The design follows the
+// conventions of production database codebases (RocksDB, Arrow).
+
+#ifndef GDBMICRO_UTIL_STATUS_H_
+#define GDBMICRO_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gdbmicro {
+
+/// Canonical error space. Codes mirror the failure classes the benchmark
+/// framework must distinguish: e.g. kDeadlineExceeded marks a query that hit
+/// the suite timeout (paper Fig. 1(c)) and kResourceExhausted marks a query
+/// that blew the configured memory budget (the paper's Sparksee OOM on
+/// Q28-Q31).
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kResourceExhausted = 5,
+  kDeadlineExceeded = 6,
+  kUnimplemented = 7,
+  kAborted = 8,
+  kIOError = 9,
+  kCorruption = 10,
+  kInternal = 11,
+};
+
+/// Returns a stable human-readable name for a code ("NotFound", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A status is either OK (the common case, carrying no allocation) or an
+/// error code plus a message. Cheap to move, cheap to test.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace gdbmicro
+
+/// Propagates an error Status from an expression; evaluates `expr` once.
+#define GDB_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::gdbmicro::Status _gdb_status = (expr);        \
+    if (!_gdb_status.ok()) return _gdb_status;      \
+  } while (false)
+
+/// Evaluates a Result<T> expression, assigning the value to `lhs` on
+/// success and propagating the Status on failure.
+#define GDB_ASSIGN_OR_RETURN(lhs, expr)                   \
+  GDB_ASSIGN_OR_RETURN_IMPL_(                             \
+      GDB_STATUS_CONCAT_(_gdb_result, __LINE__), lhs, expr)
+
+#define GDB_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                               \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value()
+
+#define GDB_STATUS_CONCAT_INNER_(a, b) a##b
+#define GDB_STATUS_CONCAT_(a, b) GDB_STATUS_CONCAT_INNER_(a, b)
+
+#endif  // GDBMICRO_UTIL_STATUS_H_

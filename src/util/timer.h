@@ -1,0 +1,51 @@
+// Wall-clock timing utilities used by the benchmark runner.
+
+#ifndef GDBMICRO_UTIL_TIMER_H_
+#define GDBMICRO_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gdbmicro {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Busy-waits for `micros` microseconds. Used by the engine cost models to
+/// charge deterministic, CPU-bound time for emulated out-of-process work
+/// (REST round trips, backend commit paths). Spinning (rather than
+/// sleeping) keeps the charge accurate at microsecond scale.
+inline void SpinFor(int64_t micros) {
+  if (micros <= 0) return;
+  Timer t;
+  while (t.ElapsedMicros() < micros) {
+    // spin
+  }
+}
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_UTIL_TIMER_H_

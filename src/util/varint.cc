@@ -1,0 +1,52 @@
+#include "src/util/varint.h"
+
+#include <cassert>
+
+namespace gdbmicro {
+
+void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Result<uint64_t> GetVarint64(const std::string& in, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < in.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(in[(*pos)++]);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return Status::Corruption("truncated varint");
+}
+
+void EncodeDeltaList(const std::vector<uint64_t>& sorted_ids,
+                     std::string* out) {
+  PutVarint64(out, sorted_ids.size());
+  uint64_t prev = 0;
+  for (uint64_t id : sorted_ids) {
+    assert(id >= prev);
+    PutVarint64(out, id - prev);
+    prev = id;
+  }
+}
+
+Result<std::vector<uint64_t>> DecodeDeltaList(const std::string& in) {
+  size_t pos = 0;
+  GDB_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(in, &pos));
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    GDB_ASSIGN_OR_RETURN(uint64_t delta, GetVarint64(in, &pos));
+    prev += delta;
+    out.push_back(prev);
+  }
+  return out;
+}
+
+}  // namespace gdbmicro

@@ -1,0 +1,42 @@
+// Variable-length integer and delta coding. The columnar adjacency engine
+// (Titan-like) compresses the neighbor ids in each adjacency row with
+// delta+varint coding, which is what gives it the paper's best-in-class
+// space footprint on hub-heavy graphs (Fig. 1).
+
+#ifndef GDBMICRO_UTIL_VARINT_H_
+#define GDBMICRO_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace gdbmicro {
+
+/// Appends `v` to `out` in LEB128 (base-128 varint) encoding.
+void PutVarint64(std::string* out, uint64_t v);
+
+/// Decodes a varint starting at out[*pos]; advances *pos. Fails with
+/// kCorruption on truncated input.
+Result<uint64_t> GetVarint64(const std::string& in, size_t* pos);
+
+/// ZigZag mapping so small negative deltas stay small.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Delta+varint encodes a *sorted* id list. Unsorted input is rejected by
+/// assertion in debug builds; callers sort first.
+void EncodeDeltaList(const std::vector<uint64_t>& sorted_ids,
+                     std::string* out);
+
+/// Inverse of EncodeDeltaList.
+Result<std::vector<uint64_t>> DecodeDeltaList(const std::string& in);
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_UTIL_VARINT_H_

@@ -1,0 +1,356 @@
+// End-to-end tests of the benchmark core: query catalog integrity, runner
+// execution (single/batch, timeouts, failure recording), space
+// measurement, reporting, the Table 4 summarizer, and the complex query
+// workload on the ldbc dataset.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "src/core/complex.h"
+#include "src/core/queries.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+#include "src/datasets/generators.h"
+
+namespace gdbmicro {
+namespace {
+
+using core::Category;
+using core::ComplexQueryCatalog;
+using core::Measurement;
+using core::QueryCatalog;
+using core::Runner;
+using core::RunnerOptions;
+
+datasets::GenOptions TinyScale() {
+  datasets::GenOptions options;
+  options.scale = 0.004;
+  return options;
+}
+
+RunnerOptions FastRunner() {
+  RunnerOptions options;
+  options.deadline = std::chrono::milliseconds(5000);
+  options.batch_iterations = 3;
+  options.enable_cost_model = false;  // unit tests measure semantics
+  options.memory_budget_bytes = 0;
+  return options;
+}
+
+TEST(QueryCatalogTest, CoversTable2) {
+  std::set<int> numbers;
+  int bfs_variants = 0;
+  for (const auto& spec : QueryCatalog()) {
+    numbers.insert(spec.number);
+    EXPECT_FALSE(spec.gremlin.empty()) << spec.name;
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+    ASSERT_TRUE(spec.run != nullptr) << spec.name;
+    if (spec.number == 32 || spec.number == 33) ++bfs_variants;
+  }
+  // Q2..Q35 (Q1, the load, is the runner's job).
+  for (int q = 2; q <= 35; ++q) {
+    EXPECT_EQ(numbers.count(q), 1u) << "missing Q" << q;
+  }
+  EXPECT_EQ(bfs_variants, 8);  // depths 2-5 for both Q32 and Q33
+
+  // Category sanity: Table 2's row ranges.
+  for (const auto& spec : QueryCatalog()) {
+    if (spec.number <= 7) EXPECT_EQ(spec.category, Category::kCreate);
+    if (spec.number >= 8 && spec.number <= 15)
+      EXPECT_EQ(spec.category, Category::kRead);
+    if (spec.number >= 16 && spec.number <= 17)
+      EXPECT_EQ(spec.category, Category::kUpdate);
+    if (spec.number >= 18 && spec.number <= 21)
+      EXPECT_EQ(spec.category, Category::kDelete);
+    if (spec.number >= 22) EXPECT_EQ(spec.category, Category::kTraversal);
+    EXPECT_EQ(spec.mutates,
+              spec.category == Category::kCreate ||
+                  spec.category == Category::kUpdate ||
+                  spec.category == Category::kDelete)
+        << spec.name;
+  }
+}
+
+TEST(QueriesByNumberTest, SelectsRequestedSubsets) {
+  auto bfs = core::QueriesByNumber({32});
+  EXPECT_EQ(bfs.size(), 4u);
+  auto cud = core::QueriesByNumber({2, 3, 4});
+  EXPECT_EQ(cud.size(), 3u);
+}
+
+TEST(RunnerTest, FullSuiteOnSmallDatasetAllEnginesSucceed) {
+  GraphData data = datasets::GenerateYeast(TinyScale());
+  Runner runner(FastRunner());
+  std::vector<const core::QuerySpec*> specs;
+  for (const auto& spec : QueryCatalog()) specs.push_back(&spec);
+
+  for (const std::string& engine :
+       {"neo19", "sparksee", "sqlg", "arango", "titan10", "orient", "blaze"}) {
+    auto results = runner.RunEngine(engine, data, specs);
+    ASSERT_TRUE(results.ok()) << engine << ": " << results.status();
+    // Load + every spec in single and batch mode.
+    EXPECT_EQ(results->size(), 1 + 2 * specs.size()) << engine;
+    for (const Measurement& m : *results) {
+      EXPECT_TRUE(m.status.ok())
+          << engine << " " << m.query << ": " << m.status;
+      EXPECT_GE(m.millis, 0.0);
+    }
+  }
+}
+
+TEST(RunnerTest, ReadQueriesRunBeforeMutations) {
+  GraphData data = datasets::GenerateYeast(TinyScale());
+  Runner runner(FastRunner());
+  std::vector<const core::QuerySpec*> specs;
+  // Hand the runner a mutation-first order; it must still run reads first.
+  for (const auto& spec : QueryCatalog()) {
+    if (spec.mutates) specs.push_back(&spec);
+  }
+  for (const auto& spec : QueryCatalog()) {
+    if (!spec.mutates) specs.push_back(&spec);
+  }
+  auto results = runner.RunEngine("neo19", data, specs);
+  ASSERT_TRUE(results.ok());
+  bool seen_mutation = false;
+  for (const Measurement& m : *results) {
+    if (m.category == Category::kLoad) continue;
+    bool is_mutation = m.category == Category::kCreate ||
+                       m.category == Category::kUpdate ||
+                       m.category == Category::kDelete;
+    if (is_mutation) seen_mutation = true;
+    if (!is_mutation) {
+      EXPECT_FALSE(seen_mutation)
+          << m.query << " ran after a mutating query";
+    }
+  }
+}
+
+TEST(RunnerTest, DeadlineProducesTimeoutMeasurement) {
+  GraphData data = datasets::GenerateMiCo(TinyScale());
+  RunnerOptions options = FastRunner();
+  options.deadline = std::chrono::milliseconds(0);  // everything times out
+  options.run_batch = false;
+  Runner runner(options);
+  auto specs = core::QueriesByNumber({31});
+  auto results = runner.RunEngine("neo19", data, specs);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);  // load + Q31
+  const Measurement& q31 = results->back();
+  EXPECT_TRUE(q31.timed_out()) << q31.status;
+}
+
+TEST(RunnerTest, MemoryBudgetProducesResourceExhausted) {
+  GraphData data = datasets::GenerateMiCo(TinyScale());
+  RunnerOptions options = FastRunner();
+  options.memory_budget_bytes = 16 * 1024;  // tiny arena
+  options.run_batch = false;
+  Runner runner(options);
+  auto specs = core::QueriesByNumber({30});
+  auto results = runner.RunEngine("sparksee", data, specs);
+  ASSERT_TRUE(results.ok());
+  const Measurement& q30 = results->back();
+  EXPECT_TRUE(q30.status.IsResourceExhausted()) << q30.status;
+
+  // Other engines are unaffected by the arena budget.
+  auto neo = runner.RunEngine("neo19", data, specs);
+  ASSERT_TRUE(neo.ok());
+  EXPECT_TRUE(neo->back().status.ok());
+}
+
+TEST(RunnerTest, BatchIsAtLeastSingleWork) {
+  GraphData data = datasets::GenerateYeast(TinyScale());
+  RunnerOptions options = FastRunner();
+  options.batch_iterations = 10;
+  Runner runner(options);
+  auto specs = core::QueriesByNumber({23});
+  auto results = runner.RunEngine("neo19", data, specs);
+  ASSERT_TRUE(results.ok());
+  double single = 0, batch = 0;
+  uint64_t single_items = 0, batch_items = 0;
+  for (const Measurement& m : *results) {
+    if (m.query != "Q23") continue;
+    if (m.mode == Measurement::Mode::kSingle) {
+      single = m.millis;
+      single_items = m.items;
+    } else {
+      batch = m.millis;
+      batch_items = m.items;
+    }
+  }
+  EXPECT_GE(batch, single * 0.5);  // batch does at least comparable work
+  EXPECT_GE(batch_items, single_items);  // 10 distinct picks accumulated
+}
+
+TEST(RunnerTest, PropertyIndexOptionSpeedsUpSearch) {
+  datasets::GenOptions gen;
+  gen.scale = 0.02;
+  GraphData data = datasets::GenerateMiCo(gen);
+  RunnerOptions options = FastRunner();
+  options.run_batch = false;
+  auto specs = core::QueriesByNumber({11});
+
+  Runner plain(options);
+  auto unindexed = plain.RunEngine("neo19", data, specs);
+  ASSERT_TRUE(unindexed.ok());
+
+  options.create_property_index = true;
+  Runner indexed(options);
+  auto with_index = indexed.RunEngine("neo19", data, specs);
+  ASSERT_TRUE(with_index.ok());
+
+  double t_plain = unindexed->back().millis;
+  double t_indexed = with_index->back().millis;
+  EXPECT_TRUE(with_index->back().status.ok());
+  EXPECT_LT(t_indexed, t_plain) << "index should accelerate Q11";
+  // Same result cardinality either way.
+  EXPECT_EQ(unindexed->back().items, with_index->back().items);
+}
+
+TEST(SpaceTest, MeasureSpaceReportsBytes) {
+  GraphData data = datasets::GenerateYeast(TinyScale());
+  Runner runner(FastRunner());
+  auto loaded = runner.Load("neo19", data);
+  ASSERT_TRUE(loaded.ok());
+  std::string scratch = ::testing::TempDir() + "/gdbmicro_space_test";
+  auto bytes = core::MeasureSpace(*loaded->engine, scratch);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  EXPECT_GT(*bytes, 1000u);
+}
+
+TEST(ComplexTest, CatalogHasThirteenQueries) {
+  const auto& catalog = ComplexQueryCatalog();
+  ASSERT_EQ(catalog.size(), 13u);
+  std::vector<std::string> expected = {
+      "max-iid",  "max-oid",  "create",   "city",
+      "company",  "university", "friend1", "friend2",
+      "friend-tags", "add-tags", "friend-of-friend", "triangle", "places"};
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(catalog[i].name, expected[i]);
+  }
+}
+
+TEST(ComplexTest, AllComplexQueriesRunOnLdbc) {
+  GraphData data = datasets::GenerateLdbc(TinyScale());
+  Runner runner(FastRunner());
+  for (const std::string& engine : {"neo19", "sqlg", "sparksee"}) {
+    auto loaded = runner.Load(engine, data);
+    ASSERT_TRUE(loaded.ok()) << engine;
+    core::QueryContext ctx;
+    ctx.engine = loaded->engine.get();
+    ctx.workload = loaded->workload.get();
+    ctx.cancel = CancelToken::WithTimeout(std::chrono::seconds(30));
+    for (const auto& spec : ComplexQueryCatalog()) {
+      ctx.iteration = 0;
+      auto r = spec.run(ctx);
+      EXPECT_TRUE(r.ok()) << engine << " " << spec.name << ": " << r.status();
+    }
+  }
+}
+
+TEST(ComplexTest, ResultsAgreeAcrossEngines) {
+  GraphData data = datasets::GenerateLdbc(TinyScale());
+  Runner runner(FastRunner());
+  std::map<std::string, uint64_t> reference;  // query -> items from neo19
+  for (const std::string& engine : {"neo19", "sqlg", "titan10", "blaze"}) {
+    auto loaded = runner.Load(engine, data);
+    ASSERT_TRUE(loaded.ok()) << engine;
+    core::QueryContext ctx;
+    ctx.engine = loaded->engine.get();
+    ctx.workload = loaded->workload.get();
+    ctx.cancel = CancelToken::WithTimeout(std::chrono::seconds(30));
+    for (const auto& spec : ComplexQueryCatalog()) {
+      if (spec.mutates) continue;  // read-only queries must agree exactly
+      ctx.iteration = 0;
+      auto r = spec.run(ctx);
+      ASSERT_TRUE(r.ok()) << engine << " " << spec.name;
+      auto [it, inserted] = reference.emplace(spec.name, r->items);
+      if (!inserted) {
+        EXPECT_EQ(r->items, it->second) << engine << " " << spec.name;
+      }
+    }
+  }
+}
+
+TEST(ReportTest, FormatCellClasses) {
+  Measurement m;
+  m.millis = 12.5;
+  EXPECT_EQ(core::FormatCell(m), "12.50 ms");
+  m.status = Status::DeadlineExceeded("x");
+  EXPECT_EQ(core::FormatCell(m), "timeout");
+  m.status = Status::ResourceExhausted("x");
+  EXPECT_EQ(core::FormatCell(m), "oom");
+  m.status = Status::Internal("x");
+  EXPECT_EQ(core::FormatCell(m), "err");
+}
+
+std::vector<Measurement> FakeResults() {
+  std::vector<Measurement> results;
+  auto add = [&](const char* engine, const char* query, Status status,
+                 double ms) {
+    Measurement m;
+    m.engine = engine;
+    m.dataset = "frb-s";
+    m.query = query;
+    m.status = status;
+    m.millis = ms;
+    m.mode = Measurement::Mode::kSingle;
+    results.push_back(m);
+  };
+  add("neo19", "Q8", Status::OK(), 1.0);
+  add("neo19", "Q9", Status::OK(), 2.0);
+  add("blaze", "Q8", Status::OK(), 100.0);
+  add("blaze", "Q9", Status::DeadlineExceeded("t"), 5000.0);
+  return results;
+}
+
+TEST(ReportTest, PivotTableLaysOutCells) {
+  core::PivotOptions options;
+  options.dataset = "frb-s";
+  options.mode = Measurement::Mode::kSingle;
+  options.engine_order = {"neo19", "blaze"};
+  std::string table = core::PivotTable(FakeResults(), options);
+  EXPECT_NE(table.find("Q8"), std::string::npos);
+  EXPECT_NE(table.find("timeout"), std::string::npos);
+  EXPECT_NE(table.find("neo19"), std::string::npos);
+}
+
+TEST(ReportTest, CountFailuresAndCumulative) {
+  auto failures =
+      core::CountFailures(FakeResults(), Measurement::Mode::kSingle);
+  EXPECT_EQ(failures["neo19"], 0u);
+  EXPECT_EQ(failures["blaze"], 1u);
+
+  auto totals = core::CumulativeMillis(FakeResults(), "frb-s",
+                                       Measurement::Mode::kSingle, 7000.0);
+  EXPECT_DOUBLE_EQ(totals["neo19"], 3.0);
+  EXPECT_DOUBLE_EQ(totals["blaze"], 100.0 + 7000.0);  // timeout charged
+}
+
+TEST(ReportTest, Table4SymbolsReflectPerformance) {
+  auto table = core::SummarizeTable4(FakeResults());
+  // neo19 is near-best on GraphStatistics; blaze failed a test there.
+  EXPECT_EQ(table["neo19"]["GraphStatistics"], core::SummarySymbol::kGood);
+  EXPECT_EQ(table["blaze"]["GraphStatistics"], core::SummarySymbol::kWarn);
+  std::string rendered =
+      core::FormatTable4(table, {"neo19", "blaze"});
+  EXPECT_NE(rendered.find("neo19"), std::string::npos);
+  EXPECT_NE(rendered.find("GraphStatistics"), std::string::npos);
+}
+
+TEST(ReportTest, CsvExport) {
+  std::string path = ::testing::TempDir() + "/gdbmicro_results.csv";
+  ASSERT_TRUE(core::WriteCsv(FakeResults(), path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "engine,dataset,query,category,mode,status,millis,items");
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 4);
+}
+
+}  // namespace
+}  // namespace gdbmicro

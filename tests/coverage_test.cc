@@ -1,0 +1,159 @@
+// Coverage for paths not exercised elsewhere: traversal edge-step
+// combinators, registry semantics, report formatting corners, metric
+// options, and small utility formatting.
+
+#include <gtest/gtest.h>
+
+#include "src/core/report.h"
+#include "src/datasets/metrics.h"
+#include "src/engines/neoish/neo_engine.h"
+#include "src/graph/registry.h"
+#include "src/query/traversal.h"
+#include "src/storage/bitmap.h"
+#include "src/storage/btree.h"
+#include "src/util/string_util.h"
+
+namespace gdbmicro {
+namespace {
+
+using query::Traversal;
+
+class EdgeStepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto engine = OpenEngine("neo19", EngineOptions{});
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::move(engine).value();
+    a_ = engine_->AddVertex("n", {}).value();
+    b_ = engine_->AddVertex("n", {}).value();
+    PropertyMap w;
+    w.emplace_back("w", PropertyValue(int64_t{9}));
+    e_ = engine_->AddEdge(a_, b_, "link", w).value();
+  }
+  std::unique_ptr<GraphEngine> engine_;
+  VertexId a_ = 0, b_ = 0;
+  EdgeId e_ = 0;
+  CancelToken never_;
+};
+
+TEST_F(EdgeStepTest, EdgeSourceAndEndpointSteps) {
+  auto out_v = Traversal::E(e_).OutV().ExecuteIds(*engine_, never_);
+  ASSERT_TRUE(out_v.ok());
+  EXPECT_EQ(*out_v, std::vector<uint64_t>{a_});
+  auto in_v = Traversal::E(e_).InV().ExecuteIds(*engine_, never_);
+  ASSERT_TRUE(in_v.ok());
+  EXPECT_EQ(*in_v, std::vector<uint64_t>{b_});
+}
+
+TEST_F(EdgeStepTest, EdgeHasAndValues) {
+  auto n = Traversal::E()
+               .Has("w", PropertyValue(int64_t{9}))
+               .Count()
+               .ExecuteCount(*engine_, never_);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+  auto values = Traversal::E(e_).Values("w").ExecuteValues(*engine_, never_);
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(*values, std::vector<std::string>{"9"});
+}
+
+TEST_F(EdgeStepTest, MissingSourceIdFails) {
+  EXPECT_FALSE(Traversal::V(99999).Execute(*engine_, never_).ok());
+  EXPECT_FALSE(Traversal::E(99999).Execute(*engine_, never_).ok());
+}
+
+TEST_F(EdgeStepTest, LabelFilteredEdgeSteps) {
+  auto n = Traversal::V(a_)
+               .OutE(std::string("link"))
+               .Count()
+               .ExecuteCount(*engine_, never_);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+  auto none = Traversal::V(a_)
+                  .OutE(std::string("nope"))
+                  .Count()
+                  .ExecuteCount(*engine_, never_);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0u);
+}
+
+TEST(RegistryTest, NamesAndReplace) {
+  RegisterBuiltinEngines();
+  auto& registry = EngineRegistry::Instance();
+  auto names = registry.Names();
+  EXPECT_EQ(names.size(), 9u);
+  EXPECT_TRUE(registry.Has("neo19"));
+  EXPECT_FALSE(registry.Has("neoXX"));
+  // Re-registering replaces rather than duplicating.
+  registry.Register("neo19", [] { return MakeNeoEngine(false); });
+  EXPECT_EQ(registry.Names().size(), 9u);
+  auto engine = registry.Create("neo19");
+  ASSERT_TRUE(engine.ok());
+}
+
+TEST(MetricsOptionsTest, DiameterCanBeSkipped) {
+  GraphData data;
+  data.vertices.push_back({"n", {}});
+  data.vertices.push_back({"n", {}});
+  data.edges.push_back({0, 1, "l", {}});
+  datasets::MetricsOptions options;
+  options.compute_diameter = false;
+  auto stats = datasets::ComputeStats(data, options);
+  EXPECT_EQ(stats.diameter, 0u);
+  options.compute_diameter = true;
+  stats = datasets::ComputeStats(data, options);
+  EXPECT_EQ(stats.diameter, 1u);
+}
+
+TEST(FormattingTest, HumanMillisBands) {
+  EXPECT_EQ(HumanMillis(0.5), "500 us");
+  EXPECT_EQ(HumanMillis(12.345), "12.35 ms");
+  EXPECT_EQ(HumanMillis(2500.0), "2.50 s");
+  EXPECT_EQ(HumanMillis(150000.0), "2.5 min");
+}
+
+TEST(FormattingTest, PivotWithoutDatasetFilterPrefixesRows) {
+  core::Measurement m;
+  m.engine = "neo19";
+  m.dataset = "yeast";
+  m.query = "Q8";
+  m.millis = 1;
+  core::PivotOptions options;  // no dataset filter
+  std::string table = core::PivotTable({m}, options);
+  EXPECT_NE(table.find("yeast Q8"), std::string::npos);
+}
+
+TEST(BitmapCoverageTest, EmptySerializeRoundTrip) {
+  Bitmap empty;
+  std::string buf;
+  empty.Serialize(&buf);
+  size_t pos = 0;
+  auto round = Bitmap::Deserialize(buf, &pos);
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round->Empty());
+  EXPECT_FALSE(Bitmap::Deserialize("\x05", &(pos = 0)).ok());  // truncated
+}
+
+TEST(BTreeCoverageTest, ClearResetsEverything) {
+  BTree<uint64_t, uint64_t> tree;
+  for (uint64_t i = 0; i < 1000; ++i) tree.Insert(i, i);
+  EXPECT_GT(tree.height(), 1);
+  tree.Clear();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Insert(5, 5));
+  EXPECT_TRUE(tree.Contains(5, 5));
+}
+
+TEST(EngineLifecycleTest, OpenCloseAllEngines) {
+  RegisterBuiltinEngines();
+  for (const std::string& name : EngineRegistry::Instance().Names()) {
+    auto engine = OpenEngine(name, EngineOptions{});
+    ASSERT_TRUE(engine.ok()) << name;
+    EXPECT_TRUE((*engine)->AddVertex("n", {}).ok()) << name;
+    EXPECT_TRUE((*engine)->Close().ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace gdbmicro

@@ -1,0 +1,444 @@
+// Cross-engine conformance: every engine variant must implement identical
+// property-graph semantics — only performance may differ. The fixture is
+// parameterized over all nine registered engines and checks CRUD
+// behaviour, scans, traversal primitives, deletion cascades, indexing and
+// checkpointing against hand-computed expectations and against a seeded
+// random reference model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "src/datasets/generators.h"
+#include "src/graph/registry.h"
+
+namespace gdbmicro {
+namespace {
+
+class EngineTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    RegisterBuiltinEngines();
+    EngineOptions options;  // no cost model, no memory budget in unit tests
+    auto engine = OpenEngine(GetParam(), options);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    engine_ = std::move(engine).value();
+  }
+
+  std::unique_ptr<GraphEngine> engine_;
+  CancelToken never_;
+};
+
+TEST_P(EngineTest, InfoIsPopulated) {
+  EngineInfo info = engine_->info();
+  EXPECT_EQ(info.name, GetParam());
+  EXPECT_FALSE(info.emulates.empty());
+  EXPECT_FALSE(info.storage.empty());
+}
+
+TEST_P(EngineTest, AddAndGetVertex) {
+  PropertyMap props;
+  props.emplace_back("name", PropertyValue("ada"));
+  props.emplace_back("age", PropertyValue(int64_t{36}));
+  auto id = engine_->AddVertex("person", props);
+  ASSERT_TRUE(id.ok()) << id.status();
+
+  auto rec = engine_->GetVertex(*id);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->label, "person");
+  const PropertyValue* name = FindProperty(rec->properties, "name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string_value(), "ada");
+  const PropertyValue* age = FindProperty(rec->properties, "age");
+  ASSERT_NE(age, nullptr);
+  EXPECT_EQ(age->int_value(), 36);
+}
+
+TEST_P(EngineTest, GetMissingVertexFails) {
+  auto rec = engine_->GetVertex(987654);
+  EXPECT_FALSE(rec.ok());
+  EXPECT_TRUE(rec.status().IsNotFound());
+}
+
+TEST_P(EngineTest, AddEdgeRequiresEndpoints) {
+  auto v = engine_->AddVertex("a", {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(engine_->AddEdge(*v, 424242, "l", {}).ok());
+  EXPECT_FALSE(engine_->AddEdge(424242, *v, "l", {}).ok());
+}
+
+TEST_P(EngineTest, AddAndGetEdgeWithProperties) {
+  auto a = engine_->AddVertex("a", {});
+  auto b = engine_->AddVertex("b", {});
+  ASSERT_TRUE(a.ok() && b.ok());
+  PropertyMap props;
+  props.emplace_back("weight", PropertyValue(2.5));
+  auto e = engine_->AddEdge(*a, *b, "likes", props);
+  ASSERT_TRUE(e.ok()) << e.status();
+
+  auto rec = engine_->GetEdge(*e);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->src, *a);
+  EXPECT_EQ(rec->dst, *b);
+  EXPECT_EQ(rec->label, "likes");
+  const PropertyValue* w = FindProperty(rec->properties, "weight");
+  ASSERT_NE(w, nullptr);
+  EXPECT_DOUBLE_EQ(w->double_value(), 2.5);
+
+  auto ends = engine_->GetEdgeEnds(*e);
+  ASSERT_TRUE(ends.ok());
+  EXPECT_EQ(ends->src, *a);
+  EXPECT_EQ(ends->dst, *b);
+  EXPECT_EQ(ends->label, "likes");
+}
+
+TEST_P(EngineTest, CountsTrackMutations) {
+  auto a = engine_->AddVertex("x", {});
+  auto b = engine_->AddVertex("x", {});
+  auto c = engine_->AddVertex("x", {});
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(engine_->AddEdge(*a, *b, "e", {}).ok());
+  ASSERT_TRUE(engine_->AddEdge(*b, *c, "e", {}).ok());
+
+  EXPECT_EQ(engine_->CountVertices(never_).value(), 3u);
+  EXPECT_EQ(engine_->CountEdges(never_).value(), 2u);
+
+  ASSERT_TRUE(engine_->RemoveVertex(*b).ok());  // removes both edges
+  EXPECT_EQ(engine_->CountVertices(never_).value(), 2u);
+  EXPECT_EQ(engine_->CountEdges(never_).value(), 0u);
+}
+
+TEST_P(EngineTest, SetAndUpdateVertexProperty) {
+  auto v = engine_->AddVertex("n", {});
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(engine_->SetVertexProperty(*v, "k", PropertyValue(int64_t{1})).ok());
+  ASSERT_TRUE(engine_->SetVertexProperty(*v, "k", PropertyValue(int64_t{2})).ok());
+  auto rec = engine_->GetVertex(*v);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->properties.size(), 1u);
+  EXPECT_EQ(rec->properties[0].second.int_value(), 2);
+}
+
+TEST_P(EngineTest, SetAndUpdateEdgeProperty) {
+  auto a = engine_->AddVertex("n", {});
+  auto b = engine_->AddVertex("n", {});
+  auto e = engine_->AddEdge(*a, *b, "l", {});
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(engine_->SetEdgeProperty(*e, "w", PropertyValue("x")).ok());
+  ASSERT_TRUE(engine_->SetEdgeProperty(*e, "w", PropertyValue("y")).ok());
+  auto rec = engine_->GetEdge(*e);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->properties.size(), 1u);
+  EXPECT_EQ(rec->properties[0].second.string_value(), "y");
+}
+
+TEST_P(EngineTest, RemoveProperties) {
+  PropertyMap props;
+  props.emplace_back("a", PropertyValue(int64_t{1}));
+  props.emplace_back("b", PropertyValue(int64_t{2}));
+  auto v = engine_->AddVertex("n", props);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(engine_->RemoveVertexProperty(*v, "a").ok());
+  auto rec = engine_->GetVertex(*v);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->properties.size(), 1u);
+  EXPECT_EQ(FindProperty(rec->properties, "a"), nullptr);
+  EXPECT_NE(FindProperty(rec->properties, "b"), nullptr);
+  // Removing again fails.
+  EXPECT_FALSE(engine_->RemoveVertexProperty(*v, "a").ok());
+
+  auto b2 = engine_->AddVertex("n", {});
+  auto e = engine_->AddEdge(*v, *b2, "l", props);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(engine_->RemoveEdgeProperty(*e, "b").ok());
+  auto erec = engine_->GetEdge(*e);
+  ASSERT_TRUE(erec.ok());
+  EXPECT_EQ(erec->properties.size(), 1u);
+  EXPECT_EQ(FindProperty(erec->properties, "b"), nullptr);
+}
+
+TEST_P(EngineTest, RemoveEdgeLeavesVertices) {
+  auto a = engine_->AddVertex("n", {});
+  auto b = engine_->AddVertex("n", {});
+  auto e = engine_->AddEdge(*a, *b, "l", {});
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(engine_->RemoveEdge(*e).ok());
+  EXPECT_FALSE(engine_->GetEdge(*e).ok());
+  EXPECT_TRUE(engine_->GetVertex(*a).ok());
+  EXPECT_TRUE(engine_->GetVertex(*b).ok());
+  auto edges = engine_->EdgesOf(*a, Direction::kBoth, nullptr, never_);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_TRUE(edges->empty());
+  // Double remove fails.
+  EXPECT_FALSE(engine_->RemoveEdge(*e).ok());
+}
+
+TEST_P(EngineTest, DirectionalTraversal) {
+  auto a = engine_->AddVertex("n", {});
+  auto b = engine_->AddVertex("n", {});
+  auto c = engine_->AddVertex("n", {});
+  ASSERT_TRUE(engine_->AddEdge(*a, *b, "x", {}).ok());
+  ASSERT_TRUE(engine_->AddEdge(*c, *a, "y", {}).ok());
+
+  auto out = engine_->NeighborsOf(*a, Direction::kOut, nullptr, never_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, std::vector<VertexId>{*b});
+
+  auto in = engine_->NeighborsOf(*a, Direction::kIn, nullptr, never_);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(*in, std::vector<VertexId>{*c});
+
+  auto both = engine_->NeighborsOf(*a, Direction::kBoth, nullptr, never_);
+  ASSERT_TRUE(both.ok());
+  std::set<VertexId> both_set(both->begin(), both->end());
+  EXPECT_EQ(both_set, (std::set<VertexId>{*b, *c}));
+
+  EXPECT_EQ(engine_->DegreeOf(*a, Direction::kOut, never_).value(), 1u);
+  EXPECT_EQ(engine_->DegreeOf(*a, Direction::kIn, never_).value(), 1u);
+  EXPECT_EQ(engine_->DegreeOf(*a, Direction::kBoth, never_).value(), 2u);
+}
+
+TEST_P(EngineTest, LabelFilteredTraversal) {
+  auto a = engine_->AddVertex("n", {});
+  auto b = engine_->AddVertex("n", {});
+  auto c = engine_->AddVertex("n", {});
+  ASSERT_TRUE(engine_->AddEdge(*a, *b, "red", {}).ok());
+  ASSERT_TRUE(engine_->AddEdge(*a, *c, "blue", {}).ok());
+
+  std::string red = "red";
+  auto red_out = engine_->NeighborsOf(*a, Direction::kBoth, &red, never_);
+  ASSERT_TRUE(red_out.ok());
+  EXPECT_EQ(*red_out, std::vector<VertexId>{*b});
+
+  std::string missing = "nope";
+  auto none = engine_->NeighborsOf(*a, Direction::kBoth, &missing, never_);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_P(EngineTest, SelfLoopCountsOnceInBoth) {
+  auto a = engine_->AddVertex("n", {});
+  auto e = engine_->AddEdge(*a, *a, "self", {});
+  ASSERT_TRUE(e.ok()) << e.status();
+  auto both = engine_->EdgesOf(*a, Direction::kBoth, nullptr, never_);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->size(), 1u);
+  auto nbrs = engine_->NeighborsOf(*a, Direction::kBoth, nullptr, never_);
+  ASSERT_TRUE(nbrs.ok());
+  EXPECT_EQ(*nbrs, std::vector<VertexId>{*a});
+}
+
+TEST_P(EngineTest, ParallelEdgesAreDistinct) {
+  auto a = engine_->AddVertex("n", {});
+  auto b = engine_->AddVertex("n", {});
+  auto e1 = engine_->AddEdge(*a, *b, "l", {});
+  auto e2 = engine_->AddEdge(*a, *b, "l", {});
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  EXPECT_NE(*e1, *e2);
+  auto edges = engine_->EdgesOf(*a, Direction::kOut, nullptr, never_);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->size(), 2u);
+  EXPECT_EQ(engine_->CountEdges(never_).value(), 2u);
+}
+
+TEST_P(EngineTest, DistinctEdgeLabels) {
+  auto a = engine_->AddVertex("n", {});
+  auto b = engine_->AddVertex("n", {});
+  ASSERT_TRUE(engine_->AddEdge(*a, *b, "z", {}).ok());
+  ASSERT_TRUE(engine_->AddEdge(*b, *a, "a", {}).ok());
+  ASSERT_TRUE(engine_->AddEdge(*a, *b, "z", {}).ok());
+  auto labels = engine_->DistinctEdgeLabels(never_);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(*labels, (std::vector<std::string>{"a", "z"}));
+}
+
+TEST_P(EngineTest, FindByPropertyAndLabel) {
+  PropertyMap red;
+  red.emplace_back("color", PropertyValue("red"));
+  PropertyMap blue;
+  blue.emplace_back("color", PropertyValue("blue"));
+  auto a = engine_->AddVertex("n", red);
+  auto b = engine_->AddVertex("n", blue);
+  auto c = engine_->AddVertex("n", red);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(engine_->AddEdge(*a, *b, "l1", red).ok());
+  ASSERT_TRUE(engine_->AddEdge(*b, *c, "l2", blue).ok());
+
+  auto found = engine_->FindVerticesByProperty("color", PropertyValue("red"),
+                                               never_);
+  ASSERT_TRUE(found.ok());
+  std::set<VertexId> found_set(found->begin(), found->end());
+  EXPECT_EQ(found_set, (std::set<VertexId>{*a, *c}));
+
+  auto edges =
+      engine_->FindEdgesByProperty("color", PropertyValue("blue"), never_);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->size(), 1u);
+
+  auto by_label = engine_->FindEdgesByLabel("l1", never_);
+  ASSERT_TRUE(by_label.ok());
+  EXPECT_EQ(by_label->size(), 1u);
+
+  auto none = engine_->FindVerticesByProperty("color", PropertyValue("green"),
+                                              never_);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_P(EngineTest, PropertyIndexPreservesResults) {
+  for (int i = 0; i < 50; ++i) {
+    PropertyMap props;
+    props.emplace_back("bucket", PropertyValue(static_cast<int64_t>(i % 7)));
+    ASSERT_TRUE(engine_->AddVertex("n", props).ok());
+  }
+  auto before = engine_->FindVerticesByProperty(
+      "bucket", PropertyValue(int64_t{3}), never_);
+  ASSERT_TRUE(before.ok());
+
+  Status s = engine_->CreateVertexPropertyIndex("bucket");
+  if (s.IsUnimplemented()) {
+    GTEST_SKIP() << GetParam() << " offers no user attribute indexes";
+  }
+  ASSERT_TRUE(s.ok()) << s;
+  auto after = engine_->FindVerticesByProperty(
+      "bucket", PropertyValue(int64_t{3}), never_);
+  ASSERT_TRUE(after.ok());
+  std::set<VertexId> b(before->begin(), before->end());
+  std::set<VertexId> a(after->begin(), after->end());
+  EXPECT_EQ(a, b);
+
+  // Index must track subsequent mutations.
+  PropertyMap props;
+  props.emplace_back("bucket", PropertyValue(int64_t{3}));
+  auto extra = engine_->AddVertex("n", props);
+  ASSERT_TRUE(extra.ok());
+  auto updated = engine_->FindVerticesByProperty(
+      "bucket", PropertyValue(int64_t{3}), never_);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->size(), b.size() + 1);
+}
+
+TEST_P(EngineTest, ScansVisitEverything) {
+  constexpr int kV = 30, kE = 45;
+  std::vector<VertexId> vertices;
+  for (int i = 0; i < kV; ++i) {
+    auto v = engine_->AddVertex("n", {});
+    ASSERT_TRUE(v.ok());
+    vertices.push_back(*v);
+  }
+  std::set<EdgeId> edges;
+  for (int i = 0; i < kE; ++i) {
+    auto e = engine_->AddEdge(vertices[i % kV], vertices[(i * 7 + 1) % kV],
+                              i % 2 ? "odd" : "even", {});
+    ASSERT_TRUE(e.ok());
+    edges.insert(*e);
+  }
+  std::set<VertexId> seen_v;
+  ASSERT_TRUE(engine_->ScanVertices(never_, [&](VertexId id) {
+    seen_v.insert(id);
+    return true;
+  }).ok());
+  EXPECT_EQ(seen_v.size(), static_cast<size_t>(kV));
+
+  std::set<EdgeId> seen_e;
+  ASSERT_TRUE(engine_->ScanEdges(never_, [&](const EdgeEnds& e) {
+    seen_e.insert(e.id);
+    return true;
+  }).ok());
+  EXPECT_EQ(seen_e, edges);
+}
+
+TEST_P(EngineTest, ScanCancellation) {
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(engine_->AddVertex("n", {}).ok());
+  }
+  CancelToken cancelled;
+  cancelled.Cancel();
+  uint64_t visited = 0;
+  Status s = engine_->ScanVertices(cancelled, [&](VertexId) {
+    ++visited;
+    return true;
+  });
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s;
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST_P(EngineTest, CheckpointWritesFiles) {
+  auto a = engine_->AddVertex("n", {{{"k", PropertyValue("v")}}});
+  auto b = engine_->AddVertex("n", {});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(engine_->AddEdge(*a, *b, "l", {}).ok());
+
+  std::string dir = ::testing::TempDir() + "/gdbmicro_ckpt_" + GetParam();
+  std::filesystem::remove_all(dir);
+  Status s = engine_->Checkpoint(dir);
+  ASSERT_TRUE(s.ok()) << s;
+  uint64_t files = 0, bytes = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      ++files;
+      bytes += entry.file_size();
+    }
+  }
+  EXPECT_GT(files, 0u);
+  EXPECT_GT(bytes, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_P(EngineTest, MemoryBytesIsPositiveAfterLoad) {
+  auto a = engine_->AddVertex("n", {});
+  auto b = engine_->AddVertex("n", {});
+  ASSERT_TRUE(engine_->AddEdge(*a, *b, "l", {}).ok());
+  EXPECT_GT(engine_->MemoryBytes(), 0u);
+}
+
+// --- randomized cross-engine consistency ---------------------------------
+
+TEST_P(EngineTest, BulkLoadMatchesReferenceAdjacency) {
+  datasets::GenOptions gen;
+  gen.scale = 0.002;  // tiny
+  GraphData data = datasets::GenerateLdbc(gen);
+  auto mapping = engine_->BulkLoad(data);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  ASSERT_EQ(mapping->vertex_ids.size(), data.vertices.size());
+  ASSERT_EQ(mapping->edge_ids.size(), data.edges.size());
+
+  EXPECT_EQ(engine_->CountVertices(never_).value(), data.vertices.size());
+  EXPECT_EQ(engine_->CountEdges(never_).value(), data.edges.size());
+
+  // Reference adjacency from the dataset.
+  std::map<uint64_t, std::multiset<uint64_t>> ref_out, ref_in;
+  for (const auto& e : data.edges) {
+    ref_out[e.src].insert(e.dst);
+    ref_in[e.dst].insert(e.src);
+  }
+  // Check a deterministic sample of vertices.
+  for (uint64_t idx = 0; idx < data.vertices.size(); idx += 17) {
+    VertexId id = mapping->vertex_ids[idx];
+    auto out = engine_->NeighborsOf(id, Direction::kOut, nullptr, never_);
+    ASSERT_TRUE(out.ok()) << out.status();
+    std::multiset<uint64_t> got;
+    for (VertexId n : *out) {
+      // Translate back to dataset indexes via reverse lookup.
+      auto it = std::find(mapping->vertex_ids.begin(),
+                          mapping->vertex_ids.end(), n);
+      ASSERT_NE(it, mapping->vertex_ids.end());
+      got.insert(static_cast<uint64_t>(it - mapping->vertex_ids.begin()));
+    }
+    EXPECT_EQ(got, ref_out[idx]) << "vertex index " << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineTest,
+    ::testing::Values("arango", "blaze", "neo19", "neo30", "orient",
+                      "sparksee", "sqlg", "titan05", "titan10"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace gdbmicro

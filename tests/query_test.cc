@@ -1,0 +1,249 @@
+// Tests for the Gremlin-style traversal machine and the BFS/shortest-path
+// algorithms, parameterized across all engines: every engine must produce
+// identical query results on the same graph.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/registry.h"
+#include "src/query/algorithms.h"
+#include "src/query/traversal.h"
+
+namespace gdbmicro {
+namespace {
+
+using query::BreadthFirst;
+using query::ShortestPath;
+using query::Traversal;
+
+// Fixture builds a known small social graph:
+//
+//   p0 -knows-> p1 -knows-> p2 -knows-> p3     (chain)
+//   p0 -knows-> p2                              (shortcut)
+//   p4                                          (isolated person)
+//   post0 -hasCreator-> p1, post0 -hasTag-> t0
+class QueryTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    RegisterBuiltinEngines();
+    auto engine = OpenEngine(GetParam(), EngineOptions{});
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    engine_ = std::move(engine).value();
+
+    auto add_person = [&](const char* name) {
+      PropertyMap props;
+      props.emplace_back("name", PropertyValue(name));
+      auto v = engine_->AddVertex("person", props);
+      EXPECT_TRUE(v.ok());
+      return *v;
+    };
+    p_[0] = add_person("ada");
+    p_[1] = add_person("bob");
+    p_[2] = add_person("cyd");
+    p_[3] = add_person("dee");
+    p_[4] = add_person("eve");
+    ASSERT_TRUE(engine_->AddEdge(p_[0], p_[1], "knows", {}).ok());
+    ASSERT_TRUE(engine_->AddEdge(p_[1], p_[2], "knows", {}).ok());
+    ASSERT_TRUE(engine_->AddEdge(p_[2], p_[3], "knows", {}).ok());
+    ASSERT_TRUE(engine_->AddEdge(p_[0], p_[2], "knows", {}).ok());
+    auto post = engine_->AddVertex("post", {});
+    ASSERT_TRUE(post.ok());
+    post_ = *post;
+    auto tag = engine_->AddVertex("tag", {});
+    ASSERT_TRUE(tag.ok());
+    tag_ = *tag;
+    ASSERT_TRUE(engine_->AddEdge(post_, p_[1], "hasCreator", {}).ok());
+    ASSERT_TRUE(engine_->AddEdge(post_, tag_, "hasTag", {}).ok());
+  }
+
+  std::unique_ptr<GraphEngine> engine_;
+  VertexId p_[5];
+  VertexId post_ = 0;
+  VertexId tag_ = 0;
+  CancelToken never_;
+};
+
+TEST_P(QueryTest, SourceCounts) {
+  EXPECT_EQ(Traversal::V().Count().ExecuteCount(*engine_, never_).value(), 7u);
+  EXPECT_EQ(Traversal::E().Count().ExecuteCount(*engine_, never_).value(), 6u);
+}
+
+TEST_P(QueryTest, HasLabelFilter) {
+  EXPECT_EQ(Traversal::V()
+                .HasLabel("person")
+                .Count()
+                .ExecuteCount(*engine_, never_)
+                .value(),
+            5u);
+  EXPECT_EQ(Traversal::E()
+                .HasLabel("knows")
+                .Count()
+                .ExecuteCount(*engine_, never_)
+                .value(),
+            4u);
+}
+
+TEST_P(QueryTest, HasPropertyFilter) {
+  auto ids = Traversal::V()
+                 .Has("name", PropertyValue("cyd"))
+                 .ExecuteIds(*engine_, never_);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, std::vector<uint64_t>{p_[2]});
+}
+
+TEST_P(QueryTest, OutInBothHops) {
+  auto out = Traversal::V(p_[0]).Out().ExecuteIds(*engine_, never_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(std::set<uint64_t>(out->begin(), out->end()),
+            (std::set<uint64_t>{p_[1], p_[2]}));
+
+  auto in = Traversal::V(p_[2]).In().ExecuteIds(*engine_, never_);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(std::set<uint64_t>(in->begin(), in->end()),
+            (std::set<uint64_t>{p_[0], p_[1]}));
+
+  auto both = Traversal::V(p_[1]).Both().ExecuteIds(*engine_, never_);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(std::set<uint64_t>(both->begin(), both->end()),
+            (std::set<uint64_t>{p_[0], p_[2], post_}));
+}
+
+TEST_P(QueryTest, TwoHopTraversalWithDedup) {
+  auto two_hop =
+      Traversal::V(p_[0]).Out().Out().Dedup().ExecuteIds(*engine_, never_);
+  ASSERT_TRUE(two_hop.ok());
+  // p0 -> {p1, p2} -> {p2, p3} dedup => {p2, p3}
+  EXPECT_EQ(std::set<uint64_t>(two_hop->begin(), two_hop->end()),
+            (std::set<uint64_t>{p_[2], p_[3]}));
+}
+
+TEST_P(QueryTest, EdgeStepsAndLabels) {
+  auto labels = Traversal::V(post_)
+                    .OutE()
+                    .Label()
+                    .Dedup()
+                    .ExecuteValues(*engine_, never_);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(std::set<std::string>(labels->begin(), labels->end()),
+            (std::set<std::string>{"hasCreator", "hasTag"}));
+
+  auto in_e = Traversal::V(p_[1]).InE().Label().ExecuteValues(*engine_, never_);
+  ASSERT_TRUE(in_e.ok());
+  EXPECT_EQ(std::set<std::string>(in_e->begin(), in_e->end()),
+            (std::set<std::string>{"knows", "hasCreator"}));
+}
+
+TEST_P(QueryTest, LabelRestrictedHop) {
+  auto knows_only =
+      Traversal::V(p_[1]).Both(std::string("knows")).ExecuteIds(*engine_, never_);
+  ASSERT_TRUE(knows_only.ok());
+  EXPECT_EQ(std::set<uint64_t>(knows_only->begin(), knows_only->end()),
+            (std::set<uint64_t>{p_[0], p_[2]}));
+}
+
+TEST_P(QueryTest, ValuesStep) {
+  auto names =
+      Traversal::V(p_[3]).Values("name").ExecuteValues(*engine_, never_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, std::vector<std::string>{"dee"});
+  // Missing property drops the traverser.
+  auto none = Traversal::V(post_).Values("name").ExecuteValues(*engine_, never_);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_P(QueryTest, DegreeFilter) {
+  // Vertices with bothE degree >= 3: p1 (knows x3? p1: in from p0, out to
+  // p2, in hasCreator = 3), p2 (in p1, in p0, out p3 = 3), p0 has 2,
+  // post has 2.
+  auto ids = Traversal::V()
+                 .WhereDegreeAtLeast(Direction::kBoth, 3)
+                 .ExecuteIds(*engine_, never_);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(std::set<uint64_t>(ids->begin(), ids->end()),
+            (std::set<uint64_t>{p_[1], p_[2]}));
+}
+
+TEST_P(QueryTest, GlobalOutDedup) {
+  // Q.31 shape: nodes having an incoming edge.
+  auto n = Traversal::V().Out().Dedup().Count().ExecuteCount(*engine_, never_);
+  ASSERT_TRUE(n.ok());
+  // Targets: p1, p2, p3, tag  (post and p0 and p4 have no incoming edge).
+  EXPECT_EQ(*n, 4u);
+}
+
+TEST_P(QueryTest, LimitStep) {
+  auto limited = Traversal::V().Limit(3).ExecuteIds(*engine_, never_);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->size(), 3u);
+}
+
+TEST_P(QueryTest, CancelledTraversalFails) {
+  CancelToken cancelled;
+  cancelled.Cancel();
+  auto r = Traversal::V().Out().Dedup().Execute(*engine_, cancelled);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded());
+}
+
+TEST_P(QueryTest, BreadthFirstDepths) {
+  auto d1 = BreadthFirst(*engine_, p_[0], 1, std::nullopt, never_);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(std::set<VertexId>(d1->visited.begin(), d1->visited.end()),
+            (std::set<VertexId>{p_[1], p_[2]}));
+
+  auto d2 = BreadthFirst(*engine_, p_[0], 2, std::nullopt, never_);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(std::set<VertexId>(d2->visited.begin(), d2->visited.end()),
+            (std::set<VertexId>{p_[1], p_[2], p_[3], post_}));
+  EXPECT_EQ(d2->depth_reached, 2);
+
+  // Label-filtered BFS never leaves the knows subgraph.
+  auto knows = BreadthFirst(*engine_, p_[0], 5, std::string("knows"), never_);
+  ASSERT_TRUE(knows.ok());
+  EXPECT_EQ(std::set<VertexId>(knows->visited.begin(), knows->visited.end()),
+            (std::set<VertexId>{p_[1], p_[2], p_[3]}));
+
+  // Isolated vertex: nothing reachable.
+  auto isolated = BreadthFirst(*engine_, p_[4], 3, std::nullopt, never_);
+  ASSERT_TRUE(isolated.ok());
+  EXPECT_TRUE(isolated->visited.empty());
+}
+
+TEST_P(QueryTest, ShortestPaths) {
+  auto direct = ShortestPath(*engine_, p_[0], p_[3], std::nullopt, 10, never_);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(direct->found);
+  // p0 -> p2 -> p3 via the shortcut: length 3 vertices.
+  EXPECT_EQ(direct->path.size(), 3u);
+  EXPECT_EQ(direct->path.front(), p_[0]);
+  EXPECT_EQ(direct->path.back(), p_[3]);
+
+  auto to_self = ShortestPath(*engine_, p_[1], p_[1], std::nullopt, 10, never_);
+  ASSERT_TRUE(to_self.ok());
+  EXPECT_EQ(to_self->path, std::vector<VertexId>{p_[1]});
+
+  auto unreachable =
+      ShortestPath(*engine_, p_[0], p_[4], std::nullopt, 10, never_);
+  ASSERT_TRUE(unreachable.ok());
+  EXPECT_FALSE(unreachable->found);
+
+  // Label-restricted: tag is reachable only through post edges, so a
+  // "knows"-only search fails.
+  auto labeled =
+      ShortestPath(*engine_, p_[0], tag_, std::string("knows"), 10, never_);
+  ASSERT_TRUE(labeled.ok());
+  EXPECT_FALSE(labeled->found);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, QueryTest,
+    ::testing::Values("arango", "blaze", "neo19", "neo30", "orient",
+                      "sparksee", "sqlg", "titan05", "titan10"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace gdbmicro

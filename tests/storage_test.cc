@@ -1,0 +1,396 @@
+// Unit tests for the storage primitives: bitmap, B+Tree, hash index,
+// record file, append store, journal, LRU cache.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/storage/append_store.h"
+#include "src/storage/bitmap.h"
+#include "src/storage/btree.h"
+#include "src/storage/hash_index.h"
+#include "src/storage/journal.h"
+#include "src/storage/lru_cache.h"
+#include "src/storage/record_file.h"
+#include "src/util/rng.h"
+
+namespace gdbmicro {
+namespace {
+
+// --- Bitmap -----------------------------------------------------------------
+
+TEST(BitmapTest, AddRemoveContains) {
+  Bitmap bm;
+  EXPECT_TRUE(bm.Add(5));
+  EXPECT_FALSE(bm.Add(5));
+  EXPECT_TRUE(bm.Contains(5));
+  EXPECT_FALSE(bm.Contains(6));
+  EXPECT_EQ(bm.Cardinality(), 1u);
+  EXPECT_TRUE(bm.Remove(5));
+  EXPECT_FALSE(bm.Remove(5));
+  EXPECT_TRUE(bm.Empty());
+}
+
+TEST(BitmapTest, CrossChunkIds) {
+  Bitmap bm;
+  std::vector<uint64_t> ids = {0, 65535, 65536, 1 << 20, (1ULL << 33) + 7};
+  for (uint64_t id : ids) bm.Add(id);
+  EXPECT_EQ(bm.ToVector(), ids);
+}
+
+TEST(BitmapTest, DenseConversionRoundTrip) {
+  Bitmap bm;
+  // Force array -> bitset conversion (> 4096 in one chunk), then shrink.
+  for (uint64_t i = 0; i < 5000; ++i) bm.Add(i);
+  EXPECT_EQ(bm.Cardinality(), 5000u);
+  for (uint64_t i = 0; i < 5000; ++i) EXPECT_TRUE(bm.Contains(i));
+  for (uint64_t i = 0; i < 4500; ++i) bm.Remove(i);
+  EXPECT_EQ(bm.Cardinality(), 500u);
+  for (uint64_t i = 4500; i < 5000; ++i) EXPECT_TRUE(bm.Contains(i));
+}
+
+TEST(BitmapTest, UnionIntersection) {
+  Bitmap a, b;
+  for (uint64_t i = 0; i < 100; i += 2) a.Add(i);
+  for (uint64_t i = 0; i < 100; i += 3) b.Add(i);
+  Bitmap u = a;
+  u.UnionWith(b);
+  Bitmap x = a;
+  x.IntersectWith(b);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(u.Contains(i), i % 2 == 0 || i % 3 == 0) << i;
+    EXPECT_EQ(x.Contains(i), i % 6 == 0) << i;
+  }
+}
+
+TEST(BitmapTest, SerializeRoundTrip) {
+  Bitmap bm;
+  Rng rng(99);
+  for (int i = 0; i < 6000; ++i) bm.Add(rng.Uniform(1 << 22));
+  std::string buf;
+  bm.Serialize(&buf);
+  size_t pos = 0;
+  auto round = Bitmap::Deserialize(buf, &pos);
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_TRUE(*round == bm);
+}
+
+TEST(BitmapTest, ForEachEarlyStop) {
+  Bitmap bm;
+  for (uint64_t i = 0; i < 100; ++i) bm.Add(i);
+  int visited = 0;
+  bm.ForEach([&](uint64_t) { return ++visited < 10; });
+  EXPECT_EQ(visited, 10);
+}
+
+// --- BTree ------------------------------------------------------------------
+
+TEST(BTreeTest, InsertContainsErase) {
+  BTree<uint64_t, uint64_t> tree;
+  EXPECT_TRUE(tree.Insert(1, 10));
+  EXPECT_FALSE(tree.Insert(1, 10));  // duplicate entry
+  EXPECT_TRUE(tree.Insert(1, 11));   // multimap: same key, new value
+  EXPECT_TRUE(tree.Contains(1, 10));
+  EXPECT_TRUE(tree.Contains(1, 11));
+  EXPECT_FALSE(tree.Contains(2, 10));
+  EXPECT_EQ(tree.CountKey(1), 2u);
+  EXPECT_TRUE(tree.Erase(1, 10));
+  EXPECT_FALSE(tree.Erase(1, 10));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, LargeOrderedIteration) {
+  BTree<uint64_t, uint64_t> tree;
+  Rng rng(7);
+  std::set<std::pair<uint64_t, uint64_t>> reference;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = rng.Uniform(5000);
+    uint64_t v = rng.Uniform(100);
+    tree.Insert(k, v);
+    reference.emplace(k, v);
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  EXPECT_GT(tree.height(), 1);
+  std::vector<std::pair<uint64_t, uint64_t>> scanned;
+  tree.ScanAll([&](const uint64_t& k, const uint64_t& v) {
+    scanned.emplace_back(k, v);
+    return true;
+  });
+  EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
+  EXPECT_EQ(scanned.size(), reference.size());
+  EXPECT_TRUE(std::equal(scanned.begin(), scanned.end(), reference.begin()));
+}
+
+TEST(BTreeTest, RangeScan) {
+  BTree<uint64_t, uint64_t> tree;
+  for (uint64_t k = 0; k < 1000; ++k) tree.Insert(k, k * 2);
+  std::vector<uint64_t> keys;
+  tree.ScanRange(100, 110, [&](const uint64_t& k, const uint64_t&) {
+    keys.push_back(k);
+    return true;
+  });
+  std::vector<uint64_t> expected;
+  for (uint64_t k = 100; k <= 110; ++k) expected.push_back(k);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(BTreeTest, RangeScanWithDuplicateKeysAcrossLeaves) {
+  BTree<uint64_t, uint64_t> tree;
+  // 300 values under one key forces the key to straddle leaves.
+  for (uint64_t v = 0; v < 300; ++v) tree.Insert(42, v);
+  for (uint64_t k = 0; k < 100; ++k) tree.Insert(k, 0);
+  EXPECT_EQ(tree.CountKey(42), 300u);
+}
+
+TEST(BTreeTest, EraseUnderRandomChurn) {
+  BTree<uint64_t, uint64_t> tree;
+  std::multimap<uint64_t, uint64_t> reference;
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = rng.Uniform(200);
+    uint64_t v = rng.Uniform(50);
+    if (rng.Chance(0.6)) {
+      bool inserted = tree.Insert(k, v);
+      bool ref_has = false;
+      auto range = reference.equal_range(k);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (it->second == v) ref_has = true;
+      }
+      EXPECT_EQ(inserted, !ref_has);
+      if (!ref_has) reference.emplace(k, v);
+    } else {
+      bool erased = tree.Erase(k, v);
+      bool ref_erased = false;
+      auto range = reference.equal_range(k);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (it->second == v) {
+          reference.erase(it);
+          ref_erased = true;
+          break;
+        }
+      }
+      EXPECT_EQ(erased, ref_erased);
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+}
+
+// --- HashIndex ----------------------------------------------------------------
+
+TEST(HashIndexTest, PutGetErase) {
+  HashIndex<uint64_t, std::string> idx;
+  EXPECT_TRUE(idx.Put(1, "one"));
+  EXPECT_FALSE(idx.Put(1, "uno"));  // overwrite
+  ASSERT_NE(idx.Get(1), nullptr);
+  EXPECT_EQ(*idx.Get(1), "uno");
+  EXPECT_TRUE(idx.Erase(1));
+  EXPECT_FALSE(idx.Erase(1));
+  EXPECT_EQ(idx.Get(1), nullptr);
+}
+
+TEST(HashIndexTest, StringKeys) {
+  HashIndex<std::string, uint64_t> idx;
+  idx.Put("alpha", 1);
+  idx.Put("beta", 2);
+  ASSERT_NE(idx.Get("alpha"), nullptr);
+  EXPECT_EQ(*idx.Get("alpha"), 1u);
+  EXPECT_EQ(idx.Get("gamma"), nullptr);
+}
+
+TEST(HashIndexTest, GrowthAndTombstoneChurn) {
+  HashIndex<uint64_t, uint64_t> idx;
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(21);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t k = rng.Uniform(3000);
+    if (rng.Chance(0.7)) {
+      idx.Put(k, k * 3);
+      reference[k] = k * 3;
+    } else {
+      EXPECT_EQ(idx.Erase(k), reference.erase(k) > 0) << k;
+    }
+  }
+  EXPECT_EQ(idx.size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    ASSERT_NE(idx.Get(k), nullptr) << k;
+    EXPECT_EQ(*idx.Get(k), v);
+  }
+  uint64_t visited = 0;
+  idx.ForEach([&](const uint64_t& k, const uint64_t& v) {
+    EXPECT_EQ(reference.at(k), v);
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+// --- RecordFile -----------------------------------------------------------------
+
+TEST(RecordFileTest, AllocateWriteRead) {
+  RecordFile rf(32);
+  uint64_t a = rf.Allocate();
+  uint64_t b = rf.Allocate();
+  EXPECT_NE(a, b);
+  ASSERT_TRUE(rf.Write(a, "hello").ok());
+  auto read = rf.Read(a);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->substr(0, 5), "hello");
+  EXPECT_EQ(rf.LiveCount(), 2u);
+}
+
+TEST(RecordFileTest, FreeListReuse) {
+  RecordFile rf(16);
+  uint64_t a = rf.Allocate();
+  uint64_t b = rf.Allocate();
+  ASSERT_TRUE(rf.Free(a).ok());
+  EXPECT_FALSE(rf.IsLive(a));
+  EXPECT_FALSE(rf.Free(a).ok());  // double free
+  uint64_t c = rf.Allocate();
+  EXPECT_EQ(c, a);  // slot recycled
+  EXPECT_EQ(rf.SlotCount(), 2u);
+  (void)b;
+}
+
+TEST(RecordFileTest, PayloadTooLargeRejected) {
+  RecordFile rf(16);
+  uint64_t a = rf.Allocate();
+  std::string big(20, 'x');
+  EXPECT_FALSE(rf.Write(a, big).ok());
+}
+
+TEST(RecordFileTest, SerializeRoundTrip) {
+  RecordFile rf(24);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(rf.Allocate());
+  for (int i = 0; i < 100; i += 3) ASSERT_TRUE(rf.Free(ids[i]).ok());
+  for (int i = 1; i < 100; i += 3) {
+    ASSERT_TRUE(rf.Write(ids[i], "abc").ok());
+  }
+  std::string buf;
+  rf.Serialize(&buf);
+  size_t pos = 0;
+  auto round = RecordFile::Deserialize(buf, &pos);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->LiveCount(), rf.LiveCount());
+  EXPECT_EQ(round->SlotCount(), rf.SlotCount());
+  for (int i = 1; i < 100; i += 3) {
+    auto data = round->Read(ids[i]);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data->substr(0, 3), "abc");
+  }
+  // Free list still works after deserialization.
+  uint64_t reused = round->Allocate();
+  EXPECT_LT(reused, round->SlotCount());
+}
+
+// --- AppendStore -----------------------------------------------------------------
+
+TEST(AppendStoreTest, AppendUpdateDelete) {
+  AppendStore store;
+  uint64_t a = store.Append("v1");
+  EXPECT_EQ(store.Read(a).value(), "v1");
+  ASSERT_TRUE(store.Update(a, "version-two").ok());
+  EXPECT_EQ(store.Read(a).value(), "version-two");
+  uint64_t old_log = store.LogBytes();
+  ASSERT_TRUE(store.Delete(a).ok());
+  EXPECT_FALSE(store.Read(a).ok());
+  EXPECT_EQ(store.LogBytes(), old_log);  // log never shrinks on delete
+  EXPECT_FALSE(store.Update(a, "zombie").ok());
+}
+
+TEST(AppendStoreTest, CompactDropsDeadVersions) {
+  AppendStore store;
+  uint64_t a = store.Append("aaaa");
+  uint64_t b = store.Append("bbbb");
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(store.Update(a, "update").ok());
+  ASSERT_TRUE(store.Delete(b).ok());
+  uint64_t before = store.LogBytes();
+  store.Compact();
+  EXPECT_LT(store.LogBytes(), before);
+  EXPECT_EQ(store.Read(a).value(), "update");
+  EXPECT_FALSE(store.IsLive(b));
+}
+
+TEST(AppendStoreTest, SerializeRoundTrip) {
+  AppendStore store;
+  uint64_t a = store.Append("one");
+  uint64_t b = store.Append("two");
+  ASSERT_TRUE(store.Delete(a).ok());
+  std::string buf;
+  store.Serialize(&buf);
+  size_t pos = 0;
+  auto round = AppendStore::Deserialize(buf, &pos);
+  ASSERT_TRUE(round.ok());
+  EXPECT_FALSE(round->IsLive(a));
+  EXPECT_EQ(round->Read(b).value(), "two");
+  EXPECT_EQ(round->LiveCount(), 1u);
+}
+
+// --- Journal ---------------------------------------------------------------------
+
+TEST(JournalTest, AppendAndRead) {
+  Journal j(1024, 1);
+  uint64_t off = j.Append("hello");
+  EXPECT_EQ(j.Read(off, 5).value(), "hello");
+  EXPECT_FALSE(j.Read(off, 100).ok());
+}
+
+TEST(JournalTest, ExtentGranularAllocation) {
+  Journal j(1024, 2);
+  EXPECT_EQ(j.AllocatedBytes(), 2048u);
+  std::string blob(3000, 'x');
+  j.Append(blob);
+  EXPECT_EQ(j.UsedBytes(), 3000u);
+  EXPECT_EQ(j.AllocatedBytes(), 3072u);  // grown to 3 extents
+  std::string buf;
+  j.Serialize(&buf);
+  EXPECT_GE(buf.size(), j.AllocatedBytes());  // slack serialized too
+}
+
+TEST(JournalTest, SerializeRoundTrip) {
+  Journal j(256, 1);
+  uint64_t off = j.Append("data!");
+  std::string buf;
+  j.Serialize(&buf);
+  size_t pos = 0;
+  auto round = Journal::Deserialize(buf, &pos);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->Read(off, 5).value(), "data!");
+  EXPECT_EQ(round->AllocatedBytes(), j.AllocatedBytes());
+}
+
+// --- LruCache ---------------------------------------------------------------------
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, std::string> cache(2);
+  cache.Put(1, "a");
+  cache.Put(2, "b");
+  EXPECT_NE(cache.Get(1), nullptr);  // promotes 1
+  cache.Put(3, "c");                 // evicts 2
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+}
+
+TEST(LruCacheTest, StatsAndInvalidate) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 10);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(9), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Invalidate(1);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(LruCacheTest, ZeroCapacityNeverStores) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 10);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+}  // namespace
+}  // namespace gdbmicro
