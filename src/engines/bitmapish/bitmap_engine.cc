@@ -74,6 +74,7 @@ PropertyMap BitmapEngine::MaterializeAttrs(uint64_t oid) const {
 Result<VertexId> BitmapEngine::AddVertex(std::string_view label,
                                          const PropertyMap& props) {
   uint64_t oid = next_oid_++;
+  max_vertex_oid_ = oid;
   vertices_.Add(oid);
   uint32_t label_id = labels_.Intern(label);
   vertex_label_.Put(oid, label_id);
@@ -272,27 +273,69 @@ Status BitmapEngine::ScanEdges(
   return status;
 }
 
-Result<std::vector<EdgeId>> BitmapEngine::EdgesOf(
-    VertexId v, Direction dir, const std::string* label,
-    const CancelToken& cancel) const {
-  (void)cancel;
-  if (!vertices_.Contains(v)) return Status::NotFound("vertex not found");
-  Bitmap result;
-  if (dir == Direction::kOut || dir == Direction::kBoth) {
-    if (const Bitmap* out = out_edges_.Get(v)) result.UnionWith(*out);
-  }
-  if (dir == Direction::kIn || dir == Direction::kBoth) {
-    if (const Bitmap* in = in_edges_.Get(v)) result.UnionWith(*in);
-  }
+Status BitmapEngine::WalkIncident(VertexId v, Direction dir,
+                                  const std::string* label,
+                                  const CancelToken& cancel,
+                                  const std::function<bool(EdgeId)>& fn) const {
+  const Bitmap* label_bm = nullptr;
   if (label != nullptr) {
     uint32_t label_id = labels_.Lookup(*label);
-    if (label_id == Dictionary::kNoId ||
-        label_id >= edges_by_label_.size()) {
-      return std::vector<EdgeId>{};
+    if (label_id == Dictionary::kNoId || label_id >= edges_by_label_.size()) {
+      return Status::OK();  // unknown label: no edges
     }
-    result.IntersectWith(edges_by_label_[label_id]);
+    label_bm = &edges_by_label_[label_id];
   }
-  return result.ToVector();
+  if (!vertices_.Contains(v)) return Status::NotFound("vertex not found");
+  Status status = Status::OK();
+  bool stop = false;
+  auto walk = [&](const Bitmap* bm, bool in_side) {
+    if (bm == nullptr) return;
+    bm->ForEach([&](uint64_t oid) {
+      if (cancel.Expired()) {
+        status = cancel.ToStatus();
+        return false;
+      }
+      // Label filter first: a bitmap probe is cheaper than the hash
+      // lookup the self-loop check below needs.
+      if (label_bm != nullptr && !label_bm->Contains(oid)) return true;
+      // A self-loop sits in both incidence bitmaps; both() reports it
+      // once, via the out side.
+      if (in_side && dir == Direction::kBoth && *edge_src_.Get(oid) == v) {
+        return true;
+      }
+      if (!fn(oid)) {
+        stop = true;
+        return false;
+      }
+      return true;
+    });
+  };
+  if (dir == Direction::kOut || dir == Direction::kBoth) {
+    walk(out_edges_.Get(v), /*in_side=*/false);
+    GDB_RETURN_IF_ERROR(status);
+    if (stop) return Status::OK();
+  }
+  if (dir == Direction::kIn || dir == Direction::kBoth) {
+    walk(in_edges_.Get(v), /*in_side=*/true);
+    GDB_RETURN_IF_ERROR(status);
+  }
+  return Status::OK();
+}
+
+Status BitmapEngine::ForEachEdgeOf(VertexId v, Direction dir,
+                                   const std::string* label,
+                                   const CancelToken& cancel,
+                                   const std::function<bool(EdgeId)>& fn) const {
+  return WalkIncident(v, dir, label, cancel, fn);
+}
+
+Status BitmapEngine::ForEachNeighbor(
+    VertexId v, Direction dir, const std::string* label,
+    const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
+  return WalkIncident(v, dir, label, cancel, [&](EdgeId e) {
+    uint64_t src = *edge_src_.Get(e);
+    return fn(src == v ? *edge_dst_.Get(e) : src);
+  });
 }
 
 Result<uint64_t> BitmapEngine::CountEdgesOf(VertexId v, Direction dir,
@@ -314,21 +357,6 @@ Result<EdgeEnds> BitmapEngine::GetEdgeEnds(EdgeId e) const {
   ends.dst = *edge_dst_.Get(e);
   ends.label = labels_.Get(*edge_label_.Get(e));
   return ends;
-}
-
-Result<std::vector<VertexId>> BitmapEngine::NeighborsOf(
-    VertexId v, Direction dir, const std::string* label,
-    const CancelToken& cancel) const {
-  GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> edge_ids,
-                       EdgesOf(v, dir, label, cancel));
-  std::vector<VertexId> out;
-  out.reserve(edge_ids.size());
-  for (EdgeId e : edge_ids) {
-    uint64_t src = *edge_src_.Get(e);
-    uint64_t dst = *edge_dst_.Get(e);
-    out.push_back(src == v ? dst : src);
-  }
-  return out;
 }
 
 // --- index / persistence ---------------------------------------------------------

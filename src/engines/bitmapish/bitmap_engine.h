@@ -65,13 +65,21 @@ class BitmapEngine : public GraphEngine {
   Status ScanEdges(
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
-  Result<std::vector<EdgeId>> EdgesOf(VertexId v, Direction dir,
-                                      const std::string* label,
-                                      const CancelToken& cancel) const override;
+  /// Streams the incidence bitmaps in ascending-oid order; a label filter
+  /// is a Contains probe against the label's edge bitmap (the bitwise
+  /// side of the layout), not an edge-record fetch.
+  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+                       const CancelToken& cancel,
+                       const std::function<bool(EdgeId)>& fn) const override;
+  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+                         const CancelToken& cancel,
+                         const std::function<bool(VertexId)>& fn) const override;
   Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
-  Result<std::vector<VertexId>> NeighborsOf(
-      VertexId v, Direction dir, const std::string* label,
-      const CancelToken& cancel) const override;
+  /// Bound on vertex oids only: the unified oid counter also numbers
+  /// edges, which would inflate dense visited structures by |E|.
+  uint64_t VertexIdUpperBound() const override {
+    return max_vertex_oid_ == kInvalidId ? 0 : max_vertex_oid_ + 1;
+  }
   Result<uint64_t> CountEdgesOf(VertexId v, Direction dir,
                                 const CancelToken& cancel) const override;
 
@@ -98,6 +106,12 @@ class BitmapEngine : public GraphEngine {
 
   Status ChargeArena(uint64_t bytes) const;
 
+  // The shared incidence walk: streams matching edge oids out of the
+  // out/in bitmaps, self-loops emitted once via the out bitmap.
+  Status WalkIncident(VertexId v, Direction dir, const std::string* label,
+                      const CancelToken& cancel,
+                      const std::function<bool(EdgeId)>& fn) const;
+
   void SetAttr(uint64_t oid, std::string_view name, const PropertyValue& v);
   bool EraseAttr(uint64_t oid, std::string_view name);
   PropertyMap MaterializeAttrs(uint64_t oid) const;
@@ -105,6 +119,7 @@ class BitmapEngine : public GraphEngine {
   Status RemoveEdgeInternal(EdgeId e);
 
   uint64_t next_oid_ = 0;
+  uint64_t max_vertex_oid_ = kInvalidId;  // highest vertex oid ever issued
   Bitmap vertices_;
   Bitmap edges_;
   HashIndex<uint64_t, uint64_t> edge_src_;

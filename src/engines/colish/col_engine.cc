@@ -353,19 +353,18 @@ Status ColEngine::ScanEdges(
   return status;
 }
 
-Result<std::vector<EdgeId>> ColEngine::EdgesOf(
-    VertexId v, Direction dir, const std::string* label,
-    const CancelToken& cancel) const {
-  (void)cancel;
-  const Row* row = FetchRowBatched(v);  // row-key index hop, sliced reads
-  if (row == nullptr) return Status::NotFound("vertex not found");
+Status ColEngine::WalkAdj(VertexId v, Direction dir, const std::string* label,
+                          const CancelToken& cancel,
+                          const std::function<bool(const AdjEntry&)>& fn) const {
   uint32_t label_id =
       label != nullptr ? labels_.Lookup(*label) : Dictionary::kNoId;
   if (label != nullptr && label_id == Dictionary::kNoId) {
-    return std::vector<EdgeId>{};
+    return Status::OK();  // unknown label: no edges
   }
-  std::vector<EdgeId> out;
+  const Row* row = FetchRowBatched(v);  // row-key index hop, sliced reads
+  if (row == nullptr) return Status::NotFound("vertex not found");
   for (const AdjEntry& entry : row->adj) {
+    if (cancel.Expired()) return cancel.ToStatus();
     if (entry.tombstone) continue;
     if (label != nullptr && entry.label != label_id) continue;
     bool self_loop = entry.other == v;
@@ -373,9 +372,24 @@ Result<std::vector<EdgeId>> ColEngine::EdgesOf(
     bool matches = dir == Direction::kBoth ||
                    (dir == Direction::kOut && entry.out) ||
                    (dir == Direction::kIn && !entry.out) || self_loop;
-    if (matches) out.push_back(entry.edge);
+    if (matches && !fn(entry)) return Status::OK();
   }
-  return out;
+  return Status::OK();
+}
+
+Status ColEngine::ForEachEdgeOf(VertexId v, Direction dir,
+                                const std::string* label,
+                                const CancelToken& cancel,
+                                const std::function<bool(EdgeId)>& fn) const {
+  return WalkAdj(v, dir, label, cancel,
+                 [&](const AdjEntry& entry) { return fn(entry.edge); });
+}
+
+Status ColEngine::ForEachNeighbor(
+    VertexId v, Direction dir, const std::string* label,
+    const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
+  return WalkAdj(v, dir, label, cancel,
+                 [&](const AdjEntry& entry) { return fn(entry.other); });
 }
 
 Result<EdgeEnds> ColEngine::GetEdgeEnds(EdgeId e) const {
@@ -387,31 +401,6 @@ Result<EdgeEnds> ColEngine::GetEdgeEnds(EdgeId e) const {
   ends.dst = entry->other;
   ends.label = labels_.Get(entry->label);
   return ends;
-}
-
-Result<std::vector<VertexId>> ColEngine::NeighborsOf(
-    VertexId v, Direction dir, const std::string* label,
-    const CancelToken& cancel) const {
-  (void)cancel;
-  const Row* row = FetchRowBatched(v);
-  if (row == nullptr) return Status::NotFound("vertex not found");
-  uint32_t label_id =
-      label != nullptr ? labels_.Lookup(*label) : Dictionary::kNoId;
-  if (label != nullptr && label_id == Dictionary::kNoId) {
-    return std::vector<VertexId>{};
-  }
-  std::vector<VertexId> out;
-  for (const AdjEntry& entry : row->adj) {
-    if (entry.tombstone) continue;
-    if (label != nullptr && entry.label != label_id) continue;
-    bool self_loop = entry.other == v;
-    if (self_loop && !entry.out) continue;
-    bool matches = dir == Direction::kBoth ||
-                   (dir == Direction::kOut && entry.out) ||
-                   (dir == Direction::kIn && !entry.out) || self_loop;
-    if (matches) out.push_back(entry.other);
-  }
-  return out;
 }
 
 Result<uint64_t> ColEngine::CountEdgesOf(VertexId v, Direction dir,

@@ -72,13 +72,14 @@ class ColEngine : public GraphEngine {
   Status ScanEdges(
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
-  Result<std::vector<EdgeId>> EdgesOf(VertexId v, Direction dir,
-                                      const std::string* label,
-                                      const CancelToken& cancel) const override;
+  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+                       const CancelToken& cancel,
+                       const std::function<bool(EdgeId)>& fn) const override;
+  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+                         const CancelToken& cancel,
+                         const std::function<bool(VertexId)>& fn) const override;
   Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
-  Result<std::vector<VertexId>> NeighborsOf(
-      VertexId v, Direction dir, const std::string* label,
-      const CancelToken& cancel) const override;
+  uint64_t VertexIdUpperBound() const override { return next_vertex_; }
 
   /// v1.0 runs global degree filters through bulk slice scans (no per-row
   /// backend round trip), which is why the paper finds Titan 1.0 — along
@@ -130,6 +131,13 @@ class ColEngine : public GraphEngine {
 
   AdjEntry* FindOutEntry(EdgeId e);
   const AdjEntry* FindOutEntry(EdgeId e) const;
+
+  // Streams the live adjacency entries of v's row that match (dir, label)
+  // — the single slice walk both visitor overrides share. Self-loops are
+  // emitted once via their out entry.
+  Status WalkAdj(VertexId v, Direction dir, const std::string* label,
+                 const CancelToken& cancel,
+                 const std::function<bool(const AdjEntry&)>& fn) const;
 
   void IndexInsert(std::string_view prop, const PropertyValue& v, VertexId id);
   void IndexErase(std::string_view prop, const PropertyValue& v, VertexId id);

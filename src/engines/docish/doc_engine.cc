@@ -283,37 +283,58 @@ Status DocEngine::ScanEdges(
   return status;
 }
 
-Result<std::vector<EdgeId>> DocEngine::EdgesOf(
+Status DocEngine::WalkIncident(
     VertexId v, Direction dir, const std::string* label,
-    const CancelToken& cancel) const {
+    const CancelToken& cancel, bool want_other,
+    const std::function<bool(EdgeId, VertexId)>& fn) const {
   rest_.ChargeCall();  // one AQL round trip per neighborhood step
   if (!vertex_docs_.Contains(v)) return Status::NotFound("vertex not found");
-  std::vector<EdgeId> candidates;
   if (dir == Direction::kOut || dir == Direction::kBoth) {
     if (const std::vector<EdgeId>* out = out_index_.Get(v)) {
-      candidates.insert(candidates.end(), out->begin(), out->end());
+      for (EdgeId e : *out) {
+        GDB_CHECK_CANCEL(cancel);
+        VertexId other = kInvalidId;
+        if (want_other || label != nullptr) {
+          GDB_ASSIGN_OR_RETURN(ParsedEdge parsed, ParseEdgeDoc(e));
+          if (label != nullptr && parsed.label != *label) continue;
+          other = parsed.dst;
+        }
+        if (!fn(e, other)) return Status::OK();
+      }
     }
   }
   if (dir == Direction::kIn || dir == Direction::kBoth) {
     if (const std::vector<EdgeId>* in = in_index_.Get(v)) {
       for (EdgeId e : *in) {
-        // Self-loops are already present via the out index.
-        if (dir == Direction::kBoth) {
-          auto parsed = ParseEdgeDoc(e);
-          if (parsed.ok() && parsed->src == parsed->dst) continue;
+        GDB_CHECK_CANCEL(cancel);
+        VertexId other = kInvalidId;
+        if (want_other || label != nullptr || dir == Direction::kBoth) {
+          GDB_ASSIGN_OR_RETURN(ParsedEdge parsed, ParseEdgeDoc(e));
+          // Self-loops are already visited via the out index.
+          if (dir == Direction::kBoth && parsed.src == parsed.dst) continue;
+          if (label != nullptr && parsed.label != *label) continue;
+          other = parsed.src;
         }
-        candidates.push_back(e);
+        if (!fn(e, other)) return Status::OK();
       }
     }
   }
-  if (label == nullptr) return candidates;
-  std::vector<EdgeId> out;
-  for (EdgeId e : candidates) {
-    GDB_CHECK_CANCEL(cancel);
-    GDB_ASSIGN_OR_RETURN(ParsedEdge parsed, ParseEdgeDoc(e));
-    if (parsed.label == *label) out.push_back(e);
-  }
-  return out;
+  return Status::OK();
+}
+
+Status DocEngine::ForEachEdgeOf(VertexId v, Direction dir,
+                                const std::string* label,
+                                const CancelToken& cancel,
+                                const std::function<bool(EdgeId)>& fn) const {
+  return WalkIncident(v, dir, label, cancel, /*want_other=*/false,
+                      [&](EdgeId e, VertexId) { return fn(e); });
+}
+
+Status DocEngine::ForEachNeighbor(
+    VertexId v, Direction dir, const std::string* label,
+    const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
+  return WalkIncident(v, dir, label, cancel, /*want_other=*/true,
+                      [&](EdgeId, VertexId other) { return fn(other); });
 }
 
 Result<EdgeEnds> DocEngine::GetEdgeEnds(EdgeId e) const {

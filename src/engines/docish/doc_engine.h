@@ -66,10 +66,18 @@ class DocEngine : public GraphEngine {
   Status ScanEdges(
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
-  Result<std::vector<EdgeId>> EdgesOf(VertexId v, Direction dir,
-                                      const std::string* label,
-                                      const CancelToken& cancel) const override;
+  /// The visitors stream over the endpoint hash index. The index stores
+  /// only edge ids, so learning an edge's label or far endpoint forces a
+  /// document parse per edge — the architectural cost of the
+  /// self-contained-JSON layout, paid inside the visit.
+  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+                       const CancelToken& cancel,
+                       const std::function<bool(EdgeId)>& fn) const override;
+  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+                         const CancelToken& cancel,
+                         const std::function<bool(VertexId)>& fn) const override;
   Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
+  uint64_t VertexIdUpperBound() const override { return next_vertex_; }
 
   Status CreateVertexPropertyIndex(std::string_view prop) override;
   bool HasVertexPropertyIndex(std::string_view prop) const override;
@@ -94,6 +102,14 @@ class DocEngine : public GraphEngine {
 
   // Edge removal without the REST charge (shared by RemoveVertex).
   Status RemoveEdgeNoCharge_(EdgeId e);
+
+  // The shared endpoint-index walk behind both visitors. Documents are
+  // parsed only when something needs their contents (`want_other`, a
+  // label filter, or kBoth self-loop dedup); `other` is the far endpoint
+  // when `want_other` is set, kInvalidId otherwise.
+  Status WalkIncident(VertexId v, Direction dir, const std::string* label,
+                      const CancelToken& cancel, bool want_other,
+                      const std::function<bool(EdgeId, VertexId)>& fn) const;
 
   CostModel rest_;
 

@@ -735,17 +735,17 @@ Status NeoEngine::ScanEdges(
   return Status::OK();
 }
 
-Result<std::vector<EdgeId>> NeoEngine::EdgesOf(VertexId v, Direction dir,
-                                               const std::string* label,
-                                               const CancelToken& cancel) const {
+Status NeoEngine::WalkMatching(
+    VertexId v, Direction dir, const std::string* label,
+    const CancelToken& cancel,
+    const std::function<bool(EdgeId, int, const EdgeRec&)>& fn) const {
   uint32_t label_id =
       label != nullptr ? labels_.Lookup(*label) : Dictionary::kNoId;
   if (label != nullptr && label_id == Dictionary::kNoId) {
-    return std::vector<EdgeId>{};  // unknown label: no edges
+    return Status::OK();  // unknown label: no edges
   }
-  std::vector<EdgeId> out;
   uint32_t group_hint = v30_ && label != nullptr ? label_id : Dictionary::kNoId;
-  GDB_RETURN_IF_ERROR(WalkIncidenceFiltered(
+  return WalkIncidenceFiltered(
       v, group_hint, cancel, [&](EdgeId e, int role, const EdgeRec& rec) {
         if (label != nullptr && rec.label != label_id) return true;
         bool is_self_loop = rec.src == rec.dst;
@@ -753,10 +753,26 @@ Result<std::vector<EdgeId>> NeoEngine::EdgesOf(VertexId v, Direction dir,
         bool matches = dir == Direction::kBoth ||
                        (dir == Direction::kOut && role == 0) ||
                        (dir == Direction::kIn && role == 1) || is_self_loop;
-        if (matches) out.push_back(e);
+        if (matches) return fn(e, role, rec);
         return true;
-      }));
-  return out;
+      });
+}
+
+Status NeoEngine::ForEachEdgeOf(VertexId v, Direction dir,
+                                const std::string* label,
+                                const CancelToken& cancel,
+                                const std::function<bool(EdgeId)>& fn) const {
+  return WalkMatching(v, dir, label, cancel,
+                      [&](EdgeId e, int, const EdgeRec&) { return fn(e); });
+}
+
+Status NeoEngine::ForEachNeighbor(
+    VertexId v, Direction dir, const std::string* label,
+    const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
+  return WalkMatching(v, dir, label, cancel,
+                      [&](EdgeId, int role, const EdgeRec& rec) {
+                        return fn(role == 0 ? rec.dst : rec.src);
+                      });
 }
 
 Result<EdgeEnds> NeoEngine::GetEdgeEnds(EdgeId e) const {
@@ -768,46 +784,6 @@ Result<EdgeEnds> NeoEngine::GetEdgeEnds(EdgeId e) const {
   ends.dst = rec.dst;
   ends.label = labels_.Get(rec.label);
   return ends;
-}
-
-Result<std::vector<VertexId>> NeoEngine::NeighborsOf(
-    VertexId v, Direction dir, const std::string* label,
-    const CancelToken& cancel) const {
-  uint32_t label_id =
-      label != nullptr ? labels_.Lookup(*label) : Dictionary::kNoId;
-  if (label != nullptr && label_id == Dictionary::kNoId) {
-    return std::vector<VertexId>{};
-  }
-  std::vector<VertexId> out;
-  uint32_t group_hint = v30_ && label != nullptr ? label_id : Dictionary::kNoId;
-  GDB_RETURN_IF_ERROR(WalkIncidenceFiltered(
-      v, group_hint, cancel, [&](EdgeId, int role, const EdgeRec& rec) {
-        if (label != nullptr && rec.label != label_id) return true;
-        bool is_self_loop = rec.src == rec.dst;
-        if (is_self_loop && role == 1) return true;
-        bool matches = dir == Direction::kBoth ||
-                       (dir == Direction::kOut && role == 0) ||
-                       (dir == Direction::kIn && role == 1) || is_self_loop;
-        if (matches) out.push_back(role == 0 ? rec.dst : rec.src);
-        return true;
-      }));
-  return out;
-}
-
-Result<uint64_t> NeoEngine::DegreeOf(VertexId v, Direction dir,
-                                     const CancelToken& cancel) const {
-  uint64_t n = 0;
-  GDB_RETURN_IF_ERROR(WalkIncidence(
-      v, cancel, [&](EdgeId, int role, const EdgeRec& rec) {
-        bool is_self_loop = rec.src == rec.dst;
-        if (is_self_loop && role == 1) return true;
-        bool matches = dir == Direction::kBoth ||
-                       (dir == Direction::kOut && role == 0) ||
-                       (dir == Direction::kIn && role == 1) || is_self_loop;
-        if (matches) ++n;
-        return true;
-      }));
-  return n;
 }
 
 // --- index / persistence -----------------------------------------------------

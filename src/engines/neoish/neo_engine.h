@@ -76,15 +76,16 @@ class NeoEngine : public GraphEngine {
   Status ScanEdges(
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
-  Result<std::vector<EdgeId>> EdgesOf(VertexId v, Direction dir,
-                                      const std::string* label,
-                                      const CancelToken& cancel) const override;
+  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+                       const CancelToken& cancel,
+                       const std::function<bool(EdgeId)>& fn) const override;
+  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+                         const CancelToken& cancel,
+                         const std::function<bool(VertexId)>& fn) const override;
   Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
-  Result<std::vector<VertexId>> NeighborsOf(
-      VertexId v, Direction dir, const std::string* label,
-      const CancelToken& cancel) const override;
-  Result<uint64_t> DegreeOf(VertexId v, Direction dir,
-                            const CancelToken& cancel) const override;
+  uint64_t VertexIdUpperBound() const override {
+    return node_store_.SlotCount();
+  }
 
   Status CreateVertexPropertyIndex(std::string_view prop) override;
   bool HasVertexPropertyIndex(std::string_view prop) const override;
@@ -147,6 +148,14 @@ class NeoEngine : public GraphEngine {
   // filters in the caller.
   Status WalkIncidenceFiltered(
       VertexId v, uint32_t label_id, const CancelToken& cancel,
+      const std::function<bool(EdgeId, int, const EdgeRec&)>& fn) const;
+
+  // Streams the (edge, role, rec) occurrences matching (dir, label), with
+  // self-loops emitted once via their src role — the single walk both
+  // visitor overrides share.
+  Status WalkMatching(
+      VertexId v, Direction dir, const std::string* label,
+      const CancelToken& cancel,
       const std::function<bool(EdgeId, int, const EdgeRec&)>& fn) const;
 
   // Property chains --------------------------------------------------

@@ -171,16 +171,8 @@ Status OrientEngine::CollectAdjacency(VertexId v, Direction dir,
                                       std::vector<EdgeId>* out) const {
   const std::vector<EdgeId>* out_list = nullptr;
   const std::vector<EdgeId>* in_list = nullptr;
-  VertexData data;
-  auto bag_it = bags_.find(v);
-  if (bag_it != bags_.end()) {
-    out_list = &bag_it->second.out_edges;
-    in_list = &bag_it->second.in_edges;
-  } else {
-    GDB_ASSIGN_OR_RETURN(data, LoadVertex(v));
-    out_list = &data.out_edges;
-    in_list = &data.in_edges;
-  }
+  VertexData scratch;
+  GDB_RETURN_IF_ERROR(AdjacencyLists(v, &out_list, &in_list, &scratch));
   if (dir == Direction::kOut || dir == Direction::kBoth) {
     out->insert(out->end(), out_list->begin(), out_list->end());
   }
@@ -393,29 +385,94 @@ Status OrientEngine::ScanEdges(
   return Status::OK();
 }
 
-Result<std::vector<EdgeId>> OrientEngine::EdgesOf(
+Status OrientEngine::AdjacencyLists(VertexId v,
+                                    const std::vector<EdgeId>** out_list,
+                                    const std::vector<EdgeId>** in_list,
+                                    VertexData* scratch) const {
+  auto bag_it = bags_.find(v);
+  if (bag_it != bags_.end()) {
+    *out_list = &bag_it->second.out_edges;
+    *in_list = &bag_it->second.in_edges;
+    return Status::OK();
+  }
+  GDB_ASSIGN_OR_RETURN(*scratch, LoadVertex(v));
+  *out_list = &scratch->out_edges;
+  *in_list = &scratch->in_edges;
+  return Status::OK();
+}
+
+Result<std::pair<VertexId, VertexId>> OrientEngine::ReadEdgeEndpoints(
+    EdgeId e) const {
+  uint64_t cluster = ClusterOf(e);
+  if (cluster >= clusters_.size()) return Status::NotFound("edge not found");
+  GDB_ASSIGN_OR_RETURN(std::string_view blob,
+                       clusters_[cluster].store.Read(LocalOf(e)));
+  size_t pos = 0;
+  GDB_ASSIGN_OR_RETURN(uint64_t src, GetVarint64(blob, &pos));
+  GDB_ASSIGN_OR_RETURN(uint64_t dst, GetVarint64(blob, &pos));
+  return std::make_pair(src, dst);
+}
+
+Status OrientEngine::WalkIncident(
     VertexId v, Direction dir, const std::string* label,
-    const CancelToken& cancel) const {
+    const CancelToken& cancel, bool want_other,
+    const std::function<bool(EdgeId, VertexId)>& fn) const {
+  uint64_t cluster = kInvalidId;
+  if (label != nullptr) {
+    // Label filtering needs no edge-record read: the cluster id *is* the
+    // label (OrientDB's per-class clusters).
+    auto it = cluster_by_label_.find(*label);
+    if (it == cluster_by_label_.end()) return Status::OK();
+    cluster = it->second;
+  }
   if (!vertex_store_.IsLive(v)) return Status::NotFound("vertex not found");
-  std::vector<EdgeId> all;
-  GDB_RETURN_IF_ERROR(CollectAdjacency(v, dir, &all));
-  if (dir == Direction::kBoth) {
-    // A self-loop sits in both ridbags; both() must report it once.
-    std::sort(all.begin(), all.end());
-    all.erase(std::unique(all.begin(), all.end()), all.end());
+  const std::vector<EdgeId>* out_list = nullptr;
+  const std::vector<EdgeId>* in_list = nullptr;
+  VertexData scratch;
+  GDB_RETURN_IF_ERROR(AdjacencyLists(v, &out_list, &in_list, &scratch));
+  if (dir == Direction::kOut || dir == Direction::kBoth) {
+    for (EdgeId e : *out_list) {
+      GDB_CHECK_CANCEL(cancel);
+      if (label != nullptr && ClusterOf(e) != cluster) continue;
+      VertexId other = kInvalidId;
+      if (want_other) {
+        GDB_ASSIGN_OR_RETURN(auto ends, ReadEdgeEndpoints(e));
+        other = ends.first == v ? ends.second : ends.first;
+      }
+      if (!fn(e, other)) return Status::OK();
+    }
   }
-  if (label == nullptr) return all;
-  // Label filtering needs no edge-record read: the cluster id *is* the
-  // label (OrientDB's per-class clusters).
-  auto it = cluster_by_label_.find(*label);
-  if (it == cluster_by_label_.end()) return std::vector<EdgeId>{};
-  uint64_t cluster = it->second;
-  std::vector<EdgeId> out;
-  for (EdgeId e : all) {
-    GDB_CHECK_CANCEL(cancel);
-    if (ClusterOf(e) == cluster) out.push_back(e);
+  if (dir == Direction::kIn || dir == Direction::kBoth) {
+    for (EdgeId e : *in_list) {
+      GDB_CHECK_CANCEL(cancel);
+      if (label != nullptr && ClusterOf(e) != cluster) continue;
+      VertexId other = kInvalidId;
+      if (want_other || dir == Direction::kBoth) {
+        GDB_ASSIGN_OR_RETURN(auto ends, ReadEdgeEndpoints(e));
+        // A self-loop sits in both ridbags; both() must report it once
+        // (already visited via the out side).
+        if (dir == Direction::kBoth && ends.first == ends.second) continue;
+        other = ends.first == v ? ends.second : ends.first;
+      }
+      if (!fn(e, other)) return Status::OK();
+    }
   }
-  return out;
+  return Status::OK();
+}
+
+Status OrientEngine::ForEachEdgeOf(VertexId v, Direction dir,
+                                   const std::string* label,
+                                   const CancelToken& cancel,
+                                   const std::function<bool(EdgeId)>& fn) const {
+  return WalkIncident(v, dir, label, cancel, /*want_other=*/false,
+                      [&](EdgeId e, VertexId) { return fn(e); });
+}
+
+Status OrientEngine::ForEachNeighbor(
+    VertexId v, Direction dir, const std::string* label,
+    const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
+  return WalkIncident(v, dir, label, cancel, /*want_other=*/true,
+                      [&](EdgeId, VertexId other) { return fn(other); });
 }
 
 Result<EdgeEnds> OrientEngine::GetEdgeEnds(EdgeId e) const {
@@ -426,14 +483,6 @@ Result<EdgeEnds> OrientEngine::GetEdgeEnds(EdgeId e) const {
   ends.dst = data.dst;
   ends.label = clusters_[ClusterOf(e)].label;
   return ends;
-}
-
-Result<uint64_t> OrientEngine::DegreeOf(VertexId v, Direction dir,
-                                        const CancelToken& cancel) const {
-  if (!vertex_store_.IsLive(v)) return Status::NotFound("vertex not found");
-  GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> all,
-                       EdgesOf(v, dir, nullptr, cancel));
-  return static_cast<uint64_t>(all.size());
 }
 
 // --- index / persistence ------------------------------------------------------

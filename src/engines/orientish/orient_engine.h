@@ -66,12 +66,20 @@ class OrientEngine : public GraphEngine {
   Status ScanEdges(
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
-  Result<std::vector<EdgeId>> EdgesOf(VertexId v, Direction dir,
-                                      const std::string* label,
-                                      const CancelToken& cancel) const override;
+  /// Streams the ridbag (embedded or external). Label filtering needs no
+  /// edge-record read — the cluster id packed into the edge id *is* the
+  /// label. Self-loop dedup and neighbor resolution decode only the two
+  /// endpoint varints of the edge blob (no property materialization).
+  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+                       const CancelToken& cancel,
+                       const std::function<bool(EdgeId)>& fn) const override;
+  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+                         const CancelToken& cancel,
+                         const std::function<bool(VertexId)>& fn) const override;
   Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
-  Result<uint64_t> DegreeOf(VertexId v, Direction dir,
-                            const CancelToken& cancel) const override;
+  uint64_t VertexIdUpperBound() const override {
+    return vertex_store_.LogicalCount();
+  }
 
   Status CreateVertexPropertyIndex(std::string_view prop) override;
   bool HasVertexPropertyIndex(std::string_view prop) const override;
@@ -132,6 +140,26 @@ class OrientEngine : public GraphEngine {
   Status EraseAdjacency(VertexId v, EdgeId e, bool outgoing);
   Status CollectAdjacency(VertexId v, Direction dir,
                           std::vector<EdgeId>* out) const;
+
+  // Resolves v's out/in edge lists from the external bag or the embedded
+  // record (decoded into *scratch). The returned pointers stay valid for
+  // the lifetime of *scratch / the bag entry.
+  Status AdjacencyLists(VertexId v, const std::vector<EdgeId>** out_list,
+                        const std::vector<EdgeId>** in_list,
+                        VertexData* scratch) const;
+
+  // Reads only the (src, dst) varint header of e's record — the 2-hop
+  // pointer chase without property materialization.
+  Result<std::pair<VertexId, VertexId>> ReadEdgeEndpoints(EdgeId e) const;
+
+  // The shared ridbag walk: streams edges matching (dir, label) with
+  // self-loops emitted once via the out side. `other` is the far endpoint
+  // when `want_other` is set, kInvalidId otherwise (lets ForEachEdgeOf
+  // skip the endpoint read unless kBoth dedup forces it).
+  Status WalkIncident(
+      VertexId v, Direction dir, const std::string* label,
+      const CancelToken& cancel, bool want_other,
+      const std::function<bool(EdgeId, VertexId other)>& fn) const;
 
   void IndexInsert(std::string_view prop, const PropertyValue& v, VertexId id);
   void IndexErase(std::string_view prop, const PropertyValue& v, VertexId id);

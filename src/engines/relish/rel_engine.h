@@ -66,10 +66,18 @@ class RelEngine : public GraphEngine {
   Status ScanEdges(
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
-  Result<std::vector<EdgeId>> EdgesOf(VertexId v, Direction dir,
-                                      const std::string* label,
-                                      const CancelToken& cancel) const override;
+  /// Streams FK-index probes: one table when label-restricted (the fast
+  /// path), a UNION ALL over every edge table otherwise (the slow path
+  /// the paper measures for BFS/SP/degree queries).
+  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+                       const CancelToken& cancel,
+                       const std::function<bool(EdgeId)>& fn) const override;
+  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+                         const CancelToken& cancel,
+                         const std::function<bool(VertexId)>& fn) const override;
   Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
+  // VertexIdUpperBound stays 0: vertex ids pack (table, row) into sparse
+  // 64-bit keys, so flat visited arrays would be pathologically large.
 
   Status CreateVertexPropertyIndex(std::string_view prop) override;
   bool HasVertexPropertyIndex(std::string_view prop) const override;
@@ -120,6 +128,14 @@ class RelEngine : public GraphEngine {
   void IndexInsert(std::string_view prop, const PropertyValue& v, VertexId id);
   void IndexErase(std::string_view prop, const PropertyValue& v, VertexId id);
   Status RemoveEdgeInternal(EdgeId e);
+
+  // The shared FK-index walk: streams (table, row) of every edge incident
+  // to v matching (dir, label). Self-loops are emitted once via the src
+  // index.
+  Status WalkIncident(
+      VertexId v, Direction dir, const std::string* label,
+      const CancelToken& cancel,
+      const std::function<bool(uint64_t table, uint64_t row)>& fn) const;
 
   std::vector<VTable> vtables_;
   std::vector<ETable> etables_;

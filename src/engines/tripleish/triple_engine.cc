@@ -425,39 +425,85 @@ Status TripleEngine::ScanEdges(
   return status;
 }
 
-Result<std::vector<EdgeId>> TripleEngine::EdgesOf(
-    VertexId v, Direction dir, const std::string* label,
-    const CancelToken& cancel) const {
+Status TripleEngine::WalkIncident(VertexId v, Direction dir,
+                                  const std::string* label,
+                                  const CancelToken& cancel,
+                                  const std::function<bool(EdgeId)>& fn) const {
   cost_.ChargeCall();  // per-step graph API access
-  uint64_t vt = LookupTerm(VertexTerm(v));
-  if (vt == kNoTerm) return Status::NotFound("vertex not found");
   uint64_t label_term = kNoTerm;
   if (label != nullptr) {
     label_term = LookupTerm("l:" + *label);
-    if (label_term == kNoTerm) return std::vector<EdgeId>{};
+    if (label_term == kNoTerm) return Status::OK();
   }
-  std::vector<EdgeId> out;
+  uint64_t vt = LookupTerm(VertexTerm(v));
+  if (vt == kNoTerm) return Status::NotFound("vertex not found");
+  Status status = Status::OK();
+  bool stop = false;
   if (dir == Direction::kOut || dir == Direction::kBoth) {
-    GDB_CHECK_CANCEL(cancel);
-    for (const Triple& t : StatementsWithSubject(vt)) {
-      const std::string& pred = terms_[t[1]];
-      if (!StartsWith(pred, "l:")) continue;
-      if (label_term != kNoTerm && t[1] != label_term) continue;
-      out.push_back(DecodeIdFromTerm(terms_[t[2]]));
-    }
+    // Connectivity statements (v, l:<label>, e): SPO prefix scan. When a
+    // label is given the scan range narrows to that one predicate.
+    uint64_t p_lo = label_term != kNoTerm ? label_term : 0;
+    uint64_t p_hi = label_term != kNoTerm ? label_term : kMaxTerm;
+    spo_.ScanRange({vt, p_lo, 0}, {vt, p_hi, kMaxTerm},
+                   [&](const Triple& t, const uint8_t&) {
+                     if (cancel.Expired()) {
+                       status = cancel.ToStatus();
+                       return false;
+                     }
+                     if (label_term == kNoTerm &&
+                         !StartsWith(terms_[t[1]], "l:")) {
+                       return true;
+                     }
+                     if (!fn(DecodeIdFromTerm(terms_[t[2]]))) {
+                       stop = true;
+                       return false;
+                     }
+                     return true;
+                   });
+    GDB_RETURN_IF_ERROR(status);
+    if (stop) return Status::OK();
   }
   if (dir == Direction::kIn || dir == Direction::kBoth) {
-    GDB_CHECK_CANCEL(cancel);
-    for (const Triple& t : StatementsWithObject(vt)) {
-      if (t[1] != to_pred_) continue;
-      EdgeId id = DecodeIdFromTerm(terms_[t[0]]);
-      const EdgeStmt& stmt = edge_stmts_[id];
-      if (dir == Direction::kBoth && stmt.src == stmt.dst) continue;
-      if (label_term != kNoTerm && stmt.label_term != label_term) continue;
-      out.push_back(id);
-    }
+    // Connectivity statements (e, g:to, v): OSP prefix scan, key layout
+    // (o, s, p) with o = v, s = the reified edge term.
+    osp_.ScanRange({vt, 0, 0}, {vt, kMaxTerm, kMaxTerm},
+                   [&](const Triple& t, const uint8_t&) {
+                     if (cancel.Expired()) {
+                       status = cancel.ToStatus();
+                       return false;
+                     }
+                     if (t[2] != to_pred_) return true;
+                     EdgeId id = DecodeIdFromTerm(terms_[t[1]]);
+                     const EdgeStmt& stmt = edge_stmts_[id];
+                     // Self-loops already visited via the outgoing scan.
+                     if (dir == Direction::kBoth && stmt.src == stmt.dst) {
+                       return true;
+                     }
+                     if (label_term != kNoTerm &&
+                         stmt.label_term != label_term) {
+                       return true;
+                     }
+                     return fn(id);
+                   });
+    GDB_RETURN_IF_ERROR(status);
   }
-  return out;
+  return Status::OK();
+}
+
+Status TripleEngine::ForEachEdgeOf(VertexId v, Direction dir,
+                                   const std::string* label,
+                                   const CancelToken& cancel,
+                                   const std::function<bool(EdgeId)>& fn) const {
+  return WalkIncident(v, dir, label, cancel, fn);
+}
+
+Status TripleEngine::ForEachNeighbor(
+    VertexId v, Direction dir, const std::string* label,
+    const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
+  return WalkIncident(v, dir, label, cancel, [&](EdgeId e) {
+    const EdgeStmt& stmt = edge_stmts_[e];
+    return fn(stmt.src == v ? stmt.dst : stmt.src);
+  });
 }
 
 Result<EdgeEnds> TripleEngine::GetEdgeEnds(EdgeId e) const {

@@ -76,10 +76,17 @@ class TripleEngine : public GraphEngine {
   Status ScanEdges(
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
-  Result<std::vector<EdgeId>> EdgesOf(VertexId v, Direction dir,
-                                      const std::string* label,
-                                      const CancelToken& cancel) const override;
+  /// Streams B+Tree range scans directly (SPO prefix for outgoing
+  /// connectivity statements, OSP prefix for incoming ones) instead of
+  /// materializing statement vectors — the index walk is the traversal.
+  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+                       const CancelToken& cancel,
+                       const std::function<bool(EdgeId)>& fn) const override;
+  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+                         const CancelToken& cancel,
+                         const std::function<bool(VertexId)>& fn) const override;
   Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
+  uint64_t VertexIdUpperBound() const override { return next_vertex_; }
 
   // CreateVertexPropertyIndex: inherited default (kUnimplemented) — the
   // paper: "BlazeGraph provides no such capability".
@@ -111,6 +118,13 @@ class TripleEngine : public GraphEngine {
   std::vector<Triple> StatementsWithSubject(uint64_t s) const;
   // Collects all statements with object o (OSP prefix scan).
   std::vector<Triple> StatementsWithObject(uint64_t o) const;
+
+  // The shared incidence walk behind the adjacency visitors: streams ids
+  // of edges incident to v matching (dir, label) straight off the SPO/OSP
+  // range scans. Self-loops are emitted once via the outgoing side.
+  Status WalkIncident(VertexId v, Direction dir, const std::string* label,
+                      const CancelToken& cancel,
+                      const std::function<bool(EdgeId)>& fn) const;
 
   struct EdgeStmt {
     VertexId src = kInvalidId;

@@ -101,33 +101,46 @@ Result<std::vector<EdgeId>> GraphEngine::FindEdgesByLabel(
   return out;
 }
 
+Result<std::vector<EdgeId>> GraphEngine::EdgesOf(
+    VertexId v, Direction dir, const std::string* label,
+    const CancelToken& cancel) const {
+  std::vector<EdgeId> out;
+  GDB_RETURN_IF_ERROR(ForEachEdgeOf(v, dir, label, cancel, [&](EdgeId e) {
+    out.push_back(e);
+    return true;
+  }));
+  return out;
+}
+
 Result<std::vector<VertexId>> GraphEngine::NeighborsOf(
     VertexId v, Direction dir, const std::string* label,
     const CancelToken& cancel) const {
-  GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> edges,
-                       EdgesOf(v, dir, label, cancel));
   std::vector<VertexId> out;
-  out.reserve(edges.size());
-  for (EdgeId e : edges) {
-    if (cancel.Expired()) return cancel.ToStatus();
-    GDB_ASSIGN_OR_RETURN(EdgeEnds ends, GetEdgeEnds(e));
-    out.push_back(ends.src == v ? ends.dst : ends.src);
-  }
+  GDB_RETURN_IF_ERROR(ForEachNeighbor(v, dir, label, cancel, [&](VertexId n) {
+    out.push_back(n);
+    return true;
+  }));
   return out;
 }
 
 Result<uint64_t> GraphEngine::DegreeOf(VertexId v, Direction dir,
                                        const CancelToken& cancel) const {
-  GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> edges,
-                       EdgesOf(v, dir, nullptr, cancel));
-  return static_cast<uint64_t>(edges.size());
+  uint64_t n = 0;
+  GDB_RETURN_IF_ERROR(ForEachEdgeOf(v, dir, nullptr, cancel, [&](EdgeId) {
+    ++n;
+    return true;
+  }));
+  return n;
 }
 
 Result<uint64_t> GraphEngine::CountEdgesOf(VertexId v, Direction dir,
                                            const CancelToken& cancel) const {
-  GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> edges,
-                       EdgesOf(v, dir, nullptr, cancel));
-  return static_cast<uint64_t>(edges.size());
+  uint64_t n = 0;
+  GDB_RETURN_IF_ERROR(ForEachEdgeOf(v, dir, nullptr, cancel, [&](EdgeId) {
+    ++n;
+    return true;
+  }));
+  return n;
 }
 
 Status GraphEngine::CreateVertexPropertyIndex(std::string_view prop) {

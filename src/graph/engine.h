@@ -139,27 +139,81 @@ class GraphEngine {
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const = 0;
 
-  /// Edges incident to `v` in direction `dir`, optionally restricted to
-  /// `label` (nullptr = any).
-  virtual Result<std::vector<EdgeId>> EdgesOf(
+  // --- Adjacency visitors (the hot-path primitives) ---------------------
+  //
+  // The per-hop neighborhood primitive dominates the paper's traversal,
+  // BFS, and shortest-path results (Figs. 5-7), so it is exposed as a
+  // *streaming* visitor: the engine walks its own storage layout and
+  // yields each element into `fn` without materializing an intermediate
+  // collection. Contract:
+  //
+  //  * Zero per-element allocation: a native override must not allocate
+  //    on the heap per visited edge/neighbor. Per-*call* setup (label id
+  //    lookup, loading the one vertex record the layout keeps adjacency
+  //    in) is allowed; per-hop vectors/sets/copies are not. Engines whose
+  //    emulated architecture forces per-element decoding (the document
+  //    engine must parse an edge document to learn its label or far
+  //    endpoint) pay that cost inside the visit — it is the storage
+  //    layout's honest price, not harness overhead.
+  //  * Early stop: `fn` returning false stops the walk immediately and
+  //    the visitor returns OK. No further elements are visited.
+  //  * Cancellation: the walk checks `cancel` between elements and
+  //    returns kDeadlineExceeded without invoking `fn` again once the
+  //    token has expired.
+  //  * Ordering: unspecified and engine-dependent (each engine emits in
+  //    its native storage order). Only the multiset of visited elements
+  //    is part of the contract; it must equal what EdgesOf/NeighborsOf
+  //    return.
+  //  * Self-loops: visited exactly once under kBoth, once under kOut,
+  //    once under kIn — the same semantics the vector wrappers had.
+  //  * Unknown `label`: visits nothing and returns OK. Engines with a
+  //    label dictionary resolve this before the liveness check, so a
+  //    missing vertex + unknown label yields OK; the document engine,
+  //    whose labels live only inside edge documents, has no dictionary
+  //    to consult and reports NotFound for the missing vertex instead.
+
+  /// Streams the ids of edges incident to `v` in direction `dir`,
+  /// optionally restricted to `label` (nullptr = any), into `fn`.
+  virtual Status ForEachEdgeOf(
       VertexId v, Direction dir, const std::string* label,
-      const CancelToken& cancel) const = 0;
+      const CancelToken& cancel,
+      const std::function<bool(EdgeId)>& fn) const = 0;
+
+  /// Streams the far endpoint of each incident edge (the neighbor) into
+  /// `fn`. A vertex reachable over k parallel edges is visited k times;
+  /// a self-loop yields `v` itself once.
+  virtual Status ForEachNeighbor(
+      VertexId v, Direction dir, const std::string* label,
+      const CancelToken& cancel,
+      const std::function<bool(VertexId)>& fn) const = 0;
+
+  /// Materializing wrappers over the visitors, for callers that want the
+  /// whole neighborhood as a vector. Non-virtual by design: the visitors
+  /// are the single per-engine walk implementation.
+  Result<std::vector<EdgeId>> EdgesOf(VertexId v, Direction dir,
+                                      const std::string* label,
+                                      const CancelToken& cancel) const;
+  Result<std::vector<VertexId>> NeighborsOf(VertexId v, Direction dir,
+                                            const std::string* label,
+                                            const CancelToken& cancel) const;
 
   /// Endpoints + label of an edge.
   virtual Result<EdgeEnds> GetEdgeEnds(EdgeId e) const = 0;
 
-  /// Direct neighbors of `v`. Default: EdgesOf + GetEdgeEnds per edge.
-  /// Engines with direct adjacency override.
-  virtual Result<std::vector<VertexId>> NeighborsOf(
-      VertexId v, Direction dir, const std::string* label,
-      const CancelToken& cancel) const;
+  /// Exclusive upper bound on vertex ids when the engine allocates them
+  /// densely (slot/sequence ids), or 0 when the id space is sparse (the
+  /// relational engine packs table ids into the high bits). Lets
+  /// consumers key visited/parent structures by a flat array instead of
+  /// a hash set.
+  virtual uint64_t VertexIdUpperBound() const { return 0; }
 
-  /// Number of incident edges. Default: |EdgesOf|.
+  /// Number of incident edges. Default: streamed count via ForEachEdgeOf
+  /// (no materialization).
   virtual Result<uint64_t> DegreeOf(VertexId v, Direction dir,
                                     const CancelToken& cancel) const;
 
   /// The `it.inE.count()` primitive of the degree-filter queries
-  /// (Q.28-Q.31 inner step). Default: EdgesOf().size(). The Sparksee-like
+  /// (Q.28-Q.31 inner step). Default: streamed count. The Sparksee-like
   /// engine overrides it to model its Gremlin adapter's defect: the
   /// materialized intermediate edge lists accumulate in the query arena,
   /// which is what made the paper's Q.28-Q.31 exhaust RAM on the Freebase

@@ -6,31 +6,78 @@
 namespace gdbmicro {
 namespace query {
 
+namespace {
+
+// Flat visited structure for the BFS/SP expansion. When the engine
+// exposes a dense vertex-id bound the set is a bit vector indexed by
+// vertex slot (one bit test per membership check, no hashing); otherwise
+// it falls back to a reserved hash set. Engines with packed sparse ids
+// (the relational backend) take the fallback. The bit vector grows
+// lazily (geometric, capped at the bound) so a small search over a huge
+// graph never pays an O(bound) clear up front.
+class VisitedSet {
+ public:
+  explicit VisitedSet(uint64_t id_bound)
+      : dense_(id_bound > 0), bound_(id_bound) {
+    if (!dense_) sparse_.reserve(1024);
+  }
+
+  /// Returns true if v was not yet present (and marks it).
+  bool Insert(VertexId v) {
+    if (dense_) {
+      if (v >= bits_.size()) {
+        uint64_t grown = bits_.size() < 1024 ? 1024 : bits_.size() * 2;
+        if (grown < v + 1) grown = v + 1;
+        if (grown > bound_ && bound_ > v) grown = bound_;
+        bits_.resize(grown, false);
+      }
+      if (bits_[v]) return false;
+      bits_[v] = true;
+      return true;
+    }
+    return sparse_.insert(v).second;
+  }
+
+ private:
+  bool dense_;
+  uint64_t bound_;
+  std::vector<bool> bits_;
+  std::unordered_set<VertexId> sparse_;
+};
+
+}  // namespace
+
 Result<BfsResult> BreadthFirst(const GraphEngine& engine, VertexId start,
                                int max_depth,
                                const std::optional<std::string>& label,
                                const CancelToken& cancel) {
   const std::string* label_ptr = label.has_value() ? &*label : nullptr;
   BfsResult result;
-  std::unordered_set<VertexId> stored;  // the Gremlin store(vs) side effect
-  stored.insert(start);
+  // The Gremlin store(vs) side effect: vs is seeded with the start vertex
+  // so except(vs) never re-expands it, but `visited` reports only the
+  // vertices *reached* — the start is deliberately absent (see the
+  // BfsResult contract in algorithms.h).
+  VisitedSet stored(engine.VertexIdUpperBound());
+  stored.Insert(start);
   std::vector<VertexId> frontier{start};
+  std::vector<VertexId> next;
   for (int depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
-    std::vector<VertexId> next;
+    next.clear();
     for (VertexId v : frontier) {
       GDB_CHECK_CANCEL(cancel);
-      GDB_ASSIGN_OR_RETURN(
-          std::vector<VertexId> neighbors,
-          engine.NeighborsOf(v, Direction::kBoth, label_ptr, cancel));
-      for (VertexId n : neighbors) {
-        if (stored.insert(n).second) {
-          next.push_back(n);
-          result.visited.push_back(n);
-        }
-      }
+      // Stream the expansion: neighbors flow straight into the visited
+      // filter and the next frontier, no per-hop vector.
+      GDB_RETURN_IF_ERROR(engine.ForEachNeighbor(
+          v, Direction::kBoth, label_ptr, cancel, [&](VertexId n) {
+            if (stored.Insert(n)) {
+              next.push_back(n);
+              result.visited.push_back(n);
+            }
+            return true;
+          }));
     }
     if (!next.empty()) result.depth_reached = depth + 1;
-    frontier = std::move(next);
+    std::swap(frontier, next);
   }
   return result;
 }
@@ -46,36 +93,47 @@ Result<PathResult> ShortestPath(const GraphEngine& engine, VertexId src,
     return result;
   }
   const std::string* label_ptr = label.has_value() ? &*label : nullptr;
+  // Membership is the hot check (one bit test when dense); parents are
+  // recorded only for genuinely reached vertices, so the map stays
+  // O(visited) no matter how large the id space is.
+  VisitedSet reached(engine.VertexIdUpperBound());
   std::unordered_map<VertexId, VertexId> parent;  // child -> parent
-  parent.emplace(src, src);
+  parent.reserve(1024);
+  reached.Insert(src);
   std::vector<VertexId> frontier{src};
-  for (int depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
-    std::vector<VertexId> next;
+  std::vector<VertexId> next;
+  bool found = false;
+  for (int depth = 0; depth < max_depth && !frontier.empty() && !found;
+       ++depth) {
+    next.clear();
     for (VertexId v : frontier) {
       GDB_CHECK_CANCEL(cancel);
-      GDB_ASSIGN_OR_RETURN(
-          std::vector<VertexId> neighbors,
-          engine.NeighborsOf(v, Direction::kBoth, label_ptr, cancel));
-      for (VertexId n : neighbors) {
-        if (parent.emplace(n, v).second) {
-          if (n == dst) {
-            // Reconstruct.
-            std::vector<VertexId> rev;
-            for (VertexId cur = dst; cur != src; cur = parent[cur]) {
-              rev.push_back(cur);
+      GDB_RETURN_IF_ERROR(engine.ForEachNeighbor(
+          v, Direction::kBoth, label_ptr, cancel, [&](VertexId n) {
+            if (reached.Insert(n)) {
+              parent.emplace(n, v);
+              if (n == dst) {
+                found = true;
+                return false;  // early-stop the visitor
+              }
+              next.push_back(n);
             }
-            rev.push_back(src);
-            result.path.assign(rev.rbegin(), rev.rend());
-            result.found = true;
-            return result;
-          }
-          next.push_back(n);
-        }
-      }
+            return true;
+          }));
+      if (found) break;
     }
-    frontier = std::move(next);
+    std::swap(frontier, next);
   }
-  return result;  // unreachable within max_depth
+  if (found) {
+    std::vector<VertexId> rev;
+    for (VertexId cur = dst; cur != src; cur = parent.at(cur)) {
+      rev.push_back(cur);
+    }
+    rev.push_back(src);
+    result.path.assign(rev.rbegin(), rev.rend());
+    result.found = true;
+  }
+  return result;  // unreachable within max_depth unless found
 }
 
 }  // namespace query

@@ -17,7 +17,14 @@ namespace gdbmicro {
 namespace query {
 
 struct BfsResult {
-  /// Vertices reached (excluding the start), in visit order.
+  /// Vertices *reached* from the start, in visit order — the start vertex
+  /// itself is deliberately absent. This mirrors the Gremlin query shape
+  /// the paper measures (Q.32/Q.33): the `vs` collection is seeded with
+  /// the start vertex before the loop, so `except(vs)` never re-expands
+  /// it (it cannot be "reached"), while `store(vs)` records only vertices
+  /// the expansion discovers. The asymmetry (start is in the internal
+  /// stored set but not in `visited`) is therefore the intended
+  /// semantics, not an off-by-one: |stored| == |visited| + 1 always.
   std::vector<VertexId> visited;
   /// Depth actually reached (may be < max_depth if the frontier died out).
   int depth_reached = 0;
@@ -26,6 +33,8 @@ struct BfsResult {
 /// Breadth-first exploration from `start` up to `max_depth` hops following
 /// both edge directions, optionally restricted to edges labeled `label`
 /// (Q.32 / Q.33: v.as('i').both(l?).except(vs).store(vs).loop('i')).
+/// A cycle back to the start never re-reports it: the start is in `vs`
+/// from the beginning.
 Result<BfsResult> BreadthFirst(const GraphEngine& engine, VertexId start,
                                int max_depth,
                                const std::optional<std::string>& label,

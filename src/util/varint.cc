@@ -12,7 +12,7 @@ void PutVarint64(std::string* out, uint64_t v) {
   out->push_back(static_cast<char>(v));
 }
 
-Result<uint64_t> GetVarint64(const std::string& in, size_t* pos) {
+Result<uint64_t> GetVarint64(std::string_view in, size_t* pos) {
   uint64_t v = 0;
   int shift = 0;
   while (*pos < in.size() && shift <= 63) {

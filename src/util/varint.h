@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/util/result.h"
@@ -17,9 +18,10 @@ namespace gdbmicro {
 /// Appends `v` to `out` in LEB128 (base-128 varint) encoding.
 void PutVarint64(std::string* out, uint64_t v);
 
-/// Decodes a varint starting at out[*pos]; advances *pos. Fails with
-/// kCorruption on truncated input.
-Result<uint64_t> GetVarint64(const std::string& in, size_t* pos);
+/// Decodes a varint starting at in[*pos]; advances *pos. Fails with
+/// kCorruption on truncated input. Takes a view so raw record payloads
+/// can be decoded without copying into a std::string first.
+Result<uint64_t> GetVarint64(std::string_view in, size_t* pos);
 
 /// ZigZag mapping so small negative deltas stay small.
 inline uint64_t ZigZagEncode(int64_t v) {

@@ -10,10 +10,14 @@
 #include <algorithm>
 #include <filesystem>
 #include <map>
+#include <queue>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "src/datasets/generators.h"
 #include "src/graph/registry.h"
+#include "src/query/algorithms.h"
 
 namespace gdbmicro {
 namespace {
@@ -393,6 +397,244 @@ TEST_P(EngineTest, MemoryBytesIsPositiveAfterLoad) {
   auto b = engine_->AddVertex("n", {});
   ASSERT_TRUE(engine_->AddEdge(*a, *b, "l", {}).ok());
   EXPECT_GT(engine_->MemoryBytes(), 0u);
+}
+
+// --- adjacency visitors ---------------------------------------------------
+
+// Builds the visitor-stress fixture: self-loop, parallel edges, two edge
+// labels, and both directions populated. Returns the vertex ids.
+std::vector<VertexId> BuildVisitorGraph(GraphEngine* engine) {
+  std::vector<VertexId> v;
+  for (int i = 0; i < 4; ++i) {
+    auto id = engine->AddVertex("n", {});
+    EXPECT_TRUE(id.ok());
+    v.push_back(*id);
+  }
+  EXPECT_TRUE(engine->AddEdge(v[0], v[1], "red", {}).ok());
+  EXPECT_TRUE(engine->AddEdge(v[0], v[1], "red", {}).ok());  // parallel
+  EXPECT_TRUE(engine->AddEdge(v[0], v[2], "blue", {}).ok());
+  EXPECT_TRUE(engine->AddEdge(v[2], v[0], "red", {}).ok());
+  EXPECT_TRUE(engine->AddEdge(v[3], v[0], "blue", {}).ok());
+  EXPECT_TRUE(engine->AddEdge(v[0], v[0], "red", {}).ok());  // self-loop
+  return v;
+}
+
+TEST_P(EngineTest, VisitorMatchesVectorWrappers) {
+  std::vector<VertexId> v = BuildVisitorGraph(engine_.get());
+  std::string red = "red", missing = "nope";
+  const std::string* filters[] = {nullptr, &red, &missing};
+  for (VertexId probe : v) {
+    for (Direction dir :
+         {Direction::kOut, Direction::kIn, Direction::kBoth}) {
+      for (const std::string* label : filters) {
+        auto edges = engine_->EdgesOf(probe, dir, label, never_);
+        ASSERT_TRUE(edges.ok()) << edges.status();
+        std::multiset<EdgeId> streamed_edges;
+        ASSERT_TRUE(engine_
+                        ->ForEachEdgeOf(probe, dir, label, never_,
+                                        [&](EdgeId e) {
+                                          streamed_edges.insert(e);
+                                          return true;
+                                        })
+                        .ok());
+        EXPECT_EQ(streamed_edges,
+                  std::multiset<EdgeId>(edges->begin(), edges->end()))
+            << "dir " << static_cast<int>(dir);
+
+        auto nbrs = engine_->NeighborsOf(probe, dir, label, never_);
+        ASSERT_TRUE(nbrs.ok()) << nbrs.status();
+        std::multiset<VertexId> streamed_nbrs;
+        ASSERT_TRUE(engine_
+                        ->ForEachNeighbor(probe, dir, label, never_,
+                                          [&](VertexId n) {
+                                            streamed_nbrs.insert(n);
+                                            return true;
+                                          })
+                        .ok());
+        EXPECT_EQ(streamed_nbrs,
+                  std::multiset<VertexId>(nbrs->begin(), nbrs->end()))
+            << "dir " << static_cast<int>(dir);
+      }
+    }
+  }
+}
+
+TEST_P(EngineTest, VisitorEarlyStopVisitsExactlyOne) {
+  std::vector<VertexId> v = BuildVisitorGraph(engine_.get());
+  uint64_t visits = 0;
+  Status s = engine_->ForEachEdgeOf(v[0], Direction::kBoth, nullptr, never_,
+                                    [&](EdgeId) {
+                                      ++visits;
+                                      return false;  // stop immediately
+                                    });
+  EXPECT_TRUE(s.ok()) << s;
+  EXPECT_EQ(visits, 1u);
+
+  visits = 0;
+  s = engine_->ForEachNeighbor(v[0], Direction::kBoth, nullptr, never_,
+                               [&](VertexId) {
+                                 ++visits;
+                                 return false;
+                               });
+  EXPECT_TRUE(s.ok()) << s;
+  EXPECT_EQ(visits, 1u);
+}
+
+TEST_P(EngineTest, VisitorCancellationMidVisit) {
+  std::vector<VertexId> v = BuildVisitorGraph(engine_.get());
+  // v0 has six incident edges; cancelling inside the first visit must
+  // stop the walk before a second one.
+  CancelToken token;
+  uint64_t visits = 0;
+  Status s = engine_->ForEachEdgeOf(v[0], Direction::kBoth, nullptr, token,
+                                    [&](EdgeId) {
+                                      ++visits;
+                                      token.Cancel();
+                                      return true;  // walk decides to stop
+                                    });
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s;
+  EXPECT_EQ(visits, 1u);
+
+  // An already-cancelled token visits nothing.
+  CancelToken cancelled;
+  cancelled.Cancel();
+  visits = 0;
+  s = engine_->ForEachNeighbor(v[0], Direction::kBoth, nullptr, cancelled,
+                               [&](VertexId) {
+                                 ++visits;
+                                 return true;
+                               });
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s;
+  EXPECT_EQ(visits, 0u);
+}
+
+TEST_P(EngineTest, VisitorUnknownLabelVisitsNothing) {
+  std::vector<VertexId> v = BuildVisitorGraph(engine_.get());
+  std::string missing = "no-such-label";
+  uint64_t visits = 0;
+  Status s = engine_->ForEachEdgeOf(v[0], Direction::kBoth, &missing, never_,
+                                    [&](EdgeId) {
+                                      ++visits;
+                                      return true;
+                                    });
+  EXPECT_TRUE(s.ok()) << s;
+  EXPECT_EQ(visits, 0u);
+}
+
+// --- BFS / shortest path over the visitor rewrite -------------------------
+
+// Reference adjacency built independently of the visitors, via ScanEdges.
+std::unordered_map<VertexId, std::vector<VertexId>> ReferenceAdjacency(
+    GraphEngine* engine) {
+  std::unordered_map<VertexId, std::vector<VertexId>> adj;
+  CancelToken never;
+  EXPECT_TRUE(engine
+                  ->ScanEdges(never,
+                              [&](const EdgeEnds& e) {
+                                adj[e.src].push_back(e.dst);
+                                if (e.dst != e.src) {
+                                  adj[e.dst].push_back(e.src);
+                                }
+                                return true;
+                              })
+                  .ok());
+  return adj;
+}
+
+TEST_P(EngineTest, BfsMatchesReferenceExpansion) {
+  datasets::GenOptions gen;
+  gen.scale = 0.002;
+  GraphData data = datasets::GenerateLdbc(gen);
+  auto mapping = engine_->BulkLoad(data);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  auto adj = ReferenceAdjacency(engine_.get());
+
+  for (uint64_t idx : {uint64_t{0}, uint64_t{7}, uint64_t{23}}) {
+    ASSERT_LT(idx, mapping->vertex_ids.size());
+    VertexId start = mapping->vertex_ids[idx];
+    for (int depth : {1, 2, 4}) {
+      auto got = query::BreadthFirst(*engine_, start, depth, std::nullopt,
+                                     never_);
+      ASSERT_TRUE(got.ok()) << got.status();
+      // Reference BFS over the scan-built adjacency.
+      std::unordered_set<VertexId> stored{start};
+      std::vector<VertexId> frontier{start}, expect;
+      int reached = 0;
+      for (int d = 0; d < depth && !frontier.empty(); ++d) {
+        std::vector<VertexId> next;
+        for (VertexId v : frontier) {
+          auto it = adj.find(v);
+          if (it == adj.end()) continue;
+          for (VertexId n : it->second) {
+            if (stored.insert(n).second) {
+              next.push_back(n);
+              expect.push_back(n);
+            }
+          }
+        }
+        if (!next.empty()) reached = d + 1;
+        frontier = std::move(next);
+      }
+      EXPECT_EQ(std::set<VertexId>(got->visited.begin(), got->visited.end()),
+                std::set<VertexId>(expect.begin(), expect.end()))
+          << "start " << idx << " depth " << depth;
+      EXPECT_EQ(got->depth_reached, reached);
+      // Gremlin store(vs) semantics: the start is never in `visited`.
+      EXPECT_EQ(std::count(got->visited.begin(), got->visited.end(), start),
+                0);
+    }
+  }
+}
+
+TEST_P(EngineTest, ShortestPathMatchesReferenceDistance) {
+  datasets::GenOptions gen;
+  gen.scale = 0.002;
+  GraphData data = datasets::GenerateLdbc(gen);
+  auto mapping = engine_->BulkLoad(data);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  auto adj = ReferenceAdjacency(engine_.get());
+
+  auto ref_distance = [&](VertexId src, VertexId dst) -> int {
+    if (src == dst) return 0;
+    std::unordered_map<VertexId, int> dist{{src, 0}};
+    std::queue<VertexId> q;
+    q.push(src);
+    while (!q.empty()) {
+      VertexId v = q.front();
+      q.pop();
+      auto it = adj.find(v);
+      if (it == adj.end()) continue;
+      for (VertexId n : it->second) {
+        if (dist.emplace(n, dist[v] + 1).second) {
+          if (n == dst) return dist[v] + 1;
+          q.push(n);
+        }
+      }
+    }
+    return -1;  // unreachable
+  };
+
+  const int kMaxDepth = 16;
+  for (auto [a, b] : {std::pair<uint64_t, uint64_t>{0, 5},
+                      std::pair<uint64_t, uint64_t>{3, 41},
+                      std::pair<uint64_t, uint64_t>{11, 2}}) {
+    ASSERT_LT(a, mapping->vertex_ids.size());
+    ASSERT_LT(b, mapping->vertex_ids.size());
+    VertexId src = mapping->vertex_ids[a], dst = mapping->vertex_ids[b];
+    auto got =
+        query::ShortestPath(*engine_, src, dst, std::nullopt, kMaxDepth,
+                            never_);
+    ASSERT_TRUE(got.ok()) << got.status();
+    int want = ref_distance(src, dst);
+    if (want < 0 || want > kMaxDepth) {
+      EXPECT_FALSE(got->found);
+    } else {
+      ASSERT_TRUE(got->found) << a << "->" << b;
+      EXPECT_EQ(static_cast<int>(got->path.size()) - 1, want);
+      EXPECT_EQ(got->path.front(), src);
+      EXPECT_EQ(got->path.back(), dst);
+    }
+  }
 }
 
 // --- randomized cross-engine consistency ---------------------------------

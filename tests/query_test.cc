@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "src/graph/registry.h"
@@ -209,6 +210,38 @@ TEST_P(QueryTest, BreadthFirstDepths) {
   auto isolated = BreadthFirst(*engine_, p_[4], 3, std::nullopt, never_);
   ASSERT_TRUE(isolated.ok());
   EXPECT_TRUE(isolated->visited.empty());
+}
+
+TEST_P(QueryTest, BreadthFirstStoreSemanticsExcludeStart) {
+  // The Gremlin store(vs) contract (see BfsResult in algorithms.h): vs is
+  // seeded with the start, so `visited` reports only *reached* vertices —
+  // the start never appears, even when a cycle leads back to it.
+  auto cycle_a = engine_->AddVertex("cycle", {});
+  auto cycle_b = engine_->AddVertex("cycle", {});
+  auto cycle_c = engine_->AddVertex("cycle", {});
+  ASSERT_TRUE(cycle_a.ok() && cycle_b.ok() && cycle_c.ok());
+  ASSERT_TRUE(engine_->AddEdge(*cycle_a, *cycle_b, "ring", {}).ok());
+  ASSERT_TRUE(engine_->AddEdge(*cycle_b, *cycle_c, "ring", {}).ok());
+  ASSERT_TRUE(engine_->AddEdge(*cycle_c, *cycle_a, "ring", {}).ok());
+
+  auto bfs = BreadthFirst(*engine_, *cycle_a, 5, std::string("ring"), never_);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_EQ(std::set<VertexId>(bfs->visited.begin(), bfs->visited.end()),
+            (std::set<VertexId>{*cycle_b, *cycle_c}));
+  EXPECT_EQ(std::count(bfs->visited.begin(), bfs->visited.end(), *cycle_a),
+            0);
+  // |stored| == |visited| + 1: both neighbors reached in one hop, done.
+  EXPECT_EQ(bfs->depth_reached, 1);
+
+  // A self-loop on the start is likewise never reported: the start is
+  // already in vs when its own neighborhood is expanded.
+  auto looped = engine_->AddVertex("cycle", {});
+  ASSERT_TRUE(looped.ok());
+  ASSERT_TRUE(engine_->AddEdge(*looped, *looped, "ring", {}).ok());
+  auto self = BreadthFirst(*engine_, *looped, 3, std::string("ring"), never_);
+  ASSERT_TRUE(self.ok());
+  EXPECT_TRUE(self->visited.empty());
+  EXPECT_EQ(self->depth_reached, 0);
 }
 
 TEST_P(QueryTest, ShortestPaths) {
