@@ -107,6 +107,53 @@ void PrintBanner(const std::string& title, const BenchProfile& profile) {
       profile.cost_model ? "on" : "off", profile.indexed ? "  indexed" : "");
 }
 
+bool WriteJsonArtifact(const std::string& path, const Json& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::string text = doc.Pretty();
+  text += '\n';
+  bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  bool closed = std::fclose(f) == 0;  // always close, even on short write
+  if (!wrote || !closed) {
+    std::fprintf(stderr, "failed writing %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      if (std::strncmp(arg, prefix, len) == 0) return arg + len;
+      return nullptr;
+    };
+    if (const char* v = value_of("--scale=")) {
+      flags->scale = std::atof(v);
+    } else if (const char* v = value_of("--rounds=")) {
+      flags->rounds = std::atoi(v);
+    } else if (const char* v = value_of("--dataset=")) {
+      flags->dataset = v;
+    } else if (const char* v = value_of("--json=")) {
+      flags->json_path = v;
+    } else if (const char* v = value_of("--engines=")) {
+      flags->engines = SplitList(v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale=f] [--rounds=n] [--dataset=name] "
+                   "[--engines=a,b,c] [--json=path]\n",
+                   argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
 std::vector<core::Measurement> RunAndPrint(
     const BenchProfile& profile, const std::vector<std::string>& datasets,
     const std::vector<int>& query_numbers) {

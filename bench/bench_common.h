@@ -21,6 +21,7 @@
 
 #include "src/core/runner.h"
 #include "src/datasets/generators.h"
+#include "src/util/json.h"
 
 namespace gdbmicro {
 namespace bench {
@@ -56,6 +57,25 @@ core::RunnerOptions RunnerOptionsFrom(const BenchProfile& profile);
 
 /// Prints the figure banner.
 void PrintBanner(const std::string& title, const BenchProfile& profile);
+
+/// Writes `doc` pretty-printed to `path` (the machine-readable
+/// BENCH_*.json artifacts CI archives). Returns false on I/O error.
+bool WriteJsonArtifact(const std::string& path, const Json& doc);
+
+/// Flags shared by the micro benches (bench_micro_adjacency,
+/// bench_micro_plan), which run without the full BenchProfile: the cost
+/// model is always off there by design.
+struct MicroBenchFlags {
+  double scale = 0.02;
+  int rounds = 3;
+  std::string dataset = "mico";
+  std::string json_path;               // empty = no JSON artifact
+  std::vector<std::string> engines;    // empty = all nine
+};
+
+/// Parses --scale/--rounds/--dataset/--engines/--json into `flags`.
+/// Unknown flags print usage and return false.
+bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags);
 
 /// Shared driver for the per-figure binaries: runs the Table 2 queries
 /// with the given numbers on each dataset across the profile's engines and

@@ -6,7 +6,10 @@
 // the cost models off so the numbers are the data structures' own.
 //
 // Usage: bench_micro_adjacency [--scale=<f>] [--engines=a,b,c]
-//        [--rounds=<n>] [--dataset=<name>]
+//        [--rounds=<n>] [--dataset=<name>] [--json=<path>]
+//
+// --json writes the per-engine/per-workload measurements as a
+// machine-readable BENCH_*.json artifact (archived by CI).
 
 #include <cinttypes>
 #include <cstdio>
@@ -17,9 +20,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bench_common.h"
 #include "src/datasets/generators.h"
 #include "src/graph/registry.h"
 #include "src/query/algorithms.h"
+#include "src/util/json.h"
 #include "src/util/timer.h"
 
 // --- global allocation counter ---------------------------------------------
@@ -129,44 +134,32 @@ uint64_t VisitorTwoHop(const GraphEngine& engine, VertexId start,
 }
 
 void PrintRow(const char* engine, const char* workload,
-              const Measurement& vec, const Measurement& vis) {
+              const Measurement& vec, const Measurement& vis,
+              Json::Array* json_rows) {
   double speedup = vis.seconds > 0 ? vec.seconds / vis.seconds : 0.0;
   std::printf(
       "%-9s %-12s %12.0f %12.0f %9.2f %9.3f %9.3f\n", engine, workload,
       vec.HopsPerSec(), vis.HopsPerSec(), speedup, vec.AllocsPerHop(),
       vis.AllocsPerHop());
+  json_rows->push_back(Json(Json::Object{
+      {"engine", Json(engine)},
+      {"workload", Json(workload)},
+      {"vector_hops_per_sec", Json(vec.HopsPerSec())},
+      {"visitor_hops_per_sec", Json(vis.HopsPerSec())},
+      {"speedup", Json(speedup)},
+      {"vector_allocs_per_hop", Json(vec.AllocsPerHop())},
+      {"visitor_allocs_per_hop", Json(vis.AllocsPerHop())},
+  }));
 }
 
 int Run(int argc, char** argv) {
-  double scale = 0.02;
-  int rounds = 3;
-  std::string dataset = "mico";
-  std::vector<std::string> engines;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--scale=", 8) == 0) {
-      scale = std::atof(arg + 8);
-    } else if (std::strncmp(arg, "--rounds=", 9) == 0) {
-      rounds = std::atoi(arg + 9);
-    } else if (std::strncmp(arg, "--dataset=", 10) == 0) {
-      dataset = arg + 10;
-    } else if (std::strncmp(arg, "--engines=", 10) == 0) {
-      std::string list = arg + 10;
-      size_t pos = 0;
-      while (pos < list.size()) {
-        size_t comma = list.find(',', pos);
-        if (comma == std::string::npos) comma = list.size();
-        engines.push_back(list.substr(pos, comma - pos));
-        pos = comma + 1;
-      }
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--scale=f] [--rounds=n] [--dataset=name] "
-                   "[--engines=a,b,c]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
+  bench::MicroBenchFlags flags;
+  if (!bench::ParseMicroBenchFlags(argc, argv, &flags)) return 2;
+  const double scale = flags.scale;
+  const int rounds = flags.rounds;
+  const std::string& dataset = flags.dataset;
+  const std::string& json_path = flags.json_path;
+  std::vector<std::string> engines = flags.engines;
 
   RegisterBuiltinEngines();
   if (engines.empty()) engines = EngineRegistry::Instance().Names();
@@ -189,9 +182,10 @@ int Run(int argc, char** argv) {
               "visit a/hop");
 
   CancelToken never;
+  Json::Array json_rows;
   for (const std::string& name : engines) {
     EngineOptions options;  // cost model off: measure the data structures
-    auto engine = OpenEngine(name, options);
+    auto engine = OpenEngine(name, options, /*honor_cost_model_env=*/false);
     if (!engine.ok()) {
       std::fprintf(stderr, "%s: %s\n", name.c_str(),
                    engine.status().ToString().c_str());
@@ -234,7 +228,7 @@ int Run(int argc, char** argv) {
       }
       return hops;
     });
-    PrintRow(name.c_str(), "1-hop", vec_hop, vis_hop);
+    PrintRow(name.c_str(), "1-hop", vec_hop, vis_hop, &json_rows);
 
     // 2-hop expansion (Fig. 5 traversal shape).
     std::vector<VertexId> hop2_probes(
@@ -250,7 +244,7 @@ int Run(int argc, char** argv) {
       for (VertexId v : hop2_probes) hops += VisitorTwoHop(**engine, v, never);
       return hops;
     });
-    PrintRow(name.c_str(), "2-hop", vec_2hop, vis_2hop);
+    PrintRow(name.c_str(), "2-hop", vec_2hop, vis_2hop, &json_rows);
 
     // BFS (Fig. 6 shape): vector baseline vs the visitor-driven
     // BreadthFirst with its flat visited structure.
@@ -270,7 +264,7 @@ int Run(int argc, char** argv) {
       }
       return hops;
     });
-    PrintRow(name.c_str(), "bfs-d3", vec_bfs, vis_bfs);
+    PrintRow(name.c_str(), "bfs-d3", vec_bfs, vis_bfs, &json_rows);
 
     // Shortest path (Fig. 7 shape) through the rewritten consumer; both
     // columns stream, the comparison of interest is vs the BFS baseline
@@ -286,8 +280,18 @@ int Run(int argc, char** argv) {
         }
         return hops;
       });
-      PrintRow(name.c_str(), "sp", sp, sp);
+      PrintRow(name.c_str(), "sp", sp, sp, &json_rows);
     }
+  }
+  if (!json_path.empty()) {
+    Json doc(Json::Object{
+        {"bench", Json("micro_adjacency")},
+        {"dataset", Json(dataset)},
+        {"scale", Json(scale)},
+        {"rounds", Json(rounds)},
+        {"results", Json(std::move(json_rows))},
+    });
+    if (!bench::WriteJsonArtifact(json_path, doc)) return 1;
   }
   std::printf(
       "\n(hops/s higher is better; a/hop = heap allocations per visited\n"

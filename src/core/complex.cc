@@ -32,21 +32,11 @@ VertexId SampleWithLabel(const Workload& w, const std::string& label, int i) {
   return w.mapping().vertex_ids[SampleIndexWithLabel(w, label, i)];
 }
 
-/// All persons: scan + label check (the step-wise Gremlin plan).
+/// All persons: g.V().hasLabel('person') through the traversal machine
+/// (the planner picks the engine's execution policy).
 Result<std::vector<VertexId>> AllPersons(QueryContext& ctx) {
-  std::vector<VertexId> persons;
-  Status inner = Status::OK();
-  GDB_RETURN_IF_ERROR(ctx.engine->ScanVertices(ctx.cancel, [&](VertexId id) {
-    auto rec = ctx.engine->GetVertex(id);
-    if (!rec.ok()) {
-      inner = rec.status();
-      return false;
-    }
-    if (rec->label == "person") persons.push_back(id);
-    return true;
-  }));
-  GDB_RETURN_IF_ERROR(inner);
-  return persons;
+  return query::Traversal::V().HasLabel("person").ExecuteIds(*ctx.engine,
+                                                             ctx.cancel);
 }
 
 Result<QueryResult> MaxDegreePerson(QueryContext& ctx, Direction dir) {

@@ -12,7 +12,8 @@ EngineInfo BitmapEngine::info() const {
   info.type = "Native";
   info.storage = "Indexed bitmaps (maps + bitmap per value)";
   info.edge_traversal = "B+Tree/Bitmap";
-  info.query_execution = "Step-wise (non-optimized)";
+  info.query_execution = QueryExecution::kStepWise;
+  info.query_execution_display = "Step-wise (non-optimized)";
   info.supports_property_index = false;  // no *user-controllable* gain
   return info;
 }

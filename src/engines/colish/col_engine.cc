@@ -16,7 +16,8 @@ EngineInfo ColEngine::info() const {
   info.type = "Hybrid (Columnar)";
   info.storage = "Vertex-indexed adjacency lists (delta-encoded)";
   info.edge_traversal = "Row-key index";
-  info.query_execution = "Optimized (step conflation)";
+  info.query_execution = QueryExecution::kConflated;
+  info.query_execution_display = "Optimized (step conflation)";
   info.supports_property_index = true;
   return info;
 }

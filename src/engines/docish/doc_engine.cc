@@ -15,7 +15,8 @@ EngineInfo DocEngine::info() const {
   info.type = "Hybrid (Document)";
   info.storage = "Serialized JSON documents";
   info.edge_traversal = "Hash index on endpoints";
-  info.query_execution = "Per-step AQL (non-optimized)";
+  info.query_execution = QueryExecution::kStepWise;
+  info.query_execution_display = "Per-step AQL (non-optimized)";
   info.supports_property_index = false;  // accepted but ineffective
   return info;
 }

@@ -48,7 +48,8 @@ EngineInfo NeoEngine::info() const {
   info.storage = v30_ ? "Linked fixed-size records, chains split by type"
                       : "Linked fixed-size records";
   info.edge_traversal = "Direct pointer";
-  info.query_execution = "Step-wise (non-optimized)";
+  info.query_execution = QueryExecution::kStepWise;
+  info.query_execution_display = "Step-wise (non-optimized)";
   info.supports_property_index = true;
   return info;
 }

@@ -14,7 +14,10 @@ EngineInfo OrientEngine::info() const {
   info.type = "Native";
   info.storage = "Linked records in per-label clusters (logical id map)";
   info.edge_traversal = "2-hop pointer";
-  info.query_execution = "Mixed (partially conflated)";
+  // Binary contract: orient's adapter does conflate the patterns the
+  // planner rewrites (it matched the legacy substring fast paths too).
+  info.query_execution = QueryExecution::kConflated;
+  info.query_execution_display = "Mixed (partially conflated)";
   info.supports_property_index = true;
   return info;
 }

@@ -14,7 +14,8 @@ EngineInfo RelEngine::info() const {
   info.type = "Hybrid (Relational)";
   info.storage = "Table per label, join tables for edges";
   info.edge_traversal = "Table join (FK indexes)";
-  info.query_execution = "SQL, conflated (optimized)";
+  info.query_execution = QueryExecution::kConflated;
+  info.query_execution_display = "SQL, conflated (optimized)";
   info.supports_property_index = true;
   return info;
 }

@@ -23,7 +23,8 @@ EngineInfo TripleEngine::info() const {
   info.type = "Hybrid (RDF)";
   info.storage = "SPO/POS/OSP B+Trees over a fixed-extent journal";
   info.edge_traversal = "B+Tree range scans (reified edges)";
-  info.query_execution = "Per-step graph API (non-optimized)";
+  info.query_execution = QueryExecution::kStepWise;
+  info.query_execution_display = "Per-step graph API (non-optimized)";
   info.supports_property_index = false;
   return info;
 }

@@ -7,6 +7,16 @@
 
 namespace gdbmicro {
 
+std::string_view QueryExecutionToString(QueryExecution q) {
+  switch (q) {
+    case QueryExecution::kStepWise:
+      return "step-wise";
+    case QueryExecution::kConflated:
+      return "conflated";
+  }
+  return "?";
+}
+
 Result<LoadMapping> GraphEngine::BulkLoad(const GraphData& data) {
   GDB_RETURN_IF_ERROR(data.Validate());
   LoadMapping mapping;

@@ -23,6 +23,17 @@
 
 namespace gdbmicro {
 
+/// How an engine's Gremlin adapter executes traversals (the paper's
+/// Table 1 "Query execution" column). kStepWise adapters interpret the
+/// pipeline step by step with materialized intermediates; kConflated
+/// adapters rewrite step patterns into native queries (Sqlg's SQL
+/// generation, Titan's step conflation). The query planner selects its
+/// execution policy from this value — it is a machine-readable contract,
+/// not a display string.
+enum class QueryExecution : uint8_t { kStepWise, kConflated };
+
+std::string_view QueryExecutionToString(QueryExecution q);
+
 /// Static description of an engine: the row it contributes to the paper's
 /// Table 1.
 struct EngineInfo {
@@ -31,7 +42,8 @@ struct EngineInfo {
   std::string type;            // "Native" or "Hybrid (Document)" etc.
   std::string storage;         // storage layout summary
   std::string edge_traversal;  // mechanism used to hop an edge
-  std::string query_execution; // "step-wise" vs "conflated (optimized)"
+  QueryExecution query_execution = QueryExecution::kStepWise;
+  std::string query_execution_display;  // human-readable Table 1 cell
   bool supports_property_index = true;
 };
 

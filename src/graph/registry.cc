@@ -1,5 +1,7 @@
 #include "src/graph/registry.h"
 
+#include <cstdlib>
+
 #include "src/engines/bitmapish/bitmap_engine.h"
 #include "src/engines/colish/col_engine.h"
 #include "src/engines/docish/doc_engine.h"
@@ -65,11 +67,23 @@ void RegisterBuiltinEngines() {
 }
 
 Result<std::unique_ptr<GraphEngine>> OpenEngine(std::string_view name,
-                                                const EngineOptions& options) {
+                                                const EngineOptions& options,
+                                                bool honor_cost_model_env) {
   RegisterBuiltinEngines();
   GDB_ASSIGN_OR_RETURN(std::unique_ptr<GraphEngine> engine,
                        EngineRegistry::Instance().Create(name));
-  GDB_RETURN_IF_ERROR(engine->Open(options));
+  EngineOptions effective = options;
+  // GDBMICRO_COST_MODEL=1 forces the deterministic cost model on (CI runs
+  // ctest once each way so both branches of every charge site are
+  // exercised). It never forces the model off, so tests that opt in
+  // explicitly keep their timing behavior.
+  if (honor_cost_model_env) {
+    if (const char* env = std::getenv("GDBMICRO_COST_MODEL");
+        env != nullptr && env[0] == '1') {
+      effective.enable_cost_model = true;
+    }
+  }
+  GDB_RETURN_IF_ERROR(engine->Open(effective));
   return engine;
 }
 

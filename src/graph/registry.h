@@ -40,9 +40,15 @@ class EngineRegistry {
 /// systems). Idempotent; call once at program start.
 void RegisterBuiltinEngines();
 
-/// Convenience: RegisterBuiltinEngines() + Create + Open.
-Result<std::unique_ptr<GraphEngine>> OpenEngine(std::string_view name,
-                                                const EngineOptions& options);
+/// Convenience: RegisterBuiltinEngines() + Create + Open. When
+/// `honor_cost_model_env` is true, GDBMICRO_COST_MODEL=1 in the
+/// environment forces options.enable_cost_model on (the CI toggle that
+/// runs ctest through every engine charge site); callers making an
+/// explicit cost-model choice — the benchmark Runner, the micro benches
+/// that document a cost-model-off methodology — pass false.
+Result<std::unique_ptr<GraphEngine>> OpenEngine(
+    std::string_view name, const EngineOptions& options,
+    bool honor_cost_model_env = true);
 
 }  // namespace gdbmicro
 

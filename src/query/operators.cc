@@ -1,0 +1,322 @@
+#include "src/query/operators.h"
+
+#include "src/util/string_util.h"
+
+namespace gdbmicro {
+namespace query {
+
+namespace {
+
+/// Renders a Has()-style predicate for Explain.
+std::string PredicateArgs(const std::string& key, const PropertyValue& value) {
+  return StrFormat("%s == %s", key.c_str(), value.ToString().c_str());
+}
+
+/// Renders an adjacency step's arguments for Explain.
+std::string AdjacencyArgs(Direction dir,
+                          const std::optional<std::string>& label) {
+  std::string out(DirectionToString(dir));
+  if (label.has_value()) {
+    out += ", label=";
+    out += *label;
+  }
+  return out;
+}
+
+}  // namespace
+
+Status Operator::Produce(const GraphEngine& engine, const CancelToken& cancel,
+                         const RowSink& sink) {
+  (void)engine;
+  (void)cancel;
+  (void)sink;
+  return Status::Internal(StrFormat("%s is not a source operator",
+                                    std::string(name()).c_str()));
+}
+
+Result<bool> Operator::Process(const GraphEngine& engine,
+                               const CancelToken& cancel, const Traverser& in,
+                               const RowSink& sink) {
+  (void)engine;
+  (void)cancel;
+  (void)in;
+  (void)sink;
+  return Status::Internal(StrFormat("%s is a source operator",
+                                    std::string(name()).c_str()));
+}
+
+// --- Sources ---------------------------------------------------------------
+
+Status VertexScan::Produce(const GraphEngine& engine,
+                           const CancelToken& cancel, const RowSink& sink) {
+  return engine.ScanVertices(cancel, [&](VertexId id) {
+    return sink(Traverser{Traverser::Kind::kVertex, id, {}});
+  });
+}
+
+Status EdgeScan::Produce(const GraphEngine& engine, const CancelToken& cancel,
+                         const RowSink& sink) {
+  return engine.ScanEdges(cancel, [&](const EdgeEnds& e) {
+    return sink(Traverser{Traverser::Kind::kEdge, e.id, {}});
+  });
+}
+
+std::string VertexLookup::args() const {
+  return StrFormat("id=%llu", static_cast<unsigned long long>(id_));
+}
+
+Status VertexLookup::Produce(const GraphEngine& engine,
+                             const CancelToken& cancel, const RowSink& sink) {
+  GDB_CHECK_CANCEL(cancel);
+  auto rec = engine.GetVertex(id_);
+  if (!rec.ok()) {
+    // g.V(id) on a missing vertex is an empty traverser set, not a query
+    // error (Gremlin semantics).
+    if (rec.status().IsNotFound()) return Status::OK();
+    return rec.status();
+  }
+  sink(Traverser{Traverser::Kind::kVertex, rec->id, {}});
+  return Status::OK();
+}
+
+std::string EdgeLookup::args() const {
+  return StrFormat("id=%llu", static_cast<unsigned long long>(id_));
+}
+
+Status EdgeLookup::Produce(const GraphEngine& engine,
+                           const CancelToken& cancel, const RowSink& sink) {
+  GDB_CHECK_CANCEL(cancel);
+  auto rec = engine.GetEdge(id_);
+  if (!rec.ok()) {
+    if (rec.status().IsNotFound()) return Status::OK();
+    return rec.status();
+  }
+  sink(Traverser{Traverser::Kind::kEdge, rec->id, {}});
+  return Status::OK();
+}
+
+std::string PropertyIndexScan::args() const {
+  return PredicateArgs(key_, value_);
+}
+
+Status PropertyIndexScan::Produce(const GraphEngine& engine,
+                                  const CancelToken& cancel,
+                                  const RowSink& sink) {
+  GDB_ASSIGN_OR_RETURN(std::vector<VertexId> ids,
+                       engine.FindVerticesByProperty(key_, value_, cancel));
+  for (VertexId v : ids) {
+    if (!sink(Traverser{Traverser::Kind::kVertex, v, {}})) break;
+  }
+  return Status::OK();
+}
+
+std::string EdgeLabelScan::args() const { return "label=" + label_; }
+
+Status EdgeLabelScan::Produce(const GraphEngine& engine,
+                              const CancelToken& cancel, const RowSink& sink) {
+  GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> ids,
+                       engine.FindEdgesByLabel(label_, cancel));
+  for (EdgeId e : ids) {
+    if (!sink(Traverser{Traverser::Kind::kEdge, e, {}})) break;
+  }
+  return Status::OK();
+}
+
+void DistinctEdgeTargetScan::Reset() {
+  seen_.clear();
+  seen_.reserve(1024);
+}
+
+Status DistinctEdgeTargetScan::Produce(const GraphEngine& engine,
+                                       const CancelToken& cancel,
+                                       const RowSink& sink) {
+  return engine.ScanEdges(cancel, [&](const EdgeEnds& e) {
+    if (!seen_.insert(e.dst).second) return true;
+    return sink(Traverser{Traverser::Kind::kVertex, e.dst, {}});
+  });
+}
+
+// --- Pipeline operators ----------------------------------------------------
+
+std::string LabelFilter::args() const { return "label=" + label_; }
+
+Result<bool> LabelFilter::Process(const GraphEngine& engine,
+                                  const CancelToken& cancel,
+                                  const Traverser& in, const RowSink& sink) {
+  GDB_CHECK_CANCEL(cancel);
+  if (in.kind == Traverser::Kind::kVertex) {
+    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(in.id));
+    if (rec.label == label_) return sink(in);
+  } else if (in.kind == Traverser::Kind::kEdge) {
+    GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(in.id));
+    if (ends.label == label_) return sink(in);
+  }
+  return true;
+}
+
+std::string PropertyFilter::args() const { return PredicateArgs(key_, value_); }
+
+Result<bool> PropertyFilter::Process(const GraphEngine& engine,
+                                     const CancelToken& cancel,
+                                     const Traverser& in, const RowSink& sink) {
+  GDB_CHECK_CANCEL(cancel);
+  PropertyMap props;
+  if (in.kind == Traverser::Kind::kVertex) {
+    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(in.id));
+    props = std::move(rec.properties);
+  } else if (in.kind == Traverser::Kind::kEdge) {
+    GDB_ASSIGN_OR_RETURN(EdgeRecord rec, engine.GetEdge(in.id));
+    props = std::move(rec.properties);
+  }
+  const PropertyValue* v = FindProperty(props, key_);
+  if (v != nullptr && *v == value_) return sink(in);
+  return true;
+}
+
+std::string Expand::args() const { return AdjacencyArgs(dir_, label_); }
+
+Result<bool> Expand::Process(const GraphEngine& engine,
+                             const CancelToken& cancel, const Traverser& in,
+                             const RowSink& sink) {
+  if (in.kind != Traverser::Kind::kVertex) return true;
+  bool keep_going = true;
+  GDB_RETURN_IF_ERROR(engine.ForEachNeighbor(
+      in.id, dir_, label_.has_value() ? &*label_ : nullptr, cancel,
+      [&](VertexId v) {
+        keep_going = sink(Traverser{Traverser::Kind::kVertex, v, {}});
+        return keep_going;
+      }));
+  return keep_going;
+}
+
+std::string ExpandE::args() const { return AdjacencyArgs(dir_, label_); }
+
+Result<bool> ExpandE::Process(const GraphEngine& engine,
+                              const CancelToken& cancel, const Traverser& in,
+                              const RowSink& sink) {
+  if (in.kind != Traverser::Kind::kVertex) return true;
+  bool keep_going = true;
+  GDB_RETURN_IF_ERROR(engine.ForEachEdgeOf(
+      in.id, dir_, label_.has_value() ? &*label_ : nullptr, cancel,
+      [&](EdgeId e) {
+        keep_going = sink(Traverser{Traverser::Kind::kEdge, e, {}});
+        return keep_going;
+      }));
+  return keep_going;
+}
+
+Result<bool> EndpointMap::Process(const GraphEngine& engine,
+                                  const CancelToken& cancel,
+                                  const Traverser& in, const RowSink& sink) {
+  GDB_CHECK_CANCEL(cancel);
+  if (in.kind != Traverser::Kind::kEdge) return true;
+  GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(in.id));
+  return sink(Traverser{Traverser::Kind::kVertex,
+                        out_ ? ends.src : ends.dst,
+                        {}});
+}
+
+Result<bool> LabelMap::Process(const GraphEngine& engine,
+                               const CancelToken& cancel, const Traverser& in,
+                               const RowSink& sink) {
+  GDB_CHECK_CANCEL(cancel);
+  if (in.kind == Traverser::Kind::kEdge) {
+    GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(in.id));
+    return sink(Traverser{Traverser::Kind::kValue, 0, std::move(ends.label)});
+  }
+  if (in.kind == Traverser::Kind::kVertex) {
+    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(in.id));
+    return sink(Traverser{Traverser::Kind::kValue, 0, std::move(rec.label)});
+  }
+  return true;
+}
+
+Result<bool> ValuesMap::Process(const GraphEngine& engine,
+                                const CancelToken& cancel, const Traverser& in,
+                                const RowSink& sink) {
+  GDB_CHECK_CANCEL(cancel);
+  PropertyMap props;
+  if (in.kind == Traverser::Kind::kVertex) {
+    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(in.id));
+    props = std::move(rec.properties);
+  } else if (in.kind == Traverser::Kind::kEdge) {
+    GDB_ASSIGN_OR_RETURN(EdgeRecord rec, engine.GetEdge(in.id));
+    props = std::move(rec.properties);
+  }
+  if (const PropertyValue* v = FindProperty(props, key_)) {
+    return sink(Traverser{Traverser::Kind::kValue, 0, v->ToString()});
+  }
+  return true;
+}
+
+void Dedup::Reset() {
+  seen_ids_.clear();
+  seen_values_.clear();
+}
+
+Result<bool> Dedup::Process(const GraphEngine& engine,
+                            const CancelToken& cancel, const Traverser& in,
+                            const RowSink& sink) {
+  (void)engine;
+  GDB_CHECK_CANCEL(cancel);
+  bool fresh;
+  if (in.kind == Traverser::Kind::kValue) {
+    fresh = seen_values_.insert(in.value).second;
+  } else {
+    uint64_t key =
+        in.id ^
+        (static_cast<uint64_t>(in.kind == Traverser::Kind::kEdge) << 63);
+    fresh = seen_ids_.insert(key).second;
+  }
+  if (fresh) return sink(in);
+  return true;
+}
+
+std::string Limit::args() const {
+  return StrFormat("%llu", static_cast<unsigned long long>(n_));
+}
+
+Result<bool> Limit::Process(const GraphEngine& engine,
+                            const CancelToken& cancel, const Traverser& in,
+                            const RowSink& sink) {
+  (void)engine;
+  (void)cancel;
+  if (emitted_ >= n_) return false;
+  ++emitted_;
+  bool keep_going = sink(in);
+  return keep_going && emitted_ < n_;
+}
+
+std::string DegreeFilter::args() const {
+  return StrFormat("%s >= %llu",
+                   std::string(DirectionToString(dir_)).c_str(),
+                   static_cast<unsigned long long>(k_));
+}
+
+Result<bool> DegreeFilter::Process(const GraphEngine& engine,
+                                   const CancelToken& cancel,
+                                   const Traverser& in, const RowSink& sink) {
+  GDB_CHECK_CANCEL(cancel);
+  if (in.kind != Traverser::Kind::kVertex) return true;
+  // Gremlin shape: the inner it.xE.count() materializes the incident edge
+  // list for every candidate vertex (CountEdgesOf is exactly that
+  // primitive; see engine.h).
+  GDB_ASSIGN_OR_RETURN(uint64_t degree, engine.CountEdgesOf(in.id, dir_,
+                                                            cancel));
+  if (degree >= k_) return sink(in);
+  return true;
+}
+
+Result<bool> CountSink::Process(const GraphEngine& engine,
+                                const CancelToken& cancel, const Traverser& in,
+                                const RowSink& sink) {
+  (void)engine;
+  (void)cancel;
+  (void)in;
+  (void)sink;
+  ++count_;
+  return true;
+}
+
+}  // namespace query
+}  // namespace gdbmicro

@@ -1,0 +1,320 @@
+// Physical operators for the traversal machine (see plan.h for the
+// execution-policy contract).
+//
+// Every operator is a node in a linear chain and implements a streaming
+// interface: sources Produce() rows into a sink; pipeline operators
+// Process() one input row into zero or more output rows through a sink.
+// The sink returning false means the consumer wants no more rows — the
+// operator must stop emitting and report false upstream, which is how a
+// Limit (or any terminal stop) reaches the source scan without any
+// executor-level machinery. Stateful operators (Dedup, Limit, CountSink,
+// DistinctEdgeTargetScan) keep per-run state that Reset() clears.
+//
+// Both executors drive these same implementations: the step-wise
+// executor feeds a materialized frontier row by row; the streaming
+// executor composes the Process calls into one pass. An operator must
+// therefore not assume anything about its caller beyond the sink
+// contract.
+
+#ifndef GDBMICRO_QUERY_OPERATORS_H_
+#define GDBMICRO_QUERY_OPERATORS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "src/query/plan.h"
+
+namespace gdbmicro {
+namespace query {
+
+/// Consumes one row; returns false to stop the producer (early
+/// termination, not an error).
+using RowSink = std::function<bool(const Traverser&)>;
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Operator name as printed by Plan::Explain.
+  virtual std::string_view name() const = 0;
+  /// Argument summary for Explain ("" = none).
+  virtual std::string args() const { return std::string(); }
+
+  virtual bool is_source() const { return false; }
+
+  /// Clears per-run state. Called by Plan::Run before execution.
+  virtual void Reset() {}
+
+  /// Sources only: drive the engine, pushing every row into `sink` until
+  /// exhausted or the sink returns false.
+  virtual Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+                         const RowSink& sink);
+
+  /// Pipeline operators only: transform one input row, pushing outputs
+  /// into `sink`. Returns false when the operator wants no further input
+  /// (its sink stopped, or its own bound — e.g. Limit — was reached).
+  virtual Result<bool> Process(const GraphEngine& engine,
+                               const CancelToken& cancel, const Traverser& in,
+                               const RowSink& sink);
+};
+
+// --- Sources ---------------------------------------------------------------
+
+/// g.V() — full vertex scan.
+class VertexScan : public Operator {
+ public:
+  std::string_view name() const override { return "VertexScan"; }
+  bool is_source() const override { return true; }
+  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+                 const RowSink& sink) override;
+};
+
+/// g.E() — full edge scan.
+class EdgeScan : public Operator {
+ public:
+  std::string_view name() const override { return "EdgeScan"; }
+  bool is_source() const override { return true; }
+  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+                 const RowSink& sink) override;
+};
+
+/// g.V(id). A missing vertex yields an empty traverser set (Gremlin
+/// semantics), not an error; non-NotFound failures still propagate.
+class VertexLookup : public Operator {
+ public:
+  explicit VertexLookup(VertexId id) : id_(id) {}
+  std::string_view name() const override { return "VertexLookup"; }
+  std::string args() const override;
+  bool is_source() const override { return true; }
+  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+                 const RowSink& sink) override;
+
+ private:
+  VertexId id_;
+};
+
+/// g.E(id), with the same missing-element semantics as VertexLookup.
+class EdgeLookup : public Operator {
+ public:
+  explicit EdgeLookup(EdgeId id) : id_(id) {}
+  std::string_view name() const override { return "EdgeLookup"; }
+  std::string args() const override;
+  bool is_source() const override { return true; }
+  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+                 const RowSink& sink) override;
+
+ private:
+  EdgeId id_;
+};
+
+/// Conflated rewrite of V().Has(k, v): the engine's native property
+/// search (index-backed where one exists) replaces scan + per-vertex
+/// record materialization.
+class PropertyIndexScan : public Operator {
+ public:
+  PropertyIndexScan(std::string key, PropertyValue value)
+      : key_(std::move(key)), value_(std::move(value)) {}
+  std::string_view name() const override { return "PropertyIndexScan"; }
+  std::string args() const override;
+  bool is_source() const override { return true; }
+  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+                 const RowSink& sink) override;
+
+ private:
+  std::string key_;
+  PropertyValue value_;
+};
+
+/// Conflated rewrite of E().HasLabel(l): the engine's native
+/// edges-by-label search (paper Q.13).
+class EdgeLabelScan : public Operator {
+ public:
+  explicit EdgeLabelScan(std::string label) : label_(std::move(label)) {}
+  std::string_view name() const override { return "EdgeLabelScan"; }
+  std::string args() const override;
+  bool is_source() const override { return true; }
+  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+                 const RowSink& sink) override;
+
+ private:
+  std::string label_;
+};
+
+/// Conflated rewrite of V().Out().Dedup() (paper Q.31): one pass over
+/// ScanEdges with a streaming hash-dedup of destination vertices — the
+/// SELECT DISTINCT dst the Sqlg adapter generates. Emission order is the
+/// engine's edge-scan order.
+class DistinctEdgeTargetScan : public Operator {
+ public:
+  std::string_view name() const override { return "DistinctEdgeTargetScan"; }
+  bool is_source() const override { return true; }
+  void Reset() override;
+  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+                 const RowSink& sink) override;
+
+ private:
+  std::unordered_set<VertexId> seen_;
+};
+
+// --- Pipeline operators ----------------------------------------------------
+
+/// HasLabel(l) on vertex or edge traversers; value traversers drop.
+class LabelFilter : public Operator {
+ public:
+  explicit LabelFilter(std::string label) : label_(std::move(label)) {}
+  std::string_view name() const override { return "LabelFilter"; }
+  std::string args() const override;
+  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
+                       const Traverser& in, const RowSink& sink) override;
+
+ private:
+  std::string label_;
+};
+
+/// Has(k, v) property-equality filter (paper Q.11/Q.12 shape).
+class PropertyFilter : public Operator {
+ public:
+  PropertyFilter(std::string key, PropertyValue value)
+      : key_(std::move(key)), value_(std::move(value)) {}
+  std::string_view name() const override { return "PropertyFilter"; }
+  std::string args() const override;
+  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
+                       const Traverser& in, const RowSink& sink) override;
+
+ private:
+  std::string key_;
+  PropertyValue value_;
+};
+
+/// out()/in()/both(): streams each neighborhood through the zero-alloc
+/// ForEachNeighbor visitor straight into the sink.
+class Expand : public Operator {
+ public:
+  Expand(Direction dir, std::optional<std::string> label)
+      : dir_(dir), label_(std::move(label)) {}
+  std::string_view name() const override { return "Expand"; }
+  std::string args() const override;
+  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
+                       const Traverser& in, const RowSink& sink) override;
+
+ private:
+  Direction dir_;
+  std::optional<std::string> label_;
+};
+
+/// outE()/inE()/bothE() through ForEachEdgeOf.
+class ExpandE : public Operator {
+ public:
+  ExpandE(Direction dir, std::optional<std::string> label)
+      : dir_(dir), label_(std::move(label)) {}
+  std::string_view name() const override { return "ExpandE"; }
+  std::string args() const override;
+  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
+                       const Traverser& in, const RowSink& sink) override;
+
+ private:
+  Direction dir_;
+  std::optional<std::string> label_;
+};
+
+/// outV()/inV(): maps edge traversers to an endpoint.
+class EndpointMap : public Operator {
+ public:
+  explicit EndpointMap(bool out) : out_(out) {}
+  std::string_view name() const override { return "EndpointMap"; }
+  std::string args() const override { return out_ ? "out" : "in"; }
+  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
+                       const Traverser& in, const RowSink& sink) override;
+
+ private:
+  bool out_;
+};
+
+/// label(): maps elements to their label string.
+class LabelMap : public Operator {
+ public:
+  std::string_view name() const override { return "LabelMap"; }
+  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
+                       const Traverser& in, const RowSink& sink) override;
+};
+
+/// values(k): maps elements to a property value; missing property drops
+/// the traverser (Gremlin semantics).
+class ValuesMap : public Operator {
+ public:
+  explicit ValuesMap(std::string key) : key_(std::move(key)) {}
+  std::string_view name() const override { return "ValuesMap"; }
+  std::string args() const override { return key_; }
+  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
+                       const Traverser& in, const RowSink& sink) override;
+
+ private:
+  std::string key_;
+};
+
+/// dedup(): streaming hash-dedup. Ids dedup within a kind (vertex vs
+/// edge, disambiguated in the key's top bit); value traversers dedup by
+/// string.
+class Dedup : public Operator {
+ public:
+  std::string_view name() const override { return "Dedup"; }
+  void Reset() override;
+  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
+                       const Traverser& in, const RowSink& sink) override;
+
+ private:
+  std::unordered_set<uint64_t> seen_ids_;
+  std::unordered_set<std::string> seen_values_;
+};
+
+/// limit(n): forwards the first n rows, then stops its producer.
+class Limit : public Operator {
+ public:
+  explicit Limit(uint64_t n) : n_(n) {}
+  std::string_view name() const override { return "Limit"; }
+  std::string args() const override;
+  void Reset() override { emitted_ = 0; }
+  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
+                       const Traverser& in, const RowSink& sink) override;
+
+ private:
+  uint64_t n_;
+  uint64_t emitted_ = 0;
+};
+
+/// The g.V.filter{it.xE.count() >= k} shape (Q.28-Q.30): the inner count
+/// is CountEdgesOf, which engines that materialize intermediate edge
+/// lists (sparksee) charge to their query arena under either policy.
+class DegreeFilter : public Operator {
+ public:
+  DegreeFilter(Direction dir, uint64_t k) : dir_(dir), k_(k) {}
+  std::string_view name() const override { return "DegreeFilter"; }
+  std::string args() const override;
+  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
+                       const Traverser& in, const RowSink& sink) override;
+
+ private:
+  Direction dir_;
+  uint64_t k_;
+};
+
+/// Terminal count(): consumes rows without forwarding or materializing.
+class CountSink : public Operator {
+ public:
+  std::string_view name() const override { return "CountSink"; }
+  void Reset() override { count_ = 0; }
+  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
+                       const Traverser& in, const RowSink& sink) override;
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+}  // namespace query
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_QUERY_OPERATORS_H_

@@ -1,0 +1,307 @@
+#include "src/query/plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/query/operators.h"
+
+namespace gdbmicro {
+namespace query {
+
+namespace {
+
+bool IsSourceOp(LogicalOp op) {
+  return op == LogicalOp::kSourceV || op == LogicalOp::kSourceVId ||
+         op == LogicalOp::kSourceE || op == LogicalOp::kSourceEId;
+}
+
+/// Approximate heap footprint of a materialized frontier (the
+/// intermediate-result bytes the step-wise policy pays per barrier).
+uint64_t FrontierBytes(const std::vector<Traverser>& rows) {
+  uint64_t bytes = rows.size() * sizeof(Traverser);
+  for (const Traverser& t : rows) bytes += t.value.size();
+  return bytes;
+}
+
+}  // namespace
+
+// Out of line: unique_ptr<Operator> members need the complete type.
+Plan::~Plan() = default;
+Plan::Plan(Plan&&) noexcept = default;
+Plan& Plan::operator=(Plan&&) noexcept = default;
+
+Result<Plan> Plan::Lower(const std::vector<LogicalStep>& steps,
+                         QueryExecution policy) {
+  Plan plan;
+  plan.policy_ = policy;
+  if (steps.empty()) return plan;  // empty traversal runs to an empty output
+  if (!IsSourceOp(steps[0].op)) {
+    return Status::InvalidArgument("traversal does not start with a source");
+  }
+
+  size_t i = 0;
+  // Conflated policy: prefix rewrites that push step patterns into native
+  // engine queries. These generalize what the engines' real adapters
+  // conflate (paper Table 1 "Query execution"); the remaining steps fuse
+  // into the streaming pass, so Limit()/Count() pushdown needs no
+  // pattern at all.
+  //
+  // Guard: a rewritten source emits in its own native order (edge-scan /
+  // index order), not the vertex-scan expansion order the step-wise
+  // policy produces. That is fine for every order-insensitive
+  // continuation, but a downstream Limit() selects a *subset* by order —
+  // so the rewrites stay off whenever the suffix contains one, keeping
+  // both policies answer-equivalent. (The fused streaming pass itself
+  // preserves step-wise order, so un-rewritten plans are never affected.)
+  bool has_limit = false;
+  for (const LogicalStep& s : steps) {
+    if (s.op == LogicalOp::kCount) break;  // terminal: later steps dropped
+    if (s.op == LogicalOp::kLimit) has_limit = true;
+  }
+  if (policy == QueryExecution::kConflated && !has_limit) {
+    auto is = [&](size_t at, LogicalOp op) {
+      return at < steps.size() && steps[at].op == op;
+    };
+    if (is(0, LogicalOp::kSourceV) && is(1, LogicalOp::kOut) &&
+        !steps[1].label.has_value() && is(2, LogicalOp::kDedup)) {
+      // V().out().dedup() — paper Q.31: SELECT DISTINCT dst over the edge
+      // tables instead of a per-vertex union of expansions.
+      plan.ops_.push_back(std::make_unique<DistinctEdgeTargetScan>());
+      i = 3;
+    } else if (is(0, LogicalOp::kSourceV) && is(1, LogicalOp::kHas)) {
+      // V().has(k, v) — paper Q.11: one native property search.
+      plan.ops_.push_back(
+          std::make_unique<PropertyIndexScan>(steps[1].key, steps[1].value));
+      i = 2;
+    } else if (is(0, LogicalOp::kSourceE) && is(1, LogicalOp::kHasLabel)) {
+      // E().hasLabel(l) — paper Q.13: the native edges-by-label search.
+      plan.ops_.push_back(std::make_unique<EdgeLabelScan>(steps[1].key));
+      i = 2;
+    }
+  }
+
+  for (; i < steps.size(); ++i) {
+    const LogicalStep& s = steps[i];
+    if (IsSourceOp(s.op) && !plan.ops_.empty()) {
+      return Status::InvalidArgument("source step mid-pipeline");
+    }
+    switch (s.op) {
+      case LogicalOp::kSourceV:
+        plan.ops_.push_back(std::make_unique<VertexScan>());
+        break;
+      case LogicalOp::kSourceVId:
+        plan.ops_.push_back(std::make_unique<VertexLookup>(s.id));
+        break;
+      case LogicalOp::kSourceE:
+        plan.ops_.push_back(std::make_unique<EdgeScan>());
+        break;
+      case LogicalOp::kSourceEId:
+        plan.ops_.push_back(std::make_unique<EdgeLookup>(s.id));
+        break;
+      case LogicalOp::kHasLabel:
+        plan.ops_.push_back(std::make_unique<LabelFilter>(s.key));
+        break;
+      case LogicalOp::kHas:
+        plan.ops_.push_back(std::make_unique<PropertyFilter>(s.key, s.value));
+        break;
+      case LogicalOp::kOut:
+        plan.ops_.push_back(
+            std::make_unique<Expand>(Direction::kOut, s.label));
+        break;
+      case LogicalOp::kIn:
+        plan.ops_.push_back(std::make_unique<Expand>(Direction::kIn, s.label));
+        break;
+      case LogicalOp::kBoth:
+        plan.ops_.push_back(
+            std::make_unique<Expand>(Direction::kBoth, s.label));
+        break;
+      case LogicalOp::kOutE:
+        plan.ops_.push_back(
+            std::make_unique<ExpandE>(Direction::kOut, s.label));
+        break;
+      case LogicalOp::kInE:
+        plan.ops_.push_back(std::make_unique<ExpandE>(Direction::kIn, s.label));
+        break;
+      case LogicalOp::kBothE:
+        plan.ops_.push_back(
+            std::make_unique<ExpandE>(Direction::kBoth, s.label));
+        break;
+      case LogicalOp::kOutV:
+        plan.ops_.push_back(std::make_unique<EndpointMap>(true));
+        break;
+      case LogicalOp::kInV:
+        plan.ops_.push_back(std::make_unique<EndpointMap>(false));
+        break;
+      case LogicalOp::kLabel:
+        plan.ops_.push_back(std::make_unique<LabelMap>());
+        break;
+      case LogicalOp::kValues:
+        plan.ops_.push_back(std::make_unique<ValuesMap>(s.key));
+        break;
+      case LogicalOp::kDedup:
+        plan.ops_.push_back(std::make_unique<Dedup>());
+        break;
+      case LogicalOp::kLimit:
+        plan.ops_.push_back(std::make_unique<Limit>(s.id));
+        break;
+      case LogicalOp::kDegreeFilter:
+        plan.ops_.push_back(std::make_unique<DegreeFilter>(s.dir, s.id));
+        break;
+      case LogicalOp::kCount:
+        plan.ops_.push_back(std::make_unique<CountSink>());
+        plan.counted_ = true;
+        // Steps after a terminal count are unreachable.
+        return plan;
+    }
+  }
+  return plan;
+}
+
+Result<TraversalOutput> Plan::Run(const GraphEngine& engine,
+                                  const CancelToken& cancel,
+                                  PlanStats* stats) {
+  for (auto& op : ops_) op->Reset();
+  if (stats != nullptr) {
+    *stats = PlanStats{};
+    stats->rows_out.assign(ops_.size(), 0);
+  }
+  if (ops_.empty()) return TraversalOutput{};
+  GDB_CHECK_CANCEL(cancel);
+  return policy_ == QueryExecution::kConflated
+             ? RunStreaming(engine, cancel, stats)
+             : RunStepWise(engine, cancel, stats);
+}
+
+Result<TraversalOutput> Plan::RunStreaming(const GraphEngine& engine,
+                                           const CancelToken& cancel,
+                                           PlanStats* stats) {
+  TraversalOutput out;
+  // A Process error can't travel up through the bool-valued sink chain;
+  // it is parked here and the chain collapses via `false`.
+  Status error = Status::OK();
+
+  // Compose the chain back-to-front: `chain` is the sink accepting the
+  // output of operator idx-1. The stats wrapper counts what operator idx
+  // emits (the sink it is handed).
+  RowSink chain = [&out](const Traverser& t) {
+    out.traversers.push_back(t);
+    return true;
+  };
+  for (size_t idx = ops_.size(); idx-- > 1;) {
+    RowSink downstream = std::move(chain);
+    if (stats != nullptr) {
+      uint64_t* rows = &stats->rows_out[idx];
+      RowSink inner = std::move(downstream);
+      downstream = [rows, inner](const Traverser& t) {
+        ++*rows;
+        return inner(t);
+      };
+    }
+    Operator* op = ops_[idx].get();
+    chain = [op, &engine, &cancel, &error,
+             downstream = std::move(downstream)](const Traverser& t) {
+      Result<bool> more = op->Process(engine, cancel, t, downstream);
+      if (!more.ok()) {
+        error = std::move(more).status();
+        return false;
+      }
+      return *more;
+    };
+  }
+  if (stats != nullptr) {
+    uint64_t* rows = &stats->rows_out[0];
+    RowSink inner = std::move(chain);
+    chain = [rows, inner](const Traverser& t) {
+      ++*rows;
+      return inner(t);
+    };
+  }
+
+  GDB_RETURN_IF_ERROR(ops_[0]->Produce(engine, cancel, chain));
+  GDB_RETURN_IF_ERROR(error);
+
+  if (counted_) {
+    out.counted = true;
+    out.count = static_cast<const CountSink*>(ops_.back().get())->count();
+  } else {
+    out.count = out.traversers.size();
+  }
+  return out;
+}
+
+Result<TraversalOutput> Plan::RunStepWise(const GraphEngine& engine,
+                                          const CancelToken& cancel,
+                                          PlanStats* stats) {
+  // The frontier buffers are hoisted out of the operator loop and
+  // swapped, so a multi-hop query reuses their capacity instead of
+  // reallocating per barrier — but every operator still materializes its
+  // full output before the next one runs (the TinkerPop execution model
+  // the paper measures).
+  std::vector<Traverser> frontier;
+  std::vector<Traverser> next;
+
+  auto note_barrier = [&](const std::vector<Traverser>& rows) {
+    if (stats == nullptr) return;
+    ++stats->barriers;
+    stats->peak_frontier_rows =
+        std::max<uint64_t>(stats->peak_frontier_rows, rows.size());
+    stats->peak_frontier_bytes =
+        std::max(stats->peak_frontier_bytes, FrontierBytes(rows));
+  };
+
+  GDB_RETURN_IF_ERROR(
+      ops_[0]->Produce(engine, cancel, [&](const Traverser& t) {
+        frontier.push_back(t);
+        return true;
+      }));
+  if (stats != nullptr) stats->rows_out[0] = frontier.size();
+  note_barrier(frontier);
+
+  for (size_t idx = 1; idx < ops_.size(); ++idx) {
+    Operator* op = ops_[idx].get();
+    next.clear();
+    RowSink push = [&next](const Traverser& t) {
+      next.push_back(t);
+      return true;
+    };
+    for (const Traverser& t : frontier) {
+      GDB_CHECK_CANCEL(cancel);
+      GDB_ASSIGN_OR_RETURN(bool more, op->Process(engine, cancel, t, push));
+      if (!more) break;
+    }
+    if (stats != nullptr) stats->rows_out[idx] += next.size();
+    note_barrier(next);
+    std::swap(frontier, next);
+  }
+
+  TraversalOutput out;
+  if (counted_) {
+    out.counted = true;
+    out.count = static_cast<const CountSink*>(ops_.back().get())->count();
+  } else {
+    out.traversers = std::move(frontier);
+    out.count = out.traversers.size();
+  }
+  return out;
+}
+
+std::string Plan::Explain() const {
+  std::string out;
+  int indent = 0;
+  for (size_t i = ops_.size(); i-- > 0;) {
+    out.append(2 * static_cast<size_t>(indent), ' ');
+    out += ops_[i]->name();
+    std::string a = ops_[i]->args();
+    if (!a.empty()) {
+      out += '(';
+      out += a;
+      out += ')';
+    }
+    out += '\n';
+    ++indent;
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace gdbmicro

@@ -1,0 +1,159 @@
+// Physical query plans for the traversal machine.
+//
+// A Traversal is *lowered* into a linear chain of physical operators
+// (operators.h) under one of two execution policies, mirroring the
+// paper's Table 1 "Query execution" split:
+//
+//  * QueryExecution::kStepWise — the TinkerPop adapter model: the plan is
+//    run operator-at-a-time with a materializing barrier after every
+//    operator. Each operator consumes the full traverser frontier the
+//    previous one produced; intermediate results are real vectors whose
+//    peak size is reported in PlanStats (the "large intermediate results"
+//    the paper blames for several systems' failures).
+//
+//  * QueryExecution::kConflated — the Sqlg/Titan adapter model: the
+//    planner first applies prefix rewrites that push whole step patterns
+//    into native engine queries (Has → PropertyIndexScan, E().HasLabel →
+//    EdgeLabelScan, V().Out().Dedup() → a streaming distinct over
+//    ScanEdges), then fuses the remaining chain into a single streaming
+//    pass with no barriers: each operator pushes rows straight into its
+//    consumer, a trailing Count() never materializes a frontier, and a
+//    Limit() stops the source scan itself (the operator chain propagates
+//    "stop" upstream through the sink return value).
+//
+// Both policies run the *same* operator implementations; only the
+// executor and the planner rewrites differ, so result equivalence is
+// structural. Plan::Explain() prints the operator tree (root = last
+// operator, children indented, the RDF-3X print(indent) idiom) and is
+// the unit-testable surface of the lowering pass.
+
+#ifndef GDBMICRO_QUERY_PLAN_H_
+#define GDBMICRO_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/engine.h"
+
+namespace gdbmicro {
+namespace query {
+
+class Operator;
+
+/// A traverser: one element flowing through the pipeline.
+struct Traverser {
+  enum class Kind { kVertex, kEdge, kValue };
+  Kind kind = Kind::kVertex;
+  uint64_t id = kInvalidId;  // vertex or edge id
+  std::string value;         // label or property value (kValue)
+};
+
+/// Output of a plan run: the final traverser set, or just the count when
+/// the plan ends in a CountSink.
+struct TraversalOutput {
+  std::vector<Traverser> traversers;
+  uint64_t count = 0;
+  bool counted = false;
+};
+
+/// The logical steps a Traversal records; Plan::Lower consumes them.
+enum class LogicalOp {
+  kSourceV,
+  kSourceVId,
+  kSourceE,
+  kSourceEId,
+  kHasLabel,
+  kHas,
+  kOut,
+  kIn,
+  kBoth,
+  kOutE,
+  kInE,
+  kBothE,
+  kOutV,
+  kInV,
+  kLabel,
+  kValues,
+  kDedup,
+  kLimit,
+  kDegreeFilter,
+  kCount,
+};
+
+struct LogicalStep {
+  explicit LogicalStep(LogicalOp o) : op(o) {}
+
+  LogicalOp op;
+  uint64_t id = 0;         // source id / limit n / degree k
+  std::string key;         // property key / label
+  PropertyValue value;     // Has() value
+  std::optional<std::string> label;  // adjacency label filter
+  Direction dir = Direction::kBoth;  // degree filter direction
+};
+
+/// Per-run execution statistics, filled by Plan::Run when requested.
+/// The step-wise numbers are the intermediate-result memory profile the
+/// paper measures; the per-operator row counts make early-stop claims
+/// testable ("V().Limit(5) visited <= 5 vertices").
+struct PlanStats {
+  /// rows_out[i] = rows operator i pushed into its consumer (for the
+  /// source, the number of elements the engine scan emitted).
+  std::vector<uint64_t> rows_out;
+  /// Materializing barriers executed (0 under the conflated policy).
+  uint64_t barriers = 0;
+  /// Largest materialized frontier, in rows and approximate bytes.
+  uint64_t peak_frontier_rows = 0;
+  uint64_t peak_frontier_bytes = 0;
+};
+
+/// A lowered, runnable physical plan: a linear operator chain whose first
+/// element is a source. Move-only (owns the operators).
+class Plan {
+ public:
+  ~Plan();
+  Plan(Plan&&) noexcept;
+  Plan& operator=(Plan&&) noexcept;
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  /// Lowers logical steps into a physical chain under `policy`. The
+  /// conflated policy applies the planner rewrites; step-wise maps steps
+  /// one-to-one. Steps after a Count() are unreachable and dropped.
+  static Result<Plan> Lower(const std::vector<LogicalStep>& steps,
+                            QueryExecution policy);
+
+  /// Executes the plan. Resets all operator state first, so a plan may be
+  /// run repeatedly. `stats`, when non-null, is overwritten.
+  Result<TraversalOutput> Run(const GraphEngine& engine,
+                              const CancelToken& cancel,
+                              PlanStats* stats = nullptr);
+
+  /// Operator tree, root (last operator) first, two-space indent per
+  /// child level. One operator per line: Name or Name(args).
+  std::string Explain() const;
+
+  QueryExecution policy() const { return policy_; }
+  size_t num_operators() const { return ops_.size(); }
+
+ private:
+  Plan() = default;
+
+  Result<TraversalOutput> RunStreaming(const GraphEngine& engine,
+                                       const CancelToken& cancel,
+                                       PlanStats* stats);
+  Result<TraversalOutput> RunStepWise(const GraphEngine& engine,
+                                      const CancelToken& cancel,
+                                      PlanStats* stats);
+
+  std::vector<std::unique_ptr<Operator>> ops_;
+  bool counted_ = false;  // chain ends in a CountSink
+  QueryExecution policy_ = QueryExecution::kStepWise;
+};
+
+}  // namespace query
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_QUERY_PLAN_H_

@@ -1,30 +1,17 @@
 #include "src/query/traversal.h"
 
-#include <algorithm>
-#include <set>
-#include <unordered_set>
-
 namespace gdbmicro {
 namespace query {
 
-namespace {
-
-Direction StepDirection(bool out, bool in) {
-  if (out && in) return Direction::kBoth;
-  return out ? Direction::kOut : Direction::kIn;
-}
-
-}  // namespace
-
 Traversal Traversal::V() {
   Traversal t;
-  t.steps_.push_back(Step{Op::kSourceV});
+  t.steps_.push_back(LogicalStep{LogicalOp::kSourceV});
   return t;
 }
 
 Traversal Traversal::V(VertexId id) {
   Traversal t;
-  Step s{Op::kSourceVId};
+  LogicalStep s{LogicalOp::kSourceVId};
   s.id = id;
   t.steps_.push_back(s);
   return t;
@@ -32,27 +19,27 @@ Traversal Traversal::V(VertexId id) {
 
 Traversal Traversal::E() {
   Traversal t;
-  t.steps_.push_back(Step{Op::kSourceE});
+  t.steps_.push_back(LogicalStep{LogicalOp::kSourceE});
   return t;
 }
 
 Traversal Traversal::E(EdgeId id) {
   Traversal t;
-  Step s{Op::kSourceEId};
+  LogicalStep s{LogicalOp::kSourceEId};
   s.id = id;
   t.steps_.push_back(s);
   return t;
 }
 
 Traversal& Traversal::HasLabel(std::string label) {
-  Step s{Op::kHasLabel};
+  LogicalStep s{LogicalOp::kHasLabel};
   s.key = std::move(label);
   steps_.push_back(std::move(s));
   return *this;
 }
 
 Traversal& Traversal::Has(std::string key, PropertyValue value) {
-  Step s{Op::kHas};
+  LogicalStep s{LogicalOp::kHas};
   s.key = std::move(key);
   s.value = std::move(value);
   steps_.push_back(std::move(s));
@@ -60,83 +47,83 @@ Traversal& Traversal::Has(std::string key, PropertyValue value) {
 }
 
 Traversal& Traversal::Out(std::optional<std::string> label) {
-  Step s{Op::kOut};
+  LogicalStep s{LogicalOp::kOut};
   s.label = std::move(label);
   steps_.push_back(std::move(s));
   return *this;
 }
 
 Traversal& Traversal::In(std::optional<std::string> label) {
-  Step s{Op::kIn};
+  LogicalStep s{LogicalOp::kIn};
   s.label = std::move(label);
   steps_.push_back(std::move(s));
   return *this;
 }
 
 Traversal& Traversal::Both(std::optional<std::string> label) {
-  Step s{Op::kBoth};
+  LogicalStep s{LogicalOp::kBoth};
   s.label = std::move(label);
   steps_.push_back(std::move(s));
   return *this;
 }
 
 Traversal& Traversal::OutE(std::optional<std::string> label) {
-  Step s{Op::kOutE};
+  LogicalStep s{LogicalOp::kOutE};
   s.label = std::move(label);
   steps_.push_back(std::move(s));
   return *this;
 }
 
 Traversal& Traversal::InE(std::optional<std::string> label) {
-  Step s{Op::kInE};
+  LogicalStep s{LogicalOp::kInE};
   s.label = std::move(label);
   steps_.push_back(std::move(s));
   return *this;
 }
 
 Traversal& Traversal::BothE(std::optional<std::string> label) {
-  Step s{Op::kBothE};
+  LogicalStep s{LogicalOp::kBothE};
   s.label = std::move(label);
   steps_.push_back(std::move(s));
   return *this;
 }
 
 Traversal& Traversal::OutV() {
-  steps_.push_back(Step{Op::kOutV});
+  steps_.push_back(LogicalStep{LogicalOp::kOutV});
   return *this;
 }
 
 Traversal& Traversal::InV() {
-  steps_.push_back(Step{Op::kInV});
+  steps_.push_back(LogicalStep{LogicalOp::kInV});
   return *this;
 }
 
 Traversal& Traversal::Label() {
-  steps_.push_back(Step{Op::kLabel});
+  steps_.push_back(LogicalStep{LogicalOp::kLabel});
   return *this;
 }
 
 Traversal& Traversal::Values(std::string key) {
-  Step s{Op::kValues};
+  LogicalStep s{LogicalOp::kValues};
   s.key = std::move(key);
   steps_.push_back(std::move(s));
   return *this;
 }
 
 Traversal& Traversal::Dedup() {
-  steps_.push_back(Step{Op::kDedup});
+  steps_.push_back(LogicalStep{LogicalOp::kDedup});
   return *this;
 }
 
 Traversal& Traversal::Limit(uint64_t n) {
-  Step s{Op::kLimit};
+  LogicalStep s{LogicalOp::kLimit};
   s.id = n;
   steps_.push_back(s);
   return *this;
 }
 
 Traversal& Traversal::WhereDegreeAtLeast(Direction dir, uint64_t k) {
-  Step s{Op::kDegreeFilter};
+  LogicalStep s{LogicalOp::kDegreeFilter};
   s.dir = dir;
   s.id = k;
   steps_.push_back(s);
@@ -144,279 +131,27 @@ Traversal& Traversal::WhereDegreeAtLeast(Direction dir, uint64_t k) {
 }
 
 Traversal& Traversal::Count() {
-  steps_.push_back(Step{Op::kCount});
+  steps_.push_back(LogicalStep{LogicalOp::kCount});
   return *this;
 }
 
-Result<bool> Traversal::TryConflate(const GraphEngine& engine,
-                                    const CancelToken& cancel,
-                                    TraversalOutput* out) const {
-  const EngineInfo info = engine.info();
-  const bool optimized =
-      info.query_execution.find("conflated") != std::string::npos ||
-      info.query_execution.find("Optimized") != std::string::npos;
-  if (!optimized) return false;
+QueryExecution Traversal::PolicyFor(const GraphEngine& engine) {
+  return engine.info().query_execution;
+}
 
-  auto is = [this](size_t i, Op op) {
-    return i < steps_.size() && steps_[i].op == op;
-  };
+Result<Plan> Traversal::Lower(QueryExecution policy) const {
+  return Plan::Lower(steps_, policy);
+}
 
-  // Pattern: V().out().dedup() [.count()] — paper Q.31. The relational
-  // engine runs SELECT DISTINCT dst over its edge tables instead of a
-  // per-vertex union of joins (the only degree-style query the paper
-  // reports Sqlg completing).
-  if (steps_.size() >= 3 && is(0, Op::kSourceV) && is(1, Op::kOut) &&
-      !steps_[1].label.has_value() && is(2, Op::kDedup) &&
-      (steps_.size() == 3 || (steps_.size() == 4 && is(3, Op::kCount)))) {
-    // Hash-dedup with an amortized O(1) insert: the ordered set used here
-    // previously paid O(log n) per edge on the hottest conflated query
-    // (Q.31). Reserved up front; rehashes stay rare even when the scan
-    // outgrows the initial guess.
-    std::unordered_set<VertexId> seen;
-    seen.reserve(1024);
-    GDB_RETURN_IF_ERROR(engine.ScanEdges(cancel, [&](const EdgeEnds& e) {
-      seen.insert(e.dst);
-      return true;
-    }));
-    if (steps_.size() == 4) {
-      out->counted = true;
-      out->count = seen.size();
-    } else {
-      // Sort so the conflated path returns the same deterministic order
-      // the old ordered-set implementation produced.
-      std::vector<VertexId> ids(seen.begin(), seen.end());
-      std::sort(ids.begin(), ids.end());
-      out->traversers.reserve(ids.size());
-      for (VertexId v : ids) {
-        out->traversers.push_back(
-            Traverser{Traverser::Kind::kVertex, v, {}});
-      }
-    }
-    return true;
-  }
-
-  // Pattern: V().has(k, v) [.count()] — pushed into the engine as a single
-  // SQL scan (FindVerticesByProperty already is that scan, so the benefit
-  // here is skipping the per-vertex materialization of the generic path).
-  if (steps_.size() >= 2 && is(0, Op::kSourceV) && is(1, Op::kHas) &&
-      (steps_.size() == 2 || (steps_.size() == 3 && is(2, Op::kCount)))) {
-    GDB_ASSIGN_OR_RETURN(
-        std::vector<VertexId> ids,
-        engine.FindVerticesByProperty(steps_[1].key, steps_[1].value, cancel));
-    if (steps_.size() == 3) {
-      out->counted = true;
-      out->count = ids.size();
-    } else {
-      for (VertexId v : ids) {
-        out->traversers.push_back(Traverser{Traverser::Kind::kVertex, v, {}});
-      }
-    }
-    return true;
-  }
-
-  return false;
+Result<std::string> Traversal::ExplainPlan(QueryExecution policy) const {
+  GDB_ASSIGN_OR_RETURN(Plan plan, Plan::Lower(steps_, policy));
+  return plan.Explain();
 }
 
 Result<TraversalOutput> Traversal::Execute(const GraphEngine& engine,
                                            const CancelToken& cancel) const {
-  TraversalOutput output;
-  GDB_ASSIGN_OR_RETURN(bool conflated, TryConflate(engine, cancel, &output));
-  if (conflated) return output;
-
-  // The frontier buffers are hoisted out of the step loop and swapped, so
-  // a multi-hop query reuses their capacity instead of reallocating per
-  // step.
-  std::vector<Traverser> frontier;
-  std::vector<Traverser> next;
-  const std::string* label_filter = nullptr;
-
-  for (const Step& step : steps_) {
-    GDB_CHECK_CANCEL(cancel);
-    next.clear();
-    switch (step.op) {
-      case Op::kSourceV: {
-        GDB_RETURN_IF_ERROR(engine.ScanVertices(cancel, [&](VertexId id) {
-          next.push_back(Traverser{Traverser::Kind::kVertex, id, {}});
-          return true;
-        }));
-        break;
-      }
-      case Op::kSourceVId: {
-        GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(step.id));
-        next.push_back(Traverser{Traverser::Kind::kVertex, rec.id, {}});
-        break;
-      }
-      case Op::kSourceE: {
-        GDB_RETURN_IF_ERROR(engine.ScanEdges(cancel, [&](const EdgeEnds& e) {
-          next.push_back(Traverser{Traverser::Kind::kEdge, e.id, {}});
-          return true;
-        }));
-        break;
-      }
-      case Op::kSourceEId: {
-        GDB_ASSIGN_OR_RETURN(EdgeRecord rec, engine.GetEdge(step.id));
-        next.push_back(Traverser{Traverser::Kind::kEdge, rec.id, {}});
-        break;
-      }
-      case Op::kHasLabel: {
-        for (const Traverser& t : frontier) {
-          GDB_CHECK_CANCEL(cancel);
-          if (t.kind == Traverser::Kind::kVertex) {
-            GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(t.id));
-            if (rec.label == step.key) next.push_back(t);
-          } else if (t.kind == Traverser::Kind::kEdge) {
-            GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(t.id));
-            if (ends.label == step.key) next.push_back(t);
-          }
-        }
-        break;
-      }
-      case Op::kHas: {
-        for (const Traverser& t : frontier) {
-          GDB_CHECK_CANCEL(cancel);
-          PropertyMap props;
-          if (t.kind == Traverser::Kind::kVertex) {
-            GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(t.id));
-            props = std::move(rec.properties);
-          } else if (t.kind == Traverser::Kind::kEdge) {
-            GDB_ASSIGN_OR_RETURN(EdgeRecord rec, engine.GetEdge(t.id));
-            props = std::move(rec.properties);
-          }
-          const PropertyValue* v = FindProperty(props, step.key);
-          if (v != nullptr && *v == step.value) next.push_back(t);
-        }
-        break;
-      }
-      case Op::kOut:
-      case Op::kIn:
-      case Op::kBoth: {
-        Direction dir = step.op == Op::kOut  ? Direction::kOut
-                        : step.op == Op::kIn ? Direction::kIn
-                                             : Direction::kBoth;
-        label_filter = step.label.has_value() ? &*step.label : nullptr;
-        // Stream each neighborhood straight into the next frontier: no
-        // per-hop vector materialization.
-        for (const Traverser& t : frontier) {
-          GDB_CHECK_CANCEL(cancel);
-          if (t.kind != Traverser::Kind::kVertex) continue;
-          GDB_RETURN_IF_ERROR(engine.ForEachNeighbor(
-              t.id, dir, label_filter, cancel, [&](VertexId v) {
-                next.push_back(Traverser{Traverser::Kind::kVertex, v, {}});
-                return true;
-              }));
-        }
-        break;
-      }
-      case Op::kOutE:
-      case Op::kInE:
-      case Op::kBothE: {
-        Direction dir = step.op == Op::kOutE  ? Direction::kOut
-                        : step.op == Op::kInE ? Direction::kIn
-                                              : Direction::kBoth;
-        label_filter = step.label.has_value() ? &*step.label : nullptr;
-        for (const Traverser& t : frontier) {
-          GDB_CHECK_CANCEL(cancel);
-          if (t.kind != Traverser::Kind::kVertex) continue;
-          GDB_RETURN_IF_ERROR(engine.ForEachEdgeOf(
-              t.id, dir, label_filter, cancel, [&](EdgeId e) {
-                next.push_back(Traverser{Traverser::Kind::kEdge, e, {}});
-                return true;
-              }));
-        }
-        break;
-      }
-      case Op::kOutV:
-      case Op::kInV: {
-        for (const Traverser& t : frontier) {
-          GDB_CHECK_CANCEL(cancel);
-          if (t.kind != Traverser::Kind::kEdge) continue;
-          GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(t.id));
-          next.push_back(Traverser{Traverser::Kind::kVertex,
-                                   step.op == Op::kOutV ? ends.src : ends.dst,
-                                   {}});
-        }
-        break;
-      }
-      case Op::kLabel: {
-        for (const Traverser& t : frontier) {
-          GDB_CHECK_CANCEL(cancel);
-          if (t.kind == Traverser::Kind::kEdge) {
-            GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(t.id));
-            next.push_back(
-                Traverser{Traverser::Kind::kValue, 0, std::move(ends.label)});
-          } else if (t.kind == Traverser::Kind::kVertex) {
-            GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(t.id));
-            next.push_back(
-                Traverser{Traverser::Kind::kValue, 0, std::move(rec.label)});
-          }
-        }
-        break;
-      }
-      case Op::kValues: {
-        for (const Traverser& t : frontier) {
-          GDB_CHECK_CANCEL(cancel);
-          PropertyMap props;
-          if (t.kind == Traverser::Kind::kVertex) {
-            GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(t.id));
-            props = std::move(rec.properties);
-          } else if (t.kind == Traverser::Kind::kEdge) {
-            GDB_ASSIGN_OR_RETURN(EdgeRecord rec, engine.GetEdge(t.id));
-            props = std::move(rec.properties);
-          }
-          if (const PropertyValue* v = FindProperty(props, step.key)) {
-            next.push_back(
-                Traverser{Traverser::Kind::kValue, 0, v->ToString()});
-          }
-        }
-        break;
-      }
-      case Op::kDedup: {
-        std::unordered_set<uint64_t> seen_ids;
-        std::set<std::string> seen_values;
-        for (const Traverser& t : frontier) {
-          GDB_CHECK_CANCEL(cancel);
-          bool fresh = t.kind == Traverser::Kind::kValue
-                           ? seen_values.insert(t.value).second
-                           : seen_ids.insert(t.id ^ (static_cast<uint64_t>(
-                                                        t.kind == Traverser::
-                                                                Kind::kEdge)
-                                                     << 63)).second;
-          if (fresh) next.push_back(t);
-        }
-        break;
-      }
-      case Op::kLimit: {
-        for (const Traverser& t : frontier) {
-          if (next.size() >= step.id) break;
-          next.push_back(t);
-        }
-        break;
-      }
-      case Op::kDegreeFilter: {
-        // Gremlin shape: the inner it.xE.count() materializes the incident
-        // edge list for every candidate vertex (CountEdgesOf is exactly
-        // that primitive; see engine.h).
-        for (const Traverser& t : frontier) {
-          GDB_CHECK_CANCEL(cancel);
-          if (t.kind != Traverser::Kind::kVertex) continue;
-          GDB_ASSIGN_OR_RETURN(uint64_t degree,
-                               engine.CountEdgesOf(t.id, step.dir, cancel));
-          if (degree >= step.id) next.push_back(t);
-        }
-        break;
-      }
-      case Op::kCount: {
-        output.counted = true;
-        output.count = frontier.size();
-        output.traversers.clear();
-        return output;
-      }
-    }
-    std::swap(frontier, next);
-  }
-  output.traversers = std::move(frontier);
-  output.count = output.traversers.size();
-  return output;
+  GDB_ASSIGN_OR_RETURN(Plan plan, Plan::Lower(steps_, PolicyFor(engine)));
+  return plan.Run(engine, cancel);
 }
 
 Result<uint64_t> Traversal::ExecuteCount(const GraphEngine& engine,

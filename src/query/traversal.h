@@ -1,16 +1,21 @@
 // A Gremlin-style traversal machine.
 //
-// A Traversal is a list of steps built fluently (V().Has(...).Out().Dedup()
-// .Count()) and interpreted step-wise against any GraphEngine, exactly like
-// the TinkerPop adapters the paper benchmarks: each step consumes the full
-// traverser set produced by the previous step and materializes its output
-// (the "large intermediate results" the paper blames for several systems'
-// failures are an inherent property of this execution model).
+// A Traversal is a list of logical steps built fluently (V().Has(...)
+// .Out().Dedup().Count()). Execute() no longer interprets the steps: it
+// *lowers* them into a physical operator plan (plan.h / operators.h) and
+// runs that. The execution policy is selected from the engine's typed
+// EngineInfo::query_execution contract:
 //
-// Engines whose adapters conflate steps into native queries (Table 1's
-// "Optimized" column — Sqlg) get pattern-specific fast paths, applied only
-// when EngineInfo::query_execution reports conflation; everything else is
-// executed step by step.
+//  * QueryExecution::kStepWise engines get a plan run with a
+//    materializing barrier after every operator — exactly the TinkerPop
+//    adapter behavior the paper measures, including its intermediate-
+//    result memory profile.
+//  * QueryExecution::kConflated engines (Table 1's "Optimized" column)
+//    get planner rewrites that push step patterns into native engine
+//    queries plus a fused streaming pass with limit/count pushdown.
+//
+// Use Lower()/ExplainPlan() to inspect the physical plan a traversal
+// compiles to without executing it.
 
 #ifndef GDBMICRO_QUERY_TRAVERSAL_H_
 #define GDBMICRO_QUERY_TRAVERSAL_H_
@@ -20,35 +25,20 @@
 #include <vector>
 
 #include "src/graph/engine.h"
+#include "src/query/plan.h"
 
 namespace gdbmicro {
 namespace query {
-
-/// A traverser: one element flowing through the pipeline.
-struct Traverser {
-  enum class Kind { kVertex, kEdge, kValue };
-  Kind kind = Kind::kVertex;
-  uint64_t id = kInvalidId;  // vertex or edge id
-  std::string value;         // label or property value (kValue)
-};
-
-/// Output of Execute(): the final traverser set, or just the count when the
-/// last step is Count().
-struct TraversalOutput {
-  std::vector<Traverser> traversers;
-  uint64_t count = 0;
-  bool counted = false;
-};
 
 class Traversal {
  public:
   /// g.V() — all vertices (full scan source).
   static Traversal V();
-  /// g.V(id) — a single vertex.
+  /// g.V(id) — a single vertex; missing id yields an empty traverser set.
   static Traversal V(VertexId id);
   /// g.E() — all edges.
   static Traversal E();
-  /// g.E(id) — a single edge.
+  /// g.E(id) — a single edge; missing id yields an empty traverser set.
   static Traversal E(EdgeId id);
 
   /// Filters vertices/edges by label.
@@ -82,9 +72,20 @@ class Traversal {
   /// Terminal count.
   Traversal& Count();
 
-  /// Interprets the pipeline against `engine`.
+  /// Lowers to a physical plan and runs it against `engine` under the
+  /// policy PolicyFor(engine) selects.
   Result<TraversalOutput> Execute(const GraphEngine& engine,
                                   const CancelToken& cancel) const;
+
+  /// Lowers this traversal under an explicit policy without executing.
+  Result<Plan> Lower(QueryExecution policy) const;
+
+  /// Renders the lowered operator tree (see Plan::Explain).
+  Result<std::string> ExplainPlan(QueryExecution policy) const;
+
+  /// The execution policy Execute() selects for `engine`: its typed
+  /// Table 1 query-execution contract.
+  static QueryExecution PolicyFor(const GraphEngine& engine);
 
   /// Convenience: Execute and return the final count (the size of the
   /// traverser set if no Count() step is present).
@@ -100,45 +101,7 @@ class Traversal {
       const GraphEngine& engine, const CancelToken& cancel) const;
 
  private:
-  enum class Op {
-    kSourceV,
-    kSourceVId,
-    kSourceE,
-    kSourceEId,
-    kHasLabel,
-    kHas,
-    kOut,
-    kIn,
-    kBoth,
-    kOutE,
-    kInE,
-    kBothE,
-    kOutV,
-    kInV,
-    kLabel,
-    kValues,
-    kDedup,
-    kLimit,
-    kDegreeFilter,
-    kCount,
-  };
-
-  struct Step {
-    Op op;
-    uint64_t id = 0;         // source id / limit n / degree k
-    std::string key;         // property key / label
-    PropertyValue value;     // Has() value
-    std::optional<std::string> label;  // adjacency label filter
-    Direction dir = Direction::kBoth;  // degree filter direction
-  };
-
-  // Conflated fast path for engines that translate to native queries.
-  // Returns true if the pattern was handled.
-  Result<bool> TryConflate(const GraphEngine& engine,
-                           const CancelToken& cancel,
-                           TraversalOutput* out) const;
-
-  std::vector<Step> steps_;
+  std::vector<LogicalStep> steps_;
 };
 
 }  // namespace query

@@ -57,9 +57,15 @@ TEST_F(EdgeStepTest, EdgeHasAndValues) {
   EXPECT_EQ(*values, std::vector<std::string>{"9"});
 }
 
-TEST_F(EdgeStepTest, MissingSourceIdFails) {
-  EXPECT_FALSE(Traversal::V(99999).Execute(*engine_, never_).ok());
-  EXPECT_FALSE(Traversal::E(99999).Execute(*engine_, never_).ok());
+TEST_F(EdgeStepTest, MissingSourceIdYieldsEmpty) {
+  // Gremlin semantics: g.V(id)/g.E(id) on a missing element is an empty
+  // traverser set, not a query error.
+  auto v = Traversal::V(99999).Execute(*engine_, never_);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_TRUE(v->traversers.empty());
+  auto e = Traversal::E(99999).Execute(*engine_, never_);
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_TRUE(e->traversers.empty());
 }
 
 TEST_F(EdgeStepTest, LabelFilteredEdgeSteps) {

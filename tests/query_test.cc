@@ -174,6 +174,21 @@ TEST_P(QueryTest, GlobalOutDedup) {
   EXPECT_EQ(*n, 4u);
 }
 
+TEST_P(QueryTest, MissingElementSourceYieldsEmpty) {
+  // g.V(id)/g.E(id) on a missing element must yield an empty traverser
+  // set on every engine (Gremlin semantics), not propagate NotFound.
+  const uint64_t no_such = 0x7FFFFFFFFFFFULL;
+  auto v = Traversal::V(no_such).ExecuteIds(*engine_, never_);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_TRUE(v->empty());
+  auto e = Traversal::E(no_such).ExecuteIds(*engine_, never_);
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_TRUE(e->empty());
+  auto n = Traversal::V(no_such).Out().Count().ExecuteCount(*engine_, never_);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 0u);
+}
+
 TEST_P(QueryTest, LimitStep) {
   auto limited = Traversal::V().Limit(3).ExecuteIds(*engine_, never_);
   ASSERT_TRUE(limited.ok());
