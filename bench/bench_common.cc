@@ -46,6 +46,8 @@ BenchProfile ParseFlags(int argc, char** argv, double default_scale,
       profile.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of("--memory-budget=")) {
       profile.memory_budget = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--json=")) {
+      profile.json_path = v;
     } else if (std::strcmp(arg, "--no-cost-model") == 0) {
       profile.cost_model = false;
     } else if (std::strcmp(arg, "--indexed") == 0) {
@@ -54,7 +56,7 @@ BenchProfile ParseFlags(int argc, char** argv, double default_scale,
       std::printf(
           "flags: --scale=F --deadline-ms=N --batch=N --engines=a,b,c\n"
           "       --datasets=a,b,c --seed=N --memory-budget=N\n"
-          "       --no-cost-model --indexed\n");
+          "       --no-cost-model --indexed --json=PATH\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg);

@@ -12,6 +12,8 @@
 //   --no-cost-model    disable the out-of-process cost models
 //   --seed=<n>         workload seed
 //   --indexed          create the Q.11 attribute index before running
+//   --json=<path>      write a machine-readable BENCH_*.json artifact
+//                      (binaries that support it; others ignore the path)
 
 #ifndef GDBMICRO_BENCH_BENCH_COMMON_H_
 #define GDBMICRO_BENCH_BENCH_COMMON_H_
@@ -34,6 +36,7 @@ struct BenchProfile {
   bool indexed = false;
   uint64_t seed = 42;
   uint64_t memory_budget = 24ULL << 20;
+  std::string json_path;              // --json=<path>: BENCH_*.json artifact
   std::vector<std::string> engines;   // empty = all nine
   std::vector<std::string> datasets;  // empty = binary default
 };

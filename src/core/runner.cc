@@ -10,6 +10,11 @@ namespace core {
 
 Result<LoadedEngine> Runner::Load(const std::string& engine_name,
                                   const GraphData& data) const {
+  // Reject malformed datasets before an engine is even opened: the
+  // engines' native loaders assume in-range endpoint indexes, and a
+  // dangling edge should fail with the dataset diagnostic (which edge,
+  // which endpoint), not an engine-specific NotFound.
+  GDB_RETURN_IF_ERROR(data.Validate());
   EngineOptions engine_options;
   engine_options.enable_cost_model = options_.enable_cost_model;
   engine_options.memory_budget_bytes = options_.memory_budget_bytes;

@@ -1,6 +1,10 @@
 #include "src/engines/bitmapish/bitmap_engine.h"
 
+#include <utility>
+#include <vector>
+
 #include "src/util/string_util.h"
+#include "src/util/timer.h"
 #include "src/util/varint.h"
 
 namespace gdbmicro {
@@ -116,6 +120,71 @@ Result<EdgeId> BitmapEngine::AddEdge(VertexId src, VertexId dst,
   in->Add(oid);
   for (const auto& [k, v] : props) SetAttr(oid, k, v);
   return oid;
+}
+
+Result<LoadMapping> BitmapEngine::BulkLoadNative(const GraphData& data) {
+  const size_t nv = data.vertices.size();
+  const size_t ne = data.edges.size();
+  LoadMapping mapping;
+  mapping.vertex_ids.reserve(nv);
+  mapping.edge_ids.reserve(ne);
+
+  vertex_label_.Reserve(vertex_label_.size() + nv);
+  edge_src_.Reserve(edge_src_.size() + ne);
+  edge_dst_.Reserve(edge_dst_.size() + ne);
+  edge_label_.Reserve(edge_label_.size() + ne);
+
+  for (const auto& v : data.vertices) {
+    uint64_t oid = next_oid_++;
+    max_vertex_oid_ = oid;
+    vertices_.Add(oid);
+    uint32_t label_id = labels_.Intern(v.label);
+    vertex_label_.Put(oid, label_id);
+    if (label_id >= vertices_by_label_.size()) {
+      vertices_by_label_.resize(label_id + 1);
+    }
+    vertices_by_label_[label_id].Add(oid);
+    for (const auto& [k, val] : v.properties) SetAttr(oid, k, val);
+    mapping.vertex_ids.push_back(oid);
+  }
+
+  // Incidence bitmaps assembled locally: edge oids are issued in
+  // ascending order, so every Add is an append into the last container.
+  std::vector<Bitmap> out(nv), in(nv);
+  for (const auto& e : data.edges) {
+    uint64_t oid = next_oid_++;
+    edges_.Add(oid);
+    edge_src_.Put(oid, mapping.vertex_ids[e.src]);
+    edge_dst_.Put(oid, mapping.vertex_ids[e.dst]);
+    uint32_t label_id = labels_.Intern(e.label);
+    edge_label_.Put(oid, label_id);
+    if (label_id >= edges_by_label_.size()) {
+      edges_by_label_.resize(label_id + 1);
+    }
+    edges_by_label_[label_id].Add(oid);
+    out[e.src].Add(oid);
+    in[e.dst].Add(oid);
+    for (const auto& [k, val] : e.properties) SetAttr(oid, k, val);
+    mapping.edge_ids.push_back(oid);
+  }
+  Timer timer;
+  out_edges_.Reserve(out_edges_.size() + nv);
+  in_edges_.Reserve(in_edges_.size() + nv);
+  auto attach = [](HashIndex<uint64_t, Bitmap>* index, uint64_t oid,
+                   Bitmap bits) {
+    if (bits.Empty()) return;
+    if (Bitmap* existing = index->Get(oid)) {
+      existing->UnionWith(bits);
+    } else {
+      index->Put(oid, std::move(bits));
+    }
+  };
+  for (size_t i = 0; i < nv; ++i) {
+    attach(&out_edges_, mapping.vertex_ids[i], std::move(out[i]));
+    attach(&in_edges_, mapping.vertex_ids[i], std::move(in[i]));
+  }
+  mutable_load_stats()->index_build_millis = timer.ElapsedMillis();
+  return mapping;
 }
 
 Status BitmapEngine::SetVertexProperty(VertexId v, std::string_view name,

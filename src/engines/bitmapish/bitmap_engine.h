@@ -92,6 +92,13 @@ class BitmapEngine : public GraphEngine {
   Status Checkpoint(const std::string& dir) const override;
   uint64_t MemoryBytes() const override;
 
+ protected:
+  /// Native loader: the oid maps are presized from the dataset counts and
+  /// the per-vertex incidence bitmaps are assembled locally (edge oids
+  /// arrive in ascending order, so every Add is an append) and attached
+  /// once — no get-or-insert probe pair per edge.
+  Result<LoadMapping> BulkLoadNative(const GraphData& data) override;
+
  private:
   /// One attribute name across the unified oid space: value -> bitmap for
   /// selections, oid -> value for materialization.

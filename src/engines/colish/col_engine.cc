@@ -126,19 +126,63 @@ Result<EdgeId> ColEngine::AddEdge(VertexId src, VertexId dst,
   return id;
 }
 
-Result<LoadMapping> ColEngine::BulkLoad(const GraphData& data) {
-  bool was_enabled = backend_.enabled;
-  backend_.enabled = false;
-  auto result = GraphEngine::BulkLoad(data);
-  backend_.enabled = was_enabled;
+Result<LoadMapping> ColEngine::BulkLoadNative(const GraphData& data) {
+  const size_t nv = data.vertices.size();
+  const size_t ne = data.edges.size();
+  LoadMapping mapping;
+  mapping.vertex_ids.reserve(nv);
+  mapping.edge_ids.reserve(ne);
+  const VertexId base = next_vertex_;
+
+  // Rows are assembled in a flat array first: edges index it directly by
+  // dataset position, so the element pass does zero hash probes.
+  std::vector<Row> rows(nv);
+  std::vector<uint32_t> degree(nv, 0);
+  for (const auto& e : data.edges) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  for (size_t i = 0; i < nv; ++i) {
+    rows[i].label = labels_.Intern(data.vertices[i].label);
+    rows[i].props = data.vertices[i].properties;
+    rows[i].adj.reserve(degree[i]);
+    mapping.vertex_ids.push_back(base + i);
+    if (!indexes_.empty()) {
+      for (const auto& [k, val] : data.vertices[i].properties) {
+        IndexInsert(k, val, base + i);
+      }
+    }
+  }
+  for (const auto& e : data.edges) {
+    Row& src_row = rows[e.src];
+    uint32_t label_id = labels_.Intern(e.label);
+    EdgeId id = PackEdgeId(base + e.src, src_row.next_local++);
+    AdjEntry& out = src_row.adj.emplace_back();
+    out.label = label_id;
+    out.other = base + e.dst;
+    out.edge = id;
+    out.eprops = e.properties;
+    AdjEntry& in = rows[e.dst].adj.emplace_back();
+    in.label = label_id;
+    in.out = false;
+    in.other = base + e.src;
+    in.edge = id;
+    ++edge_count_;
+    mapping.edge_ids.push_back(id);
+  }
+  rows_.Reserve(rows_.size() + nv);
+  for (size_t i = 0; i < nv; ++i) {
+    rows_.Put(base + i, std::move(rows[i]));
+  }
+  next_vertex_ += nv;
+
   if (backend_.enabled) {
     // Batched mutations, schema predefined: a reduced per-item charge in
     // place of per-op commits.
     int64_t per_item_us = v10_ ? 2 : 3;
-    SpinFor(per_item_us *
-            static_cast<int64_t>(data.vertices.size() + data.edges.size()));
+    SpinFor(per_item_us * static_cast<int64_t>(nv + ne));
   }
-  return result;
+  return mapping;
 }
 
 Status ColEngine::SetVertexProperty(VertexId v, std::string_view name,

@@ -49,10 +49,6 @@ class ColEngine : public GraphEngine {
   Status SetEdgeProperty(EdgeId e, std::string_view name,
                          const PropertyValue& value) override;
 
-  /// Batched mutations with schema predefined (the paper disabled Titan's
-  /// automatic schema inference for loading).
-  Result<LoadMapping> BulkLoad(const GraphData& data) override;
-
   Result<VertexRecord> GetVertex(VertexId id) const override;
   Result<EdgeRecord> GetEdge(EdgeId id) const override;
   Result<std::vector<VertexId>> FindVerticesByProperty(
@@ -93,6 +89,14 @@ class ColEngine : public GraphEngine {
 
   Status Checkpoint(const std::string& dir) const override;
   uint64_t MemoryBytes() const override;
+
+ protected:
+  /// Native loader (batched mutations, schema predefined — the paper
+  /// disabled Titan's automatic schema inference for loading): rows are
+  /// assembled in a flat array with adjacency presized from a degree
+  /// pass, then moved into the presized row-key index once — no per-edge
+  /// hash probes, consistency reads, or rehash row moves.
+  Result<LoadMapping> BulkLoadNative(const GraphData& data) override;
 
  private:
   static constexpr int kLocalBits = 20;

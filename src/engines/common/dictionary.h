@@ -21,20 +21,28 @@ class Dictionary {
  public:
   static constexpr uint32_t kNoId = ~0u;
 
-  /// Returns the id for `s`, interning it if new.
+  /// Returns the id for `s`, interning it if new. The probe is
+  /// heterogeneous (no std::string materialized); only a genuinely new
+  /// string is copied, once, into the backing store.
   uint32_t Intern(std::string_view s) {
-    std::string key(s);
-    if (const uint32_t* id = ids_.Get(key)) return *id;
+    if (const uint32_t* id = ids_.Get(s)) return *id;
     uint32_t id = static_cast<uint32_t>(strings_.size());
-    strings_.push_back(key);
-    ids_.Put(key, id);
+    strings_.emplace_back(s);
+    ids_.Put(strings_.back(), id);
     return id;
   }
 
-  /// Returns the id for `s` or kNoId if absent (does not intern).
+  /// Returns the id for `s` or kNoId if absent (does not intern, does not
+  /// allocate).
   uint32_t Lookup(std::string_view s) const {
-    const uint32_t* id = ids_.Get(std::string(s));
+    const uint32_t* id = ids_.Get(s);
     return id != nullptr ? *id : kNoId;
+  }
+
+  /// Presizes the id index for `n` distinct strings (bulk-load fast path).
+  void Reserve(uint32_t n) {
+    strings_.reserve(n);
+    ids_.Reserve(n);
   }
 
   const std::string& Get(uint32_t id) const { return strings_[id]; }

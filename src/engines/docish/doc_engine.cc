@@ -1,9 +1,13 @@
 #include "src/engines/docish/doc_engine.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <utility>
 
 #include "src/util/json.h"
 #include "src/util/string_util.h"
+#include "src/util/timer.h"
 #include "src/util/varint.h"
 
 namespace gdbmicro {
@@ -105,12 +109,112 @@ Result<EdgeId> DocEngine::AddEdge(VertexId src, VertexId dst,
   return id;
 }
 
-Result<LoadMapping> DocEngine::BulkLoad(const GraphData& data) {
-  bool was_enabled = rest_.enabled;
-  rest_.enabled = false;  // arangoimp-style native bulk path
-  auto result = GraphEngine::BulkLoad(data);
-  rest_.enabled = was_enabled;
-  return result;
+Result<LoadMapping> DocEngine::BulkLoadNative(const GraphData& data) {
+  const size_t nv = data.vertices.size();
+  const size_t ne = data.edges.size();
+  LoadMapping mapping;
+  mapping.vertex_ids.reserve(nv);
+  mapping.edge_ids.reserve(ne);
+
+  vertex_docs_.Reserve(vertex_docs_.size() + nv);
+  edge_docs_.Reserve(edge_docs_.size() + ne);
+
+  // Documents are emitted straight into a reused text buffer —
+  // byte-identical to EncodeVertexDoc/EncodeEdgeDoc's Json::Dump output,
+  // minus the per-document Json tree (one allocation per member).
+  // Append-order emission only matches Json::Set semantics when no key
+  // repeats or collides with the _-reserved members, so such property
+  // maps (absent from every real dataset) take the tree-based encoder.
+  std::string buf;
+  auto plain_keys = [](const PropertyMap& props) {
+    for (size_t i = 0; i < props.size(); ++i) {
+      if (!props[i].first.empty() && props[i].first[0] == '_') return false;
+      for (size_t j = 0; j < i; ++j) {
+        if (props[j].first == props[i].first) return false;
+      }
+    }
+    return true;
+  };
+  auto append_props = [&](const PropertyMap& props) {
+    for (const auto& [k, val] : props) {
+      buf.push_back(',');
+      AppendEscapedJsonString(k, &buf);
+      buf.push_back(':');
+      val.AppendJsonTo(&buf);
+    }
+  };
+  for (const auto& v : data.vertices) {
+    uint64_t id = next_vertex_++;
+    if (plain_keys(v.properties)) {
+      buf.assign("{\"_label\":");
+      AppendEscapedJsonString(v.label, &buf);
+      append_props(v.properties);
+      buf.push_back('}');
+      vertex_docs_.Put(id, buf);
+    } else {
+      vertex_docs_.Put(id, EncodeVertexDoc(v.label, v.properties));
+    }
+    mapping.vertex_ids.push_back(id);
+  }
+
+  // Endpoint hash index assembled from a degree pass: per-vertex edge-id
+  // lists are built locally (presized) and moved into the index once.
+  std::vector<uint32_t> out_deg(nv, 0), in_deg(nv, 0);
+  for (const auto& e : data.edges) {
+    ++out_deg[e.src];
+    ++in_deg[e.dst];
+  }
+  std::vector<std::vector<EdgeId>> out(nv), in(nv);
+  for (size_t i = 0; i < nv; ++i) {
+    out[i].reserve(out_deg[i]);
+    in[i].reserve(in_deg[i]);
+  }
+  char numbuf[24];
+  auto append_id = [&](VertexId id) {
+    char* end = std::to_chars(numbuf, numbuf + sizeof(numbuf),
+                              static_cast<long long>(id))
+                    .ptr;
+    buf.append(numbuf, end);
+  };
+  for (const auto& e : data.edges) {
+    uint64_t id = next_edge_++;
+    if (plain_keys(e.properties)) {
+      buf.assign("{\"_from\":");
+      append_id(mapping.vertex_ids[e.src]);
+      buf.append(",\"_to\":");
+      append_id(mapping.vertex_ids[e.dst]);
+      buf.append(",\"_label\":");
+      AppendEscapedJsonString(e.label, &buf);
+      append_props(e.properties);
+      buf.push_back('}');
+      edge_docs_.Put(id, buf);
+    } else {
+      edge_docs_.Put(id, EncodeEdgeDoc(mapping.vertex_ids[e.src],
+                                       mapping.vertex_ids[e.dst], e.label,
+                                       e.properties));
+    }
+    out[e.src].push_back(id);
+    in[e.dst].push_back(id);
+    mapping.edge_ids.push_back(id);
+  }
+  Timer timer;
+  out_index_.Reserve(out_index_.size() + nv);
+  in_index_.Reserve(in_index_.size() + nv);
+  auto attach = [](HashIndex<uint64_t, std::vector<EdgeId>>* index,
+                   VertexId v, std::vector<EdgeId> ids) {
+    if (ids.empty()) return;
+    if (std::vector<EdgeId>* existing = index->Get(v)) {
+      existing->insert(existing->end(), ids.begin(), ids.end());
+    } else {
+      index->Put(v, std::move(ids));
+    }
+  };
+  for (size_t i = 0; i < nv; ++i) {
+    attach(&out_index_, mapping.vertex_ids[i], std::move(out[i]));
+    attach(&in_index_, mapping.vertex_ids[i], std::move(in[i]));
+  }
+  mutable_load_stats()->index_build_millis = timer.ElapsedMillis();
+  return mapping;
 }
 
 Status DocEngine::SetVertexProperty(VertexId v, std::string_view name,

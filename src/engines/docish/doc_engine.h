@@ -46,10 +46,6 @@ class DocEngine : public GraphEngine {
   Status SetEdgeProperty(EdgeId e, std::string_view name,
                          const PropertyValue& value) override;
 
-  /// Native bulk import script: bypasses the per-call REST charge (the
-  /// paper had to load ArangoDB with "implementation-specific scripts").
-  Result<LoadMapping> BulkLoad(const GraphData& data) override;
-
   Result<VertexRecord> GetVertex(VertexId id) const override;
   Result<EdgeRecord> GetEdge(EdgeId id) const override;
   Result<uint64_t> CountVertices(const CancelToken& cancel) const override;
@@ -84,6 +80,15 @@ class DocEngine : public GraphEngine {
 
   Status Checkpoint(const std::string& dir) const override;
   uint64_t MemoryBytes() const override;
+
+ protected:
+  /// Native bulk import (arangoimp, the "implementation-specific scripts"
+  /// the paper had to load ArangoDB with): no per-call REST charge, no
+  /// per-edge endpoint existence probes, presized collections, and the
+  /// endpoint hash index assembled from a degree pass instead of a
+  /// get-or-insert probe pair per edge. Documents are still serialized
+  /// JSON — the layout's honest price.
+  Result<LoadMapping> BulkLoadNative(const GraphData& data) override;
 
  private:
   struct ParsedEdge {

@@ -51,10 +51,6 @@ class NeoEngine : public GraphEngine {
   Status SetEdgeProperty(EdgeId e, std::string_view name,
                          const PropertyValue& value) override;
 
-  /// Bulk path bypasses the v3.0 per-operation wrapper (the paper loaded
-  /// Neo4j through the Gremlin API "without issues").
-  Result<LoadMapping> BulkLoad(const GraphData& data) override;
-
   Result<VertexRecord> GetVertex(VertexId id) const override;
   Result<EdgeRecord> GetEdge(EdgeId id) const override;
   Result<uint64_t> CountVertices(const CancelToken& cancel) const override;
@@ -92,6 +88,15 @@ class NeoEngine : public GraphEngine {
 
   Status Checkpoint(const std::string& dir) const override;
   uint64_t MemoryBytes() const override;
+
+ protected:
+  /// Native loader: presized record files, one raw element pass writing
+  /// node/edge records with nil chain links, then relationship chains
+  /// stitched from a counted degree pass (v30: grouped by (label, dir))
+  /// — no per-edge read-modify-write splicing, every record written once.
+  /// Bypasses the v3.0 per-operation wrapper (the paper loaded Neo4j
+  /// through the Gremlin API "without issues").
+  Result<LoadMapping> BulkLoadNative(const GraphData& data) override;
 
  private:
   // Chain links encode (edge_id << 1) | role, role 0 = the edge's source

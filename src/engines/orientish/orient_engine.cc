@@ -1,8 +1,10 @@
 #include "src/engines/orientish/orient_engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/util/string_util.h"
+#include "src/util/timer.h"
 #include "src/util/varint.h"
 
 namespace gdbmicro {
@@ -118,7 +120,7 @@ Status OrientEngine::StoreEdge(EdgeId id, const EdgeData& e) {
 }
 
 uint64_t OrientEngine::ClusterForLabel(std::string_view label) {
-  auto it = cluster_by_label_.find(std::string(label));
+  auto it = cluster_by_label_.find(label);
   if (it != cluster_by_label_.end()) return it->second;
   uint64_t idx = clusters_.size();
   clusters_.push_back(Cluster{std::string(label), AppendStore{}});
@@ -222,6 +224,86 @@ Result<EdgeId> OrientEngine::AddEdge(VertexId src, VertexId dst,
   return id;
 }
 
+Result<LoadMapping> OrientEngine::BulkLoadNative(const GraphData& data) {
+  const size_t nv = data.vertices.size();
+  const size_t ne = data.edges.size();
+  LoadMapping mapping;
+  mapping.vertex_ids.reserve(nv);
+  mapping.edge_ids.reserve(ne);
+
+  // Schema + deferred adjacency assembly: clusters (one bookkeeping
+  // charge per new edge label), precomputed edge ids, and full ridbags
+  // built in memory before any vertex record is encoded.
+  Timer timer;
+  std::vector<EdgeId> edge_ids(ne);
+  std::vector<uint64_t> cluster_of(ne);
+  for (size_t i = 0; i < ne; ++i) {
+    cluster_of[i] = ClusterForLabel(data.edges[i].label);
+  }
+  std::vector<uint64_t> next_local(clusters_.size());
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    next_local[c] = clusters_[c].store.LogicalCount();
+  }
+  std::vector<uint32_t> out_deg(nv, 0), in_deg(nv, 0);
+  for (size_t i = 0; i < ne; ++i) {
+    edge_ids[i] = PackEdgeId(cluster_of[i], next_local[cluster_of[i]]++);
+    ++out_deg[data.edges[i].src];
+    ++in_deg[data.edges[i].dst];
+  }
+  std::vector<std::vector<EdgeId>> out(nv), in(nv);
+  for (size_t i = 0; i < nv; ++i) {
+    out[i].reserve(out_deg[i]);
+    in[i].reserve(in_deg[i]);
+  }
+  for (size_t i = 0; i < ne; ++i) {
+    out[data.edges[i].src].push_back(edge_ids[i]);
+    in[data.edges[i].dst].push_back(edge_ids[i]);
+  }
+  double adjacency_millis = timer.ElapsedMillis();
+
+  // Vertex pass: each record encoded and appended exactly once, already
+  // holding its final adjacency (or spilled to an external bag).
+  vertex_store_.Reserve(nv, nv * 16);
+  std::string blob;
+  for (size_t i = 0; i < nv; ++i) {
+    VertexData v;
+    v.label = vertex_labels_.Intern(data.vertices[i].label);
+    v.props = data.vertices[i].properties;
+    bool external =
+        out[i].size() > kEmbeddedAdjLimit || in[i].size() > kEmbeddedAdjLimit;
+    if (!external) {
+      v.out_edges = std::move(out[i]);
+      v.in_edges = std::move(in[i]);
+    }
+    v.external_adj = external;
+    blob.clear();
+    EncodeVertex(v, &blob);
+    VertexId id = vertex_store_.Append(blob);
+    if (external) {
+      bags_.emplace(id, ExternalBag{std::move(out[i]), std::move(in[i])});
+    }
+    mapping.vertex_ids.push_back(id);
+    if (!indexes_.empty()) {
+      for (const auto& [k, val] : data.vertices[i].properties) {
+        IndexInsert(k, val, id);
+      }
+    }
+  }
+  // Edge pass: per-cluster append order matches the precomputed locals.
+  for (size_t i = 0; i < ne; ++i) {
+    EdgeData e;
+    e.src = mapping.vertex_ids[data.edges[i].src];
+    e.dst = mapping.vertex_ids[data.edges[i].dst];
+    e.props = data.edges[i].properties;
+    blob.clear();
+    EncodeEdge(e, &blob);
+    clusters_[cluster_of[i]].store.Append(blob);
+    mapping.edge_ids.push_back(edge_ids[i]);
+  }
+  mutable_load_stats()->index_build_millis = adjacency_millis;
+  return mapping;
+}
+
 Status OrientEngine::SetVertexProperty(VertexId v, std::string_view name,
                                        const PropertyValue& value) {
   GDB_ASSIGN_OR_RETURN(VertexData data, LoadVertex(v));
@@ -276,7 +358,7 @@ Result<std::vector<std::string>> OrientEngine::DistinctEdgeLabels(
 
 Result<std::vector<EdgeId>> OrientEngine::FindEdgesByLabel(
     std::string_view label, const CancelToken& cancel) const {
-  auto it = cluster_by_label_.find(std::string(label));
+  auto it = cluster_by_label_.find(label);
   if (it == cluster_by_label_.end()) return std::vector<EdgeId>{};
   const AppendStore& store = clusters_[it->second].store;
   std::vector<EdgeId> out;

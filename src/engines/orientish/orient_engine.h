@@ -26,6 +26,7 @@
 #include "src/graph/engine.h"
 #include "src/storage/append_store.h"
 #include "src/storage/btree.h"
+#include "src/util/hash.h"
 
 namespace gdbmicro {
 
@@ -86,6 +87,14 @@ class OrientEngine : public GraphEngine {
 
   Status Checkpoint(const std::string& dir) const override;
   uint64_t MemoryBytes() const override;
+
+ protected:
+  /// Native loader: clusters are created up front (one bookkeeping charge
+  /// per new edge label), edge ids are precomputed, full ridbags are
+  /// assembled in memory, and every vertex record is encoded and appended
+  /// exactly once with its final adjacency — instead of a decode +
+  /// re-append of the vertex blob per incident edge.
+  Result<LoadMapping> BulkLoadNative(const GraphData& data) override;
 
  private:
   // Past this many incident edges (per direction) adjacency moves out of
@@ -167,7 +176,9 @@ class OrientEngine : public GraphEngine {
 
   AppendStore vertex_store_;
   std::vector<Cluster> clusters_;
-  std::unordered_map<std::string, uint64_t> cluster_by_label_;
+  std::unordered_map<std::string, uint64_t, TransparentStringHash,
+                     std::equal_to<>>
+      cluster_by_label_;
   std::unordered_map<VertexId, ExternalBag> bags_;
   Dictionary vertex_labels_;
   CostModel cost_;

@@ -1,8 +1,11 @@
 #include "src/engines/relish/rel_engine.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
 
 #include "src/util/string_util.h"
+#include "src/util/timer.h"
 #include "src/util/varint.h"
 
 namespace gdbmicro {
@@ -30,7 +33,7 @@ Status RelEngine::Open(const EngineOptions& options) {
 }
 
 uint64_t RelEngine::VTableForLabel(std::string_view label) {
-  auto it = vtable_by_label_.find(std::string(label));
+  auto it = vtable_by_label_.find(label);
   if (it != vtable_by_label_.end()) return it->second;
   ddl_cost_.ChargeWrite();  // CREATE TABLE V_<label>
   uint64_t idx = vtables_.size();
@@ -40,7 +43,7 @@ uint64_t RelEngine::VTableForLabel(std::string_view label) {
 }
 
 uint64_t RelEngine::ETableForLabel(std::string_view label) {
-  auto it = etable_by_label_.find(std::string(label));
+  auto it = etable_by_label_.find(label);
   if (it != etable_by_label_.end()) return it->second;
   ddl_cost_.ChargeWrite();  // CREATE TABLE E_<label> + two FK indexes
   uint64_t idx = etables_.size();
@@ -50,15 +53,13 @@ uint64_t RelEngine::ETableForLabel(std::string_view label) {
   return idx;
 }
 
-void RelEngine::EnsureColumn(std::set<std::string>* columns,
-                             std::string_view name) {
-  auto [it, inserted] = columns->insert(std::string(name));
-  (void)it;
-  if (inserted) ddl_cost_.ChargeWrite();  // ALTER TABLE ADD COLUMN
+void RelEngine::EnsureColumn(ColumnSet* columns, std::string_view name) {
+  if (columns->find(name) != columns->end()) return;
+  columns->emplace(name);
+  ddl_cost_.ChargeWrite();  // ALTER TABLE ADD COLUMN
 }
 
-void RelEngine::EnsureColumns(std::set<std::string>* columns,
-                              const PropertyMap& props) {
+void RelEngine::EnsureColumns(ColumnSet* columns, const PropertyMap& props) {
   for (const auto& [k, v] : props) {
     (void)v;
     EnsureColumn(columns, k);
@@ -100,6 +101,91 @@ Result<EdgeId> RelEngine::AddEdge(VertexId src, VertexId dst,
   t.src_index.Insert(src, row);
   t.dst_index.Insert(dst, row);
   return Pack(table, row);
+}
+
+Result<LoadMapping> RelEngine::BulkLoadNative(const GraphData& data) {
+  const size_t nv = data.vertices.size();
+  const size_t ne = data.edges.size();
+  LoadMapping mapping;
+  mapping.vertex_ids.reserve(nv);
+  mapping.edge_ids.reserve(ne);
+
+  // Counting pass: every table is created (one DDL charge per new label)
+  // and presized exactly once; the resolved table id is kept per element
+  // so the row pass does no catalog probe at all.
+  std::vector<uint32_t> vtable_of(nv), etable_of(ne);
+  {
+    std::vector<uint64_t> vcount, ecount;  // indexed by table id
+    for (size_t i = 0; i < nv; ++i) {
+      uint64_t table = VTableForLabel(data.vertices[i].label);
+      vtable_of[i] = static_cast<uint32_t>(table);
+      if (table >= vcount.size()) vcount.resize(table + 1, 0);
+      ++vcount[table];
+    }
+    for (size_t i = 0; i < ne; ++i) {
+      uint64_t table = ETableForLabel(data.edges[i].label);
+      etable_of[i] = static_cast<uint32_t>(table);
+      if (table >= ecount.size()) ecount.resize(table + 1, 0);
+      ++ecount[table];
+    }
+    for (uint64_t t = 0; t < vcount.size(); ++t) {
+      auto& rows = vtables_[t].rows;
+      rows.reserve(rows.size() + vcount[t]);
+    }
+    for (uint64_t t = 0; t < ecount.size(); ++t) {
+      auto& rows = etables_[t].rows;
+      rows.reserve(rows.size() + ecount[t]);
+    }
+  }
+
+  // Raw element pass: rows batch-append; FK indexes untouched.
+  for (size_t i = 0; i < nv; ++i) {
+    const auto& v = data.vertices[i];
+    VTable& t = vtables_[vtable_of[i]];
+    EnsureColumns(&t.columns, v.properties);
+    uint64_t row = t.rows.size();
+    t.rows.push_back(VRow{true, v.properties});
+    ++t.live_count;
+    VertexId id = Pack(vtable_of[i], row);
+    mapping.vertex_ids.push_back(id);
+    if (!indexes_.empty()) {
+      for (const auto& [k, val] : v.properties) IndexInsert(k, val, id);
+    }
+  }
+  for (size_t i = 0; i < ne; ++i) {
+    const auto& e = data.edges[i];
+    ETable& t = etables_[etable_of[i]];
+    EnsureColumns(&t.columns, e.properties);
+    uint64_t row = t.rows.size();
+    t.rows.push_back(ERow{true, mapping.vertex_ids[e.src],
+                          mapping.vertex_ids[e.dst], e.properties});
+    ++t.live_count;
+    mapping.edge_ids.push_back(Pack(etable_of[i], row));
+  }
+
+  // Deferred FK index build: each endpoint index is sorted and built
+  // bottom-up once per table, instead of two B+Tree descents per edge.
+  // One staging buffer serves every table (frb datasets have hundreds).
+  Timer timer;
+  std::vector<std::pair<VertexId, uint64_t>> entries;
+  for (ETable& t : etables_) {
+    if (t.rows.empty()) continue;
+    entries.clear();
+    entries.reserve(t.rows.size());
+    for (uint64_t row = 0; row < t.rows.size(); ++row) {
+      if (t.rows[row].live) entries.push_back({t.rows[row].src, row});
+    }
+    std::sort(entries.begin(), entries.end());
+    t.src_index.BuildFrom(entries);
+    entries.clear();
+    for (uint64_t row = 0; row < t.rows.size(); ++row) {
+      if (t.rows[row].live) entries.push_back({t.rows[row].dst, row});
+    }
+    std::sort(entries.begin(), entries.end());
+    t.dst_index.BuildFrom(entries);
+  }
+  mutable_load_stats()->index_build_millis = timer.ElapsedMillis();
+  return mapping;
 }
 
 Status RelEngine::SetVertexProperty(VertexId v, std::string_view name,
@@ -176,7 +262,7 @@ Result<std::vector<std::string>> RelEngine::DistinctEdgeLabels(
 Result<std::vector<EdgeId>> RelEngine::FindEdgesByLabel(
     std::string_view label, const CancelToken& cancel) const {
   // SELECT id FROM E_<label>: one sequential scan of one table.
-  auto it = etable_by_label_.find(std::string(label));
+  auto it = etable_by_label_.find(label);
   if (it == etable_by_label_.end()) return std::vector<EdgeId>{};
   const ETable& t = etables_[it->second];
   std::vector<EdgeId> out;
@@ -205,7 +291,7 @@ Result<std::vector<VertexId>> RelEngine::FindVerticesByProperty(
   std::vector<VertexId> out;
   for (uint64_t table = 0; table < vtables_.size(); ++table) {
     const VTable& t = vtables_[table];
-    if (t.columns.find(std::string(prop)) == t.columns.end()) continue;
+    if (t.columns.find(prop) == t.columns.end()) continue;
     for (uint64_t row = 0; row < t.rows.size(); ++row) {
       GDB_CHECK_CANCEL(cancel);
       const VRow& r = t.rows[row];

@@ -26,6 +26,7 @@
 
 #include "src/graph/engine.h"
 #include "src/storage/btree.h"
+#include "src/util/hash.h"
 
 namespace gdbmicro {
 
@@ -85,6 +86,13 @@ class RelEngine : public GraphEngine {
   Status Checkpoint(const std::string& dir) const override;
   uint64_t MemoryBytes() const override;
 
+ protected:
+  /// Native loader (Sqlg's batch mode / Postgres COPY): tables are
+  /// created and presized from a per-label counting pass, rows are
+  /// batch-appended without touching the FK B+Trees, and both FK indexes
+  /// of every edge table are bulk-built once afterwards.
+  Result<LoadMapping> BulkLoadNative(const GraphData& data) override;
+
  private:
   static constexpr int kTableShift = 40;
   static uint64_t Pack(uint64_t table, uint64_t row) {
@@ -105,25 +113,31 @@ class RelEngine : public GraphEngine {
     VertexId dst = 0;
     PropertyMap props;
   };
+  // Heterogeneous containers: catalog and column probes take string_views
+  // without materializing a std::string per row.
+  using ColumnSet = std::set<std::string, std::less<>>;
+  using LabelMap = std::unordered_map<std::string, uint64_t,
+                                      TransparentStringHash, std::equal_to<>>;
+
   struct VTable {
     std::string label;
     std::vector<VRow> rows;
     uint64_t live_count = 0;
-    std::set<std::string> columns;
+    ColumnSet columns;
   };
   struct ETable {
     std::string label;
     std::vector<ERow> rows;
     uint64_t live_count = 0;
-    std::set<std::string> columns;
+    ColumnSet columns;
     BTree<VertexId, uint64_t> src_index;  // FK index on source endpoint
     BTree<VertexId, uint64_t> dst_index;  // FK index on target endpoint
   };
 
   uint64_t VTableForLabel(std::string_view label);  // DDL if new
   uint64_t ETableForLabel(std::string_view label);
-  void EnsureColumns(std::set<std::string>* columns, const PropertyMap& props);
-  void EnsureColumn(std::set<std::string>* columns, std::string_view name);
+  void EnsureColumns(ColumnSet* columns, const PropertyMap& props);
+  void EnsureColumn(ColumnSet* columns, std::string_view name);
 
   void IndexInsert(std::string_view prop, const PropertyValue& v, VertexId id);
   void IndexErase(std::string_view prop, const PropertyValue& v, VertexId id);
@@ -139,8 +153,8 @@ class RelEngine : public GraphEngine {
 
   std::vector<VTable> vtables_;
   std::vector<ETable> etables_;
-  std::unordered_map<std::string, uint64_t> vtable_by_label_;
-  std::unordered_map<std::string, uint64_t> etable_by_label_;
+  LabelMap vtable_by_label_;
+  LabelMap etable_by_label_;
   std::map<std::string, BTree<PropertyValue, VertexId>, std::less<>> indexes_;
   CostModel ddl_cost_;
 };

@@ -1,8 +1,12 @@
 #include "src/engines/tripleish/triple_engine.h"
 
+#include <algorithm>
+#include <charconv>
 #include <cstdlib>
+#include <utility>
 
 #include "src/util/string_util.h"
+#include "src/util/timer.h"
 #include "src/util/varint.h"
 
 namespace gdbmicro {
@@ -64,16 +68,20 @@ std::string TripleEngine::EdgeTerm(EdgeId e) {
   return StrFormat("e:%llu", static_cast<unsigned long long>(e));
 }
 
-void TripleEngine::InsertStatement(Triple t) {
-  spo_.Insert({t[0], t[1], t[2]}, 1);
-  pos_.Insert({t[1], t[2], t[0]}, 1);
-  osp_.Insert({t[2], t[0], t[1]}, 1);
+void TripleEngine::JournalStatement(const Triple& t) {
   std::string blob;
   blob.reserve(24);
   PutVarint64(&blob, t[0]);
   PutVarint64(&blob, t[1]);
   PutVarint64(&blob, t[2]);
   journal_.Append(blob);
+}
+
+void TripleEngine::InsertStatement(Triple t) {
+  spo_.Insert({t[0], t[1], t[2]}, 1);
+  pos_.Insert({t[1], t[2], t[0]}, 1);
+  osp_.Insert({t[2], t[0], t[1]}, 1);
+  JournalStatement(t);
 }
 
 void TripleEngine::EraseStatement(Triple t) {
@@ -154,19 +162,122 @@ Result<EdgeId> TripleEngine::AddEdge(VertexId src, VertexId dst,
   return id;
 }
 
-Result<LoadMapping> TripleEngine::BulkLoad(const GraphData& data) {
-  bool was_enabled = cost_.enabled;
-  cost_.enabled = false;  // bulk-loading mode: no per-item commit
-  auto result = GraphEngine::BulkLoad(data);
-  cost_.enabled = was_enabled;
+Result<LoadMapping> TripleEngine::BulkLoadNative(const GraphData& data) {
+  if (!spo_.empty()) {
+    // The bottom-up index build replaces the trees wholesale; on a
+    // non-empty instance fall back to per-statement insertion.
+    return BulkLoadPerElement(data);
+  }
+  const size_t nv = data.vertices.size();
+  const size_t ne = data.edges.size();
+  LoadMapping mapping;
+  mapping.vertex_ids.reserve(nv);
+  mapping.edge_ids.reserve(ne);
+  size_t nprops = 0;
+  for (const auto& v : data.vertices) nprops += v.properties.size();
+  for (const auto& e : data.edges) nprops += e.properties.size();
+
+  std::vector<Triple> stmts;
+  stmts.reserve(nv + 2 * ne + nprops);
+  edge_stmts_.reserve(edge_stmts_.size() + ne);
+  term_ids_.Reserve(term_ids_.size() + nv + ne + nprops / 2);
+  terms_.reserve(terms_.size() + nv + ne);
+
+  // Raw statement pass: every statement is interned and journaled, but
+  // index maintenance is deferred. Scratch buffers are reused and vertex
+  // term ids are cached by dataset index, so an edge statement costs two
+  // array reads — not two rebuilt "v:<id>" strings and hash probes.
+  std::string scratch;
+  std::string journal_blob;
+  auto term = [&](const char* prefix, std::string_view body) {
+    scratch.assign(prefix);
+    scratch.append(body);
+    return InternTerm(scratch);
+  };
+  // "v:<id>" / "e:<id>" terms via to_chars into the scratch buffer — the
+  // StrFormat-based VertexTerm/EdgeTerm pay an snprintf per element.
+  char numbuf[24];
+  auto id_term = [&](const char* prefix, uint64_t id) {
+    scratch.assign(prefix);
+    char* end = std::to_chars(numbuf, numbuf + sizeof(numbuf), id).ptr;
+    scratch.append(numbuf, end);
+    return InternTerm(scratch);
+  };
+  auto value_term = [&](const PropertyValue& value) {
+    scratch.assign("x:");
+    value.EncodeTo(&scratch);
+    return InternTerm(scratch);
+  };
+  auto add = [&](Triple t) {
+    stmts.push_back(t);
+    journal_blob.clear();
+    PutVarint64(&journal_blob, t[0]);
+    PutVarint64(&journal_blob, t[1]);
+    PutVarint64(&journal_blob, t[2]);
+    journal_.Append(journal_blob);
+  };
+  std::vector<uint64_t> vterm(nv);
+  for (size_t i = 0; i < nv; ++i) {
+    VertexId id = next_vertex_++;
+    ++live_vertices_;
+    uint64_t vt = id_term("v:", id);
+    vterm[i] = vt;
+    add({vt, type_pred_, term("l:", data.vertices[i].label)});
+    for (const auto& [k, value] : data.vertices[i].properties) {
+      add({vt, term("k:", k), value_term(value)});
+    }
+    mapping.vertex_ids.push_back(id);
+  }
+  for (size_t i = 0; i < ne; ++i) {
+    const GraphData::Edge& e = data.edges[i];
+    EdgeId id = edge_stmts_.size();
+    uint64_t label_term = term("l:", e.label);
+    edge_stmts_.push_back(
+        EdgeStmt{mapping.vertex_ids[e.src], mapping.vertex_ids[e.dst],
+                 label_term, true});
+    uint64_t et = id_term("e:", id);
+    add({vterm[e.src], label_term, et});
+    add({et, to_pred_, vterm[e.dst]});
+    for (const auto& [k, value] : e.properties) {
+      add({et, term("k:", k), value_term(value)});
+    }
+    mapping.edge_ids.push_back(id);
+  }
+
+  // Deferred index build: each statement index is sorted and constructed
+  // bottom-up exactly once, instead of three rebalancing inserts per
+  // statement. The statement list is rotated in place between builds
+  // ((s,p,o) -> (p,o,s) -> (o,s,p)) and one staging buffer is reused.
+  Timer timer;
+  std::vector<std::pair<Triple, uint8_t>> entries;
+  entries.reserve(stmts.size());
+  auto build = [&](BTree<Triple, uint8_t>* index) {
+    std::sort(stmts.begin(), stmts.end());
+    entries.clear();
+    for (const Triple& t : stmts) {
+      if (entries.empty() || entries.back().first != t) {
+        entries.push_back({t, 1});
+      }
+    }
+    index->BuildFrom(entries);
+  };
+  auto rotate_left = [&] {
+    for (Triple& t : stmts) t = {t[1], t[2], t[0]};
+  };
+  build(&spo_);
+  rotate_left();  // (s,p,o) -> (p,o,s)
+  build(&pos_);
+  rotate_left();  // (p,o,s) -> (o,s,p)
+  build(&osp_);
+  mutable_load_stats()->index_build_millis = timer.ElapsedMillis();
+
   if (cost_.enabled) {
     // Even in bulk mode every statement goes through the journal write
     // path and B+Tree group commit — the paper measures loading "up to 3
     // orders of magnitude slower than the other engines".
-    SpinFor(20 * static_cast<int64_t>(data.vertices.size() +
-                                      2 * data.edges.size()));
+    SpinFor(20 * static_cast<int64_t>(nv + 2 * ne));
   }
-  return result;
+  return mapping;
 }
 
 Status TripleEngine::SetVertexProperty(VertexId v, std::string_view name,

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <set>
 
+#include "src/util/timer.h"
+
 namespace gdbmicro {
 
 std::string_view QueryExecutionToString(QueryExecution q) {
@@ -17,8 +19,39 @@ std::string_view QueryExecutionToString(QueryExecution q) {
   return "?";
 }
 
+std::string_view BulkLoadModeToString(BulkLoadMode m) {
+  switch (m) {
+    case BulkLoadMode::kNative:
+      return "native";
+    case BulkLoadMode::kPerElement:
+      return "per-element";
+  }
+  return "?";
+}
+
 Result<LoadMapping> GraphEngine::BulkLoad(const GraphData& data) {
   GDB_RETURN_IF_ERROR(data.Validate());
+  load_stats_ = BulkLoadStats{};
+  load_stats_.vertices = data.VertexCount();
+  load_stats_.edges = data.EdgeCount();
+  load_stats_.native = options_.bulk_load_mode == BulkLoadMode::kNative;
+  Timer timer;
+  Result<LoadMapping> mapping = load_stats_.native
+                                    ? BulkLoadNative(data)
+                                    : BulkLoadPerElement(data);
+  GDB_RETURN_IF_ERROR(mapping.status());
+  // Loaders fill index_build_millis themselves; everything else in the
+  // wall time is the element pass.
+  load_stats_.element_millis =
+      std::max(0.0, timer.ElapsedMillis() - load_stats_.index_build_millis);
+  load_stats_.bytes = MemoryBytes();
+  return mapping;
+}
+
+Result<LoadMapping> GraphEngine::BulkLoadPerElement(const GraphData& data) {
+  // A native loader that falls back here (e.g. tripleish on a non-empty
+  // instance) must not report the load as native.
+  load_stats_.native = false;
   LoadMapping mapping;
   mapping.vertex_ids.reserve(data.vertices.size());
   mapping.edge_ids.reserve(data.edges.size());

@@ -104,6 +104,14 @@ Json PropertyValue::ToJson() const {
   return Json(string_value());
 }
 
+void PropertyValue::AppendJsonTo(std::string* out) const {
+  if (is_string()) {
+    AppendEscapedJsonString(string_value(), out);
+  } else {
+    ToJson().DumpAppend(out);
+  }
+}
+
 PropertyValue PropertyValue::FromJson(const Json& j) {
   if (j.is_bool()) return PropertyValue(j.bool_value());
   if (j.is_int()) return PropertyValue(j.int_value());

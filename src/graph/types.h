@@ -65,6 +65,11 @@ class PropertyValue {
   Json ToJson() const;
   static PropertyValue FromJson(const Json& j);
 
+  /// Appends this value's compact JSON rendering to *out — byte-identical
+  /// to ToJson().Dump(), but strings stream straight into the buffer
+  /// instead of being copied into a Json node first.
+  void AppendJsonTo(std::string* out) const;
+
  private:
   std::variant<std::monostate, bool, int64_t, double, std::string> v_;
 };

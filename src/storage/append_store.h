@@ -29,6 +29,13 @@ class AppendStore {
   /// Appends a new record, returns its logical id.
   uint64_t Append(std::string_view data);
 
+  /// Presizes for `records` additional appends totalling ~`bytes` of
+  /// payload (bulk-load fast path). Capacity only.
+  void Reserve(uint64_t records, uint64_t bytes) {
+    positions_.reserve(positions_.size() + records);
+    log_.reserve(log_.size() + bytes + records * 2);  // + varint headers
+  }
+
   /// Replaces the record's content (appends a new version).
   Status Update(uint64_t id, std::string_view data);
 

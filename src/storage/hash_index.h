@@ -11,16 +11,21 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "src/util/hash.h"
 
 namespace gdbmicro {
 
-/// Default hasher: integers through HashInt, strings through FNV-1a.
+/// Default hasher: integers through HashInt, strings through FNV-1a. The
+/// string_view overload backs the heterogeneous lookups below: a probe by
+/// view hashes to the same value as the stored std::string key.
 struct IndexHash {
   uint64_t operator()(uint64_t k) const { return HashInt(k); }
   uint64_t operator()(const std::string& k) const { return HashBytes(k); }
+  uint64_t operator()(std::string_view k) const { return HashBytes(k); }
 };
 
 /// Open-addressing hash map. Key must be equality comparable; Value must be
@@ -28,6 +33,12 @@ struct IndexHash {
 template <typename Key, typename Value, typename Hash = IndexHash>
 class HashIndex {
  public:
+  /// Probe type of the lookup methods: std::string keys are probed as
+  /// string_view, so Get/Contains on a string-keyed index never
+  /// materialize a std::string per call (heterogeneous lookup).
+  using LookupKey = std::conditional_t<std::is_same_v<Key, std::string>,
+                                       std::string_view, const Key&>;
+
   HashIndex() { Rehash(kInitialCapacity); }
 
   /// Inserts or overwrites. Returns true if the key was new.
@@ -49,16 +60,16 @@ class HashIndex {
   }
 
   /// Returns a pointer to the value or nullptr.
-  Value* Get(const Key& key) {
+  Value* Get(LookupKey key) {
     size_t i = FindSlot(key);
     return slots_[i].state == State::kFull ? &slots_[i].value : nullptr;
   }
-  const Value* Get(const Key& key) const {
+  const Value* Get(LookupKey key) const {
     size_t i = FindSlot(key);
     return slots_[i].state == State::kFull ? &slots_[i].value : nullptr;
   }
 
-  bool Contains(const Key& key) const { return Get(key) != nullptr; }
+  bool Contains(LookupKey key) const { return Get(key) != nullptr; }
 
   /// Removes the key. Returns true if present.
   bool Erase(const Key& key) {
@@ -78,6 +89,15 @@ class HashIndex {
         if (!fn(s.key, s.value)) return;
       }
     }
+  }
+
+  /// Grows the table so that `n` entries fit without another rehash (the
+  /// bulk loaders presize from GraphData counts). Never shrinks.
+  void Reserve(uint64_t n) {
+    size_t needed = kInitialCapacity;
+    // Load-factor invariant from Put: (size + tombstones + 1) * 4 < cap * 3.
+    while ((n + 1) * 4 >= needed * 3) needed *= 2;
+    if (needed > slots_.size()) Rehash(needed);
   }
 
   uint64_t size() const { return size_; }
@@ -105,7 +125,7 @@ class HashIndex {
   };
 
   // Returns the slot holding `key` or the first insertable slot.
-  size_t FindSlot(const Key& key) const {
+  size_t FindSlot(LookupKey key) const {
     size_t mask = slots_.size() - 1;
     size_t i = static_cast<size_t>(hash_(key)) & mask;
     std::optional<size_t> first_tombstone;

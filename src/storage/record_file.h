@@ -30,6 +30,13 @@ class RecordFile {
   /// Allocates a slot (reusing a free one if available) and zero-fills it.
   uint64_t Allocate();
 
+  /// Presizes the backing buffer for `slots` additional records so a bulk
+  /// load's Allocate calls never reallocate. Capacity only; SlotCount()
+  /// and the free list are unaffected.
+  void Reserve(uint64_t slots) {
+    buffer_.reserve(buffer_.size() + slots * record_size_);
+  }
+
   /// Releases a slot back to the free list. Double-free is an error.
   Status Free(uint64_t id);
 

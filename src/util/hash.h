@@ -32,6 +32,16 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return HashInt(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
+/// Transparent string hasher for std::unordered_map<std::string, V,
+/// TransparentStringHash, std::equal_to<>>: lets callers probe with a
+/// string_view without materializing a std::string per lookup.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return static_cast<size_t>(HashBytes(s));
+  }
+};
+
 }  // namespace gdbmicro
 
 #endif  // GDBMICRO_UTIL_HASH_H_

@@ -11,7 +11,16 @@ namespace {
 
 void EscapeString(std::string_view s, std::string* out) {
   out->push_back('"');
-  for (char c : s) {
+  // Runs of clean bytes append in bulk; only the characters that actually
+  // need escaping take the switch.
+  size_t start = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c != '"' && c != '\\' && static_cast<unsigned char>(c) >= 0x20) {
+      continue;
+    }
+    out->append(s.substr(start, i - start));
+    start = i + 1;
     switch (c) {
       case '"':
         out->append("\\\"");
@@ -34,16 +43,14 @@ void EscapeString(std::string_view s, std::string* out) {
       case '\f':
         out->append("\\f");
         break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out->append(buf);
-        } else {
-          out->push_back(c);
-        }
+      default: {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out->append(buf);
+      }
     }
   }
+  out->append(s.substr(start));
   out->push_back('"');
 }
 
@@ -349,6 +356,12 @@ std::string Json::Dump() const {
   std::string out;
   DumpTo(&out, 0, 0);
   return out;
+}
+
+void Json::DumpAppend(std::string* out) const { DumpTo(out, 0, 0); }
+
+void AppendEscapedJsonString(std::string_view s, std::string* out) {
+  EscapeString(s, out);
 }
 
 std::string Json::Pretty() const {

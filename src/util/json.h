@@ -79,6 +79,10 @@ class Json {
   /// Serializes compactly (no whitespace).
   std::string Dump() const;
 
+  /// Appends the compact serialization to *out without an intermediate
+  /// string (streaming writers, e.g. the document engine's bulk loader).
+  void DumpAppend(std::string* out) const;
+
   /// Serializes with 2-space indentation.
   std::string Pretty() const;
 
@@ -94,6 +98,11 @@ class Json {
                Object>
       value_;
 };
+
+/// Appends `s` as a JSON string literal (quotes + escaping) to *out —
+/// byte-identical to how Json::Dump renders the same string. Lets
+/// streaming writers emit documents without building a Json tree.
+void AppendEscapedJsonString(std::string_view s, std::string* out);
 
 }  // namespace gdbmicro
 
