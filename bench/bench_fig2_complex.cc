@@ -48,11 +48,12 @@ int main(int argc, char** argv) {
       }
       core::QueryContext ctx;
       ctx.engine = loaded[i].engine.get();
+      ctx.session = loaded[i].session.get();
       ctx.workload = loaded[i].workload.get();
       ctx.cancel = CancelToken::WithTimeout(
           std::chrono::milliseconds(profile.deadline_ms));
       ctx.iteration = 0;
-      loaded[i].engine->BeginQuery();
+      loaded[i].session->BeginQuery();
       Timer timer;
       auto r = spec.run(ctx);
       double ms = timer.ElapsedMillis();

@@ -48,11 +48,12 @@ void BM_ChainExpansion(benchmark::State& state, const std::string& engine_name,
                        bool filtered) {
   auto engine = HubEngine(engine_name, static_cast<int>(state.range(0)),
                           kLabelCount);
+  auto session = engine->CreateSession();
   CancelToken never;
   std::string label = "rel_7";
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine->EdgesOf(
-        0, Direction::kBoth, filtered ? &label : nullptr, never));
+        *session, 0, Direction::kBoth, filtered ? &label : nullptr, never));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -89,11 +90,12 @@ BENCHMARK(BM_OrientAdjacencyAppend)->Arg(32)->Arg(64)->Arg(1024)->Arg(8192);
 
 void BM_SqlgExpansion(benchmark::State& state, bool filtered) {
   auto engine = HubEngine("sqlg", 4096, static_cast<int>(state.range(0)));
+  auto session = engine->CreateSession();
   CancelToken never;
   std::string label = "rel_7";
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine->EdgesOf(
-        0, Direction::kBoth, filtered ? &label : nullptr, never));
+        *session, 0, Direction::kBoth, filtered ? &label : nullptr, never));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -105,10 +107,11 @@ BENCHMARK_CAPTURE(BM_SqlgExpansion, union_all, false)->Arg(16)->Arg(1024);
 void BM_HubNeighborhood(benchmark::State& state,
                         const std::string& engine_name) {
   auto engine = HubEngine(engine_name, static_cast<int>(state.range(0)), 4);
+  auto session = engine->CreateSession();
   CancelToken never;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        engine->NeighborsOf(0, Direction::kBoth, nullptr, never));
+        engine->NeighborsOf(*session, 0, Direction::kBoth, nullptr, never));
   }
   state.SetItemsProcessed(state.iterations());
 }

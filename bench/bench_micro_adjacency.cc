@@ -75,7 +75,8 @@ Measurement Measure(Fn&& fn) {
 
 // The vector-based BFS the consumers used before the visitor rewrite:
 // NeighborsOf materializes every expansion, visited is a hash set.
-uint64_t VectorBfs(const GraphEngine& engine, VertexId start, int max_depth,
+uint64_t VectorBfs(const GraphEngine& engine, QuerySession& session,
+                   VertexId start, int max_depth,
                    const CancelToken& cancel) {
   std::unordered_set<VertexId> stored{start};
   std::vector<VertexId> frontier{start};
@@ -83,7 +84,8 @@ uint64_t VectorBfs(const GraphEngine& engine, VertexId start, int max_depth,
   for (int depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
     std::vector<VertexId> next;
     for (VertexId v : frontier) {
-      auto neighbors = engine.NeighborsOf(v, Direction::kBoth, nullptr, cancel);
+      auto neighbors =
+          engine.NeighborsOf(session, v, Direction::kBoth, nullptr, cancel);
       if (!neighbors.ok()) return visited;
       for (VertexId n : *neighbors) {
         if (stored.insert(n).second) {
@@ -99,13 +101,15 @@ uint64_t VectorBfs(const GraphEngine& engine, VertexId start, int max_depth,
 
 // Two-hop both().both() expansion (the Fig. 5 Q.26/Q.27 shape), vector
 // style: every hop materializes its neighborhood.
-uint64_t VectorTwoHop(const GraphEngine& engine, VertexId start,
-                      const CancelToken& cancel) {
+uint64_t VectorTwoHop(const GraphEngine& engine, QuerySession& session,
+                      VertexId start, const CancelToken& cancel) {
   uint64_t count = 0;
-  auto first = engine.NeighborsOf(start, Direction::kBoth, nullptr, cancel);
+  auto first =
+      engine.NeighborsOf(session, start, Direction::kBoth, nullptr, cancel);
   if (!first.ok()) return 0;
   for (VertexId mid : *first) {
-    auto second = engine.NeighborsOf(mid, Direction::kBoth, nullptr, cancel);
+    auto second =
+        engine.NeighborsOf(session, mid, Direction::kBoth, nullptr, cancel);
     if (!second.ok()) return count;
     count += second->size();
   }
@@ -113,15 +117,15 @@ uint64_t VectorTwoHop(const GraphEngine& engine, VertexId start,
 }
 
 // Same expansion through the visitors: nothing materialized.
-uint64_t VisitorTwoHop(const GraphEngine& engine, VertexId start,
-                       const CancelToken& cancel) {
+uint64_t VisitorTwoHop(const GraphEngine& engine, QuerySession& session,
+                       VertexId start, const CancelToken& cancel) {
   uint64_t count = 0;
   engine
-      .ForEachNeighbor(start, Direction::kBoth, nullptr, cancel,
+      .ForEachNeighbor(session, start, Direction::kBoth, nullptr, cancel,
                        [&](VertexId mid) {
                          engine
-                             .ForEachNeighbor(mid, Direction::kBoth, nullptr,
-                                              cancel,
+                             .ForEachNeighbor(session, mid, Direction::kBoth,
+                                              nullptr, cancel,
                                               [&](VertexId) {
                                                 ++count;
                                                 return true;
@@ -197,6 +201,7 @@ int Run(int argc, char** argv) {
                    mapping.status().ToString().c_str());
       continue;
     }
+    auto session = (*engine)->CreateSession();
     const std::vector<VertexId>& ids = mapping->vertex_ids;
     std::vector<VertexId> probes;
     for (size_t i = 0; i < ids.size(); i += 13) probes.push_back(ids[i]);
@@ -207,7 +212,8 @@ int Run(int argc, char** argv) {
       for (int r = 0; r < rounds; ++r) {
         for (VertexId v : probes) {
           auto neighbors =
-              (*engine)->NeighborsOf(v, Direction::kBoth, nullptr, never);
+              (*engine)->NeighborsOf(*session, v, Direction::kBoth,
+                                     nullptr, never);
           if (neighbors.ok()) hops += neighbors->size();
         }
       }
@@ -218,7 +224,8 @@ int Run(int argc, char** argv) {
       for (int r = 0; r < rounds; ++r) {
         for (VertexId v : probes) {
           (*engine)
-              ->ForEachNeighbor(v, Direction::kBoth, nullptr, never,
+              ->ForEachNeighbor(*session, v, Direction::kBoth, nullptr,
+                                never,
                                 [&](VertexId) {
                                   ++hops;
                                   return true;
@@ -236,12 +243,16 @@ int Run(int argc, char** argv) {
         probes.begin() + std::min<size_t>(probes.size(), 64));
     Measurement vec_2hop = Measure([&] {
       uint64_t hops = 0;
-      for (VertexId v : hop2_probes) hops += VectorTwoHop(**engine, v, never);
+      for (VertexId v : hop2_probes) {
+        hops += VectorTwoHop(**engine, *session, v, never);
+      }
       return hops;
     });
     Measurement vis_2hop = Measure([&] {
       uint64_t hops = 0;
-      for (VertexId v : hop2_probes) hops += VisitorTwoHop(**engine, v, never);
+      for (VertexId v : hop2_probes) {
+        hops += VisitorTwoHop(**engine, *session, v, never);
+      }
       return hops;
     });
     PrintRow(name.c_str(), "2-hop", vec_2hop, vis_2hop, &json_rows);
@@ -253,13 +264,16 @@ int Run(int argc, char** argv) {
         probes.begin() + std::min<size_t>(probes.size(), 8));
     Measurement vec_bfs = Measure([&] {
       uint64_t hops = 0;
-      for (VertexId v : bfs_starts) hops += VectorBfs(**engine, v, 3, never);
+      for (VertexId v : bfs_starts) {
+        hops += VectorBfs(**engine, *session, v, 3, never);
+      }
       return hops;
     });
     Measurement vis_bfs = Measure([&] {
       uint64_t hops = 0;
       for (VertexId v : bfs_starts) {
-        auto r = query::BreadthFirst(**engine, v, 3, std::nullopt, never);
+        auto r =
+            query::BreadthFirst(**engine, *session, v, 3, std::nullopt, never);
         if (r.ok()) hops += r->visited.size();
       }
       return hops;
@@ -273,7 +287,7 @@ int Run(int argc, char** argv) {
       Measurement sp = Measure([&] {
         uint64_t hops = 0;
         for (size_t i = 0; i + 1 < bfs_starts.size(); i += 2) {
-          auto r = query::ShortestPath(**engine, bfs_starts[i],
+          auto r = query::ShortestPath(**engine, *session, bfs_starts[i],
                                        bfs_starts[i + 1], std::nullopt, 8,
                                        never);
           if (r.ok()) hops += r->path.size();

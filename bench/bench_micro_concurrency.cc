@@ -1,0 +1,206 @@
+// Multi-client throughput micro-bench: N closed-loop client threads, each
+// with its own QuerySession and workload seed, hammer one shared loaded
+// engine with the Table 2 point-read and 1-hop queries (Q.14, Q.15,
+// Q.22-Q.24). Sweeps the thread count 1 -> hardware_concurrency per
+// engine and reports queries/sec, speedup over one thread, and the
+// latency distribution (p50/p95/p99) — the dimension the paper's
+// single-client methodology cannot see. Cost models are off by default so
+// the numbers are the data structures' own; --cost-model turns the
+// emulated round trips back on (each thread burns its own CPU-clock
+// charges, see cost_model.h).
+//
+// Usage: bench_micro_concurrency [--scale=<f>] [--engines=a,b,c]
+//        [--rounds=<n>] [--dataset=<name>] [--json=<path>]
+//        [--threads=1,2,4] [--iterations=<n>] [--cost-model]
+//
+// --json writes BENCH_concurrency.json (archived by CI).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "src/core/queries.h"
+#include "src/core/runner.h"
+#include "src/datasets/generators.h"
+#include "src/graph/registry.h"
+#include "src/util/json.h"
+
+namespace gdbmicro {
+namespace {
+
+// The read mix: id lookups + neighborhood expansions, the operations a
+// serving workload issues per request (cheap enough per call that the
+// sweep measures concurrency, not one giant scan).
+const std::vector<int> kReadQueryNumbers = {14, 15, 22, 23, 24};
+
+struct Flags {
+  bench::MicroBenchFlags micro;
+  std::vector<int> threads;      // empty = 1,2,...,hardware_concurrency
+  int iterations_per_thread = 200;
+  bool cost_model = false;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      std::string list = arg + 10;
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        flags->threads.push_back(std::atoi(list.substr(pos, comma - pos)
+                                               .c_str()));
+        pos = comma + 1;
+      }
+    } else if (std::strncmp(arg, "--iterations=", 13) == 0) {
+      flags->iterations_per_thread = std::atoi(arg + 13);
+    } else if (std::strcmp(arg, "--cost-model") == 0) {
+      flags->cost_model = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  return bench::ParseMicroBenchFlags(static_cast<int>(passthrough.size()),
+                                     passthrough.data(), &flags->micro);
+}
+
+std::vector<int> DefaultThreadSweep() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::vector<int> sweep;
+  for (int t = 1; t <= static_cast<int>(hw); t *= 2) sweep.push_back(t);
+  if (sweep.back() != static_cast<int>(hw)) {
+    sweep.push_back(static_cast<int>(hw));
+  }
+  return sweep;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+  if (flags.threads.empty()) flags.threads = DefaultThreadSweep();
+
+  RegisterBuiltinEngines();
+  std::vector<std::string> engines = flags.micro.engines;
+  if (engines.empty()) engines = EngineRegistry::Instance().Names();
+
+  datasets::GenOptions gen;
+  gen.scale = flags.micro.scale;
+  auto data = datasets::GenerateByName(flags.micro.dataset, gen);
+  if (!data.ok()) {
+    std::fprintf(stderr, "dataset %s: %s\n", flags.micro.dataset.c_str(),
+                 data.status().ToString().c_str());
+    return 1;
+  }
+
+  core::RunnerOptions runner_options;
+  runner_options.enable_cost_model = flags.cost_model;
+  runner_options.deadline = std::chrono::seconds(120);
+  runner_options.memory_budget_bytes = 0;
+  core::Runner runner(runner_options);
+  auto specs = core::QueriesByNumber(kReadQueryNumbers);
+
+  std::printf(
+      "concurrency micro-bench: dataset=%s scale=%.3f (%zu vertices, %zu "
+      "edges), %d iterations/thread x %zu read queries, cost model %s\n\n",
+      flags.micro.dataset.c_str(), flags.micro.scale, data->vertices.size(),
+      data->edges.size(), flags.iterations_per_thread, specs.size(),
+      flags.cost_model ? "on" : "off");
+  std::printf("%-9s %8s %12s %9s %10s %10s %10s\n", "engine", "threads",
+              "queries/s", "speedup", "p50", "p95", "p99");
+
+  Json::Array json_rows;
+  bool all_ok = true;
+  for (const std::string& name : engines) {
+    auto loaded = runner.Load(name, *data);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s load: %s\n", name.c_str(),
+                   loaded.status().ToString().c_str());
+      all_ok = false;
+      continue;
+    }
+    double single_thread_qps = 0;
+    for (int threads : flags.threads) {
+      auto result = runner.RunConcurrent(*loaded, *data, specs, threads,
+                                         flags.iterations_per_thread);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s x%d: %s\n", name.c_str(), threads,
+                     result.status().ToString().c_str());
+        all_ok = false;
+        break;
+      }
+      if (!result->status.ok()) {
+        std::fprintf(stderr, "%s x%d: client failure: %s\n", name.c_str(),
+                     threads, result->status.ToString().c_str());
+        all_ok = false;
+      }
+      // The baseline is strictly the 1-thread row; a sweep without one
+      // (e.g. --threads=2,4) reports no speedup rather than a mislabeled
+      // ratio.
+      if (threads == 1) single_thread_qps = result->QueriesPerSec();
+      double speedup = single_thread_qps > 0
+                           ? result->QueriesPerSec() / single_thread_qps
+                           : 0.0;
+      char speedup_text[32];
+      if (speedup > 0) {
+        std::snprintf(speedup_text, sizeof(speedup_text), "%8.2fx", speedup);
+      } else {
+        std::snprintf(speedup_text, sizeof(speedup_text), "%9s", "-");
+      }
+      std::printf("%-9s %8d %12.0f %s %9.3f %9.3f %9.3f\n", name.c_str(),
+                  threads, result->QueriesPerSec(), speedup_text,
+                  result->latency.p50_ms, result->latency.p95_ms,
+                  result->latency.p99_ms);
+      std::fflush(stdout);
+      json_rows.push_back(Json(Json::Object{
+          {"engine", Json(name)},
+          {"threads", Json(static_cast<int64_t>(threads))},
+          {"queries", Json(static_cast<int64_t>(result->queries))},
+          {"failures", Json(static_cast<int64_t>(result->failures))},
+          {"wall_millis", Json(result->wall_millis)},
+          {"queries_per_sec", Json(result->QueriesPerSec())},
+          {"speedup_vs_1_thread", Json(speedup)},
+          {"lat_p50_ms", Json(result->latency.p50_ms)},
+          {"lat_p95_ms", Json(result->latency.p95_ms)},
+          {"lat_p99_ms", Json(result->latency.p99_ms)},
+          {"lat_min_ms", Json(result->latency.min_ms)},
+          {"lat_max_ms", Json(result->latency.max_ms)},
+          {"lat_mean_ms", Json(result->latency.mean_ms)},
+      }));
+    }
+    std::printf("\n");
+  }
+
+  if (!flags.micro.json_path.empty()) {
+    Json doc(Json::Object{
+        {"bench", Json("micro_concurrency")},
+        {"dataset", Json(flags.micro.dataset)},
+        {"scale", Json(flags.micro.scale)},
+        {"iterations_per_thread",
+         Json(static_cast<int64_t>(flags.iterations_per_thread))},
+        {"cost_model", Json(flags.cost_model)},
+        {"hardware_concurrency",
+         Json(static_cast<int64_t>(std::thread::hardware_concurrency()))},
+        {"results", Json(std::move(json_rows))},
+    });
+    if (!bench::WriteJsonArtifact(flags.micro.json_path, doc)) return 1;
+  }
+  std::printf(
+      "(closed loop: every thread issues the next query as soon as the\n"
+      " previous one returns; speedup is queries/sec relative to the\n"
+      " 1-thread row. Reads share one immutable engine snapshot through\n"
+      " per-thread QuerySessions — see src/graph/engine.h.)\n");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gdbmicro
+
+int main(int argc, char** argv) { return gdbmicro::Run(argc, argv); }

@@ -55,9 +55,11 @@ void BM_EngineAddEdge(benchmark::State& state, const std::string& name) {
 void BM_EngineGetVertex(benchmark::State& state, const std::string& name) {
   auto engine = FreshEngine(name);
   auto mapping = engine->BulkLoad(SmallGraph()).value();
+  auto session = engine->CreateSession();
   Rng rng(2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine->GetVertex(
+        *session,
         mapping.vertex_ids[rng.Uniform(mapping.vertex_ids.size())]));
   }
   state.SetItemsProcessed(state.iterations());
@@ -66,11 +68,12 @@ void BM_EngineGetVertex(benchmark::State& state, const std::string& name) {
 void BM_EngineNeighbors(benchmark::State& state, const std::string& name) {
   auto engine = FreshEngine(name);
   auto mapping = engine->BulkLoad(SmallGraph()).value();
+  auto session = engine->CreateSession();
   CancelToken never;
   Rng rng(3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine->NeighborsOf(
-        mapping.vertex_ids[rng.Uniform(mapping.vertex_ids.size())],
+        *session, mapping.vertex_ids[rng.Uniform(mapping.vertex_ids.size())],
         Direction::kBoth, nullptr, never));
   }
   state.SetItemsProcessed(state.iterations());

@@ -49,7 +49,7 @@ struct PolicyMeasurement {
 Result<PolicyMeasurement> MeasurePolicy(const Traversal& t,
                                         QueryExecution policy,
                                         const GraphEngine& engine,
-                                        int rounds,
+                                        QuerySession& session, int rounds,
                                         const CancelToken& cancel) {
   GDB_ASSIGN_OR_RETURN(Plan plan, t.Lower(policy));
   PolicyMeasurement m;
@@ -57,7 +57,7 @@ Result<PolicyMeasurement> MeasurePolicy(const Traversal& t,
   Timer timer;
   for (int r = 0; r < rounds; ++r) {
     GDB_ASSIGN_OR_RETURN(query::TraversalOutput out,
-                         plan.Run(engine, cancel, &stats));
+                         plan.Run(engine, session, cancel, &stats));
     m.rows = out.counted ? out.count : out.traversers.size();
   }
   m.seconds_per_run = timer.ElapsedSeconds() / rounds;
@@ -144,11 +144,12 @@ int Run(int argc, char** argv) {
                    mapping.status().ToString().c_str());
       continue;
     }
+    auto session = (*engine)->CreateSession();
     for (const Shape& shape : shapes) {
       auto step = MeasurePolicy(shape.t, QueryExecution::kStepWise, **engine,
-                                rounds, never);
+                                *session, rounds, never);
       auto conf = MeasurePolicy(shape.t, QueryExecution::kConflated, **engine,
-                                rounds, never);
+                                *session, rounds, never);
       if (!step.ok() || !conf.ok()) {
         std::fprintf(stderr, "%s %s: %s\n", name.c_str(), shape.name,
                      (step.ok() ? conf : step).status().ToString().c_str());

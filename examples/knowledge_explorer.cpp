@@ -63,13 +63,14 @@ int main(int argc, char** argv) {
               engine_b.c_str());
 
   auto row = [&](const char* label,
-                 const std::function<uint64_t(GraphEngine&,
-                                              const datasets::Workload&)>& op) {
+                 const std::function<uint64_t(GraphEngine&, QuerySession&,
+                                              const datasets::Workload&)>&
+                     op) {
     std::printf("%-44s", label);
     for (Session& s : sessions) {
       uint64_t items = 0;
       double ms = TimeMs([&] {
-        items = op(*s.loaded.engine, *s.loaded.workload);
+        items = op(*s.loaded.engine, *s.loaded.session, *s.loaded.workload);
       });
       std::printf(" %7s/%-6llu", HumanMillis(ms).c_str(),
                   (unsigned long long)items);
@@ -79,39 +80,45 @@ int main(int argc, char** argv) {
   };
 
   row("entity lookup by id (Q14)",
-      [&](GraphEngine& e, const datasets::Workload& w) -> uint64_t {
-        return e.GetVertex(w.ReadVertex(1)).ok() ? 1 : 0;
+      [&](GraphEngine& e, QuerySession& qs,
+          const datasets::Workload& w) -> uint64_t {
+        return e.GetVertex(qs, w.ReadVertex(1)).ok() ? 1 : 0;
       });
   row("facts with a given predicate (Q13)",
-      [&](GraphEngine& e, const datasets::Workload& w) -> uint64_t {
-        auto r = e.FindEdgesByLabel(w.EdgeLabel(2), never);
+      [&](GraphEngine& e, QuerySession& qs,
+          const datasets::Workload& w) -> uint64_t {
+        auto r = e.FindEdgesByLabel(qs, w.EdgeLabel(2), never);
         return r.ok() ? r->size() : 0;
       });
   row("neighbourhood of an entity (Q23)",
-      [&](GraphEngine& e, const datasets::Workload& w) -> uint64_t {
-        auto r = e.NeighborsOf(w.ReadVertex(3), Direction::kBoth, nullptr,
-                               never);
+      [&](GraphEngine& e, QuerySession& qs,
+          const datasets::Workload& w) -> uint64_t {
+        auto r = e.NeighborsOf(qs, w.ReadVertex(3), Direction::kBoth,
+                               nullptr, never);
         return r.ok() ? r->size() : 0;
       });
   row("label-restricted expansion (Q24)",
-      [&](GraphEngine& e, const datasets::Workload& w) -> uint64_t {
+      [&](GraphEngine& e, QuerySession& qs,
+          const datasets::Workload& w) -> uint64_t {
         std::string label = w.EdgeLabel(4);
-        auto r = e.NeighborsOf(w.ReadVertex(5), Direction::kBoth, &label,
-                               never);
+        auto r = e.NeighborsOf(qs, w.ReadVertex(5), Direction::kBoth,
+                               &label, never);
         return r.ok() ? r->size() : 0;
       });
   row("hub entities, degree >= 2x average (Q30)",
-      [&](GraphEngine& e, const datasets::Workload& w) -> uint64_t {
+      [&](GraphEngine& e, QuerySession& qs,
+          const datasets::Workload& w) -> uint64_t {
         auto r = query::Traversal::V()
                      .WhereDegreeAtLeast(Direction::kBoth, w.DegreeK())
                      .Count()
-                     .ExecuteCount(e, never);
+                     .ExecuteCount(e, qs, never);
         return r.ok() ? *r : 0;
       });
   row("well-referenced entities (Q31)",
-      [&](GraphEngine& e, const datasets::Workload&) -> uint64_t {
+      [&](GraphEngine& e, QuerySession& qs,
+          const datasets::Workload&) -> uint64_t {
         auto r = query::Traversal::V().Out().Dedup().Count().ExecuteCount(
-            e, never);
+            e, qs, never);
         return r.ok() ? *r : 0;
       });
 

@@ -34,13 +34,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   GraphEngine& engine = *loaded->engine;
+  QuerySession& session = *loaded->session;
   CancelToken never;
 
   // Pick two proteins that participate in interactions.
   VertexId p1 = loaded->workload->PathEndpoints(0).first;
   VertexId p2 = loaded->workload->PathEndpoints(3).second;
   auto name_of = [&](VertexId v) {
-    auto rec = engine.GetVertex(v);
+    auto rec = engine.GetVertex(session, v);
     if (!rec.ok()) return std::string("?");
     const PropertyValue* n = FindProperty(rec->properties, "shortname");
     return n != nullptr ? n->ToString() : std::string("?");
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
               name_of(p2).c_str());
 
   // Direct interaction partners.
-  auto partners = engine.NeighborsOf(p1, Direction::kBoth, nullptr, never);
+  auto partners = engine.NeighborsOf(session, p1, Direction::kBoth, nullptr, never);
   if (partners.ok()) {
     std::printf("direct interaction partners of A: %zu\n", partners->size());
   }
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
   // Interaction neighbourhood growth.
   for (int depth = 1; depth <= 4; ++depth) {
     Timer timer;
-    auto bfs = query::BreadthFirst(engine, p1, depth, std::nullopt, never);
+    auto bfs = query::BreadthFirst(engine, session, p1, depth, std::nullopt, never);
     if (bfs.ok()) {
       std::printf("proteins within %d interaction hops: %6zu  (%s)\n", depth,
                   bfs->visited.size(),
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
 
   // Interaction path between the two proteins.
   Timer timer;
-  auto path = query::ShortestPath(engine, p1, p2, std::nullopt, 30, never);
+  auto path = query::ShortestPath(engine, session, p1, p2, std::nullopt, 30, never);
   if (path.ok() && path->found) {
     std::printf("\ninteraction path A -> B (%zu proteins, %s): ",
                 path->path.size(), HumanMillis(timer.ElapsedMillis()).c_str());

@@ -54,17 +54,19 @@ int main(int argc, char** argv) {
   must(engine->AddEdge(ada, engine_v, "programs", {}));
   must(engine->AddEdge(charles, engine_v, "designs", {}));
 
-  // 3. Point reads, counts, searches.
+  // 3. Point reads, counts, searches — through a read session (one per
+  // client thread; see the concurrency contract in src/graph/engine.h).
   CancelToken never;
+  auto session = engine->CreateSession();
   std::printf("vertices: %llu, edges: %llu\n",
-              (unsigned long long)must(engine->CountVertices(never)),
-              (unsigned long long)must(engine->CountEdges(never)));
-  VertexRecord rec = must(engine->GetVertex(ada));
+              (unsigned long long)must(engine->CountVertices(*session, never)),
+              (unsigned long long)must(engine->CountEdges(*session, never)));
+  VertexRecord rec = must(engine->GetVertex(*session, ada));
   std::printf("v[%llu] label=%s name=%s\n", (unsigned long long)rec.id,
               rec.label.c_str(),
               FindProperty(rec.properties, "name")->ToString().c_str());
   auto found = must(engine->FindVerticesByProperty(
-      "name", PropertyValue("charles"), never));
+      *session, "name", PropertyValue("charles"), never));
   std::printf("search name=charles -> %zu hit(s)\n", found.size());
 
   // 4. Gremlin-style traversal + BFS.
@@ -72,10 +74,10 @@ int main(int argc, char** argv) {
                                     .Both(std::string("collaboratesWith"))
                                     .Dedup()
                                     .Count()
-                                    .ExecuteCount(*engine, never));
+                                    .ExecuteCount(*engine, *session, never));
   std::printf("ada's collaborators: %llu\n",
               (unsigned long long)collaborators);
-  auto bfs = must(query::BreadthFirst(*engine, ada, 2, std::nullopt, never));
+  auto bfs = must(query::BreadthFirst(*engine, *session, ada, 2, std::nullopt, never));
   std::printf("reachable from ada within 2 hops: %zu vertices\n",
               bfs.visited.size());
 

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
 
   core::QueryContext ctx;
   ctx.engine = loaded->engine.get();
+  ctx.session = loaded->session.get();
   ctx.workload = loaded->workload.get();
   ctx.cancel = CancelToken::WithTimeout(std::chrono::seconds(60));
 

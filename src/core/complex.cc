@@ -35,8 +35,7 @@ VertexId SampleWithLabel(const Workload& w, const std::string& label, int i) {
 /// All persons: g.V().hasLabel('person') through the traversal machine
 /// (the planner picks the engine's execution policy).
 Result<std::vector<VertexId>> AllPersons(QueryContext& ctx) {
-  return query::Traversal::V().HasLabel("person").ExecuteIds(*ctx.engine,
-                                                             ctx.cancel);
+  return query::Traversal::V().HasLabel("person").ExecuteIds(*ctx.engine, *ctx.session, ctx.cancel);
 }
 
 Result<QueryResult> MaxDegreePerson(QueryContext& ctx, Direction dir) {
@@ -46,7 +45,7 @@ Result<QueryResult> MaxDegreePerson(QueryContext& ctx, Direction dir) {
   for (VertexId p : persons) {
     GDB_CHECK_CANCEL(ctx.cancel);
     GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> edges,
-                         ctx.engine->EdgesOf(p, dir, nullptr, ctx.cancel));
+                         ctx.engine->EdgesOf(*ctx.session, p, dir, nullptr, ctx.cancel));
     if (edges.size() >= best) {
       best = edges.size();
       best_id = p;
@@ -60,7 +59,7 @@ Result<std::vector<VertexId>> Friends(QueryContext& ctx, VertexId person) {
   std::string knows = "knows";
   GDB_ASSIGN_OR_RETURN(
       std::vector<VertexId> friends,
-      ctx.engine->NeighborsOf(person, Direction::kBoth, &knows, ctx.cancel));
+      ctx.engine->NeighborsOf(*ctx.session, person, Direction::kBoth, &knows, ctx.cancel));
   std::sort(friends.begin(), friends.end());
   friends.erase(std::unique(friends.begin(), friends.end()), friends.end());
   friends.erase(std::remove(friends.begin(), friends.end(), person),
@@ -127,7 +126,7 @@ std::vector<ComplexQuerySpec> BuildComplexCatalog() {
     VertexId target =
         SampleWithLabel(*ctx.workload, target_label, ctx.iteration);
     GDB_ASSIGN_OR_RETURN(std::vector<VertexId> members,
-                         ctx.engine->NeighborsOf(target, Direction::kIn,
+                         ctx.engine->NeighborsOf(*ctx.session, target, Direction::kIn,
                                                  &edge_label, ctx.cancel));
     return QueryResult{members.size()};
   };
@@ -180,12 +179,12 @@ std::vector<ComplexQuerySpec> BuildComplexCatalog() {
          for (VertexId f : friends) {
            GDB_ASSIGN_OR_RETURN(
                std::vector<VertexId> posts,
-               ctx.engine->NeighborsOf(f, Direction::kIn, &has_creator,
+               ctx.engine->NeighborsOf(*ctx.session, f, Direction::kIn, &has_creator,
                                        ctx.cancel));
            for (VertexId post : posts) {
              GDB_ASSIGN_OR_RETURN(
                  std::vector<VertexId> post_tags,
-                 ctx.engine->NeighborsOf(post, Direction::kOut, &has_tag,
+                 ctx.engine->NeighborsOf(*ctx.session, post, Direction::kOut, &has_tag,
                                          ctx.cancel));
              tags.insert(post_tags.begin(), post_tags.end());
            }
@@ -200,7 +199,7 @@ std::vector<ComplexQuerySpec> BuildComplexCatalog() {
          std::string has_creator = "hasCreator";
          GDB_ASSIGN_OR_RETURN(
              std::vector<VertexId> posts,
-             ctx.engine->NeighborsOf(p, Direction::kIn, &has_creator,
+             ctx.engine->NeighborsOf(*ctx.session, p, Direction::kIn, &has_creator,
                                      ctx.cancel));
          if (posts.empty()) return QueryResult{0};
          PropertyMap weight;
@@ -225,11 +224,11 @@ std::vector<ComplexQuerySpec> BuildComplexCatalog() {
          VertexId p = SampleWithLabel(*ctx.workload, "person", ctx.iteration);
          GDB_ASSIGN_OR_RETURN(
              query::BfsResult bfs,
-             query::BreadthFirst(*ctx.engine, p, 3, std::string("knows"),
+             query::BreadthFirst(*ctx.engine, *ctx.session, p, 3, std::string("knows"),
                                  ctx.cancel));
          std::vector<std::pair<std::string, VertexId>> named;
          for (VertexId v : bfs.visited) {
-           GDB_ASSIGN_OR_RETURN(VertexRecord rec, ctx.engine->GetVertex(v));
+           GDB_ASSIGN_OR_RETURN(VertexRecord rec, ctx.engine->GetVertex(*ctx.session, v));
            const PropertyValue* last = FindProperty(rec.properties, "lastName");
            named.emplace_back(last != nullptr ? last->ToString() : "",
                               v);
@@ -266,7 +265,7 @@ std::vector<ComplexQuerySpec> BuildComplexCatalog() {
          for (VertexId f : friends) {
            GDB_ASSIGN_OR_RETURN(
                std::vector<VertexId> places,
-               ctx.engine->NeighborsOf(f, Direction::kOut, &located,
+               ctx.engine->NeighborsOf(*ctx.session, f, Direction::kOut, &located,
                                        ctx.cancel));
            for (VertexId place : places) ++counts[place];
          }

@@ -130,20 +130,20 @@ std::vector<QuerySpec> BuildCatalog() {
   catalog.push_back(Make(
       8, "g.V.count()", "Total number of nodes", Category::kRead, false,
       [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.engine->CountVertices(ctx.cancel));
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.engine->CountVertices(*ctx.session, ctx.cancel));
         return QueryResult{n};
       }));
   catalog.push_back(Make(
       9, "g.E.count()", "Total number of edges", Category::kRead, false,
       [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.engine->CountEdges(ctx.cancel));
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.engine->CountEdges(*ctx.session, ctx.cancel));
         return QueryResult{n};
       }));
   catalog.push_back(Make(
       10, "g.E.label.dedup()", "Existing edge labels (no duplicates)",
       Category::kRead, false, [](QueryContext& ctx) -> Result<QueryResult> {
         GDB_ASSIGN_OR_RETURN(std::vector<std::string> labels,
-                             ctx.engine->DistinctEdgeLabels(ctx.cancel));
+                             ctx.engine->DistinctEdgeLabels(*ctx.session, ctx.cancel));
         return QueryResult{labels.size()};
       }));
   catalog.push_back(Make(
@@ -152,7 +152,7 @@ std::vector<QuerySpec> BuildCatalog() {
         auto [name, value] = ctx.workload->VertexProperty(ctx.iteration);
         GDB_ASSIGN_OR_RETURN(
             std::vector<VertexId> ids,
-            ctx.engine->FindVerticesByProperty(name, value, ctx.cancel));
+            ctx.engine->FindVerticesByProperty(*ctx.session, name, value, ctx.cancel));
         return QueryResult{ids.size()};
       }));
   catalog.push_back(Make(
@@ -161,7 +161,7 @@ std::vector<QuerySpec> BuildCatalog() {
         auto [name, value] = ctx.workload->EdgeProperty(ctx.iteration);
         GDB_ASSIGN_OR_RETURN(
             std::vector<EdgeId> ids,
-            ctx.engine->FindEdgesByProperty(name, value, ctx.cancel));
+            ctx.engine->FindEdgesByProperty(*ctx.session, name, value, ctx.cancel));
         return QueryResult{ids.size()};
       }));
   catalog.push_back(Make(
@@ -169,7 +169,7 @@ std::vector<QuerySpec> BuildCatalog() {
       [](QueryContext& ctx) -> Result<QueryResult> {
         GDB_ASSIGN_OR_RETURN(
             std::vector<EdgeId> ids,
-            ctx.engine->FindEdgesByLabel(ctx.workload->EdgeLabel(ctx.iteration),
+            ctx.engine->FindEdgesByLabel(*ctx.session, ctx.workload->EdgeLabel(ctx.iteration),
                                          ctx.cancel));
         return QueryResult{ids.size()};
       }));
@@ -178,7 +178,7 @@ std::vector<QuerySpec> BuildCatalog() {
       [](QueryContext& ctx) -> Result<QueryResult> {
         GDB_ASSIGN_OR_RETURN(
             VertexRecord rec,
-            ctx.engine->GetVertex(ctx.workload->ReadVertex(ctx.iteration)));
+            ctx.engine->GetVertex(*ctx.session, ctx.workload->ReadVertex(ctx.iteration)));
         (void)rec;
         return QueryResult{1};
       }));
@@ -187,7 +187,7 @@ std::vector<QuerySpec> BuildCatalog() {
       [](QueryContext& ctx) -> Result<QueryResult> {
         GDB_ASSIGN_OR_RETURN(
             EdgeRecord rec,
-            ctx.engine->GetEdge(ctx.workload->ReadEdge(ctx.iteration)));
+            ctx.engine->GetEdge(*ctx.session, ctx.workload->ReadEdge(ctx.iteration)));
         (void)rec;
         return QueryResult{1};
       }));
@@ -260,7 +260,7 @@ std::vector<QuerySpec> BuildCatalog() {
         with_label ? ctx.workload->EdgeLabel(ctx.iteration) : std::string();
     GDB_ASSIGN_OR_RETURN(
         std::vector<VertexId> out,
-        ctx.engine->NeighborsOf(ctx.workload->ReadVertex(ctx.iteration), dir,
+        ctx.engine->NeighborsOf(*ctx.session, ctx.workload->ReadVertex(ctx.iteration), dir,
                                 with_label ? &label : nullptr, ctx.cancel));
     return QueryResult{out.size()};
   };
@@ -298,7 +298,7 @@ std::vector<QuerySpec> BuildCatalog() {
         break;
     }
     t.Label().Dedup();
-    GDB_ASSIGN_OR_RETURN(uint64_t n, t.ExecuteCount(*ctx.engine, ctx.cancel));
+    GDB_ASSIGN_OR_RETURN(uint64_t n, t.ExecuteCount(*ctx.engine, *ctx.session, ctx.cancel));
     return QueryResult{n};
   };
   catalog.push_back(Make(25, "v.inE.label.dedup()",
@@ -327,7 +327,7 @@ std::vector<QuerySpec> BuildCatalog() {
         Traversal::V()
             .WhereDegreeAtLeast(dir, ctx.workload->DegreeK())
             .Count()
-            .ExecuteCount(*ctx.engine, ctx.cancel));
+            .ExecuteCount(*ctx.engine, *ctx.session, ctx.cancel));
     return QueryResult{n};
   };
   catalog.push_back(Make(28, "g.V.filter{it.inE.count()>=k}",
@@ -354,8 +354,7 @@ std::vector<QuerySpec> BuildCatalog() {
                                              .Out()
                                              .Dedup()
                                              .Count()
-                                             .ExecuteCount(*ctx.engine,
-                                                           ctx.cancel));
+                                             .ExecuteCount(*ctx.engine, *ctx.session, ctx.cancel));
         return QueryResult{n};
       }));
 
@@ -367,7 +366,7 @@ std::vector<QuerySpec> BuildCatalog() {
         [depth](QueryContext& ctx) -> Result<QueryResult> {
           GDB_ASSIGN_OR_RETURN(
               query::BfsResult r,
-              BreadthFirst(*ctx.engine,
+              BreadthFirst(*ctx.engine, *ctx.session,
                            ctx.workload->PathEndpoints(ctx.iteration).first,
                            depth, std::nullopt, ctx.cancel));
           return QueryResult{r.visited.size()};
@@ -382,7 +381,7 @@ std::vector<QuerySpec> BuildCatalog() {
         [depth](QueryContext& ctx) -> Result<QueryResult> {
           GDB_ASSIGN_OR_RETURN(
               query::BfsResult r,
-              BreadthFirst(*ctx.engine,
+              BreadthFirst(*ctx.engine, *ctx.session,
                            ctx.workload->PathEndpoints(ctx.iteration).first,
                            depth, ctx.workload->EdgeLabel(ctx.iteration),
                            ctx.cancel));
@@ -397,7 +396,7 @@ std::vector<QuerySpec> BuildCatalog() {
       [](QueryContext& ctx) -> Result<QueryResult> {
         auto [src, dst] = ctx.workload->PathEndpoints(ctx.iteration);
         GDB_ASSIGN_OR_RETURN(query::PathResult r,
-                             ShortestPath(*ctx.engine, src, dst, std::nullopt,
+                             ShortestPath(*ctx.engine, *ctx.session, src, dst, std::nullopt,
                                           kPathMaxDepth, ctx.cancel));
         return QueryResult{r.path.size()};
       }));
@@ -408,7 +407,7 @@ std::vector<QuerySpec> BuildCatalog() {
         auto [src, dst] = ctx.workload->PathEndpoints(ctx.iteration);
         GDB_ASSIGN_OR_RETURN(
             query::PathResult r,
-            ShortestPath(*ctx.engine, src, dst,
+            ShortestPath(*ctx.engine, *ctx.session, src, dst,
                          ctx.workload->EdgeLabel(ctx.iteration), kPathMaxDepth,
                          ctx.cancel));
         return QueryResult{r.path.size()};

@@ -35,6 +35,10 @@ std::string_view CategoryToString(Category c);
 /// Execution context handed to each query implementation.
 struct QueryContext {
   GraphEngine* engine = nullptr;
+  /// The calling client's read session (one per thread; see the engine.h
+  /// concurrency contract). Read queries pass it to every engine call;
+  /// mutating queries only need the engine.
+  QuerySession* session = nullptr;
   const datasets::Workload* workload = nullptr;
   CancelToken cancel;
   /// Batch iteration index; implementations vary their sampled parameters

@@ -105,17 +105,32 @@ std::map<std::string, double> CumulativeMillis(
   return totals;
 }
 
+std::string FormatLatency(const LatencyStats& latency) {
+  if (latency.samples == 0) return "-";
+  return StrFormat("min %s / p50 %s / p95 %s / p99 %s / max %s (n=%llu)",
+                   HumanMillis(latency.min_ms).c_str(),
+                   HumanMillis(latency.p50_ms).c_str(),
+                   HumanMillis(latency.p95_ms).c_str(),
+                   HumanMillis(latency.p99_ms).c_str(),
+                   HumanMillis(latency.max_ms).c_str(),
+                   static_cast<unsigned long long>(latency.samples));
+}
+
 Status WriteCsv(const std::vector<Measurement>& results,
                 const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::IOError("cannot open " + path);
-  out << "engine,dataset,query,category,mode,status,millis,items\n";
+  out << "engine,dataset,query,category,mode,status,millis,items,"
+         "lat_samples,lat_min_ms,lat_p50_ms,lat_p95_ms,lat_p99_ms,"
+         "lat_max_ms\n";
   for (const Measurement& m : results) {
     out << m.engine << ',' << m.dataset << ',' << m.query << ','
         << CategoryToString(m.category) << ','
         << (m.mode == Measurement::Mode::kSingle ? "single" : "batch") << ','
         << StatusCodeToString(m.status.code()) << ',' << m.millis << ','
-        << m.items << '\n';
+        << m.items << ',' << m.latency.samples << ',' << m.latency.min_ms
+        << ',' << m.latency.p50_ms << ',' << m.latency.p95_ms << ','
+        << m.latency.p99_ms << ',' << m.latency.max_ms << '\n';
   }
   return Status::OK();
 }

@@ -20,6 +20,10 @@ namespace core {
 /// ("timeout", "oom", "err").
 std::string FormatCell(const Measurement& m);
 
+/// One-line latency-distribution summary ("min … / p50 … / p95 … / p99 …
+/// / max … (n=K)"), or "-" when no per-iteration samples were recorded.
+std::string FormatLatency(const LatencyStats& latency);
+
 struct PivotOptions {
   std::optional<std::string> dataset;               // filter
   std::optional<Measurement::Mode> mode;            // filter

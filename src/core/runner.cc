@@ -2,11 +2,36 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <numeric>
+#include <thread>
 
 #include "src/util/timer.h"
 
 namespace gdbmicro {
 namespace core {
+
+LatencyStats LatencyStats::FromSamples(std::vector<double> samples_ms) {
+  LatencyStats s;
+  if (samples_ms.empty()) return s;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  s.samples = samples_ms.size();
+  s.min_ms = samples_ms.front();
+  s.max_ms = samples_ms.back();
+  s.mean_ms = std::accumulate(samples_ms.begin(), samples_ms.end(), 0.0) /
+              static_cast<double>(samples_ms.size());
+  // Linear interpolation between closest ranks (the numpy default).
+  auto pct = [&samples_ms](double p) {
+    double rank = p * static_cast<double>(samples_ms.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, samples_ms.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_ms[lo] * (1.0 - frac) + samples_ms[hi] * frac;
+  };
+  s.p50_ms = pct(0.50);
+  s.p95_ms = pct(0.95);
+  s.p99_ms = pct(0.99);
+  return s;
+}
 
 Result<LoadedEngine> Runner::Load(const std::string& engine_name,
                                   const GraphData& data) const {
@@ -30,6 +55,7 @@ Result<LoadedEngine> Runner::Load(const std::string& engine_name,
   double load_ms = timer.ElapsedMillis();
 
   loaded.engine = std::move(engine);
+  loaded.session = loaded.engine->CreateSession();
   loaded.mapping = std::make_unique<LoadMapping>(std::move(mapping));
   loaded.workload = std::make_unique<datasets::Workload>(
       &data, loaded.mapping.get(), options_.workload_seed);
@@ -64,21 +90,28 @@ std::vector<Measurement> Runner::RunQuery(LoadedEngine& loaded,
     m.mode = mode;
     QueryContext ctx;
     ctx.engine = loaded.engine.get();
+    ctx.session = loaded.session.get();
     ctx.workload = loaded.workload.get();
     ctx.cancel = CancelToken::WithTimeout(options_.deadline);
     Timer timer;
     Status status = Status::OK();
     uint64_t items = 0;
+    std::vector<double> iteration_ms;
+    iteration_ms.reserve(static_cast<size_t>(iterations));
     for (int i = 0; i < iterations; ++i) {
       // Batch iterations use indexes 1..N so they never resample the
       // single run's pick (deletion victims must be distinct).
       ctx.iteration = mode == Measurement::Mode::kBatch ? i + 1 : 0;
-      loaded.engine->BeginQuery();
+      loaded.session->BeginQuery();
+      Timer iteration_timer;
       Result<QueryResult> r = spec.run(ctx);
       if (!r.ok()) {
         status = std::move(r).status();
         break;
       }
+      // Only completed iterations enter the distribution (a failed run
+      // has samples == 0; see the LatencyStats contract in runner.h).
+      iteration_ms.push_back(iteration_timer.ElapsedMillis());
       items += r->items;
       if (ctx.cancel.Expired()) {
         status = ctx.cancel.ToStatus();
@@ -88,12 +121,112 @@ std::vector<Measurement> Runner::RunQuery(LoadedEngine& loaded,
     m.millis = timer.ElapsedMillis();
     m.status = std::move(status);
     m.items = items;
+    m.latency = LatencyStats::FromSamples(std::move(iteration_ms));
     out.push_back(std::move(m));
   };
   run_mode(Measurement::Mode::kSingle, 1);
   if (options_.run_batch) {
     run_mode(Measurement::Mode::kBatch, options_.batch_iterations);
   }
+  return out;
+}
+
+Result<ConcurrentMeasurement> Runner::RunConcurrent(
+    LoadedEngine& loaded, const GraphData& data,
+    const std::vector<const QuerySpec*>& specs, int threads,
+    int iterations_per_thread) const {
+  if (threads < 1) {
+    return Status::InvalidArgument("RunConcurrent needs at least one thread");
+  }
+  if (specs.empty()) {
+    return Status::InvalidArgument("RunConcurrent needs at least one spec");
+  }
+  for (const QuerySpec* spec : specs) {
+    if (spec->mutates) {
+      return Status::InvalidArgument(
+          spec->name + " mutates; concurrent sessions read an immutable "
+                       "snapshot (see the engine.h concurrency contract)");
+    }
+  }
+
+  ConcurrentMeasurement out;
+  out.engine = std::string(loaded.engine->name());
+  out.dataset = data.name;
+  out.threads = threads;
+  out.iterations_per_thread = iterations_per_thread;
+
+  // Per-thread result slots, indexed by thread id: no locks on the hot
+  // path, no sharing until after the join.
+  struct ThreadResult {
+    std::vector<double> latencies_ms;
+    uint64_t ok_queries = 0;
+    uint64_t failures = 0;
+    Status status;
+  };
+  std::vector<ThreadResult> results(static_cast<size_t>(threads));
+  // Per-thread workloads: same dataset, disjoint parameter streams.
+  std::vector<std::unique_ptr<datasets::Workload>> workloads;
+  workloads.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workloads.push_back(std::make_unique<datasets::Workload>(
+        &data, loaded.mapping.get(), options_.workload_seed +
+                                         static_cast<uint64_t>(t)));
+  }
+
+  Timer wall;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        ThreadResult& slot = results[static_cast<size_t>(t)];
+        std::unique_ptr<QuerySession> session =
+            loaded.engine->CreateSession();
+        QueryContext ctx;
+        ctx.engine = loaded.engine.get();
+        ctx.session = session.get();
+        ctx.workload = workloads[static_cast<size_t>(t)].get();
+        // One deadline per client covering its whole closed loop.
+        ctx.cancel = CancelToken::WithTimeout(options_.deadline);
+        slot.latencies_ms.reserve(static_cast<size_t>(iterations_per_thread) *
+                                  specs.size());
+        for (int it = 0; it < iterations_per_thread && slot.status.ok();
+             ++it) {
+          ctx.iteration = it;
+          for (const QuerySpec* spec : specs) {
+            ctx.session->BeginQuery();
+            Timer query_timer;
+            Result<QueryResult> r = spec->run(ctx);
+            if (!r.ok()) {
+              slot.status = std::move(r).status();
+              ++slot.failures;
+              break;
+            }
+            // The latency distribution covers completed queries only;
+            // failures are counted separately.
+            slot.latencies_ms.push_back(query_timer.ElapsedMillis());
+            ++slot.ok_queries;
+            if (ctx.cancel.Expired()) {
+              slot.status = ctx.cancel.ToStatus();
+              break;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& c : clients) c.join();
+  }
+  out.wall_millis = wall.ElapsedMillis();
+
+  std::vector<double> all_latencies;
+  for (ThreadResult& slot : results) {
+    out.queries += slot.ok_queries;
+    out.failures += slot.failures;
+    all_latencies.insert(all_latencies.end(), slot.latencies_ms.begin(),
+                         slot.latencies_ms.end());
+    if (out.status.ok() && !slot.status.ok()) out.status = slot.status;
+  }
+  out.latency = LatencyStats::FromSamples(std::move(all_latencies));
   return out;
 }
 

@@ -41,6 +41,23 @@ struct RunnerOptions {
   bool create_property_index = false;
 };
 
+/// Latency distribution over a set of per-iteration (batch mode) or
+/// per-query (concurrent mode) samples, in milliseconds. `samples == 0`
+/// means no distribution was recorded (single mode, or a failed run).
+struct LatencyStats {
+  uint64_t samples = 0;
+  double min_ms = 0;
+  double p50_ms = 0;  // median
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  double mean_ms = 0;
+
+  /// Sorts `samples_ms` and derives the stats (linear-interpolated
+  /// percentiles). Empty input yields the zero stats.
+  static LatencyStats FromSamples(std::vector<double> samples_ms);
+};
+
 /// One measured test execution.
 struct Measurement {
   std::string engine;
@@ -51,6 +68,9 @@ struct Measurement {
   Status status;      // OK, DeadlineExceeded, ResourceExhausted, ...
   double millis = 0;  // wall time of the whole test (batch: all iterations)
   uint64_t items = 0;
+  /// Batch mode: the distribution of the individual iteration latencies
+  /// (min/median/p95/p99/max), not just the aggregate wall time above.
+  LatencyStats latency;
 
   bool ok() const { return status.ok(); }
   bool timed_out() const { return status.IsDeadlineExceeded(); }
@@ -58,12 +78,37 @@ struct Measurement {
 
 /// A loaded engine + its workload, reusable across query runs. The mapping
 /// is heap-allocated because the workload keeps a pointer into it and the
-/// struct is returned by value.
+/// struct is returned by value. `session` is the sequential runner's own
+/// read session; RunConcurrent ignores it and gives each client thread a
+/// session of its own.
 struct LoadedEngine {
   std::unique_ptr<GraphEngine> engine;
   std::unique_ptr<LoadMapping> mapping;
   std::unique_ptr<datasets::Workload> workload;
+  std::unique_ptr<QuerySession> session;
   Measurement load_measurement;  // the Q.1 data point
+};
+
+/// Result of one closed-loop concurrent run: `threads` client threads,
+/// each with its own QuerySession and its own Workload parameter stream
+/// (seeded workload_seed + thread index), repeatedly issuing the given
+/// read-only query specs against one shared loaded engine.
+struct ConcurrentMeasurement {
+  std::string engine;
+  std::string dataset;
+  int threads = 0;
+  int iterations_per_thread = 0;  // closed-loop rounds over the spec list
+  uint64_t queries = 0;           // query executions that returned OK
+  uint64_t failures = 0;          // query executions that did not
+  double wall_millis = 0;         // first thread started -> last joined
+  LatencyStats latency;           // per-query latency across all threads
+  Status status;                  // first non-OK status observed, else OK
+
+  double QueriesPerSec() const {
+    return wall_millis > 0 ? static_cast<double>(queries) /
+                                 (wall_millis / 1000.0)
+                           : 0.0;
+  }
 };
 
 class Runner {
@@ -80,6 +125,19 @@ class Runner {
   std::vector<Measurement> RunQuery(LoadedEngine& loaded,
                                     const GraphData& data,
                                     const QuerySpec& spec) const;
+
+  /// Closed-loop concurrent mode: `threads` client threads each create
+  /// their own QuerySession and Workload (seed = workload_seed + thread
+  /// index) and loop `iterations_per_thread` times over `specs` against
+  /// the shared loaded engine, recording every query's latency. All specs
+  /// must be read-only (`mutates == false`) — the engine is an immutable
+  /// snapshot under concurrency (see engine.h). Each thread runs under
+  /// its own deadline token; the first failure stops that thread's loop
+  /// but not the others.
+  Result<ConcurrentMeasurement> RunConcurrent(
+      LoadedEngine& loaded, const GraphData& data,
+      const std::vector<const QuerySpec*>& specs, int threads,
+      int iterations_per_thread) const;
 
   /// Full sweep: load once, run all `specs`. Read/traversal queries run
   /// before mutating ones so they observe the pristine dataset (the

@@ -22,13 +22,15 @@ EngineInfo BitmapEngine::info() const {
   return info;
 }
 
-Status BitmapEngine::ChargeArena(uint64_t bytes) const {
-  arena_bytes_ += bytes;
+Status BitmapEngine::ChargeArena(QuerySession& session,
+                                 uint64_t bytes) const {
+  BitmapSession& s = static_cast<BitmapSession&>(session);
+  s.arena_bytes_ += bytes;
   if (options_.memory_budget_bytes != 0 &&
-      arena_bytes_ > options_.memory_budget_bytes) {
+      s.arena_bytes_ > options_.memory_budget_bytes) {
     return Status::ResourceExhausted(
         StrFormat("sparksee session arena exceeded budget (%llu bytes)",
-                  static_cast<unsigned long long>(arena_bytes_)));
+                  static_cast<unsigned long long>(s.arena_bytes_)));
   }
   return Status::OK();
 }
@@ -201,7 +203,7 @@ Status BitmapEngine::SetEdgeProperty(EdgeId e, std::string_view name,
   return Status::OK();
 }
 
-Result<VertexRecord> BitmapEngine::GetVertex(VertexId id) const {
+Result<VertexRecord> BitmapEngine::GetVertex(QuerySession& /*session*/, VertexId id) const {
   if (!vertices_.Contains(id)) return Status::NotFound("vertex not found");
   VertexRecord rec;
   rec.id = id;
@@ -212,7 +214,7 @@ Result<VertexRecord> BitmapEngine::GetVertex(VertexId id) const {
   return rec;
 }
 
-Result<EdgeRecord> BitmapEngine::GetEdge(EdgeId id) const {
+Result<EdgeRecord> BitmapEngine::GetEdge(QuerySession& /*session*/, EdgeId id) const {
   if (!edges_.Contains(id)) return Status::NotFound("edge not found");
   EdgeRecord rec;
   rec.id = id;
@@ -223,11 +225,11 @@ Result<EdgeRecord> BitmapEngine::GetEdge(EdgeId id) const {
   return rec;
 }
 
-Result<uint64_t> BitmapEngine::CountVertices(const CancelToken&) const {
+Result<uint64_t> BitmapEngine::CountVertices(QuerySession& /*session*/, const CancelToken&) const {
   return vertices_.Cardinality();  // O(1): bitmap cardinality counter
 }
 
-Result<uint64_t> BitmapEngine::CountEdges(const CancelToken&) const {
+Result<uint64_t> BitmapEngine::CountEdges(QuerySession& /*session*/, const CancelToken&) const {
   return edges_.Cardinality();
 }
 
@@ -311,7 +313,7 @@ Status BitmapEngine::RemoveEdgeProperty(EdgeId e, std::string_view name) {
 
 // --- scans / traversal ----------------------------------------------------------
 
-Status BitmapEngine::ScanVertices(
+Status BitmapEngine::ScanVertices(QuerySession& /*session*/, 
     const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
   Status status = Status::OK();
   vertices_.ForEach([&](uint64_t oid) {
@@ -324,7 +326,7 @@ Status BitmapEngine::ScanVertices(
   return status;
 }
 
-Status BitmapEngine::ScanEdges(
+Status BitmapEngine::ScanEdges(QuerySession& /*session*/, 
     const CancelToken& cancel,
     const std::function<bool(const EdgeEnds&)>& fn) const {
   Status status = Status::OK();
@@ -392,14 +394,14 @@ Status BitmapEngine::WalkIncident(VertexId v, Direction dir,
   return Status::OK();
 }
 
-Status BitmapEngine::ForEachEdgeOf(VertexId v, Direction dir,
+Status BitmapEngine::ForEachEdgeOf(QuerySession& /*session*/, VertexId v, Direction dir,
                                    const std::string* label,
                                    const CancelToken& cancel,
                                    const std::function<bool(EdgeId)>& fn) const {
   return WalkIncident(v, dir, label, cancel, fn);
 }
 
-Status BitmapEngine::ForEachNeighbor(
+Status BitmapEngine::ForEachNeighbor(QuerySession& /*session*/, 
     VertexId v, Direction dir, const std::string* label,
     const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
   return WalkIncident(v, dir, label, cancel, [&](EdgeId e) {
@@ -408,18 +410,19 @@ Status BitmapEngine::ForEachNeighbor(
   });
 }
 
-Result<uint64_t> BitmapEngine::CountEdgesOf(VertexId v, Direction dir,
+Result<uint64_t> BitmapEngine::CountEdgesOf(QuerySession& session,
+                                            VertexId v, Direction dir,
                                             const CancelToken& cancel) const {
   // The Gremlin adapter's inner `it.xE.count()` materializes the incident
   // edge list into session buffers that are not released until the query
   // ends (the defect the paper links to the Q.28-Q.31 memory exhaustion).
   GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> edges,
-                       EdgesOf(v, dir, nullptr, cancel));
-  GDB_RETURN_IF_ERROR(ChargeArena(kArenaPerCall + edges.size() * 8));
+                       EdgesOf(session, v, dir, nullptr, cancel));
+  GDB_RETURN_IF_ERROR(ChargeArena(session, kArenaPerCall + edges.size() * 8));
   return static_cast<uint64_t>(edges.size());
 }
 
-Result<EdgeEnds> BitmapEngine::GetEdgeEnds(EdgeId e) const {
+Result<EdgeEnds> BitmapEngine::GetEdgeEnds(QuerySession& /*session*/, EdgeId e) const {
   if (!edges_.Contains(e)) return Status::NotFound("edge not found");
   EdgeEnds ends;
   ends.id = e;

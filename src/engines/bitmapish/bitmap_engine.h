@@ -32,6 +32,25 @@
 
 namespace gdbmicro {
 
+/// The Sparksee Gremlin adapter's per-connection working memory: every
+/// materialized intermediate is charged to this arena, which the runner
+/// resets between measured queries via BeginQuery(). Lives in the session
+/// so concurrent clients each have their own budget window — exactly the
+/// per-session exhaustion the paper observes (one query's arena cannot
+/// fail another client's query).
+class BitmapSession : public QuerySession {
+ public:
+  explicit BitmapSession(const GraphEngine* engine) : QuerySession(engine) {}
+
+  void BeginQuery() override { arena_bytes_ = 0; }
+
+  uint64_t arena_bytes() const { return arena_bytes_; }
+
+ private:
+  friend class BitmapEngine;
+  uint64_t arena_bytes_ = 0;
+};
+
 class BitmapEngine : public GraphEngine {
  public:
   BitmapEngine() = default;
@@ -39,7 +58,9 @@ class BitmapEngine : public GraphEngine {
   std::string_view name() const override { return "sparksee"; }
   EngineInfo info() const override;
 
-  void BeginQuery() override { arena_bytes_ = 0; }
+  std::unique_ptr<QuerySession> CreateSession() const override {
+    return std::make_unique<BitmapSession>(this);
+  }
 
   Result<VertexId> AddVertex(std::string_view label,
                              const PropertyMap& props) override;
@@ -50,37 +71,37 @@ class BitmapEngine : public GraphEngine {
   Status SetEdgeProperty(EdgeId e, std::string_view name,
                          const PropertyValue& value) override;
 
-  Result<VertexRecord> GetVertex(VertexId id) const override;
-  Result<EdgeRecord> GetEdge(EdgeId id) const override;
-  Result<uint64_t> CountVertices(const CancelToken& cancel) const override;
-  Result<uint64_t> CountEdges(const CancelToken& cancel) const override;
+  Result<VertexRecord> GetVertex(QuerySession& session, VertexId id) const override;
+  Result<EdgeRecord> GetEdge(QuerySession& session, EdgeId id) const override;
+  Result<uint64_t> CountVertices(QuerySession& session, const CancelToken& cancel) const override;
+  Result<uint64_t> CountEdges(QuerySession& session, const CancelToken& cancel) const override;
 
   Status RemoveVertex(VertexId v) override;
   Status RemoveEdge(EdgeId e) override;
   Status RemoveVertexProperty(VertexId v, std::string_view name) override;
   Status RemoveEdgeProperty(EdgeId e, std::string_view name) override;
 
-  Status ScanVertices(const CancelToken& cancel,
+  Status ScanVertices(QuerySession& session, const CancelToken& cancel,
                       const std::function<bool(VertexId)>& fn) const override;
-  Status ScanEdges(
+  Status ScanEdges(QuerySession& session, 
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
   /// Streams the incidence bitmaps in ascending-oid order; a label filter
   /// is a Contains probe against the label's edge bitmap (the bitwise
   /// side of the layout), not an edge-record fetch.
-  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+  Status ForEachEdgeOf(QuerySession& session, VertexId v, Direction dir, const std::string* label,
                        const CancelToken& cancel,
                        const std::function<bool(EdgeId)>& fn) const override;
-  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+  Status ForEachNeighbor(QuerySession& session, VertexId v, Direction dir, const std::string* label,
                          const CancelToken& cancel,
                          const std::function<bool(VertexId)>& fn) const override;
-  Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
+  Result<EdgeEnds> GetEdgeEnds(QuerySession& session, EdgeId e) const override;
   /// Bound on vertex oids only: the unified oid counter also numbers
   /// edges, which would inflate dense visited structures by |E|.
   uint64_t VertexIdUpperBound() const override {
     return max_vertex_oid_ == kInvalidId ? 0 : max_vertex_oid_ + 1;
   }
-  Result<uint64_t> CountEdgesOf(VertexId v, Direction dir,
+  Result<uint64_t> CountEdgesOf(QuerySession& session, VertexId v, Direction dir,
                                 const CancelToken& cancel) const override;
 
   /// Attribute values are already value-indexed by construction, so this
@@ -107,11 +128,11 @@ class BitmapEngine : public GraphEngine {
     HashIndex<uint64_t, PropertyValue> values;
   };
 
-  // Per-EdgesOf materialization overhead charged to the query arena
+  // Per-EdgesOf materialization overhead charged to the session arena
   // (session buffers in the Gremlin adapter), plus 8 bytes per edge id.
   static constexpr uint64_t kArenaPerCall = 1024;
 
-  Status ChargeArena(uint64_t bytes) const;
+  Status ChargeArena(QuerySession& session, uint64_t bytes) const;
 
   // The shared incidence walk: streams matching edge oids out of the
   // out/in bitmaps, self-loops emitted once via the out bitmap.
@@ -140,8 +161,6 @@ class BitmapEngine : public GraphEngine {
   Dictionary labels_;
   std::map<std::string, AttrColumn, std::less<>> columns_;
   std::set<std::string> declared_indexes_;
-
-  mutable uint64_t arena_bytes_ = 0;
 };
 
 std::unique_ptr<GraphEngine> MakeBitmapEngine();

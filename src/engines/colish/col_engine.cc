@@ -31,20 +31,18 @@ Status ColEngine::Open(const EngineOptions& options) {
   backend_.per_read_us = v10_ ? 250 : 400;
   backend_.enabled = options.enable_cost_model;
   tombstone_write_us_ = backend_.per_write_us / 10;
-  if (v10_) {
-    row_cache_ = std::make_unique<LruCache<VertexId, uint64_t>>(
-        options.row_cache_entries);
-  }
   return Status::OK();
 }
 
-const ColEngine::Row* ColEngine::FetchRow(VertexId v) const {
+const ColEngine::Row* ColEngine::FetchRow(QuerySession& session,
+                                          VertexId v) const {
   const Row* row = rows_.Get(v);
   if (row == nullptr) return nullptr;
-  if (row_cache_ != nullptr) {
-    if (row_cache_->Get(v) == nullptr) {
+  ColSession& s = static_cast<ColSession&>(session);
+  if (s.row_cache != nullptr) {
+    if (s.row_cache->Get(v) == nullptr) {
       backend_.ChargeRead();  // cache miss: backend row fetch
-      row_cache_->Put(v, 1);
+      s.row_cache->Put(v, 1);
     }
   } else {
     backend_.ChargeRead();
@@ -52,16 +50,14 @@ const ColEngine::Row* ColEngine::FetchRow(VertexId v) const {
   return row;
 }
 
-ColEngine::Row* ColEngine::FetchRowMutable(VertexId v) {
-  return const_cast<Row*>(FetchRow(v));
-}
-
-const ColEngine::Row* ColEngine::FetchRowBatched(VertexId v) const {
+const ColEngine::Row* ColEngine::FetchRowBatched(QuerySession& session,
+                                                 VertexId v) const {
   const Row* row = rows_.Get(v);
   if (row == nullptr) return nullptr;
-  if (row_cache_ != nullptr && row_cache_->Get(v) != nullptr) return row;
-  if (batched_reads_++ % kReadBatch == 0) backend_.ChargeRead();
-  if (row_cache_ != nullptr) row_cache_->Put(v, 1);
+  ColSession& s = static_cast<ColSession&>(session);
+  if (s.row_cache != nullptr && s.row_cache->Get(v) != nullptr) return row;
+  if (s.batched_reads++ % kReadBatch == 0) backend_.ChargeRead();
+  if (s.row_cache != nullptr) s.row_cache->Put(v, 1);
   return row;
 }
 
@@ -119,10 +115,6 @@ Result<EdgeId> ColEngine::AddEdge(VertexId src, VertexId dst,
   in.edge = id;
   dst_row->adj.push_back(std::move(in));
   ++edge_count_;
-  if (row_cache_ != nullptr) {
-    row_cache_->Invalidate(src);
-    row_cache_->Invalidate(dst);
-  }
   return id;
 }
 
@@ -207,8 +199,9 @@ Status ColEngine::SetEdgeProperty(EdgeId e, std::string_view name,
   return Status::OK();
 }
 
-Result<VertexRecord> ColEngine::GetVertex(VertexId id) const {
-  const Row* row = FetchRow(id);
+Result<VertexRecord> ColEngine::GetVertex(QuerySession& session,
+                                          VertexId id) const {
+  const Row* row = FetchRow(session, id);
   if (row == nullptr) return Status::NotFound("vertex not found");
   VertexRecord rec;
   rec.id = id;
@@ -217,7 +210,7 @@ Result<VertexRecord> ColEngine::GetVertex(VertexId id) const {
   return rec;
 }
 
-Result<EdgeRecord> ColEngine::GetEdge(EdgeId id) const {
+Result<EdgeRecord> ColEngine::GetEdge(QuerySession& /*session*/, EdgeId id) const {
   backend_.ChargeRead();
   const AdjEntry* entry = FindOutEntry(id);
   if (entry == nullptr) return Status::NotFound("edge not found");
@@ -230,7 +223,7 @@ Result<EdgeRecord> ColEngine::GetEdge(EdgeId id) const {
   return rec;
 }
 
-Result<std::vector<VertexId>> ColEngine::FindVerticesByProperty(
+Result<std::vector<VertexId>> ColEngine::FindVerticesByProperty(QuerySession& /*session*/, 
     std::string_view prop, const PropertyValue& value,
     const CancelToken& cancel) const {
   auto it = indexes_.find(prop);
@@ -262,7 +255,7 @@ Result<std::vector<VertexId>> ColEngine::FindVerticesByProperty(
   return out;
 }
 
-Result<std::vector<EdgeId>> ColEngine::FindEdgesByProperty(
+Result<std::vector<EdgeId>> ColEngine::FindEdgesByProperty(QuerySession& /*session*/, 
     std::string_view prop, const PropertyValue& value,
     const CancelToken& cancel) const {
   std::vector<EdgeId> out;
@@ -329,7 +322,6 @@ Status ColEngine::RemoveVertex(VertexId v) {
   }
   for (const auto& [k, val] : rows_.Get(v)->props) IndexErase(k, val, v);
   rows_.Erase(v);
-  if (row_cache_ != nullptr) row_cache_->Invalidate(v);
   return Status::OK();
 }
 
@@ -362,7 +354,7 @@ Status ColEngine::RemoveEdgeProperty(EdgeId e, std::string_view name) {
 
 // --- scans / traversal ----------------------------------------------------------
 
-Status ColEngine::ScanVertices(
+Status ColEngine::ScanVertices(QuerySession& /*session*/, 
     const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
   Status status = Status::OK();
   rows_.ForEach([&](const VertexId& id, const Row&) {
@@ -375,7 +367,7 @@ Status ColEngine::ScanVertices(
   return status;
 }
 
-Status ColEngine::ScanEdges(
+Status ColEngine::ScanEdges(QuerySession& /*session*/, 
     const CancelToken& cancel,
     const std::function<bool(const EdgeEnds&)>& fn) const {
   Status status = Status::OK();
@@ -398,15 +390,16 @@ Status ColEngine::ScanEdges(
   return status;
 }
 
-Status ColEngine::WalkAdj(VertexId v, Direction dir, const std::string* label,
-                          const CancelToken& cancel,
+Status ColEngine::WalkAdj(QuerySession& session, VertexId v, Direction dir,
+                          const std::string* label, const CancelToken& cancel,
                           const std::function<bool(const AdjEntry&)>& fn) const {
   uint32_t label_id =
       label != nullptr ? labels_.Lookup(*label) : Dictionary::kNoId;
   if (label != nullptr && label_id == Dictionary::kNoId) {
     return Status::OK();  // unknown label: no edges
   }
-  const Row* row = FetchRowBatched(v);  // row-key index hop, sliced reads
+  // Row-key index hop, sliced reads through the session window.
+  const Row* row = FetchRowBatched(session, v);
   if (row == nullptr) return Status::NotFound("vertex not found");
   for (const AdjEntry& entry : row->adj) {
     if (cancel.Expired()) return cancel.ToStatus();
@@ -422,22 +415,24 @@ Status ColEngine::WalkAdj(VertexId v, Direction dir, const std::string* label,
   return Status::OK();
 }
 
-Status ColEngine::ForEachEdgeOf(VertexId v, Direction dir,
-                                const std::string* label,
+Status ColEngine::ForEachEdgeOf(QuerySession& session, VertexId v,
+                                Direction dir, const std::string* label,
                                 const CancelToken& cancel,
                                 const std::function<bool(EdgeId)>& fn) const {
-  return WalkAdj(v, dir, label, cancel,
+  return WalkAdj(session, v, dir, label, cancel,
                  [&](const AdjEntry& entry) { return fn(entry.edge); });
 }
 
-Status ColEngine::ForEachNeighbor(
-    VertexId v, Direction dir, const std::string* label,
-    const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
-  return WalkAdj(v, dir, label, cancel,
+Status ColEngine::ForEachNeighbor(QuerySession& session, VertexId v,
+                                  Direction dir, const std::string* label,
+                                  const CancelToken& cancel,
+                                  const std::function<bool(VertexId)>& fn)
+    const {
+  return WalkAdj(session, v, dir, label, cancel,
                  [&](const AdjEntry& entry) { return fn(entry.other); });
 }
 
-Result<EdgeEnds> ColEngine::GetEdgeEnds(EdgeId e) const {
+Result<EdgeEnds> ColEngine::GetEdgeEnds(QuerySession& /*session*/, EdgeId e) const {
   const AdjEntry* entry = FindOutEntry(e);
   if (entry == nullptr) return Status::NotFound("edge not found");
   EdgeEnds ends;
@@ -448,7 +443,7 @@ Result<EdgeEnds> ColEngine::GetEdgeEnds(EdgeId e) const {
   return ends;
 }
 
-Result<uint64_t> ColEngine::CountEdgesOf(VertexId v, Direction dir,
+Result<uint64_t> ColEngine::CountEdgesOf(QuerySession& /*session*/, VertexId v, Direction dir,
                                          const CancelToken& cancel) const {
   (void)cancel;
   const Row* row = rows_.Get(v);
@@ -473,14 +468,13 @@ Status ColEngine::CreateVertexPropertyIndex(std::string_view prop) {
   std::string key(prop);
   if (indexes_.count(key) != 0) return Status::OK();
   BTree<PropertyValue, VertexId>& index = indexes_[key];
-  CancelToken never;
-  return ScanVertices(never, [&](VertexId id) {
-    const Row* row = rows_.Get(id);
-    if (const PropertyValue* v = FindProperty(row->props, prop)) {
+  rows_.ForEach([&](const VertexId& id, const Row& row) {
+    if (const PropertyValue* v = FindProperty(row.props, prop)) {
       index.Insert(*v, id);
     }
     return true;
   });
+  return Status::OK();
 }
 
 bool ColEngine::HasVertexPropertyIndex(std::string_view prop) const {

@@ -32,6 +32,30 @@
 
 namespace gdbmicro {
 
+/// Per-connection state of the Titan-like engine: the v1.0 row cache (the
+/// back-end caching the paper credits for Titan 1.0's fast complex
+/// queries) and the batched-read window of the TinkerPop adapter's slice
+/// reads. Both model connection-scoped structures, so they live in the
+/// session: concurrent clients each warm their own cache and batch their
+/// own reads. The cache survives BeginQuery (a connection keeps its cache
+/// across queries); it stores only presence (which row keys are warm) —
+/// row data is always read from the immutable engine snapshot, so there
+/// is no staleness to manage.
+class ColSession : public QuerySession {
+ public:
+  ColSession(const GraphEngine* engine, uint64_t row_cache_entries)
+      : QuerySession(engine),
+        row_cache(row_cache_entries > 0
+                      ? std::make_unique<LruCache<VertexId, uint64_t>>(
+                            row_cache_entries)
+                      : nullptr) {}
+
+ private:
+  friend class ColEngine;
+  std::unique_ptr<LruCache<VertexId, uint64_t>> row_cache;  // v1.0 only
+  uint64_t batched_reads = 0;
+};
+
 class ColEngine : public GraphEngine {
  public:
   explicit ColEngine(bool v10);
@@ -39,6 +63,11 @@ class ColEngine : public GraphEngine {
   std::string_view name() const override { return v10_ ? "titan10" : "titan05"; }
   EngineInfo info() const override;
   Status Open(const EngineOptions& options) override;
+
+  std::unique_ptr<QuerySession> CreateSession() const override {
+    return std::make_unique<ColSession>(
+        this, v10_ ? options().row_cache_entries : 0);
+  }
 
   Result<VertexId> AddVertex(std::string_view label,
                              const PropertyMap& props) override;
@@ -49,12 +78,12 @@ class ColEngine : public GraphEngine {
   Status SetEdgeProperty(EdgeId e, std::string_view name,
                          const PropertyValue& value) override;
 
-  Result<VertexRecord> GetVertex(VertexId id) const override;
-  Result<EdgeRecord> GetEdge(EdgeId id) const override;
-  Result<std::vector<VertexId>> FindVerticesByProperty(
+  Result<VertexRecord> GetVertex(QuerySession& session, VertexId id) const override;
+  Result<EdgeRecord> GetEdge(QuerySession& session, EdgeId id) const override;
+  Result<std::vector<VertexId>> FindVerticesByProperty(QuerySession& session, 
       std::string_view prop, const PropertyValue& value,
       const CancelToken& cancel) const override;
-  Result<std::vector<EdgeId>> FindEdgesByProperty(
+  Result<std::vector<EdgeId>> FindEdgesByProperty(QuerySession& session, 
       std::string_view prop, const PropertyValue& value,
       const CancelToken& cancel) const override;
 
@@ -63,25 +92,25 @@ class ColEngine : public GraphEngine {
   Status RemoveVertexProperty(VertexId v, std::string_view name) override;
   Status RemoveEdgeProperty(EdgeId e, std::string_view name) override;
 
-  Status ScanVertices(const CancelToken& cancel,
+  Status ScanVertices(QuerySession& session, const CancelToken& cancel,
                       const std::function<bool(VertexId)>& fn) const override;
-  Status ScanEdges(
+  Status ScanEdges(QuerySession& session, 
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
-  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+  Status ForEachEdgeOf(QuerySession& session, VertexId v, Direction dir, const std::string* label,
                        const CancelToken& cancel,
                        const std::function<bool(EdgeId)>& fn) const override;
-  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+  Status ForEachNeighbor(QuerySession& session, VertexId v, Direction dir, const std::string* label,
                          const CancelToken& cancel,
                          const std::function<bool(VertexId)>& fn) const override;
-  Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
+  Result<EdgeEnds> GetEdgeEnds(QuerySession& session, EdgeId e) const override;
   uint64_t VertexIdUpperBound() const override { return next_vertex_; }
 
   /// v1.0 runs global degree filters through bulk slice scans (no per-row
   /// backend round trip), which is why the paper finds Titan 1.0 — along
   /// with Neo4j — the only system completing Q.28-Q.31 everywhere. v0.5
   /// still pays the per-row read, and times out at scale.
-  Result<uint64_t> CountEdgesOf(VertexId v, Direction dir,
+  Result<uint64_t> CountEdgesOf(QuerySession& session, VertexId v, Direction dir,
                                 const CancelToken& cancel) const override;
 
   Status CreateVertexPropertyIndex(std::string_view prop) override;
@@ -123,15 +152,16 @@ class ColEngine : public GraphEngine {
     uint64_t next_local = 0;
   };
 
-  const Row* FetchRow(VertexId v) const;  // through the row-key index
-  Row* FetchRowMutable(VertexId v);
+  // Point-lookup row access through the row-key index; the read charge is
+  // skipped when the session's row cache is warm for v.
+  const Row* FetchRow(QuerySession& session, VertexId v) const;
 
   // Traversal-path row access: the TinkerPop adapter batches slice reads
   // (kReadBatch rows per backend round trip), so only every kReadBatch-th
-  // access pays the read charge. Point lookups (GetVertex/GetEdge) still
-  // pay per call through FetchRow.
+  // access of a session pays the read charge. Point lookups
+  // (GetVertex/GetEdge) still pay per call through FetchRow.
   static constexpr uint64_t kReadBatch = 64;
-  const Row* FetchRowBatched(VertexId v) const;
+  const Row* FetchRowBatched(QuerySession& session, VertexId v) const;
 
   AdjEntry* FindOutEntry(EdgeId e);
   const AdjEntry* FindOutEntry(EdgeId e) const;
@@ -139,8 +169,8 @@ class ColEngine : public GraphEngine {
   // Streams the live adjacency entries of v's row that match (dir, label)
   // — the single slice walk both visitor overrides share. Self-loops are
   // emitted once via their out entry.
-  Status WalkAdj(VertexId v, Direction dir, const std::string* label,
-                 const CancelToken& cancel,
+  Status WalkAdj(QuerySession& session, VertexId v, Direction dir,
+                 const std::string* label, const CancelToken& cancel,
                  const std::function<bool(const AdjEntry&)>& fn) const;
 
   void IndexInsert(std::string_view prop, const PropertyValue& v, VertexId id);
@@ -155,8 +185,6 @@ class ColEngine : public GraphEngine {
   Dictionary labels_;
   uint64_t next_vertex_ = 0;
   uint64_t edge_count_ = 0;
-  mutable std::unique_ptr<LruCache<VertexId, uint64_t>> row_cache_;  // v1.0
-  mutable uint64_t batched_reads_ = 0;
 
   std::map<std::string, BTree<PropertyValue, VertexId>, std::less<>> indexes_;
 };

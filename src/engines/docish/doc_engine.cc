@@ -55,24 +55,38 @@ std::string DocEngine::EncodeEdgeDoc(VertexId src, VertexId dst,
 }
 
 Result<DocEngine::ParsedEdge> DocEngine::ParseEdgeDoc(EdgeId id) const {
+  DocSession::EdgeScratch scratch;
+  GDB_RETURN_IF_ERROR(ParseEdgeDocInto(id, /*want_props=*/true, &scratch));
+  ParsedEdge e;
+  e.src = scratch.src;
+  e.dst = scratch.dst;
+  e.label = std::move(scratch.label);
+  e.props = std::move(scratch.props);
+  return e;
+}
+
+Status DocEngine::ParseEdgeDocInto(EdgeId id, bool want_props,
+                                   DocSession::EdgeScratch* out) const {
   const std::string* doc = edge_docs_.Get(id);
   if (doc == nullptr) return Status::NotFound("edge not found");
   GDB_ASSIGN_OR_RETURN(Json parsed, Json::Parse(*doc));
-  ParsedEdge e;
   const Json* from = parsed.Find("_from");
   const Json* to = parsed.Find("_to");
   const Json* label = parsed.Find("_label");
   if (from == nullptr || to == nullptr || label == nullptr) {
     return Status::Corruption("malformed edge document");
   }
-  e.src = static_cast<VertexId>(from->int_value());
-  e.dst = static_cast<VertexId>(to->int_value());
-  e.label = label->string_value();
-  for (const auto& [k, v] : parsed.object()) {
-    if (!k.empty() && k[0] == '_') continue;
-    e.props.emplace_back(k, PropertyValue::FromJson(v));
+  out->src = static_cast<VertexId>(from->int_value());
+  out->dst = static_cast<VertexId>(to->int_value());
+  out->label.assign(label->string_value());
+  out->props.clear();
+  if (want_props) {
+    for (const auto& [k, v] : parsed.object()) {
+      if (!k.empty() && k[0] == '_') continue;
+      out->props.emplace_back(k, PropertyValue::FromJson(v));
+    }
   }
-  return e;
+  return Status::OK();
 }
 
 // --- CRUD -----------------------------------------------------------------------
@@ -239,7 +253,7 @@ Status DocEngine::SetEdgeProperty(EdgeId e, std::string_view name,
   return Status::OK();
 }
 
-Result<VertexRecord> DocEngine::GetVertex(VertexId id) const {
+Result<VertexRecord> DocEngine::GetVertex(QuerySession& /*session*/, VertexId id) const {
   rest_.ChargeCall();
   const std::string* doc = vertex_docs_.Get(id);
   if (doc == nullptr) return Status::NotFound("vertex not found");
@@ -255,7 +269,7 @@ Result<VertexRecord> DocEngine::GetVertex(VertexId id) const {
   return rec;
 }
 
-Result<EdgeRecord> DocEngine::GetEdge(EdgeId id) const {
+Result<EdgeRecord> DocEngine::GetEdge(QuerySession& /*session*/, EdgeId id) const {
   rest_.ChargeCall();
   GDB_ASSIGN_OR_RETURN(ParsedEdge e, ParseEdgeDoc(id));
   EdgeRecord rec;
@@ -267,7 +281,7 @@ Result<EdgeRecord> DocEngine::GetEdge(EdgeId id) const {
   return rec;
 }
 
-Result<uint64_t> DocEngine::CountVertices(const CancelToken&) const {
+Result<uint64_t> DocEngine::CountVertices(QuerySession& /*session*/, const CancelToken&) const {
   rest_.ChargeCall();
   return vertex_docs_.size();  // collection count: O(1)
 }
@@ -345,7 +359,7 @@ Status DocEngine::RemoveEdgeProperty(EdgeId e, std::string_view name) {
 
 // --- scans / traversal --------------------------------------------------------------
 
-Status DocEngine::ScanVertices(
+Status DocEngine::ScanVertices(QuerySession& /*session*/, 
     const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
   rest_.ChargeCall();
   Status status = Status::OK();
@@ -359,7 +373,7 @@ Status DocEngine::ScanVertices(
   return status;
 }
 
-Status DocEngine::ScanEdges(
+Status DocEngine::ScanEdges(QuerySession& /*session*/, 
     const CancelToken& cancel,
     const std::function<bool(const EdgeEnds&)>& fn) const {
   rest_.ChargeCall();
@@ -389,20 +403,25 @@ Status DocEngine::ScanEdges(
 }
 
 Status DocEngine::WalkIncident(
-    VertexId v, Direction dir, const std::string* label,
-    const CancelToken& cancel, bool want_other,
+    QuerySession& session, VertexId v, Direction dir,
+    const std::string* label, const CancelToken& cancel, bool want_other,
     const std::function<bool(EdgeId, VertexId)>& fn) const {
   rest_.ChargeCall();  // one AQL round trip per neighborhood step
   if (!vertex_docs_.Contains(v)) return Status::NotFound("vertex not found");
+  // Edge envelopes decode into the session scratch: the per-edge parse
+  // (the layout's honest price) stays, the buffer churn does not.
+  DocSession::EdgeScratch& scratch =
+      static_cast<DocSession&>(session).edge_scratch_;
   if (dir == Direction::kOut || dir == Direction::kBoth) {
     if (const std::vector<EdgeId>* out = out_index_.Get(v)) {
       for (EdgeId e : *out) {
         GDB_CHECK_CANCEL(cancel);
         VertexId other = kInvalidId;
         if (want_other || label != nullptr) {
-          GDB_ASSIGN_OR_RETURN(ParsedEdge parsed, ParseEdgeDoc(e));
-          if (label != nullptr && parsed.label != *label) continue;
-          other = parsed.dst;
+          GDB_RETURN_IF_ERROR(
+              ParseEdgeDocInto(e, /*want_props=*/false, &scratch));
+          if (label != nullptr && scratch.label != *label) continue;
+          other = scratch.dst;
         }
         if (!fn(e, other)) return Status::OK();
       }
@@ -414,11 +433,12 @@ Status DocEngine::WalkIncident(
         GDB_CHECK_CANCEL(cancel);
         VertexId other = kInvalidId;
         if (want_other || label != nullptr || dir == Direction::kBoth) {
-          GDB_ASSIGN_OR_RETURN(ParsedEdge parsed, ParseEdgeDoc(e));
+          GDB_RETURN_IF_ERROR(
+              ParseEdgeDocInto(e, /*want_props=*/false, &scratch));
           // Self-loops are already visited via the out index.
-          if (dir == Direction::kBoth && parsed.src == parsed.dst) continue;
-          if (label != nullptr && parsed.label != *label) continue;
-          other = parsed.src;
+          if (dir == Direction::kBoth && scratch.src == scratch.dst) continue;
+          if (label != nullptr && scratch.label != *label) continue;
+          other = scratch.src;
         }
         if (!fn(e, other)) return Status::OK();
       }
@@ -427,28 +447,33 @@ Status DocEngine::WalkIncident(
   return Status::OK();
 }
 
-Status DocEngine::ForEachEdgeOf(VertexId v, Direction dir,
-                                const std::string* label,
+Status DocEngine::ForEachEdgeOf(QuerySession& session, VertexId v,
+                                Direction dir, const std::string* label,
                                 const CancelToken& cancel,
                                 const std::function<bool(EdgeId)>& fn) const {
-  return WalkIncident(v, dir, label, cancel, /*want_other=*/false,
+  return WalkIncident(session, v, dir, label, cancel, /*want_other=*/false,
                       [&](EdgeId e, VertexId) { return fn(e); });
 }
 
-Status DocEngine::ForEachNeighbor(
-    VertexId v, Direction dir, const std::string* label,
-    const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
-  return WalkIncident(v, dir, label, cancel, /*want_other=*/true,
+Status DocEngine::ForEachNeighbor(QuerySession& session, VertexId v,
+                                  Direction dir, const std::string* label,
+                                  const CancelToken& cancel,
+                                  const std::function<bool(VertexId)>& fn)
+    const {
+  return WalkIncident(session, v, dir, label, cancel, /*want_other=*/true,
                       [&](EdgeId, VertexId other) { return fn(other); });
 }
 
-Result<EdgeEnds> DocEngine::GetEdgeEnds(EdgeId e) const {
-  GDB_ASSIGN_OR_RETURN(ParsedEdge parsed, ParseEdgeDoc(e));
+Result<EdgeEnds> DocEngine::GetEdgeEnds(QuerySession& session,
+                                        EdgeId e) const {
+  DocSession::EdgeScratch& scratch =
+      static_cast<DocSession&>(session).edge_scratch_;
+  GDB_RETURN_IF_ERROR(ParseEdgeDocInto(e, /*want_props=*/false, &scratch));
   EdgeEnds ends;
   ends.id = e;
-  ends.src = parsed.src;
-  ends.dst = parsed.dst;
-  ends.label = std::move(parsed.label);
+  ends.src = scratch.src;
+  ends.dst = scratch.dst;
+  ends.label = scratch.label;
   return ends;
 }
 

@@ -29,6 +29,27 @@
 
 namespace gdbmicro {
 
+/// Per-connection scratch of the document engine: the JSON parse buffers
+/// the hop path fills for every incident edge it must open. One edge's
+/// envelope (endpoints + label) is decoded into the session-owned scratch
+/// instead of a fresh allocation per edge, so the string/property-vector
+/// capacity is reused across the millions of parses a traversal performs
+/// — and concurrent clients never share a buffer.
+class DocSession : public QuerySession {
+ public:
+  explicit DocSession(const GraphEngine* engine) : QuerySession(engine) {}
+
+ private:
+  friend class DocEngine;
+  struct EdgeScratch {
+    VertexId src = 0;
+    VertexId dst = 0;
+    std::string label;
+    PropertyMap props;
+  };
+  EdgeScratch edge_scratch_;
+};
+
 class DocEngine : public GraphEngine {
  public:
   DocEngine() = default;
@@ -36,6 +57,10 @@ class DocEngine : public GraphEngine {
   std::string_view name() const override { return "arango"; }
   EngineInfo info() const override;
   Status Open(const EngineOptions& options) override;
+
+  std::unique_ptr<QuerySession> CreateSession() const override {
+    return std::make_unique<DocSession>(this);
+  }
 
   Result<VertexId> AddVertex(std::string_view label,
                              const PropertyMap& props) override;
@@ -46,9 +71,9 @@ class DocEngine : public GraphEngine {
   Status SetEdgeProperty(EdgeId e, std::string_view name,
                          const PropertyValue& value) override;
 
-  Result<VertexRecord> GetVertex(VertexId id) const override;
-  Result<EdgeRecord> GetEdge(EdgeId id) const override;
-  Result<uint64_t> CountVertices(const CancelToken& cancel) const override;
+  Result<VertexRecord> GetVertex(QuerySession& session, VertexId id) const override;
+  Result<EdgeRecord> GetEdge(QuerySession& session, EdgeId id) const override;
+  Result<uint64_t> CountVertices(QuerySession& session, const CancelToken& cancel) const override;
   // CountEdges intentionally uses the default (scan + parse every
   // document): the paper's Gremlin adapter materialized all edges.
 
@@ -57,22 +82,22 @@ class DocEngine : public GraphEngine {
   Status RemoveVertexProperty(VertexId v, std::string_view name) override;
   Status RemoveEdgeProperty(EdgeId e, std::string_view name) override;
 
-  Status ScanVertices(const CancelToken& cancel,
+  Status ScanVertices(QuerySession& session, const CancelToken& cancel,
                       const std::function<bool(VertexId)>& fn) const override;
-  Status ScanEdges(
+  Status ScanEdges(QuerySession& session, 
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
   /// The visitors stream over the endpoint hash index. The index stores
   /// only edge ids, so learning an edge's label or far endpoint forces a
   /// document parse per edge — the architectural cost of the
   /// self-contained-JSON layout, paid inside the visit.
-  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+  Status ForEachEdgeOf(QuerySession& session, VertexId v, Direction dir, const std::string* label,
                        const CancelToken& cancel,
                        const std::function<bool(EdgeId)>& fn) const override;
-  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+  Status ForEachNeighbor(QuerySession& session, VertexId v, Direction dir, const std::string* label,
                          const CancelToken& cancel,
                          const std::function<bool(VertexId)>& fn) const override;
-  Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
+  Result<EdgeEnds> GetEdgeEnds(QuerySession& session, EdgeId e) const override;
   uint64_t VertexIdUpperBound() const override { return next_vertex_; }
 
   Status CreateVertexPropertyIndex(std::string_view prop) override;
@@ -105,6 +130,13 @@ class DocEngine : public GraphEngine {
                                    const PropertyMap& props);
   Result<ParsedEdge> ParseEdgeDoc(EdgeId id) const;
 
+  // Decodes an edge document's envelope into the session scratch
+  // (endpoints + label; `want_props` additionally materializes the
+  // properties). The parse still builds the document tree — the layout's
+  // honest price — but the scratch buffers are reused across edges.
+  Status ParseEdgeDocInto(EdgeId id, bool want_props,
+                          DocSession::EdgeScratch* out) const;
+
   // Edge removal without the REST charge (shared by RemoveVertex).
   Status RemoveEdgeNoCharge_(EdgeId e);
 
@@ -112,8 +144,9 @@ class DocEngine : public GraphEngine {
   // parsed only when something needs their contents (`want_other`, a
   // label filter, or kBoth self-loop dedup); `other` is the far endpoint
   // when `want_other` is set, kInvalidId otherwise.
-  Status WalkIncident(VertexId v, Direction dir, const std::string* label,
-                      const CancelToken& cancel, bool want_other,
+  Status WalkIncident(QuerySession& session, VertexId v, Direction dir,
+                      const std::string* label, const CancelToken& cancel,
+                      bool want_other,
                       const std::function<bool(EdgeId, VertexId)>& fn) const;
 
   CostModel rest_;

@@ -636,7 +636,7 @@ Result<LoadMapping> NeoEngine::BulkLoadNative(const GraphData& data) {
   return mapping;
 }
 
-Result<VertexRecord> NeoEngine::GetVertex(VertexId id) const {
+Result<VertexRecord> NeoEngine::GetVertex(QuerySession& /*session*/, VertexId id) const {
   wrapper_cost_.ChargeCall();
   if (!node_store_.IsLive(id)) return Status::NotFound("vertex not found");
   NodeRec n = ReadNode(id);
@@ -647,7 +647,7 @@ Result<VertexRecord> NeoEngine::GetVertex(VertexId id) const {
   return rec;
 }
 
-Result<EdgeRecord> NeoEngine::GetEdge(EdgeId id) const {
+Result<EdgeRecord> NeoEngine::GetEdge(QuerySession& /*session*/, EdgeId id) const {
   wrapper_cost_.ChargeCall();
   if (!edge_store_.IsLive(id)) return Status::NotFound("edge not found");
   EdgeRec e = ReadEdge(id);
@@ -660,17 +660,17 @@ Result<EdgeRecord> NeoEngine::GetEdge(EdgeId id) const {
   return rec;
 }
 
-Result<uint64_t> NeoEngine::CountVertices(const CancelToken& cancel) const {
+Result<uint64_t> NeoEngine::CountVertices(QuerySession& session, const CancelToken& cancel) const {
   if (v30_) return node_store_.LiveCount();  // 3.x count store
-  return GraphEngine::CountVertices(cancel);
+  return GraphEngine::CountVertices(session, cancel);
 }
 
-Result<uint64_t> NeoEngine::CountEdges(const CancelToken& cancel) const {
+Result<uint64_t> NeoEngine::CountEdges(QuerySession& session, const CancelToken& cancel) const {
   if (v30_) return edge_count_;
-  return GraphEngine::CountEdges(cancel);
+  return GraphEngine::CountEdges(session, cancel);
 }
 
-Result<std::vector<VertexId>> NeoEngine::FindVerticesByProperty(
+Result<std::vector<VertexId>> NeoEngine::FindVerticesByProperty(QuerySession& session, 
     std::string_view prop, const PropertyValue& value,
     const CancelToken& cancel) const {
   auto it = indexes_.find(prop);
@@ -687,7 +687,7 @@ Result<std::vector<VertexId>> NeoEngine::FindVerticesByProperty(
   // record — the scan runs inside the server).
   wrapper_cost_.ChargeCall();
   std::vector<VertexId> out;
-  GDB_RETURN_IF_ERROR(ScanVertices(cancel, [&](VertexId id) {
+  GDB_RETURN_IF_ERROR(ScanVertices(session, cancel, [&](VertexId id) {
     NodeRec n = ReadNode(id);
     PropertyMap props = MaterializeProps(n.first_prop);
     const PropertyValue* p = FindProperty(props, prop);
@@ -697,7 +697,7 @@ Result<std::vector<VertexId>> NeoEngine::FindVerticesByProperty(
   return out;
 }
 
-Result<std::vector<EdgeId>> NeoEngine::FindEdgesByProperty(
+Result<std::vector<EdgeId>> NeoEngine::FindEdgesByProperty(QuerySession& /*session*/, 
     std::string_view prop, const PropertyValue& value,
     const CancelToken& cancel) const {
   wrapper_cost_.ChargeCall();
@@ -819,7 +819,7 @@ Status NeoEngine::RemoveEdgeProperty(EdgeId e, std::string_view name) {
 
 // --- scans / traversal ------------------------------------------------------
 
-Status NeoEngine::ScanVertices(const CancelToken& cancel,
+Status NeoEngine::ScanVertices(QuerySession& /*session*/, const CancelToken& cancel,
                                const std::function<bool(VertexId)>& fn) const {
   for (uint64_t id = 0; id < node_store_.SlotCount(); ++id) {
     GDB_CHECK_CANCEL(cancel);
@@ -830,7 +830,7 @@ Status NeoEngine::ScanVertices(const CancelToken& cancel,
   return Status::OK();
 }
 
-Status NeoEngine::ScanEdges(
+Status NeoEngine::ScanEdges(QuerySession& /*session*/, 
     const CancelToken& cancel,
     const std::function<bool(const EdgeEnds&)>& fn) const {
   for (uint64_t id = 0; id < edge_store_.SlotCount(); ++id) {
@@ -870,7 +870,7 @@ Status NeoEngine::WalkMatching(
       });
 }
 
-Status NeoEngine::ForEachEdgeOf(VertexId v, Direction dir,
+Status NeoEngine::ForEachEdgeOf(QuerySession& /*session*/, VertexId v, Direction dir,
                                 const std::string* label,
                                 const CancelToken& cancel,
                                 const std::function<bool(EdgeId)>& fn) const {
@@ -878,7 +878,7 @@ Status NeoEngine::ForEachEdgeOf(VertexId v, Direction dir,
                       [&](EdgeId e, int, const EdgeRec&) { return fn(e); });
 }
 
-Status NeoEngine::ForEachNeighbor(
+Status NeoEngine::ForEachNeighbor(QuerySession& /*session*/, 
     VertexId v, Direction dir, const std::string* label,
     const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
   return WalkMatching(v, dir, label, cancel,
@@ -887,7 +887,7 @@ Status NeoEngine::ForEachNeighbor(
                       });
 }
 
-Result<EdgeEnds> NeoEngine::GetEdgeEnds(EdgeId e) const {
+Result<EdgeEnds> NeoEngine::GetEdgeEnds(QuerySession& /*session*/, EdgeId e) const {
   if (!edge_store_.IsLive(e)) return Status::NotFound("edge not found");
   EdgeRec rec = ReadEdge(e);
   EdgeEnds ends;
@@ -905,7 +905,8 @@ Status NeoEngine::CreateVertexPropertyIndex(std::string_view prop) {
   if (indexes_.count(key) != 0) return Status::OK();
   BTree<PropertyValue, VertexId>& index = indexes_[key];
   CancelToken never;
-  return ScanVertices(never, [&](VertexId id) {
+  std::unique_ptr<QuerySession> session = CreateSession();
+  return ScanVertices(*session, never, [&](VertexId id) {
     NodeRec n = ReadNode(id);
     PropertyMap props = MaterializeProps(n.first_prop);
     if (const PropertyValue* v = FindProperty(props, prop)) {

@@ -51,14 +51,14 @@ class NeoEngine : public GraphEngine {
   Status SetEdgeProperty(EdgeId e, std::string_view name,
                          const PropertyValue& value) override;
 
-  Result<VertexRecord> GetVertex(VertexId id) const override;
-  Result<EdgeRecord> GetEdge(EdgeId id) const override;
-  Result<uint64_t> CountVertices(const CancelToken& cancel) const override;
-  Result<uint64_t> CountEdges(const CancelToken& cancel) const override;
-  Result<std::vector<VertexId>> FindVerticesByProperty(
+  Result<VertexRecord> GetVertex(QuerySession& session, VertexId id) const override;
+  Result<EdgeRecord> GetEdge(QuerySession& session, EdgeId id) const override;
+  Result<uint64_t> CountVertices(QuerySession& session, const CancelToken& cancel) const override;
+  Result<uint64_t> CountEdges(QuerySession& session, const CancelToken& cancel) const override;
+  Result<std::vector<VertexId>> FindVerticesByProperty(QuerySession& session, 
       std::string_view prop, const PropertyValue& value,
       const CancelToken& cancel) const override;
-  Result<std::vector<EdgeId>> FindEdgesByProperty(
+  Result<std::vector<EdgeId>> FindEdgesByProperty(QuerySession& session, 
       std::string_view prop, const PropertyValue& value,
       const CancelToken& cancel) const override;
 
@@ -67,18 +67,18 @@ class NeoEngine : public GraphEngine {
   Status RemoveVertexProperty(VertexId v, std::string_view name) override;
   Status RemoveEdgeProperty(EdgeId e, std::string_view name) override;
 
-  Status ScanVertices(const CancelToken& cancel,
+  Status ScanVertices(QuerySession& session, const CancelToken& cancel,
                       const std::function<bool(VertexId)>& fn) const override;
-  Status ScanEdges(
+  Status ScanEdges(QuerySession& session, 
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
-  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+  Status ForEachEdgeOf(QuerySession& session, VertexId v, Direction dir, const std::string* label,
                        const CancelToken& cancel,
                        const std::function<bool(EdgeId)>& fn) const override;
-  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+  Status ForEachNeighbor(QuerySession& session, VertexId v, Direction dir, const std::string* label,
                          const CancelToken& cancel,
                          const std::function<bool(VertexId)>& fn) const override;
-  Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
+  Result<EdgeEnds> GetEdgeEnds(QuerySession& session, EdgeId e) const override;
   uint64_t VertexIdUpperBound() const override {
     return node_store_.SlotCount();
   }

@@ -323,7 +323,7 @@ Status OrientEngine::SetEdgeProperty(EdgeId e, std::string_view name,
   return StoreEdge(e, data);
 }
 
-Result<VertexRecord> OrientEngine::GetVertex(VertexId id) const {
+Result<VertexRecord> OrientEngine::GetVertex(QuerySession& /*session*/, VertexId id) const {
   GDB_ASSIGN_OR_RETURN(VertexData data, LoadVertex(id));
   VertexRecord rec;
   rec.id = id;
@@ -332,7 +332,7 @@ Result<VertexRecord> OrientEngine::GetVertex(VertexId id) const {
   return rec;
 }
 
-Result<EdgeRecord> OrientEngine::GetEdge(EdgeId id) const {
+Result<EdgeRecord> OrientEngine::GetEdge(QuerySession& /*session*/, EdgeId id) const {
   GDB_ASSIGN_OR_RETURN(EdgeData data, LoadEdge(id));
   EdgeRecord rec;
   rec.id = id;
@@ -343,7 +343,7 @@ Result<EdgeRecord> OrientEngine::GetEdge(EdgeId id) const {
   return rec;
 }
 
-Result<std::vector<std::string>> OrientEngine::DistinctEdgeLabels(
+Result<std::vector<std::string>> OrientEngine::DistinctEdgeLabels(QuerySession& /*session*/, 
     const CancelToken& cancel) const {
   (void)cancel;
   // Edge classes are schema objects: one per cluster.
@@ -356,7 +356,7 @@ Result<std::vector<std::string>> OrientEngine::DistinctEdgeLabels(
   return labels;
 }
 
-Result<std::vector<EdgeId>> OrientEngine::FindEdgesByLabel(
+Result<std::vector<EdgeId>> OrientEngine::FindEdgesByLabel(QuerySession& /*session*/, 
     std::string_view label, const CancelToken& cancel) const {
   auto it = cluster_by_label_.find(label);
   if (it == cluster_by_label_.end()) return std::vector<EdgeId>{};
@@ -370,7 +370,7 @@ Result<std::vector<EdgeId>> OrientEngine::FindEdgesByLabel(
   return out;
 }
 
-Result<std::vector<VertexId>> OrientEngine::FindVerticesByProperty(
+Result<std::vector<VertexId>> OrientEngine::FindVerticesByProperty(QuerySession& session, 
     std::string_view prop, const PropertyValue& value,
     const CancelToken& cancel) const {
   auto it = indexes_.find(prop);
@@ -382,7 +382,7 @@ Result<std::vector<VertexId>> OrientEngine::FindVerticesByProperty(
     });
     return out;
   }
-  return GraphEngine::FindVerticesByProperty(prop, value, cancel);
+  return GraphEngine::FindVerticesByProperty(session, prop, value, cancel);
 }
 
 Status OrientEngine::RemoveEdgeInternal(EdgeId e, VertexId skip_endpoint) {
@@ -437,7 +437,7 @@ Status OrientEngine::RemoveEdgeProperty(EdgeId e, std::string_view name) {
 
 // --- scans / traversal -------------------------------------------------------
 
-Status OrientEngine::ScanVertices(
+Status OrientEngine::ScanVertices(QuerySession& /*session*/, 
     const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
   for (uint64_t id = 0; id < vertex_store_.LogicalCount(); ++id) {
     GDB_CHECK_CANCEL(cancel);
@@ -448,7 +448,7 @@ Status OrientEngine::ScanVertices(
   return Status::OK();
 }
 
-Status OrientEngine::ScanEdges(
+Status OrientEngine::ScanEdges(QuerySession& /*session*/, 
     const CancelToken& cancel,
     const std::function<bool(const EdgeEnds&)>& fn) const {
   for (uint64_t c = 0; c < clusters_.size(); ++c) {
@@ -545,7 +545,7 @@ Status OrientEngine::WalkIncident(
   return Status::OK();
 }
 
-Status OrientEngine::ForEachEdgeOf(VertexId v, Direction dir,
+Status OrientEngine::ForEachEdgeOf(QuerySession& /*session*/, VertexId v, Direction dir,
                                    const std::string* label,
                                    const CancelToken& cancel,
                                    const std::function<bool(EdgeId)>& fn) const {
@@ -553,14 +553,14 @@ Status OrientEngine::ForEachEdgeOf(VertexId v, Direction dir,
                       [&](EdgeId e, VertexId) { return fn(e); });
 }
 
-Status OrientEngine::ForEachNeighbor(
+Status OrientEngine::ForEachNeighbor(QuerySession& /*session*/, 
     VertexId v, Direction dir, const std::string* label,
     const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
   return WalkIncident(v, dir, label, cancel, /*want_other=*/true,
                       [&](EdgeId, VertexId other) { return fn(other); });
 }
 
-Result<EdgeEnds> OrientEngine::GetEdgeEnds(EdgeId e) const {
+Result<EdgeEnds> OrientEngine::GetEdgeEnds(QuerySession& /*session*/, EdgeId e) const {
   GDB_ASSIGN_OR_RETURN(EdgeData data, LoadEdge(e));
   EdgeEnds ends;
   ends.id = e;
@@ -577,7 +577,8 @@ Status OrientEngine::CreateVertexPropertyIndex(std::string_view prop) {
   if (indexes_.count(key) != 0) return Status::OK();
   BTree<PropertyValue, VertexId>& index = indexes_[key];  // SB-Tree
   CancelToken never;
-  return ScanVertices(never, [&](VertexId id) {
+  std::unique_ptr<QuerySession> session = CreateSession();
+  return ScanVertices(*session, never, [&](VertexId id) {
     auto data = LoadVertex(id);
     if (data.ok()) {
       if (const PropertyValue* v = FindProperty(data->props, prop)) {

@@ -47,13 +47,13 @@ class OrientEngine : public GraphEngine {
   Status SetEdgeProperty(EdgeId e, std::string_view name,
                          const PropertyValue& value) override;
 
-  Result<VertexRecord> GetVertex(VertexId id) const override;
-  Result<EdgeRecord> GetEdge(EdgeId id) const override;
-  Result<std::vector<std::string>> DistinctEdgeLabels(
+  Result<VertexRecord> GetVertex(QuerySession& session, VertexId id) const override;
+  Result<EdgeRecord> GetEdge(QuerySession& session, EdgeId id) const override;
+  Result<std::vector<std::string>> DistinctEdgeLabels(QuerySession& session, 
       const CancelToken& cancel) const override;
-  Result<std::vector<EdgeId>> FindEdgesByLabel(
+  Result<std::vector<EdgeId>> FindEdgesByLabel(QuerySession& session, 
       std::string_view label, const CancelToken& cancel) const override;
-  Result<std::vector<VertexId>> FindVerticesByProperty(
+  Result<std::vector<VertexId>> FindVerticesByProperty(QuerySession& session, 
       std::string_view prop, const PropertyValue& value,
       const CancelToken& cancel) const override;
 
@@ -62,22 +62,22 @@ class OrientEngine : public GraphEngine {
   Status RemoveVertexProperty(VertexId v, std::string_view name) override;
   Status RemoveEdgeProperty(EdgeId e, std::string_view name) override;
 
-  Status ScanVertices(const CancelToken& cancel,
+  Status ScanVertices(QuerySession& session, const CancelToken& cancel,
                       const std::function<bool(VertexId)>& fn) const override;
-  Status ScanEdges(
+  Status ScanEdges(QuerySession& session, 
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
   /// Streams the ridbag (embedded or external). Label filtering needs no
   /// edge-record read — the cluster id packed into the edge id *is* the
   /// label. Self-loop dedup and neighbor resolution decode only the two
   /// endpoint varints of the edge blob (no property materialization).
-  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+  Status ForEachEdgeOf(QuerySession& session, VertexId v, Direction dir, const std::string* label,
                        const CancelToken& cancel,
                        const std::function<bool(EdgeId)>& fn) const override;
-  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+  Status ForEachNeighbor(QuerySession& session, VertexId v, Direction dir, const std::string* label,
                          const CancelToken& cancel,
                          const std::function<bool(VertexId)>& fn) const override;
-  Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
+  Result<EdgeEnds> GetEdgeEnds(QuerySession& session, EdgeId e) const override;
   uint64_t VertexIdUpperBound() const override {
     return vertex_store_.LogicalCount();
   }

@@ -217,7 +217,7 @@ Status RelEngine::SetEdgeProperty(EdgeId e, std::string_view name,
   return Status::OK();
 }
 
-Result<VertexRecord> RelEngine::GetVertex(VertexId id) const {
+Result<VertexRecord> RelEngine::GetVertex(QuerySession& /*session*/, VertexId id) const {
   if (TableOf(id) >= vtables_.size()) {
     return Status::NotFound("vertex not found");
   }
@@ -232,7 +232,7 @@ Result<VertexRecord> RelEngine::GetVertex(VertexId id) const {
   return rec;
 }
 
-Result<EdgeRecord> RelEngine::GetEdge(EdgeId id) const {
+Result<EdgeRecord> RelEngine::GetEdge(QuerySession& /*session*/, EdgeId id) const {
   if (TableOf(id) >= etables_.size()) return Status::NotFound("edge not found");
   const ETable& t = etables_[TableOf(id)];
   if (RowOf(id) >= t.rows.size() || !t.rows[RowOf(id)].live) {
@@ -248,7 +248,7 @@ Result<EdgeRecord> RelEngine::GetEdge(EdgeId id) const {
   return rec;
 }
 
-Result<std::vector<std::string>> RelEngine::DistinctEdgeLabels(
+Result<std::vector<std::string>> RelEngine::DistinctEdgeLabels(QuerySession& /*session*/, 
     const CancelToken&) const {
   // Labels are schema: DISTINCT over table names, a catalog query.
   std::vector<std::string> labels;
@@ -259,7 +259,7 @@ Result<std::vector<std::string>> RelEngine::DistinctEdgeLabels(
   return labels;
 }
 
-Result<std::vector<EdgeId>> RelEngine::FindEdgesByLabel(
+Result<std::vector<EdgeId>> RelEngine::FindEdgesByLabel(QuerySession& /*session*/, 
     std::string_view label, const CancelToken& cancel) const {
   // SELECT id FROM E_<label>: one sequential scan of one table.
   auto it = etable_by_label_.find(label);
@@ -274,7 +274,7 @@ Result<std::vector<EdgeId>> RelEngine::FindEdgesByLabel(
   return out;
 }
 
-Result<std::vector<VertexId>> RelEngine::FindVerticesByProperty(
+Result<std::vector<VertexId>> RelEngine::FindVerticesByProperty(QuerySession& /*session*/, 
     std::string_view prop, const PropertyValue& value,
     const CancelToken& cancel) const {
   auto idx = indexes_.find(prop);
@@ -386,7 +386,7 @@ Status RelEngine::RemoveEdgeProperty(EdgeId e, std::string_view name) {
 
 // --- scans / traversal ----------------------------------------------------------
 
-Status RelEngine::ScanVertices(
+Status RelEngine::ScanVertices(QuerySession& /*session*/, 
     const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
   for (uint64_t table = 0; table < vtables_.size(); ++table) {
     const VTable& t = vtables_[table];
@@ -400,7 +400,7 @@ Status RelEngine::ScanVertices(
   return Status::OK();
 }
 
-Status RelEngine::ScanEdges(
+Status RelEngine::ScanEdges(QuerySession& /*session*/, 
     const CancelToken& cancel,
     const std::function<bool(const EdgeEnds&)>& fn) const {
   for (uint64_t table = 0; table < etables_.size(); ++table) {
@@ -488,7 +488,7 @@ Status RelEngine::WalkIncident(
   return Status::OK();
 }
 
-Status RelEngine::ForEachEdgeOf(VertexId v, Direction dir,
+Status RelEngine::ForEachEdgeOf(QuerySession& /*session*/, VertexId v, Direction dir,
                                 const std::string* label,
                                 const CancelToken& cancel,
                                 const std::function<bool(EdgeId)>& fn) const {
@@ -498,7 +498,7 @@ Status RelEngine::ForEachEdgeOf(VertexId v, Direction dir,
                       });
 }
 
-Status RelEngine::ForEachNeighbor(
+Status RelEngine::ForEachNeighbor(QuerySession& /*session*/, 
     VertexId v, Direction dir, const std::string* label,
     const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
   return WalkIncident(v, dir, label, cancel,
@@ -508,7 +508,7 @@ Status RelEngine::ForEachNeighbor(
                       });
 }
 
-Result<EdgeEnds> RelEngine::GetEdgeEnds(EdgeId e) const {
+Result<EdgeEnds> RelEngine::GetEdgeEnds(QuerySession& /*session*/, EdgeId e) const {
   if (TableOf(e) >= etables_.size()) return Status::NotFound("edge not found");
   const ETable& t = etables_[TableOf(e)];
   if (RowOf(e) >= t.rows.size() || !t.rows[RowOf(e)].live) {
@@ -530,7 +530,8 @@ Status RelEngine::CreateVertexPropertyIndex(std::string_view prop) {
   ddl_cost_.ChargeWrite();  // CREATE INDEX
   BTree<PropertyValue, VertexId>& index = indexes_[key];
   CancelToken never;
-  return ScanVertices(never, [&](VertexId id) {
+  std::unique_ptr<QuerySession> session = CreateSession();
+  return ScanVertices(*session, never, [&](VertexId id) {
     const VTable& t = vtables_[TableOf(id)];
     const PropertyValue* v = FindProperty(t.rows[RowOf(id)].props, prop);
     if (v != nullptr) index.Insert(*v, id);

@@ -317,7 +317,7 @@ Status TripleEngine::SetEdgeProperty(EdgeId e, std::string_view name,
   return Status::OK();
 }
 
-Result<VertexRecord> TripleEngine::GetVertex(VertexId id) const {
+Result<VertexRecord> TripleEngine::GetVertex(QuerySession& /*session*/, VertexId id) const {
   cost_.ChargeRead();
   uint64_t vt = LookupTerm(VertexTerm(id));
   if (vt == kNoTerm) return Status::NotFound("vertex not found");
@@ -342,7 +342,7 @@ Result<VertexRecord> TripleEngine::GetVertex(VertexId id) const {
   return rec;
 }
 
-Result<EdgeRecord> TripleEngine::GetEdge(EdgeId id) const {
+Result<EdgeRecord> TripleEngine::GetEdge(QuerySession& /*session*/, EdgeId id) const {
   cost_.ChargeRead();
   if (id >= edge_stmts_.size() || !edge_stmts_[id].live) {
     return Status::NotFound("edge not found");
@@ -368,7 +368,7 @@ Result<EdgeRecord> TripleEngine::GetEdge(EdgeId id) const {
   return rec;
 }
 
-Result<std::vector<VertexId>> TripleEngine::FindVerticesByProperty(
+Result<std::vector<VertexId>> TripleEngine::FindVerticesByProperty(QuerySession& session, 
     std::string_view prop, const PropertyValue& value,
     const CancelToken& cancel) const {
   // The Gremlin graph API cannot push the predicate into the SPARQL
@@ -382,7 +382,7 @@ Result<std::vector<VertexId>> TripleEngine::FindVerticesByProperty(
   uint64_t xt = LookupTerm(wanted);
   std::vector<VertexId> out;
   uint64_t visited = 0;
-  GDB_RETURN_IF_ERROR(ScanVertices(cancel, [&](VertexId id) {
+  GDB_RETURN_IF_ERROR(ScanVertices(session, cancel, [&](VertexId id) {
     if (cost_.enabled && visited++ % 64 == 0) cost_.ChargeRead();
     if (kt == kNoTerm || xt == kNoTerm) return true;  // still scans
     uint64_t vt = LookupTerm(VertexTerm(id));
@@ -392,7 +392,7 @@ Result<std::vector<VertexId>> TripleEngine::FindVerticesByProperty(
   return out;
 }
 
-Result<std::vector<EdgeId>> TripleEngine::FindEdgesByProperty(
+Result<std::vector<EdgeId>> TripleEngine::FindEdgesByProperty(QuerySession& session, 
     std::string_view prop, const PropertyValue& value,
     const CancelToken& cancel) const {
   std::string wanted = "x:";
@@ -402,7 +402,7 @@ Result<std::vector<EdgeId>> TripleEngine::FindEdgesByProperty(
   std::vector<EdgeId> out;
   uint64_t visited = 0;
   Status status = Status::OK();
-  GDB_RETURN_IF_ERROR(ScanEdges(cancel, [&](const EdgeEnds& ends) {
+  GDB_RETURN_IF_ERROR(ScanEdges(session, cancel, [&](const EdgeEnds& ends) {
     if (cost_.enabled && visited++ % 64 == 0) cost_.ChargeRead();
     if (kt == kNoTerm || xt == kNoTerm) return true;
     uint64_t et = LookupTerm(EdgeTerm(ends.id));
@@ -498,7 +498,7 @@ Status TripleEngine::RemoveEdgeProperty(EdgeId e, std::string_view name) {
 
 // --- scans / traversal ----------------------------------------------------------
 
-Status TripleEngine::ScanVertices(
+Status TripleEngine::ScanVertices(QuerySession& /*session*/, 
     const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
   cost_.ChargeRead();
   Status status = Status::OK();
@@ -514,7 +514,7 @@ Status TripleEngine::ScanVertices(
   return status;
 }
 
-Status TripleEngine::ScanEdges(
+Status TripleEngine::ScanEdges(QuerySession& /*session*/, 
     const CancelToken& cancel,
     const std::function<bool(const EdgeEnds&)>& fn) const {
   cost_.ChargeRead();
@@ -602,14 +602,14 @@ Status TripleEngine::WalkIncident(VertexId v, Direction dir,
   return Status::OK();
 }
 
-Status TripleEngine::ForEachEdgeOf(VertexId v, Direction dir,
+Status TripleEngine::ForEachEdgeOf(QuerySession& /*session*/, VertexId v, Direction dir,
                                    const std::string* label,
                                    const CancelToken& cancel,
                                    const std::function<bool(EdgeId)>& fn) const {
   return WalkIncident(v, dir, label, cancel, fn);
 }
 
-Status TripleEngine::ForEachNeighbor(
+Status TripleEngine::ForEachNeighbor(QuerySession& /*session*/, 
     VertexId v, Direction dir, const std::string* label,
     const CancelToken& cancel, const std::function<bool(VertexId)>& fn) const {
   return WalkIncident(v, dir, label, cancel, [&](EdgeId e) {
@@ -618,7 +618,7 @@ Status TripleEngine::ForEachNeighbor(
   });
 }
 
-Result<EdgeEnds> TripleEngine::GetEdgeEnds(EdgeId e) const {
+Result<EdgeEnds> TripleEngine::GetEdgeEnds(QuerySession& /*session*/, EdgeId e) const {
   if (e >= edge_stmts_.size() || !edge_stmts_[e].live) {
     return Status::NotFound("edge not found");
   }

@@ -52,12 +52,12 @@ class TripleEngine : public GraphEngine {
   Status SetEdgeProperty(EdgeId e, std::string_view name,
                          const PropertyValue& value) override;
 
-  Result<VertexRecord> GetVertex(VertexId id) const override;
-  Result<EdgeRecord> GetEdge(EdgeId id) const override;
-  Result<std::vector<VertexId>> FindVerticesByProperty(
+  Result<VertexRecord> GetVertex(QuerySession& session, VertexId id) const override;
+  Result<EdgeRecord> GetEdge(QuerySession& session, EdgeId id) const override;
+  Result<std::vector<VertexId>> FindVerticesByProperty(QuerySession& session, 
       std::string_view prop, const PropertyValue& value,
       const CancelToken& cancel) const override;
-  Result<std::vector<EdgeId>> FindEdgesByProperty(
+  Result<std::vector<EdgeId>> FindEdgesByProperty(QuerySession& session, 
       std::string_view prop, const PropertyValue& value,
       const CancelToken& cancel) const override;
 
@@ -66,21 +66,21 @@ class TripleEngine : public GraphEngine {
   Status RemoveVertexProperty(VertexId v, std::string_view name) override;
   Status RemoveEdgeProperty(EdgeId e, std::string_view name) override;
 
-  Status ScanVertices(const CancelToken& cancel,
+  Status ScanVertices(QuerySession& session, const CancelToken& cancel,
                       const std::function<bool(VertexId)>& fn) const override;
-  Status ScanEdges(
+  Status ScanEdges(QuerySession& session, 
       const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const override;
   /// Streams B+Tree range scans directly (SPO prefix for outgoing
   /// connectivity statements, OSP prefix for incoming ones) instead of
   /// materializing statement vectors — the index walk is the traversal.
-  Status ForEachEdgeOf(VertexId v, Direction dir, const std::string* label,
+  Status ForEachEdgeOf(QuerySession& session, VertexId v, Direction dir, const std::string* label,
                        const CancelToken& cancel,
                        const std::function<bool(EdgeId)>& fn) const override;
-  Status ForEachNeighbor(VertexId v, Direction dir, const std::string* label,
+  Status ForEachNeighbor(QuerySession& session, VertexId v, Direction dir, const std::string* label,
                          const CancelToken& cancel,
                          const std::function<bool(VertexId)>& fn) const override;
-  Result<EdgeEnds> GetEdgeEnds(EdgeId e) const override;
+  Result<EdgeEnds> GetEdgeEnds(QuerySession& session, EdgeId e) const override;
   uint64_t VertexIdUpperBound() const override { return next_vertex_; }
 
   // CreateVertexPropertyIndex: inherited default (kUnimplemented) — the

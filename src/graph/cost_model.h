@@ -11,6 +11,18 @@
 // Every charge is documented in the engine that applies it. Setting
 // EngineOptions::enable_cost_model = false turns all charges off, leaving
 // the honest in-process data-structure costs (used by the unit tests).
+//
+// Concurrency contract: a CostModel is configuration, not state. Its
+// fields (per-*_us, enabled) are written exactly once — by the engine's
+// Open(), before any session exists — and are read-only afterwards, so
+// concurrent read sessions observe them without synchronization and there
+// is no enabled-flag race by construction. The Charge*() methods are
+// const, touch no shared mutable state, and busy-wait on the *calling
+// thread's* CPU clock (see SpinFor in util/timer.h): each concurrent
+// session pays exactly its own emulated round trips, and a thread that
+// the scheduler preempts mid-charge is not billed wall time it never
+// executed. Do not mutate a CostModel after Open(); reconfiguring
+// requires a fresh engine instance.
 
 #ifndef GDBMICRO_GRAPH_COST_MODEL_H_
 #define GDBMICRO_GRAPH_COST_MODEL_H_

@@ -68,18 +68,20 @@ Result<LoadMapping> GraphEngine::BulkLoadPerElement(const GraphData& data) {
   return mapping;
 }
 
-Result<uint64_t> GraphEngine::CountVertices(const CancelToken& cancel) const {
+Result<uint64_t> GraphEngine::CountVertices(QuerySession& session,
+                                            const CancelToken& cancel) const {
   uint64_t n = 0;
-  GDB_RETURN_IF_ERROR(ScanVertices(cancel, [&](VertexId) {
+  GDB_RETURN_IF_ERROR(ScanVertices(session, cancel, [&](VertexId) {
     ++n;
     return true;
   }));
   return n;
 }
 
-Result<uint64_t> GraphEngine::CountEdges(const CancelToken& cancel) const {
+Result<uint64_t> GraphEngine::CountEdges(QuerySession& session,
+                                         const CancelToken& cancel) const {
   uint64_t n = 0;
-  GDB_RETURN_IF_ERROR(ScanEdges(cancel, [&](const EdgeEnds&) {
+  GDB_RETURN_IF_ERROR(ScanEdges(session, cancel, [&](const EdgeEnds&) {
     ++n;
     return true;
   }));
@@ -87,9 +89,9 @@ Result<uint64_t> GraphEngine::CountEdges(const CancelToken& cancel) const {
 }
 
 Result<std::vector<std::string>> GraphEngine::DistinctEdgeLabels(
-    const CancelToken& cancel) const {
+    QuerySession& session, const CancelToken& cancel) const {
   std::set<std::string> labels;
-  GDB_RETURN_IF_ERROR(ScanEdges(cancel, [&](const EdgeEnds& e) {
+  GDB_RETURN_IF_ERROR(ScanEdges(session, cancel, [&](const EdgeEnds& e) {
     labels.insert(e.label);
     return true;
   }));
@@ -97,12 +99,12 @@ Result<std::vector<std::string>> GraphEngine::DistinctEdgeLabels(
 }
 
 Result<std::vector<VertexId>> GraphEngine::FindVerticesByProperty(
-    std::string_view prop, const PropertyValue& value,
+    QuerySession& session, std::string_view prop, const PropertyValue& value,
     const CancelToken& cancel) const {
   std::vector<VertexId> out;
   Status scan_status = Status::OK();
-  GDB_RETURN_IF_ERROR(ScanVertices(cancel, [&](VertexId id) {
-    auto rec = GetVertex(id);
+  GDB_RETURN_IF_ERROR(ScanVertices(session, cancel, [&](VertexId id) {
+    auto rec = GetVertex(session, id);
     if (!rec.ok()) {
       scan_status = rec.status();
       return false;
@@ -116,12 +118,12 @@ Result<std::vector<VertexId>> GraphEngine::FindVerticesByProperty(
 }
 
 Result<std::vector<EdgeId>> GraphEngine::FindEdgesByProperty(
-    std::string_view prop, const PropertyValue& value,
+    QuerySession& session, std::string_view prop, const PropertyValue& value,
     const CancelToken& cancel) const {
   std::vector<EdgeId> out;
   Status scan_status = Status::OK();
-  GDB_RETURN_IF_ERROR(ScanEdges(cancel, [&](const EdgeEnds& e) {
-    auto rec = GetEdge(e.id);
+  GDB_RETURN_IF_ERROR(ScanEdges(session, cancel, [&](const EdgeEnds& e) {
+    auto rec = GetEdge(session, e.id);
     if (!rec.ok()) {
       scan_status = rec.status();
       return false;
@@ -135,9 +137,10 @@ Result<std::vector<EdgeId>> GraphEngine::FindEdgesByProperty(
 }
 
 Result<std::vector<EdgeId>> GraphEngine::FindEdgesByLabel(
-    std::string_view label, const CancelToken& cancel) const {
+    QuerySession& session, std::string_view label,
+    const CancelToken& cancel) const {
   std::vector<EdgeId> out;
-  GDB_RETURN_IF_ERROR(ScanEdges(cancel, [&](const EdgeEnds& e) {
+  GDB_RETURN_IF_ERROR(ScanEdges(session, cancel, [&](const EdgeEnds& e) {
     if (e.label == label) out.push_back(e.id);
     return true;
   }));
@@ -145,10 +148,11 @@ Result<std::vector<EdgeId>> GraphEngine::FindEdgesByLabel(
 }
 
 Result<std::vector<EdgeId>> GraphEngine::EdgesOf(
-    VertexId v, Direction dir, const std::string* label,
+    QuerySession& session, VertexId v, Direction dir, const std::string* label,
     const CancelToken& cancel) const {
   std::vector<EdgeId> out;
-  GDB_RETURN_IF_ERROR(ForEachEdgeOf(v, dir, label, cancel, [&](EdgeId e) {
+  GDB_RETURN_IF_ERROR(
+      ForEachEdgeOf(session, v, dir, label, cancel, [&](EdgeId e) {
     out.push_back(e);
     return true;
   }));
@@ -156,30 +160,35 @@ Result<std::vector<EdgeId>> GraphEngine::EdgesOf(
 }
 
 Result<std::vector<VertexId>> GraphEngine::NeighborsOf(
-    VertexId v, Direction dir, const std::string* label,
-    const CancelToken& cancel) const {
+    QuerySession& session, VertexId v, Direction dir,
+    const std::string* label, const CancelToken& cancel) const {
   std::vector<VertexId> out;
-  GDB_RETURN_IF_ERROR(ForEachNeighbor(v, dir, label, cancel, [&](VertexId n) {
+  GDB_RETURN_IF_ERROR(
+      ForEachNeighbor(session, v, dir, label, cancel, [&](VertexId n) {
     out.push_back(n);
     return true;
   }));
   return out;
 }
 
-Result<uint64_t> GraphEngine::DegreeOf(VertexId v, Direction dir,
+Result<uint64_t> GraphEngine::DegreeOf(QuerySession& session, VertexId v,
+                                       Direction dir,
                                        const CancelToken& cancel) const {
   uint64_t n = 0;
-  GDB_RETURN_IF_ERROR(ForEachEdgeOf(v, dir, nullptr, cancel, [&](EdgeId) {
+  GDB_RETURN_IF_ERROR(
+      ForEachEdgeOf(session, v, dir, nullptr, cancel, [&](EdgeId) {
     ++n;
     return true;
   }));
   return n;
 }
 
-Result<uint64_t> GraphEngine::CountEdgesOf(VertexId v, Direction dir,
+Result<uint64_t> GraphEngine::CountEdgesOf(QuerySession& session, VertexId v,
+                                           Direction dir,
                                            const CancelToken& cancel) const {
   uint64_t n = 0;
-  GDB_RETURN_IF_ERROR(ForEachEdgeOf(v, dir, nullptr, cancel, [&](EdgeId) {
+  GDB_RETURN_IF_ERROR(
+      ForEachEdgeOf(session, v, dir, nullptr, cancel, [&](EdgeId) {
     ++n;
     return true;
   }));

@@ -5,6 +5,17 @@
 // and property search, id lookup, and the adjacency primitives the
 // traversal machine is built on. Engines differ only in *how* these are
 // implemented — which is precisely what the microbenchmark measures.
+//
+// Concurrency contract: a loaded engine is an immutable snapshot for the
+// read surface. Every read method is const, takes an explicit
+// QuerySession, and touches no engine-level mutable state — all per-query
+// scratch (working-memory arenas, batched-read windows, row caches, JSON
+// parse buffers) lives in the session, so any number of threads may read
+// the same engine concurrently, each through its own session. Sessions are
+// NOT thread-safe themselves (one session = one client thread), must only
+// be used with the engine that created them, and must not outlive it. The
+// write surface (AddVertex/AddEdge/Set*/Remove*) mutates the snapshot and
+// is single-writer: it must not run concurrently with any read session.
 
 #ifndef GDBMICRO_GRAPH_ENGINE_H_
 #define GDBMICRO_GRAPH_ENGINE_H_
@@ -13,6 +24,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "src/graph/cost_model.h"
@@ -109,6 +121,58 @@ struct BulkLoadStats {
   }
 };
 
+class GraphEngine;
+
+/// Reusable frontier/visited buffers for the traversal machines (BFS,
+/// shortest path). Owned by a QuerySession so concurrent clients never
+/// share them; reused across queries within a session so steady-state
+/// traversals allocate nothing. The dense visited structure is
+/// epoch-stamped: bumping `epoch` invalidates every mark in O(1), so a
+/// session almost never pays an O(id-bound) clear between queries (one
+/// byte per vertex slot keeps the session footprint small; the wrap
+/// every 255 queries costs one amortized clear).
+struct TraversalScratch {
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next;
+  /// Dense visited marks, indexed by vertex id when the engine exposes a
+  /// dense id bound: visited_epoch[v] == epoch means "visited this query".
+  std::vector<uint8_t> visited_epoch;
+  uint8_t epoch = 0;
+  /// Fallback visited set for engines with sparse id spaces.
+  std::unordered_set<VertexId> visited_sparse;
+};
+
+/// Per-query mutable state for reads against a loaded engine.
+///
+/// One session models one client connection: create one per thread with
+/// GraphEngine::CreateSession() and pass it to every read call. Engines
+/// subclass it to hold the state their emulated architecture keeps per
+/// connection — the Sparksee-like engine's working-memory arena, the
+/// Titan-1.0 row cache and batched-read window, the document engine's
+/// JSON parse scratch. A session is single-threaded, bound to the engine
+/// that created it, and must not outlive the engine.
+class QuerySession {
+ public:
+  explicit QuerySession(const GraphEngine* engine) : engine_(engine) {}
+  virtual ~QuerySession() = default;
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  /// Resets per-query state (the working-memory arena the benchmark
+  /// runner clears between measured queries). Caches that model a
+  /// connection-lifetime structure (the row cache) survive BeginQuery.
+  virtual void BeginQuery() {}
+
+  /// The engine this session was created by.
+  const GraphEngine* engine() const { return engine_; }
+
+  TraversalScratch& traversal_scratch() { return scratch_; }
+
+ private:
+  const GraphEngine* engine_;
+  TraversalScratch scratch_;
+};
+
 class GraphEngine {
  public:
   virtual ~GraphEngine() = default;
@@ -128,10 +192,12 @@ class GraphEngine {
   /// Releases resources. The engine may not be reused after Close().
   virtual Status Close() { return Status::OK(); }
 
-  /// Called by the benchmark runner before each measured query. Engines
-  /// that track per-query working memory (bitmapish's Gremlin-session
-  /// arena) reset it here.
-  virtual void BeginQuery() {}
+  /// Creates a read session bound to this engine (one per client thread;
+  /// see the concurrency contract at the top of this file). Engines with
+  /// per-connection state override this to return their own session type.
+  virtual std::unique_ptr<QuerySession> CreateSession() const {
+    return std::make_unique<QuerySession>(this);
+  }
 
   // --- Create (paper Q.2-Q.7) ------------------------------------------
 
@@ -165,30 +231,39 @@ class GraphEngine {
   const BulkLoadStats& load_stats() const { return load_stats_; }
 
   // --- Read (paper Q.8-Q.15) -------------------------------------------
+  //
+  // Every read takes the calling client's QuerySession (first parameter)
+  // and is const: the loaded graph is an immutable snapshot, all per-query
+  // mutable state lives in the session.
 
-  virtual Result<VertexRecord> GetVertex(VertexId id) const = 0;
-  virtual Result<EdgeRecord> GetEdge(EdgeId id) const = 0;
+  virtual Result<VertexRecord> GetVertex(QuerySession& session,
+                                         VertexId id) const = 0;
+  virtual Result<EdgeRecord> GetEdge(QuerySession& session,
+                                     EdgeId id) const = 0;
 
   /// Q.8 / Q.9. Defaults scan; engines with cheap cardinality override.
-  virtual Result<uint64_t> CountVertices(const CancelToken& cancel) const;
-  virtual Result<uint64_t> CountEdges(const CancelToken& cancel) const;
+  virtual Result<uint64_t> CountVertices(QuerySession& session,
+                                         const CancelToken& cancel) const;
+  virtual Result<uint64_t> CountEdges(QuerySession& session,
+                                      const CancelToken& cancel) const;
 
   /// Q.10: distinct edge labels.
   virtual Result<std::vector<std::string>> DistinctEdgeLabels(
-      const CancelToken& cancel) const;
+      QuerySession& session, const CancelToken& cancel) const;
 
   /// Q.11 / Q.12: property equality search. Defaults scan (or use the
   /// property index when one exists).
   virtual Result<std::vector<VertexId>> FindVerticesByProperty(
-      std::string_view prop, const PropertyValue& value,
+      QuerySession& session, std::string_view prop, const PropertyValue& value,
       const CancelToken& cancel) const;
   virtual Result<std::vector<EdgeId>> FindEdgesByProperty(
-      std::string_view prop, const PropertyValue& value,
+      QuerySession& session, std::string_view prop, const PropertyValue& value,
       const CancelToken& cancel) const;
 
   /// Q.13: edges by label. Defaults scan.
   virtual Result<std::vector<EdgeId>> FindEdgesByLabel(
-      std::string_view label, const CancelToken& cancel) const;
+      QuerySession& session, std::string_view label,
+      const CancelToken& cancel) const;
 
   // --- Delete (paper Q.18-Q.21) ----------------------------------------
 
@@ -202,13 +277,13 @@ class GraphEngine {
 
   /// Visits every live vertex id. `fn` returns false to stop early.
   virtual Status ScanVertices(
-      const CancelToken& cancel,
+      QuerySession& session, const CancelToken& cancel,
       const std::function<bool(VertexId)>& fn) const = 0;
 
   /// Visits every live edge (endpoints + label, no property
   /// materialization unless the engine's architecture forces it).
   virtual Status ScanEdges(
-      const CancelToken& cancel,
+      QuerySession& session, const CancelToken& cancel,
       const std::function<bool(const EdgeEnds&)>& fn) const = 0;
 
   // --- Adjacency visitors (the hot-path primitives) ---------------------
@@ -247,30 +322,32 @@ class GraphEngine {
   /// Streams the ids of edges incident to `v` in direction `dir`,
   /// optionally restricted to `label` (nullptr = any), into `fn`.
   virtual Status ForEachEdgeOf(
-      VertexId v, Direction dir, const std::string* label,
-      const CancelToken& cancel,
+      QuerySession& session, VertexId v, Direction dir,
+      const std::string* label, const CancelToken& cancel,
       const std::function<bool(EdgeId)>& fn) const = 0;
 
   /// Streams the far endpoint of each incident edge (the neighbor) into
   /// `fn`. A vertex reachable over k parallel edges is visited k times;
   /// a self-loop yields `v` itself once.
   virtual Status ForEachNeighbor(
-      VertexId v, Direction dir, const std::string* label,
-      const CancelToken& cancel,
+      QuerySession& session, VertexId v, Direction dir,
+      const std::string* label, const CancelToken& cancel,
       const std::function<bool(VertexId)>& fn) const = 0;
 
   /// Materializing wrappers over the visitors, for callers that want the
   /// whole neighborhood as a vector. Non-virtual by design: the visitors
   /// are the single per-engine walk implementation.
-  Result<std::vector<EdgeId>> EdgesOf(VertexId v, Direction dir,
-                                      const std::string* label,
+  Result<std::vector<EdgeId>> EdgesOf(QuerySession& session, VertexId v,
+                                      Direction dir, const std::string* label,
                                       const CancelToken& cancel) const;
-  Result<std::vector<VertexId>> NeighborsOf(VertexId v, Direction dir,
+  Result<std::vector<VertexId>> NeighborsOf(QuerySession& session, VertexId v,
+                                            Direction dir,
                                             const std::string* label,
                                             const CancelToken& cancel) const;
 
   /// Endpoints + label of an edge.
-  virtual Result<EdgeEnds> GetEdgeEnds(EdgeId e) const = 0;
+  virtual Result<EdgeEnds> GetEdgeEnds(QuerySession& session,
+                                       EdgeId e) const = 0;
 
   /// Exclusive upper bound on vertex ids when the engine allocates them
   /// densely (slot/sequence ids), or 0 when the id space is sparse (the
@@ -281,16 +358,18 @@ class GraphEngine {
 
   /// Number of incident edges. Default: streamed count via ForEachEdgeOf
   /// (no materialization).
-  virtual Result<uint64_t> DegreeOf(VertexId v, Direction dir,
+  virtual Result<uint64_t> DegreeOf(QuerySession& session, VertexId v,
+                                    Direction dir,
                                     const CancelToken& cancel) const;
 
   /// The `it.inE.count()` primitive of the degree-filter queries
   /// (Q.28-Q.31 inner step). Default: streamed count. The Sparksee-like
   /// engine overrides it to model its Gremlin adapter's defect: the
-  /// materialized intermediate edge lists accumulate in the query arena,
+  /// materialized intermediate edge lists accumulate in the session arena,
   /// which is what made the paper's Q.28-Q.31 exhaust RAM on the Freebase
   /// samples while ordinary traversals (BFS/SP) were unaffected.
-  virtual Result<uint64_t> CountEdgesOf(VertexId v, Direction dir,
+  virtual Result<uint64_t> CountEdgesOf(QuerySession& session, VertexId v,
+                                        Direction dir,
                                         const CancelToken& cancel) const;
 
   // --- Indexing (paper §6.4 "Effect of Indexing") ------------------------

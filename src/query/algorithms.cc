@@ -1,66 +1,85 @@
 #include "src/query/algorithms.h"
 
+#include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 namespace gdbmicro {
 namespace query {
 
 namespace {
 
-// Flat visited structure for the BFS/SP expansion. When the engine
-// exposes a dense vertex-id bound the set is a bit vector indexed by
-// vertex slot (one bit test per membership check, no hashing); otherwise
-// it falls back to a reserved hash set. Engines with packed sparse ids
-// (the relational backend) take the fallback. The bit vector grows
-// lazily (geometric, capped at the bound) so a small search over a huge
-// graph never pays an O(bound) clear up front.
+// Flat visited structure for the BFS/SP expansion, backed by the
+// session's TraversalScratch. When the engine exposes a dense vertex-id
+// bound, membership is one epoch-stamp compare indexed by vertex slot (no
+// hashing, and no O(bound) clear between queries: bumping the epoch
+// invalidates every stale mark at once); otherwise it falls back to the
+// scratch's reserved hash set. Engines with packed sparse ids (the
+// relational backend) take the fallback. The stamp array grows lazily
+// (geometric, capped at the bound) so a small search over a huge graph
+// never pays an O(bound) allocation up front.
 class VisitedSet {
  public:
-  explicit VisitedSet(uint64_t id_bound)
-      : dense_(id_bound > 0), bound_(id_bound) {
-    if (!dense_) sparse_.reserve(1024);
+  VisitedSet(TraversalScratch* scratch, uint64_t id_bound)
+      : s_(scratch), dense_(id_bound > 0), bound_(id_bound) {
+    if (dense_) {
+      s_->epoch = static_cast<uint8_t>(s_->epoch + 1);
+      if (s_->epoch == 0) {
+        // Epoch wrap (every 255 queries): stale stamps could collide with
+        // the new epoch, so pay the amortized clear and restart at 1
+        // (0 = never visited).
+        std::fill(s_->visited_epoch.begin(), s_->visited_epoch.end(),
+                  uint8_t{0});
+        s_->epoch = 1;
+      }
+    } else {
+      s_->visited_sparse.clear();
+      s_->visited_sparse.reserve(1024);
+    }
   }
 
   /// Returns true if v was not yet present (and marks it).
   bool Insert(VertexId v) {
     if (dense_) {
-      if (v >= bits_.size()) {
-        uint64_t grown = bits_.size() < 1024 ? 1024 : bits_.size() * 2;
+      std::vector<uint8_t>& stamps = s_->visited_epoch;
+      if (v >= stamps.size()) {
+        uint64_t grown = stamps.size() < 1024 ? 1024 : stamps.size() * 2;
         if (grown < v + 1) grown = v + 1;
         if (grown > bound_ && bound_ > v) grown = bound_;
-        bits_.resize(grown, false);
+        stamps.resize(grown, uint8_t{0});
       }
-      if (bits_[v]) return false;
-      bits_[v] = true;
+      if (stamps[v] == s_->epoch) return false;
+      stamps[v] = s_->epoch;
       return true;
     }
-    return sparse_.insert(v).second;
+    return s_->visited_sparse.insert(v).second;
   }
 
  private:
+  TraversalScratch* s_;
   bool dense_;
   uint64_t bound_;
-  std::vector<bool> bits_;
-  std::unordered_set<VertexId> sparse_;
 };
 
 }  // namespace
 
-Result<BfsResult> BreadthFirst(const GraphEngine& engine, VertexId start,
+Result<BfsResult> BreadthFirst(const GraphEngine& engine,
+                               QuerySession& session, VertexId start,
                                int max_depth,
                                const std::optional<std::string>& label,
                                const CancelToken& cancel) {
   const std::string* label_ptr = label.has_value() ? &*label : nullptr;
   BfsResult result;
+  TraversalScratch& scratch = session.traversal_scratch();
   // The Gremlin store(vs) side effect: vs is seeded with the start vertex
   // so except(vs) never re-expands it, but `visited` reports only the
   // vertices *reached* — the start is deliberately absent (see the
   // BfsResult contract in algorithms.h).
-  VisitedSet stored(engine.VertexIdUpperBound());
+  VisitedSet stored(&scratch, engine.VertexIdUpperBound());
   stored.Insert(start);
-  std::vector<VertexId> frontier{start};
-  std::vector<VertexId> next;
+  std::vector<VertexId>& frontier = scratch.frontier;
+  std::vector<VertexId>& next = scratch.next;
+  frontier.assign(1, start);
+  next.clear();
   for (int depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
     next.clear();
     for (VertexId v : frontier) {
@@ -68,7 +87,7 @@ Result<BfsResult> BreadthFirst(const GraphEngine& engine, VertexId start,
       // Stream the expansion: neighbors flow straight into the visited
       // filter and the next frontier, no per-hop vector.
       GDB_RETURN_IF_ERROR(engine.ForEachNeighbor(
-          v, Direction::kBoth, label_ptr, cancel, [&](VertexId n) {
+          session, v, Direction::kBoth, label_ptr, cancel, [&](VertexId n) {
             if (stored.Insert(n)) {
               next.push_back(n);
               result.visited.push_back(n);
@@ -82,7 +101,8 @@ Result<BfsResult> BreadthFirst(const GraphEngine& engine, VertexId start,
   return result;
 }
 
-Result<PathResult> ShortestPath(const GraphEngine& engine, VertexId src,
+Result<PathResult> ShortestPath(const GraphEngine& engine,
+                                QuerySession& session, VertexId src,
                                 VertexId dst,
                                 const std::optional<std::string>& label,
                                 int max_depth, const CancelToken& cancel) {
@@ -93,15 +113,18 @@ Result<PathResult> ShortestPath(const GraphEngine& engine, VertexId src,
     return result;
   }
   const std::string* label_ptr = label.has_value() ? &*label : nullptr;
-  // Membership is the hot check (one bit test when dense); parents are
-  // recorded only for genuinely reached vertices, so the map stays
+  TraversalScratch& scratch = session.traversal_scratch();
+  // Membership is the hot check (one stamp compare when dense); parents
+  // are recorded only for genuinely reached vertices, so the map stays
   // O(visited) no matter how large the id space is.
-  VisitedSet reached(engine.VertexIdUpperBound());
+  VisitedSet reached(&scratch, engine.VertexIdUpperBound());
   std::unordered_map<VertexId, VertexId> parent;  // child -> parent
   parent.reserve(1024);
   reached.Insert(src);
-  std::vector<VertexId> frontier{src};
-  std::vector<VertexId> next;
+  std::vector<VertexId>& frontier = scratch.frontier;
+  std::vector<VertexId>& next = scratch.next;
+  frontier.assign(1, src);
+  next.clear();
   bool found = false;
   for (int depth = 0; depth < max_depth && !frontier.empty() && !found;
        ++depth) {
@@ -109,7 +132,7 @@ Result<PathResult> ShortestPath(const GraphEngine& engine, VertexId src,
     for (VertexId v : frontier) {
       GDB_CHECK_CANCEL(cancel);
       GDB_RETURN_IF_ERROR(engine.ForEachNeighbor(
-          v, Direction::kBoth, label_ptr, cancel, [&](VertexId n) {
+          session, v, Direction::kBoth, label_ptr, cancel, [&](VertexId n) {
             if (reached.Insert(n)) {
               parent.emplace(n, v);
               if (n == dst) {

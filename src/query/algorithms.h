@@ -35,7 +35,11 @@ struct BfsResult {
 /// (Q.32 / Q.33: v.as('i').both(l?).except(vs).store(vs).loop('i')).
 /// A cycle back to the start never re-reports it: the start is in `vs`
 /// from the beginning.
-Result<BfsResult> BreadthFirst(const GraphEngine& engine, VertexId start,
+/// `session` is the calling client's read session; the frontier/visited
+/// buffers live in its TraversalScratch, so concurrent clients never
+/// share them and repeated searches in one session reuse their capacity.
+Result<BfsResult> BreadthFirst(const GraphEngine& engine,
+                               QuerySession& session, VertexId start,
                                int max_depth,
                                const std::optional<std::string>& label,
                                const CancelToken& cancel);
@@ -50,7 +54,8 @@ struct PathResult {
 /// directions, optionally restricted to one edge label (Q.34 / Q.35).
 /// `max_depth` bounds the search (Gremlin loops are depth-bounded in the
 /// suite to keep the semantics of the paper's queries).
-Result<PathResult> ShortestPath(const GraphEngine& engine, VertexId src,
+Result<PathResult> ShortestPath(const GraphEngine& engine,
+                                QuerySession& session, VertexId src,
                                 VertexId dst,
                                 const std::optional<std::string>& label,
                                 int max_depth, const CancelToken& cancel);

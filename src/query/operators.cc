@@ -25,9 +25,10 @@ std::string AdjacencyArgs(Direction dir,
 
 }  // namespace
 
-Status Operator::Produce(const GraphEngine& engine, const CancelToken& cancel,
-                         const RowSink& sink) {
+Status Operator::Produce(const GraphEngine& engine, QuerySession& session,
+                         const CancelToken& cancel, const RowSink& sink) {
   (void)engine;
+  (void)session;
   (void)cancel;
   (void)sink;
   return Status::Internal(StrFormat("%s is not a source operator",
@@ -35,9 +36,11 @@ Status Operator::Produce(const GraphEngine& engine, const CancelToken& cancel,
 }
 
 Result<bool> Operator::Process(const GraphEngine& engine,
-                               const CancelToken& cancel, const Traverser& in,
-                               const RowSink& sink) {
+                               QuerySession& session,
+                               const CancelToken& cancel,
+                               const Traverser& in, const RowSink& sink) {
   (void)engine;
+  (void)session;
   (void)cancel;
   (void)in;
   (void)sink;
@@ -47,16 +50,17 @@ Result<bool> Operator::Process(const GraphEngine& engine,
 
 // --- Sources ---------------------------------------------------------------
 
-Status VertexScan::Produce(const GraphEngine& engine,
-                           const CancelToken& cancel, const RowSink& sink) {
-  return engine.ScanVertices(cancel, [&](VertexId id) {
+Status VertexScan::Produce(const GraphEngine& engine, QuerySession& session,
+                           const CancelToken& cancel,
+                           const RowSink& sink) {
+  return engine.ScanVertices(session, cancel, [&](VertexId id) {
     return sink(Traverser{Traverser::Kind::kVertex, id, {}});
   });
 }
 
-Status EdgeScan::Produce(const GraphEngine& engine, const CancelToken& cancel,
-                         const RowSink& sink) {
-  return engine.ScanEdges(cancel, [&](const EdgeEnds& e) {
+Status EdgeScan::Produce(const GraphEngine& engine, QuerySession& session,
+                         const CancelToken& cancel, const RowSink& sink) {
+  return engine.ScanEdges(session, cancel, [&](const EdgeEnds& e) {
     return sink(Traverser{Traverser::Kind::kEdge, e.id, {}});
   });
 }
@@ -65,10 +69,11 @@ std::string VertexLookup::args() const {
   return StrFormat("id=%llu", static_cast<unsigned long long>(id_));
 }
 
-Status VertexLookup::Produce(const GraphEngine& engine,
-                             const CancelToken& cancel, const RowSink& sink) {
+Status VertexLookup::Produce(const GraphEngine& engine, QuerySession& session,
+                             const CancelToken& cancel,
+                             const RowSink& sink) {
   GDB_CHECK_CANCEL(cancel);
-  auto rec = engine.GetVertex(id_);
+  auto rec = engine.GetVertex(session, id_);
   if (!rec.ok()) {
     // g.V(id) on a missing vertex is an empty traverser set, not a query
     // error (Gremlin semantics).
@@ -83,10 +88,11 @@ std::string EdgeLookup::args() const {
   return StrFormat("id=%llu", static_cast<unsigned long long>(id_));
 }
 
-Status EdgeLookup::Produce(const GraphEngine& engine,
-                           const CancelToken& cancel, const RowSink& sink) {
+Status EdgeLookup::Produce(const GraphEngine& engine, QuerySession& session,
+                           const CancelToken& cancel,
+                           const RowSink& sink) {
   GDB_CHECK_CANCEL(cancel);
-  auto rec = engine.GetEdge(id_);
+  auto rec = engine.GetEdge(session, id_);
   if (!rec.ok()) {
     if (rec.status().IsNotFound()) return Status::OK();
     return rec.status();
@@ -99,11 +105,11 @@ std::string PropertyIndexScan::args() const {
   return PredicateArgs(key_, value_);
 }
 
-Status PropertyIndexScan::Produce(const GraphEngine& engine,
+Status PropertyIndexScan::Produce(const GraphEngine& engine, QuerySession& session,
                                   const CancelToken& cancel,
                                   const RowSink& sink) {
   GDB_ASSIGN_OR_RETURN(std::vector<VertexId> ids,
-                       engine.FindVerticesByProperty(key_, value_, cancel));
+                       engine.FindVerticesByProperty(session, key_, value_, cancel));
   for (VertexId v : ids) {
     if (!sink(Traverser{Traverser::Kind::kVertex, v, {}})) break;
   }
@@ -112,10 +118,11 @@ Status PropertyIndexScan::Produce(const GraphEngine& engine,
 
 std::string EdgeLabelScan::args() const { return "label=" + label_; }
 
-Status EdgeLabelScan::Produce(const GraphEngine& engine,
-                              const CancelToken& cancel, const RowSink& sink) {
+Status EdgeLabelScan::Produce(const GraphEngine& engine, QuerySession& session,
+                              const CancelToken& cancel,
+                              const RowSink& sink) {
   GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> ids,
-                       engine.FindEdgesByLabel(label_, cancel));
+                       engine.FindEdgesByLabel(session, label_, cancel));
   for (EdgeId e : ids) {
     if (!sink(Traverser{Traverser::Kind::kEdge, e, {}})) break;
   }
@@ -127,10 +134,10 @@ void DistinctEdgeTargetScan::Reset() {
   seen_.reserve(1024);
 }
 
-Status DistinctEdgeTargetScan::Produce(const GraphEngine& engine,
+Status DistinctEdgeTargetScan::Produce(const GraphEngine& engine, QuerySession& session,
                                        const CancelToken& cancel,
                                        const RowSink& sink) {
-  return engine.ScanEdges(cancel, [&](const EdgeEnds& e) {
+  return engine.ScanEdges(session, cancel, [&](const EdgeEnds& e) {
     if (!seen_.insert(e.dst).second) return true;
     return sink(Traverser{Traverser::Kind::kVertex, e.dst, {}});
   });
@@ -141,14 +148,15 @@ Status DistinctEdgeTargetScan::Produce(const GraphEngine& engine,
 std::string LabelFilter::args() const { return "label=" + label_; }
 
 Result<bool> LabelFilter::Process(const GraphEngine& engine,
+                                  QuerySession& session,
                                   const CancelToken& cancel,
                                   const Traverser& in, const RowSink& sink) {
   GDB_CHECK_CANCEL(cancel);
   if (in.kind == Traverser::Kind::kVertex) {
-    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(in.id));
+    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(session, in.id));
     if (rec.label == label_) return sink(in);
   } else if (in.kind == Traverser::Kind::kEdge) {
-    GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(in.id));
+    GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(session, in.id));
     if (ends.label == label_) return sink(in);
   }
   return true;
@@ -157,15 +165,16 @@ Result<bool> LabelFilter::Process(const GraphEngine& engine,
 std::string PropertyFilter::args() const { return PredicateArgs(key_, value_); }
 
 Result<bool> PropertyFilter::Process(const GraphEngine& engine,
+                                     QuerySession& session,
                                      const CancelToken& cancel,
                                      const Traverser& in, const RowSink& sink) {
   GDB_CHECK_CANCEL(cancel);
   PropertyMap props;
   if (in.kind == Traverser::Kind::kVertex) {
-    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(in.id));
+    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(session, in.id));
     props = std::move(rec.properties);
   } else if (in.kind == Traverser::Kind::kEdge) {
-    GDB_ASSIGN_OR_RETURN(EdgeRecord rec, engine.GetEdge(in.id));
+    GDB_ASSIGN_OR_RETURN(EdgeRecord rec, engine.GetEdge(session, in.id));
     props = std::move(rec.properties);
   }
   const PropertyValue* v = FindProperty(props, key_);
@@ -176,11 +185,12 @@ Result<bool> PropertyFilter::Process(const GraphEngine& engine,
 std::string Expand::args() const { return AdjacencyArgs(dir_, label_); }
 
 Result<bool> Expand::Process(const GraphEngine& engine,
-                             const CancelToken& cancel, const Traverser& in,
-                             const RowSink& sink) {
+                             QuerySession& session,
+                             const CancelToken& cancel,
+                             const Traverser& in, const RowSink& sink) {
   if (in.kind != Traverser::Kind::kVertex) return true;
   bool keep_going = true;
-  GDB_RETURN_IF_ERROR(engine.ForEachNeighbor(
+  GDB_RETURN_IF_ERROR(engine.ForEachNeighbor(session, 
       in.id, dir_, label_.has_value() ? &*label_ : nullptr, cancel,
       [&](VertexId v) {
         keep_going = sink(Traverser{Traverser::Kind::kVertex, v, {}});
@@ -192,11 +202,12 @@ Result<bool> Expand::Process(const GraphEngine& engine,
 std::string ExpandE::args() const { return AdjacencyArgs(dir_, label_); }
 
 Result<bool> ExpandE::Process(const GraphEngine& engine,
-                              const CancelToken& cancel, const Traverser& in,
-                              const RowSink& sink) {
+                              QuerySession& session,
+                              const CancelToken& cancel,
+                              const Traverser& in, const RowSink& sink) {
   if (in.kind != Traverser::Kind::kVertex) return true;
   bool keep_going = true;
-  GDB_RETURN_IF_ERROR(engine.ForEachEdgeOf(
+  GDB_RETURN_IF_ERROR(engine.ForEachEdgeOf(session, 
       in.id, dir_, label_.has_value() ? &*label_ : nullptr, cancel,
       [&](EdgeId e) {
         keep_going = sink(Traverser{Traverser::Kind::kEdge, e, {}});
@@ -206,41 +217,44 @@ Result<bool> ExpandE::Process(const GraphEngine& engine,
 }
 
 Result<bool> EndpointMap::Process(const GraphEngine& engine,
+                                  QuerySession& session,
                                   const CancelToken& cancel,
                                   const Traverser& in, const RowSink& sink) {
   GDB_CHECK_CANCEL(cancel);
   if (in.kind != Traverser::Kind::kEdge) return true;
-  GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(in.id));
+  GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(session, in.id));
   return sink(Traverser{Traverser::Kind::kVertex,
                         out_ ? ends.src : ends.dst,
                         {}});
 }
 
 Result<bool> LabelMap::Process(const GraphEngine& engine,
-                               const CancelToken& cancel, const Traverser& in,
-                               const RowSink& sink) {
+                               QuerySession& session,
+                               const CancelToken& cancel,
+                               const Traverser& in, const RowSink& sink) {
   GDB_CHECK_CANCEL(cancel);
   if (in.kind == Traverser::Kind::kEdge) {
-    GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(in.id));
+    GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(session, in.id));
     return sink(Traverser{Traverser::Kind::kValue, 0, std::move(ends.label)});
   }
   if (in.kind == Traverser::Kind::kVertex) {
-    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(in.id));
+    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(session, in.id));
     return sink(Traverser{Traverser::Kind::kValue, 0, std::move(rec.label)});
   }
   return true;
 }
 
 Result<bool> ValuesMap::Process(const GraphEngine& engine,
-                                const CancelToken& cancel, const Traverser& in,
-                                const RowSink& sink) {
+                                QuerySession& session,
+                                const CancelToken& cancel,
+                                const Traverser& in, const RowSink& sink) {
   GDB_CHECK_CANCEL(cancel);
   PropertyMap props;
   if (in.kind == Traverser::Kind::kVertex) {
-    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(in.id));
+    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(session, in.id));
     props = std::move(rec.properties);
   } else if (in.kind == Traverser::Kind::kEdge) {
-    GDB_ASSIGN_OR_RETURN(EdgeRecord rec, engine.GetEdge(in.id));
+    GDB_ASSIGN_OR_RETURN(EdgeRecord rec, engine.GetEdge(session, in.id));
     props = std::move(rec.properties);
   }
   if (const PropertyValue* v = FindProperty(props, key_)) {
@@ -255,9 +269,11 @@ void Dedup::Reset() {
 }
 
 Result<bool> Dedup::Process(const GraphEngine& engine,
-                            const CancelToken& cancel, const Traverser& in,
-                            const RowSink& sink) {
+                            QuerySession& session,
+                            const CancelToken& cancel,
+                            const Traverser& in, const RowSink& sink) {
   (void)engine;
+  (void)session;
   GDB_CHECK_CANCEL(cancel);
   bool fresh;
   if (in.kind == Traverser::Kind::kValue) {
@@ -277,9 +293,11 @@ std::string Limit::args() const {
 }
 
 Result<bool> Limit::Process(const GraphEngine& engine,
-                            const CancelToken& cancel, const Traverser& in,
-                            const RowSink& sink) {
+                            QuerySession& session,
+                            const CancelToken& cancel,
+                            const Traverser& in, const RowSink& sink) {
   (void)engine;
+  (void)session;
   (void)cancel;
   if (emitted_ >= n_) return false;
   ++emitted_;
@@ -294,6 +312,7 @@ std::string DegreeFilter::args() const {
 }
 
 Result<bool> DegreeFilter::Process(const GraphEngine& engine,
+                                   QuerySession& session,
                                    const CancelToken& cancel,
                                    const Traverser& in, const RowSink& sink) {
   GDB_CHECK_CANCEL(cancel);
@@ -301,16 +320,18 @@ Result<bool> DegreeFilter::Process(const GraphEngine& engine,
   // Gremlin shape: the inner it.xE.count() materializes the incident edge
   // list for every candidate vertex (CountEdgesOf is exactly that
   // primitive; see engine.h).
-  GDB_ASSIGN_OR_RETURN(uint64_t degree, engine.CountEdgesOf(in.id, dir_,
+  GDB_ASSIGN_OR_RETURN(uint64_t degree, engine.CountEdgesOf(session, in.id, dir_,
                                                             cancel));
   if (degree >= k_) return sink(in);
   return true;
 }
 
 Result<bool> CountSink::Process(const GraphEngine& engine,
-                                const CancelToken& cancel, const Traverser& in,
-                                const RowSink& sink) {
+                                QuerySession& session,
+                                const CancelToken& cancel,
+                                const Traverser& in, const RowSink& sink) {
   (void)engine;
+  (void)session;
   (void)cancel;
   (void)in;
   (void)sink;

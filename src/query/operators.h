@@ -49,14 +49,18 @@ class Operator {
   virtual void Reset() {}
 
   /// Sources only: drive the engine, pushing every row into `sink` until
-  /// exhausted or the sink returns false.
-  virtual Status Produce(const GraphEngine& engine, const CancelToken& cancel,
-                         const RowSink& sink);
+  /// exhausted or the sink returns false. `session` is the calling
+  /// client's read session; operators own no engine-level state, so one
+  /// plan instance per thread plus one session per thread is all
+  /// concurrent execution needs.
+  virtual Status Produce(const GraphEngine& engine, QuerySession& session,
+                         const CancelToken& cancel, const RowSink& sink);
 
   /// Pipeline operators only: transform one input row, pushing outputs
   /// into `sink`. Returns false when the operator wants no further input
   /// (its sink stopped, or its own bound — e.g. Limit — was reached).
   virtual Result<bool> Process(const GraphEngine& engine,
+                               QuerySession& session,
                                const CancelToken& cancel, const Traverser& in,
                                const RowSink& sink);
 };
@@ -68,7 +72,8 @@ class VertexScan : public Operator {
  public:
   std::string_view name() const override { return "VertexScan"; }
   bool is_source() const override { return true; }
-  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+  Status Produce(const GraphEngine& engine, QuerySession& session,
+                 const CancelToken& cancel,
                  const RowSink& sink) override;
 };
 
@@ -77,7 +82,8 @@ class EdgeScan : public Operator {
  public:
   std::string_view name() const override { return "EdgeScan"; }
   bool is_source() const override { return true; }
-  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+  Status Produce(const GraphEngine& engine, QuerySession& session,
+                 const CancelToken& cancel,
                  const RowSink& sink) override;
 };
 
@@ -89,7 +95,8 @@ class VertexLookup : public Operator {
   std::string_view name() const override { return "VertexLookup"; }
   std::string args() const override;
   bool is_source() const override { return true; }
-  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+  Status Produce(const GraphEngine& engine, QuerySession& session,
+                 const CancelToken& cancel,
                  const RowSink& sink) override;
 
  private:
@@ -103,7 +110,8 @@ class EdgeLookup : public Operator {
   std::string_view name() const override { return "EdgeLookup"; }
   std::string args() const override;
   bool is_source() const override { return true; }
-  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+  Status Produce(const GraphEngine& engine, QuerySession& session,
+                 const CancelToken& cancel,
                  const RowSink& sink) override;
 
  private:
@@ -120,7 +128,8 @@ class PropertyIndexScan : public Operator {
   std::string_view name() const override { return "PropertyIndexScan"; }
   std::string args() const override;
   bool is_source() const override { return true; }
-  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+  Status Produce(const GraphEngine& engine, QuerySession& session,
+                 const CancelToken& cancel,
                  const RowSink& sink) override;
 
  private:
@@ -136,7 +145,8 @@ class EdgeLabelScan : public Operator {
   std::string_view name() const override { return "EdgeLabelScan"; }
   std::string args() const override;
   bool is_source() const override { return true; }
-  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+  Status Produce(const GraphEngine& engine, QuerySession& session,
+                 const CancelToken& cancel,
                  const RowSink& sink) override;
 
  private:
@@ -152,7 +162,8 @@ class DistinctEdgeTargetScan : public Operator {
   std::string_view name() const override { return "DistinctEdgeTargetScan"; }
   bool is_source() const override { return true; }
   void Reset() override;
-  Status Produce(const GraphEngine& engine, const CancelToken& cancel,
+  Status Produce(const GraphEngine& engine, QuerySession& session,
+                 const CancelToken& cancel,
                  const RowSink& sink) override;
 
  private:
@@ -167,8 +178,9 @@ class LabelFilter : public Operator {
   explicit LabelFilter(std::string label) : label_(std::move(label)) {}
   std::string_view name() const override { return "LabelFilter"; }
   std::string args() const override;
-  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
-                       const Traverser& in, const RowSink& sink) override;
+  Result<bool> Process(const GraphEngine& engine, QuerySession& session,
+                       const CancelToken& cancel, const Traverser& in,
+                       const RowSink& sink) override;
 
  private:
   std::string label_;
@@ -181,8 +193,9 @@ class PropertyFilter : public Operator {
       : key_(std::move(key)), value_(std::move(value)) {}
   std::string_view name() const override { return "PropertyFilter"; }
   std::string args() const override;
-  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
-                       const Traverser& in, const RowSink& sink) override;
+  Result<bool> Process(const GraphEngine& engine, QuerySession& session,
+                       const CancelToken& cancel, const Traverser& in,
+                       const RowSink& sink) override;
 
  private:
   std::string key_;
@@ -197,8 +210,9 @@ class Expand : public Operator {
       : dir_(dir), label_(std::move(label)) {}
   std::string_view name() const override { return "Expand"; }
   std::string args() const override;
-  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
-                       const Traverser& in, const RowSink& sink) override;
+  Result<bool> Process(const GraphEngine& engine, QuerySession& session,
+                       const CancelToken& cancel, const Traverser& in,
+                       const RowSink& sink) override;
 
  private:
   Direction dir_;
@@ -212,8 +226,9 @@ class ExpandE : public Operator {
       : dir_(dir), label_(std::move(label)) {}
   std::string_view name() const override { return "ExpandE"; }
   std::string args() const override;
-  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
-                       const Traverser& in, const RowSink& sink) override;
+  Result<bool> Process(const GraphEngine& engine, QuerySession& session,
+                       const CancelToken& cancel, const Traverser& in,
+                       const RowSink& sink) override;
 
  private:
   Direction dir_;
@@ -226,8 +241,9 @@ class EndpointMap : public Operator {
   explicit EndpointMap(bool out) : out_(out) {}
   std::string_view name() const override { return "EndpointMap"; }
   std::string args() const override { return out_ ? "out" : "in"; }
-  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
-                       const Traverser& in, const RowSink& sink) override;
+  Result<bool> Process(const GraphEngine& engine, QuerySession& session,
+                       const CancelToken& cancel, const Traverser& in,
+                       const RowSink& sink) override;
 
  private:
   bool out_;
@@ -237,8 +253,9 @@ class EndpointMap : public Operator {
 class LabelMap : public Operator {
  public:
   std::string_view name() const override { return "LabelMap"; }
-  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
-                       const Traverser& in, const RowSink& sink) override;
+  Result<bool> Process(const GraphEngine& engine, QuerySession& session,
+                       const CancelToken& cancel, const Traverser& in,
+                       const RowSink& sink) override;
 };
 
 /// values(k): maps elements to a property value; missing property drops
@@ -248,8 +265,9 @@ class ValuesMap : public Operator {
   explicit ValuesMap(std::string key) : key_(std::move(key)) {}
   std::string_view name() const override { return "ValuesMap"; }
   std::string args() const override { return key_; }
-  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
-                       const Traverser& in, const RowSink& sink) override;
+  Result<bool> Process(const GraphEngine& engine, QuerySession& session,
+                       const CancelToken& cancel, const Traverser& in,
+                       const RowSink& sink) override;
 
  private:
   std::string key_;
@@ -262,8 +280,9 @@ class Dedup : public Operator {
  public:
   std::string_view name() const override { return "Dedup"; }
   void Reset() override;
-  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
-                       const Traverser& in, const RowSink& sink) override;
+  Result<bool> Process(const GraphEngine& engine, QuerySession& session,
+                       const CancelToken& cancel, const Traverser& in,
+                       const RowSink& sink) override;
 
  private:
   std::unordered_set<uint64_t> seen_ids_;
@@ -277,8 +296,9 @@ class Limit : public Operator {
   std::string_view name() const override { return "Limit"; }
   std::string args() const override;
   void Reset() override { emitted_ = 0; }
-  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
-                       const Traverser& in, const RowSink& sink) override;
+  Result<bool> Process(const GraphEngine& engine, QuerySession& session,
+                       const CancelToken& cancel, const Traverser& in,
+                       const RowSink& sink) override;
 
  private:
   uint64_t n_;
@@ -293,8 +313,9 @@ class DegreeFilter : public Operator {
   DegreeFilter(Direction dir, uint64_t k) : dir_(dir), k_(k) {}
   std::string_view name() const override { return "DegreeFilter"; }
   std::string args() const override;
-  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
-                       const Traverser& in, const RowSink& sink) override;
+  Result<bool> Process(const GraphEngine& engine, QuerySession& session,
+                       const CancelToken& cancel, const Traverser& in,
+                       const RowSink& sink) override;
 
  private:
   Direction dir_;
@@ -306,8 +327,9 @@ class CountSink : public Operator {
  public:
   std::string_view name() const override { return "CountSink"; }
   void Reset() override { count_ = 0; }
-  Result<bool> Process(const GraphEngine& engine, const CancelToken& cancel,
-                       const Traverser& in, const RowSink& sink) override;
+  Result<bool> Process(const GraphEngine& engine, QuerySession& session,
+                       const CancelToken& cancel, const Traverser& in,
+                       const RowSink& sink) override;
   uint64_t count() const { return count_; }
 
  private:

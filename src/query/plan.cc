@@ -158,6 +158,7 @@ Result<Plan> Plan::Lower(const std::vector<LogicalStep>& steps,
 }
 
 Result<TraversalOutput> Plan::Run(const GraphEngine& engine,
+                                  QuerySession& session,
                                   const CancelToken& cancel,
                                   PlanStats* stats) {
   for (auto& op : ops_) op->Reset();
@@ -168,11 +169,12 @@ Result<TraversalOutput> Plan::Run(const GraphEngine& engine,
   if (ops_.empty()) return TraversalOutput{};
   GDB_CHECK_CANCEL(cancel);
   return policy_ == QueryExecution::kConflated
-             ? RunStreaming(engine, cancel, stats)
-             : RunStepWise(engine, cancel, stats);
+             ? RunStreaming(engine, session, cancel, stats)
+             : RunStepWise(engine, session, cancel, stats);
 }
 
 Result<TraversalOutput> Plan::RunStreaming(const GraphEngine& engine,
+                                           QuerySession& session,
                                            const CancelToken& cancel,
                                            PlanStats* stats) {
   TraversalOutput out;
@@ -198,9 +200,9 @@ Result<TraversalOutput> Plan::RunStreaming(const GraphEngine& engine,
       };
     }
     Operator* op = ops_[idx].get();
-    chain = [op, &engine, &cancel, &error,
+    chain = [op, &engine, &session, &cancel, &error,
              downstream = std::move(downstream)](const Traverser& t) {
-      Result<bool> more = op->Process(engine, cancel, t, downstream);
+      Result<bool> more = op->Process(engine, session, cancel, t, downstream);
       if (!more.ok()) {
         error = std::move(more).status();
         return false;
@@ -217,7 +219,7 @@ Result<TraversalOutput> Plan::RunStreaming(const GraphEngine& engine,
     };
   }
 
-  GDB_RETURN_IF_ERROR(ops_[0]->Produce(engine, cancel, chain));
+  GDB_RETURN_IF_ERROR(ops_[0]->Produce(engine, session, cancel, chain));
   GDB_RETURN_IF_ERROR(error);
 
   if (counted_) {
@@ -230,6 +232,7 @@ Result<TraversalOutput> Plan::RunStreaming(const GraphEngine& engine,
 }
 
 Result<TraversalOutput> Plan::RunStepWise(const GraphEngine& engine,
+                                          QuerySession& session,
                                           const CancelToken& cancel,
                                           PlanStats* stats) {
   // The frontier buffers are hoisted out of the operator loop and
@@ -250,7 +253,7 @@ Result<TraversalOutput> Plan::RunStepWise(const GraphEngine& engine,
   };
 
   GDB_RETURN_IF_ERROR(
-      ops_[0]->Produce(engine, cancel, [&](const Traverser& t) {
+      ops_[0]->Produce(engine, session, cancel, [&](const Traverser& t) {
         frontier.push_back(t);
         return true;
       }));
@@ -266,7 +269,8 @@ Result<TraversalOutput> Plan::RunStepWise(const GraphEngine& engine,
     };
     for (const Traverser& t : frontier) {
       GDB_CHECK_CANCEL(cancel);
-      GDB_ASSIGN_OR_RETURN(bool more, op->Process(engine, cancel, t, push));
+      GDB_ASSIGN_OR_RETURN(bool more,
+                           op->Process(engine, session, cancel, t, push));
       if (!more) break;
     }
     if (stats != nullptr) stats->rows_out[idx] += next.size();

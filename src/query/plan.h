@@ -126,8 +126,12 @@ class Plan {
                             QueryExecution policy);
 
   /// Executes the plan. Resets all operator state first, so a plan may be
-  /// run repeatedly. `stats`, when non-null, is overwritten.
-  Result<TraversalOutput> Run(const GraphEngine& engine,
+  /// run repeatedly. `session` is the calling client's read session; a
+  /// Plan instance holds per-run operator state (dedup sets, limit
+  /// counters) and is therefore single-threaded like the session itself —
+  /// concurrent clients each lower their own Plan. `stats`, when
+  /// non-null, is overwritten.
+  Result<TraversalOutput> Run(const GraphEngine& engine, QuerySession& session,
                               const CancelToken& cancel,
                               PlanStats* stats = nullptr);
 
@@ -142,9 +146,11 @@ class Plan {
   Plan() = default;
 
   Result<TraversalOutput> RunStreaming(const GraphEngine& engine,
+                                       QuerySession& session,
                                        const CancelToken& cancel,
                                        PlanStats* stats);
   Result<TraversalOutput> RunStepWise(const GraphEngine& engine,
+                                      QuerySession& session,
                                       const CancelToken& cancel,
                                       PlanStats* stats);
 

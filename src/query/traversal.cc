@@ -149,20 +149,23 @@ Result<std::string> Traversal::ExplainPlan(QueryExecution policy) const {
 }
 
 Result<TraversalOutput> Traversal::Execute(const GraphEngine& engine,
+                                           QuerySession& session,
                                            const CancelToken& cancel) const {
   GDB_ASSIGN_OR_RETURN(Plan plan, Plan::Lower(steps_, PolicyFor(engine)));
-  return plan.Run(engine, cancel);
+  return plan.Run(engine, session, cancel);
 }
 
 Result<uint64_t> Traversal::ExecuteCount(const GraphEngine& engine,
+                                         QuerySession& session,
                                          const CancelToken& cancel) const {
-  GDB_ASSIGN_OR_RETURN(TraversalOutput out, Execute(engine, cancel));
+  GDB_ASSIGN_OR_RETURN(TraversalOutput out, Execute(engine, session, cancel));
   return out.counted ? out.count : out.traversers.size();
 }
 
 Result<std::vector<uint64_t>> Traversal::ExecuteIds(
-    const GraphEngine& engine, const CancelToken& cancel) const {
-  GDB_ASSIGN_OR_RETURN(TraversalOutput out, Execute(engine, cancel));
+    const GraphEngine& engine, QuerySession& session,
+    const CancelToken& cancel) const {
+  GDB_ASSIGN_OR_RETURN(TraversalOutput out, Execute(engine, session, cancel));
   std::vector<uint64_t> ids;
   ids.reserve(out.traversers.size());
   for (const Traverser& t : out.traversers) ids.push_back(t.id);
@@ -170,8 +173,9 @@ Result<std::vector<uint64_t>> Traversal::ExecuteIds(
 }
 
 Result<std::vector<std::string>> Traversal::ExecuteValues(
-    const GraphEngine& engine, const CancelToken& cancel) const {
-  GDB_ASSIGN_OR_RETURN(TraversalOutput out, Execute(engine, cancel));
+    const GraphEngine& engine, QuerySession& session,
+    const CancelToken& cancel) const {
+  GDB_ASSIGN_OR_RETURN(TraversalOutput out, Execute(engine, session, cancel));
   std::vector<std::string> values;
   values.reserve(out.traversers.size());
   for (Traverser& t : out.traversers) values.push_back(std::move(t.value));

@@ -73,8 +73,11 @@ class Traversal {
   Traversal& Count();
 
   /// Lowers to a physical plan and runs it against `engine` under the
-  /// policy PolicyFor(engine) selects.
+  /// policy PolicyFor(engine) selects. `session` is the calling client's
+  /// read session (one per thread; see the engine.h concurrency
+  /// contract).
   Result<TraversalOutput> Execute(const GraphEngine& engine,
+                                  QuerySession& session,
                                   const CancelToken& cancel) const;
 
   /// Lowers this traversal under an explicit policy without executing.
@@ -90,15 +93,18 @@ class Traversal {
   /// Convenience: Execute and return the final count (the size of the
   /// traverser set if no Count() step is present).
   Result<uint64_t> ExecuteCount(const GraphEngine& engine,
+                                QuerySession& session,
                                 const CancelToken& cancel) const;
 
   /// Convenience: Execute and return vertex/edge ids.
   Result<std::vector<uint64_t>> ExecuteIds(const GraphEngine& engine,
+                                           QuerySession& session,
                                            const CancelToken& cancel) const;
 
   /// Convenience: Execute and return value strings.
   Result<std::vector<std::string>> ExecuteValues(
-      const GraphEngine& engine, const CancelToken& cancel) const;
+      const GraphEngine& engine, QuerySession& session,
+      const CancelToken& cancel) const;
 
  private:
   std::vector<LogicalStep> steps_;

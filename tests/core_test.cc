@@ -239,6 +239,7 @@ TEST(ComplexTest, AllComplexQueriesRunOnLdbc) {
     ASSERT_TRUE(loaded.ok()) << engine;
     core::QueryContext ctx;
     ctx.engine = loaded->engine.get();
+    ctx.session = loaded->session.get();
     ctx.workload = loaded->workload.get();
     ctx.cancel = CancelToken::WithTimeout(std::chrono::seconds(30));
     for (const auto& spec : ComplexQueryCatalog()) {
@@ -258,6 +259,7 @@ TEST(ComplexTest, ResultsAgreeAcrossEngines) {
     ASSERT_TRUE(loaded.ok()) << engine;
     core::QueryContext ctx;
     ctx.engine = loaded->engine.get();
+    ctx.session = loaded->session.get();
     ctx.workload = loaded->workload.get();
     ctx.cancel = CancelToken::WithTimeout(std::chrono::seconds(30));
     for (const auto& spec : ComplexQueryCatalog()) {
@@ -345,7 +347,10 @@ TEST(ReportTest, CsvExport) {
   std::ifstream in(path);
   std::string header;
   std::getline(in, header);
-  EXPECT_EQ(header, "engine,dataset,query,category,mode,status,millis,items");
+  EXPECT_EQ(header,
+            "engine,dataset,query,category,mode,status,millis,items,"
+            "lat_samples,lat_min_ms,lat_p50_ms,lat_p95_ms,lat_p99_ms,"
+            "lat_max_ms");
   int rows = 0;
   std::string line;
   while (std::getline(in, line)) ++rows;

@@ -24,6 +24,7 @@ class EdgeStepTest : public ::testing::Test {
     auto engine = OpenEngine("neo19", EngineOptions{});
     ASSERT_TRUE(engine.ok());
     engine_ = std::move(engine).value();
+    session_ = engine_->CreateSession();
     a_ = engine_->AddVertex("n", {}).value();
     b_ = engine_->AddVertex("n", {}).value();
     PropertyMap w;
@@ -31,16 +32,17 @@ class EdgeStepTest : public ::testing::Test {
     e_ = engine_->AddEdge(a_, b_, "link", w).value();
   }
   std::unique_ptr<GraphEngine> engine_;
+  std::unique_ptr<QuerySession> session_;
   VertexId a_ = 0, b_ = 0;
   EdgeId e_ = 0;
   CancelToken never_;
 };
 
 TEST_F(EdgeStepTest, EdgeSourceAndEndpointSteps) {
-  auto out_v = Traversal::E(e_).OutV().ExecuteIds(*engine_, never_);
+  auto out_v = Traversal::E(e_).OutV().ExecuteIds(*engine_, *session_, never_);
   ASSERT_TRUE(out_v.ok());
   EXPECT_EQ(*out_v, std::vector<uint64_t>{a_});
-  auto in_v = Traversal::E(e_).InV().ExecuteIds(*engine_, never_);
+  auto in_v = Traversal::E(e_).InV().ExecuteIds(*engine_, *session_, never_);
   ASSERT_TRUE(in_v.ok());
   EXPECT_EQ(*in_v, std::vector<uint64_t>{b_});
 }
@@ -49,10 +51,10 @@ TEST_F(EdgeStepTest, EdgeHasAndValues) {
   auto n = Traversal::E()
                .Has("w", PropertyValue(int64_t{9}))
                .Count()
-               .ExecuteCount(*engine_, never_);
+               .ExecuteCount(*engine_, *session_, never_);
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(*n, 1u);
-  auto values = Traversal::E(e_).Values("w").ExecuteValues(*engine_, never_);
+  auto values = Traversal::E(e_).Values("w").ExecuteValues(*engine_, *session_, never_);
   ASSERT_TRUE(values.ok());
   EXPECT_EQ(*values, std::vector<std::string>{"9"});
 }
@@ -60,10 +62,10 @@ TEST_F(EdgeStepTest, EdgeHasAndValues) {
 TEST_F(EdgeStepTest, MissingSourceIdYieldsEmpty) {
   // Gremlin semantics: g.V(id)/g.E(id) on a missing element is an empty
   // traverser set, not a query error.
-  auto v = Traversal::V(99999).Execute(*engine_, never_);
+  auto v = Traversal::V(99999).Execute(*engine_, *session_, never_);
   ASSERT_TRUE(v.ok()) << v.status();
   EXPECT_TRUE(v->traversers.empty());
-  auto e = Traversal::E(99999).Execute(*engine_, never_);
+  auto e = Traversal::E(99999).Execute(*engine_, *session_, never_);
   ASSERT_TRUE(e.ok()) << e.status();
   EXPECT_TRUE(e->traversers.empty());
 }
@@ -72,13 +74,13 @@ TEST_F(EdgeStepTest, LabelFilteredEdgeSteps) {
   auto n = Traversal::V(a_)
                .OutE(std::string("link"))
                .Count()
-               .ExecuteCount(*engine_, never_);
+               .ExecuteCount(*engine_, *session_, never_);
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(*n, 1u);
   auto none = Traversal::V(a_)
                   .OutE(std::string("nope"))
                   .Count()
-                  .ExecuteCount(*engine_, never_);
+                  .ExecuteCount(*engine_, *session_, never_);
   ASSERT_TRUE(none.ok());
   EXPECT_EQ(*none, 0u);
 }

@@ -30,9 +30,11 @@ class EngineTest : public ::testing::TestWithParam<std::string> {
     auto engine = OpenEngine(GetParam(), options);
     ASSERT_TRUE(engine.ok()) << engine.status();
     engine_ = std::move(engine).value();
+    session_ = engine_->CreateSession();
   }
 
   std::unique_ptr<GraphEngine> engine_;
+  std::unique_ptr<QuerySession> session_;
   CancelToken never_;
 };
 
@@ -50,7 +52,7 @@ TEST_P(EngineTest, AddAndGetVertex) {
   auto id = engine_->AddVertex("person", props);
   ASSERT_TRUE(id.ok()) << id.status();
 
-  auto rec = engine_->GetVertex(*id);
+  auto rec = engine_->GetVertex(*session_, *id);
   ASSERT_TRUE(rec.ok()) << rec.status();
   EXPECT_EQ(rec->label, "person");
   const PropertyValue* name = FindProperty(rec->properties, "name");
@@ -62,7 +64,7 @@ TEST_P(EngineTest, AddAndGetVertex) {
 }
 
 TEST_P(EngineTest, GetMissingVertexFails) {
-  auto rec = engine_->GetVertex(987654);
+  auto rec = engine_->GetVertex(*session_, 987654);
   EXPECT_FALSE(rec.ok());
   EXPECT_TRUE(rec.status().IsNotFound());
 }
@@ -83,7 +85,7 @@ TEST_P(EngineTest, AddAndGetEdgeWithProperties) {
   auto e = engine_->AddEdge(*a, *b, "likes", props);
   ASSERT_TRUE(e.ok()) << e.status();
 
-  auto rec = engine_->GetEdge(*e);
+  auto rec = engine_->GetEdge(*session_, *e);
   ASSERT_TRUE(rec.ok()) << rec.status();
   EXPECT_EQ(rec->src, *a);
   EXPECT_EQ(rec->dst, *b);
@@ -92,7 +94,7 @@ TEST_P(EngineTest, AddAndGetEdgeWithProperties) {
   ASSERT_NE(w, nullptr);
   EXPECT_DOUBLE_EQ(w->double_value(), 2.5);
 
-  auto ends = engine_->GetEdgeEnds(*e);
+  auto ends = engine_->GetEdgeEnds(*session_, *e);
   ASSERT_TRUE(ends.ok());
   EXPECT_EQ(ends->src, *a);
   EXPECT_EQ(ends->dst, *b);
@@ -107,12 +109,12 @@ TEST_P(EngineTest, CountsTrackMutations) {
   ASSERT_TRUE(engine_->AddEdge(*a, *b, "e", {}).ok());
   ASSERT_TRUE(engine_->AddEdge(*b, *c, "e", {}).ok());
 
-  EXPECT_EQ(engine_->CountVertices(never_).value(), 3u);
-  EXPECT_EQ(engine_->CountEdges(never_).value(), 2u);
+  EXPECT_EQ(engine_->CountVertices(*session_, never_).value(), 3u);
+  EXPECT_EQ(engine_->CountEdges(*session_, never_).value(), 2u);
 
   ASSERT_TRUE(engine_->RemoveVertex(*b).ok());  // removes both edges
-  EXPECT_EQ(engine_->CountVertices(never_).value(), 2u);
-  EXPECT_EQ(engine_->CountEdges(never_).value(), 0u);
+  EXPECT_EQ(engine_->CountVertices(*session_, never_).value(), 2u);
+  EXPECT_EQ(engine_->CountEdges(*session_, never_).value(), 0u);
 }
 
 TEST_P(EngineTest, SetAndUpdateVertexProperty) {
@@ -120,7 +122,7 @@ TEST_P(EngineTest, SetAndUpdateVertexProperty) {
   ASSERT_TRUE(v.ok());
   ASSERT_TRUE(engine_->SetVertexProperty(*v, "k", PropertyValue(int64_t{1})).ok());
   ASSERT_TRUE(engine_->SetVertexProperty(*v, "k", PropertyValue(int64_t{2})).ok());
-  auto rec = engine_->GetVertex(*v);
+  auto rec = engine_->GetVertex(*session_, *v);
   ASSERT_TRUE(rec.ok());
   ASSERT_EQ(rec->properties.size(), 1u);
   EXPECT_EQ(rec->properties[0].second.int_value(), 2);
@@ -133,7 +135,7 @@ TEST_P(EngineTest, SetAndUpdateEdgeProperty) {
   ASSERT_TRUE(e.ok());
   ASSERT_TRUE(engine_->SetEdgeProperty(*e, "w", PropertyValue("x")).ok());
   ASSERT_TRUE(engine_->SetEdgeProperty(*e, "w", PropertyValue("y")).ok());
-  auto rec = engine_->GetEdge(*e);
+  auto rec = engine_->GetEdge(*session_, *e);
   ASSERT_TRUE(rec.ok());
   ASSERT_EQ(rec->properties.size(), 1u);
   EXPECT_EQ(rec->properties[0].second.string_value(), "y");
@@ -146,7 +148,7 @@ TEST_P(EngineTest, RemoveProperties) {
   auto v = engine_->AddVertex("n", props);
   ASSERT_TRUE(v.ok());
   ASSERT_TRUE(engine_->RemoveVertexProperty(*v, "a").ok());
-  auto rec = engine_->GetVertex(*v);
+  auto rec = engine_->GetVertex(*session_, *v);
   ASSERT_TRUE(rec.ok());
   EXPECT_EQ(rec->properties.size(), 1u);
   EXPECT_EQ(FindProperty(rec->properties, "a"), nullptr);
@@ -158,7 +160,7 @@ TEST_P(EngineTest, RemoveProperties) {
   auto e = engine_->AddEdge(*v, *b2, "l", props);
   ASSERT_TRUE(e.ok());
   ASSERT_TRUE(engine_->RemoveEdgeProperty(*e, "b").ok());
-  auto erec = engine_->GetEdge(*e);
+  auto erec = engine_->GetEdge(*session_, *e);
   ASSERT_TRUE(erec.ok());
   EXPECT_EQ(erec->properties.size(), 1u);
   EXPECT_EQ(FindProperty(erec->properties, "b"), nullptr);
@@ -170,10 +172,10 @@ TEST_P(EngineTest, RemoveEdgeLeavesVertices) {
   auto e = engine_->AddEdge(*a, *b, "l", {});
   ASSERT_TRUE(e.ok());
   ASSERT_TRUE(engine_->RemoveEdge(*e).ok());
-  EXPECT_FALSE(engine_->GetEdge(*e).ok());
-  EXPECT_TRUE(engine_->GetVertex(*a).ok());
-  EXPECT_TRUE(engine_->GetVertex(*b).ok());
-  auto edges = engine_->EdgesOf(*a, Direction::kBoth, nullptr, never_);
+  EXPECT_FALSE(engine_->GetEdge(*session_, *e).ok());
+  EXPECT_TRUE(engine_->GetVertex(*session_, *a).ok());
+  EXPECT_TRUE(engine_->GetVertex(*session_, *b).ok());
+  auto edges = engine_->EdgesOf(*session_, *a, Direction::kBoth, nullptr, never_);
   ASSERT_TRUE(edges.ok());
   EXPECT_TRUE(edges->empty());
   // Double remove fails.
@@ -187,22 +189,22 @@ TEST_P(EngineTest, DirectionalTraversal) {
   ASSERT_TRUE(engine_->AddEdge(*a, *b, "x", {}).ok());
   ASSERT_TRUE(engine_->AddEdge(*c, *a, "y", {}).ok());
 
-  auto out = engine_->NeighborsOf(*a, Direction::kOut, nullptr, never_);
+  auto out = engine_->NeighborsOf(*session_, *a, Direction::kOut, nullptr, never_);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(*out, std::vector<VertexId>{*b});
 
-  auto in = engine_->NeighborsOf(*a, Direction::kIn, nullptr, never_);
+  auto in = engine_->NeighborsOf(*session_, *a, Direction::kIn, nullptr, never_);
   ASSERT_TRUE(in.ok());
   EXPECT_EQ(*in, std::vector<VertexId>{*c});
 
-  auto both = engine_->NeighborsOf(*a, Direction::kBoth, nullptr, never_);
+  auto both = engine_->NeighborsOf(*session_, *a, Direction::kBoth, nullptr, never_);
   ASSERT_TRUE(both.ok());
   std::set<VertexId> both_set(both->begin(), both->end());
   EXPECT_EQ(both_set, (std::set<VertexId>{*b, *c}));
 
-  EXPECT_EQ(engine_->DegreeOf(*a, Direction::kOut, never_).value(), 1u);
-  EXPECT_EQ(engine_->DegreeOf(*a, Direction::kIn, never_).value(), 1u);
-  EXPECT_EQ(engine_->DegreeOf(*a, Direction::kBoth, never_).value(), 2u);
+  EXPECT_EQ(engine_->DegreeOf(*session_, *a, Direction::kOut, never_).value(), 1u);
+  EXPECT_EQ(engine_->DegreeOf(*session_, *a, Direction::kIn, never_).value(), 1u);
+  EXPECT_EQ(engine_->DegreeOf(*session_, *a, Direction::kBoth, never_).value(), 2u);
 }
 
 TEST_P(EngineTest, LabelFilteredTraversal) {
@@ -213,12 +215,12 @@ TEST_P(EngineTest, LabelFilteredTraversal) {
   ASSERT_TRUE(engine_->AddEdge(*a, *c, "blue", {}).ok());
 
   std::string red = "red";
-  auto red_out = engine_->NeighborsOf(*a, Direction::kBoth, &red, never_);
+  auto red_out = engine_->NeighborsOf(*session_, *a, Direction::kBoth, &red, never_);
   ASSERT_TRUE(red_out.ok());
   EXPECT_EQ(*red_out, std::vector<VertexId>{*b});
 
   std::string missing = "nope";
-  auto none = engine_->NeighborsOf(*a, Direction::kBoth, &missing, never_);
+  auto none = engine_->NeighborsOf(*session_, *a, Direction::kBoth, &missing, never_);
   ASSERT_TRUE(none.ok());
   EXPECT_TRUE(none->empty());
 }
@@ -227,10 +229,10 @@ TEST_P(EngineTest, SelfLoopCountsOnceInBoth) {
   auto a = engine_->AddVertex("n", {});
   auto e = engine_->AddEdge(*a, *a, "self", {});
   ASSERT_TRUE(e.ok()) << e.status();
-  auto both = engine_->EdgesOf(*a, Direction::kBoth, nullptr, never_);
+  auto both = engine_->EdgesOf(*session_, *a, Direction::kBoth, nullptr, never_);
   ASSERT_TRUE(both.ok());
   EXPECT_EQ(both->size(), 1u);
-  auto nbrs = engine_->NeighborsOf(*a, Direction::kBoth, nullptr, never_);
+  auto nbrs = engine_->NeighborsOf(*session_, *a, Direction::kBoth, nullptr, never_);
   ASSERT_TRUE(nbrs.ok());
   EXPECT_EQ(*nbrs, std::vector<VertexId>{*a});
 }
@@ -242,10 +244,10 @@ TEST_P(EngineTest, ParallelEdgesAreDistinct) {
   auto e2 = engine_->AddEdge(*a, *b, "l", {});
   ASSERT_TRUE(e1.ok() && e2.ok());
   EXPECT_NE(*e1, *e2);
-  auto edges = engine_->EdgesOf(*a, Direction::kOut, nullptr, never_);
+  auto edges = engine_->EdgesOf(*session_, *a, Direction::kOut, nullptr, never_);
   ASSERT_TRUE(edges.ok());
   EXPECT_EQ(edges->size(), 2u);
-  EXPECT_EQ(engine_->CountEdges(never_).value(), 2u);
+  EXPECT_EQ(engine_->CountEdges(*session_, never_).value(), 2u);
 }
 
 TEST_P(EngineTest, DistinctEdgeLabels) {
@@ -254,7 +256,7 @@ TEST_P(EngineTest, DistinctEdgeLabels) {
   ASSERT_TRUE(engine_->AddEdge(*a, *b, "z", {}).ok());
   ASSERT_TRUE(engine_->AddEdge(*b, *a, "a", {}).ok());
   ASSERT_TRUE(engine_->AddEdge(*a, *b, "z", {}).ok());
-  auto labels = engine_->DistinctEdgeLabels(never_);
+  auto labels = engine_->DistinctEdgeLabels(*session_, never_);
   ASSERT_TRUE(labels.ok());
   EXPECT_EQ(*labels, (std::vector<std::string>{"a", "z"}));
 }
@@ -271,22 +273,22 @@ TEST_P(EngineTest, FindByPropertyAndLabel) {
   ASSERT_TRUE(engine_->AddEdge(*a, *b, "l1", red).ok());
   ASSERT_TRUE(engine_->AddEdge(*b, *c, "l2", blue).ok());
 
-  auto found = engine_->FindVerticesByProperty("color", PropertyValue("red"),
+  auto found = engine_->FindVerticesByProperty(*session_, "color", PropertyValue("red"),
                                                never_);
   ASSERT_TRUE(found.ok());
   std::set<VertexId> found_set(found->begin(), found->end());
   EXPECT_EQ(found_set, (std::set<VertexId>{*a, *c}));
 
   auto edges =
-      engine_->FindEdgesByProperty("color", PropertyValue("blue"), never_);
+      engine_->FindEdgesByProperty(*session_, "color", PropertyValue("blue"), never_);
   ASSERT_TRUE(edges.ok());
   EXPECT_EQ(edges->size(), 1u);
 
-  auto by_label = engine_->FindEdgesByLabel("l1", never_);
+  auto by_label = engine_->FindEdgesByLabel(*session_, "l1", never_);
   ASSERT_TRUE(by_label.ok());
   EXPECT_EQ(by_label->size(), 1u);
 
-  auto none = engine_->FindVerticesByProperty("color", PropertyValue("green"),
+  auto none = engine_->FindVerticesByProperty(*session_, "color", PropertyValue("green"),
                                               never_);
   ASSERT_TRUE(none.ok());
   EXPECT_TRUE(none->empty());
@@ -298,7 +300,7 @@ TEST_P(EngineTest, PropertyIndexPreservesResults) {
     props.emplace_back("bucket", PropertyValue(static_cast<int64_t>(i % 7)));
     ASSERT_TRUE(engine_->AddVertex("n", props).ok());
   }
-  auto before = engine_->FindVerticesByProperty(
+  auto before = engine_->FindVerticesByProperty(*session_, 
       "bucket", PropertyValue(int64_t{3}), never_);
   ASSERT_TRUE(before.ok());
 
@@ -307,7 +309,7 @@ TEST_P(EngineTest, PropertyIndexPreservesResults) {
     GTEST_SKIP() << GetParam() << " offers no user attribute indexes";
   }
   ASSERT_TRUE(s.ok()) << s;
-  auto after = engine_->FindVerticesByProperty(
+  auto after = engine_->FindVerticesByProperty(*session_, 
       "bucket", PropertyValue(int64_t{3}), never_);
   ASSERT_TRUE(after.ok());
   std::set<VertexId> b(before->begin(), before->end());
@@ -319,7 +321,7 @@ TEST_P(EngineTest, PropertyIndexPreservesResults) {
   props.emplace_back("bucket", PropertyValue(int64_t{3}));
   auto extra = engine_->AddVertex("n", props);
   ASSERT_TRUE(extra.ok());
-  auto updated = engine_->FindVerticesByProperty(
+  auto updated = engine_->FindVerticesByProperty(*session_, 
       "bucket", PropertyValue(int64_t{3}), never_);
   ASSERT_TRUE(updated.ok());
   EXPECT_EQ(updated->size(), b.size() + 1);
@@ -341,14 +343,14 @@ TEST_P(EngineTest, ScansVisitEverything) {
     edges.insert(*e);
   }
   std::set<VertexId> seen_v;
-  ASSERT_TRUE(engine_->ScanVertices(never_, [&](VertexId id) {
+  ASSERT_TRUE(engine_->ScanVertices(*session_, never_, [&](VertexId id) {
     seen_v.insert(id);
     return true;
   }).ok());
   EXPECT_EQ(seen_v.size(), static_cast<size_t>(kV));
 
   std::set<EdgeId> seen_e;
-  ASSERT_TRUE(engine_->ScanEdges(never_, [&](const EdgeEnds& e) {
+  ASSERT_TRUE(engine_->ScanEdges(*session_, never_, [&](const EdgeEnds& e) {
     seen_e.insert(e.id);
     return true;
   }).ok());
@@ -362,7 +364,7 @@ TEST_P(EngineTest, ScanCancellation) {
   CancelToken cancelled;
   cancelled.Cancel();
   uint64_t visited = 0;
-  Status s = engine_->ScanVertices(cancelled, [&](VertexId) {
+  Status s = engine_->ScanVertices(*session_, cancelled, [&](VertexId) {
     ++visited;
     return true;
   });
@@ -427,11 +429,11 @@ TEST_P(EngineTest, VisitorMatchesVectorWrappers) {
     for (Direction dir :
          {Direction::kOut, Direction::kIn, Direction::kBoth}) {
       for (const std::string* label : filters) {
-        auto edges = engine_->EdgesOf(probe, dir, label, never_);
+        auto edges = engine_->EdgesOf(*session_, probe, dir, label, never_);
         ASSERT_TRUE(edges.ok()) << edges.status();
         std::multiset<EdgeId> streamed_edges;
         ASSERT_TRUE(engine_
-                        ->ForEachEdgeOf(probe, dir, label, never_,
+                        ->ForEachEdgeOf(*session_, probe, dir, label, never_,
                                         [&](EdgeId e) {
                                           streamed_edges.insert(e);
                                           return true;
@@ -441,11 +443,11 @@ TEST_P(EngineTest, VisitorMatchesVectorWrappers) {
                   std::multiset<EdgeId>(edges->begin(), edges->end()))
             << "dir " << static_cast<int>(dir);
 
-        auto nbrs = engine_->NeighborsOf(probe, dir, label, never_);
+        auto nbrs = engine_->NeighborsOf(*session_, probe, dir, label, never_);
         ASSERT_TRUE(nbrs.ok()) << nbrs.status();
         std::multiset<VertexId> streamed_nbrs;
         ASSERT_TRUE(engine_
-                        ->ForEachNeighbor(probe, dir, label, never_,
+                        ->ForEachNeighbor(*session_, probe, dir, label, never_,
                                           [&](VertexId n) {
                                             streamed_nbrs.insert(n);
                                             return true;
@@ -462,7 +464,7 @@ TEST_P(EngineTest, VisitorMatchesVectorWrappers) {
 TEST_P(EngineTest, VisitorEarlyStopVisitsExactlyOne) {
   std::vector<VertexId> v = BuildVisitorGraph(engine_.get());
   uint64_t visits = 0;
-  Status s = engine_->ForEachEdgeOf(v[0], Direction::kBoth, nullptr, never_,
+  Status s = engine_->ForEachEdgeOf(*session_, v[0], Direction::kBoth, nullptr, never_,
                                     [&](EdgeId) {
                                       ++visits;
                                       return false;  // stop immediately
@@ -471,7 +473,7 @@ TEST_P(EngineTest, VisitorEarlyStopVisitsExactlyOne) {
   EXPECT_EQ(visits, 1u);
 
   visits = 0;
-  s = engine_->ForEachNeighbor(v[0], Direction::kBoth, nullptr, never_,
+  s = engine_->ForEachNeighbor(*session_, v[0], Direction::kBoth, nullptr, never_,
                                [&](VertexId) {
                                  ++visits;
                                  return false;
@@ -486,7 +488,7 @@ TEST_P(EngineTest, VisitorCancellationMidVisit) {
   // stop the walk before a second one.
   CancelToken token;
   uint64_t visits = 0;
-  Status s = engine_->ForEachEdgeOf(v[0], Direction::kBoth, nullptr, token,
+  Status s = engine_->ForEachEdgeOf(*session_, v[0], Direction::kBoth, nullptr, token,
                                     [&](EdgeId) {
                                       ++visits;
                                       token.Cancel();
@@ -499,7 +501,7 @@ TEST_P(EngineTest, VisitorCancellationMidVisit) {
   CancelToken cancelled;
   cancelled.Cancel();
   visits = 0;
-  s = engine_->ForEachNeighbor(v[0], Direction::kBoth, nullptr, cancelled,
+  s = engine_->ForEachNeighbor(*session_, v[0], Direction::kBoth, nullptr, cancelled,
                                [&](VertexId) {
                                  ++visits;
                                  return true;
@@ -512,7 +514,7 @@ TEST_P(EngineTest, VisitorUnknownLabelVisitsNothing) {
   std::vector<VertexId> v = BuildVisitorGraph(engine_.get());
   std::string missing = "no-such-label";
   uint64_t visits = 0;
-  Status s = engine_->ForEachEdgeOf(v[0], Direction::kBoth, &missing, never_,
+  Status s = engine_->ForEachEdgeOf(*session_, v[0], Direction::kBoth, &missing, never_,
                                     [&](EdgeId) {
                                       ++visits;
                                       return true;
@@ -525,11 +527,11 @@ TEST_P(EngineTest, VisitorUnknownLabelVisitsNothing) {
 
 // Reference adjacency built independently of the visitors, via ScanEdges.
 std::unordered_map<VertexId, std::vector<VertexId>> ReferenceAdjacency(
-    GraphEngine* engine) {
+    GraphEngine* engine, QuerySession* session) {
   std::unordered_map<VertexId, std::vector<VertexId>> adj;
   CancelToken never;
   EXPECT_TRUE(engine
-                  ->ScanEdges(never,
+                  ->ScanEdges(*session, never,
                               [&](const EdgeEnds& e) {
                                 adj[e.src].push_back(e.dst);
                                 if (e.dst != e.src) {
@@ -547,13 +549,13 @@ TEST_P(EngineTest, BfsMatchesReferenceExpansion) {
   GraphData data = datasets::GenerateLdbc(gen);
   auto mapping = engine_->BulkLoad(data);
   ASSERT_TRUE(mapping.ok()) << mapping.status();
-  auto adj = ReferenceAdjacency(engine_.get());
+  auto adj = ReferenceAdjacency(engine_.get(), session_.get());
 
   for (uint64_t idx : {uint64_t{0}, uint64_t{7}, uint64_t{23}}) {
     ASSERT_LT(idx, mapping->vertex_ids.size());
     VertexId start = mapping->vertex_ids[idx];
     for (int depth : {1, 2, 4}) {
-      auto got = query::BreadthFirst(*engine_, start, depth, std::nullopt,
+      auto got = query::BreadthFirst(*engine_, *session_, start, depth, std::nullopt,
                                      never_);
       ASSERT_TRUE(got.ok()) << got.status();
       // Reference BFS over the scan-built adjacency.
@@ -592,7 +594,7 @@ TEST_P(EngineTest, ShortestPathMatchesReferenceDistance) {
   GraphData data = datasets::GenerateLdbc(gen);
   auto mapping = engine_->BulkLoad(data);
   ASSERT_TRUE(mapping.ok()) << mapping.status();
-  auto adj = ReferenceAdjacency(engine_.get());
+  auto adj = ReferenceAdjacency(engine_.get(), session_.get());
 
   auto ref_distance = [&](VertexId src, VertexId dst) -> int {
     if (src == dst) return 0;
@@ -622,7 +624,7 @@ TEST_P(EngineTest, ShortestPathMatchesReferenceDistance) {
     ASSERT_LT(b, mapping->vertex_ids.size());
     VertexId src = mapping->vertex_ids[a], dst = mapping->vertex_ids[b];
     auto got =
-        query::ShortestPath(*engine_, src, dst, std::nullopt, kMaxDepth,
+        query::ShortestPath(*engine_, *session_, src, dst, std::nullopt, kMaxDepth,
                             never_);
     ASSERT_TRUE(got.ok()) << got.status();
     int want = ref_distance(src, dst);
@@ -648,8 +650,8 @@ TEST_P(EngineTest, BulkLoadMatchesReferenceAdjacency) {
   ASSERT_EQ(mapping->vertex_ids.size(), data.vertices.size());
   ASSERT_EQ(mapping->edge_ids.size(), data.edges.size());
 
-  EXPECT_EQ(engine_->CountVertices(never_).value(), data.vertices.size());
-  EXPECT_EQ(engine_->CountEdges(never_).value(), data.edges.size());
+  EXPECT_EQ(engine_->CountVertices(*session_, never_).value(), data.vertices.size());
+  EXPECT_EQ(engine_->CountEdges(*session_, never_).value(), data.edges.size());
 
   // Reference adjacency from the dataset.
   std::map<uint64_t, std::multiset<uint64_t>> ref_out, ref_in;
@@ -660,7 +662,7 @@ TEST_P(EngineTest, BulkLoadMatchesReferenceAdjacency) {
   // Check a deterministic sample of vertices.
   for (uint64_t idx = 0; idx < data.vertices.size(); idx += 17) {
     VertexId id = mapping->vertex_ids[idx];
-    auto out = engine_->NeighborsOf(id, Direction::kOut, nullptr, never_);
+    auto out = engine_->NeighborsOf(*session_, id, Direction::kOut, nullptr, never_);
     ASSERT_TRUE(out.ok()) << out.status();
     std::multiset<uint64_t> got;
     for (VertexId n : *out) {

@@ -36,8 +36,11 @@ TEST(IntegrationTest, GraphsonFileToEngineToQueries) {
   auto mapping = (*engine)->BulkLoad(*reloaded);
   ASSERT_TRUE(mapping.ok());
   CancelToken never;
-  EXPECT_EQ((*engine)->CountVertices(never).value(), original.VertexCount());
-  EXPECT_EQ((*engine)->CountEdges(never).value(), original.EdgeCount());
+  auto session = (*engine)->CreateSession();
+  EXPECT_EQ((*engine)->CountVertices(*session, never).value(),
+            original.VertexCount());
+  EXPECT_EQ((*engine)->CountEdges(*session, never).value(),
+            original.EdgeCount());
   std::filesystem::remove(path);
 }
 
@@ -56,13 +59,15 @@ TEST(IntegrationTest, GraphsonRoundTripPreservesQueryResults) {
   auto m1 = (*e1)->BulkLoad(original);
   auto m2 = (*e2)->BulkLoad(*round);
   ASSERT_TRUE(m1.ok() && m2.ok());
+  auto s1 = (*e1)->CreateSession();
+  auto s2 = (*e2)->CreateSession();
 
-  EXPECT_EQ((*e1)->DistinctEdgeLabels(never).value(),
-            (*e2)->DistinctEdgeLabels(never).value());
+  EXPECT_EQ((*e1)->DistinctEdgeLabels(*s1, never).value(),
+            (*e2)->DistinctEdgeLabels(*s2, never).value());
   for (uint64_t idx = 0; idx < original.vertices.size(); idx += 131) {
-    auto n1 = (*e1)->NeighborsOf(m1->vertex_ids[idx], Direction::kBoth,
+    auto n1 = (*e1)->NeighborsOf(*s1, m1->vertex_ids[idx], Direction::kBoth,
                                  nullptr, never);
-    auto n2 = (*e2)->NeighborsOf(m2->vertex_ids[idx], Direction::kBoth,
+    auto n2 = (*e2)->NeighborsOf(*s2, m2->vertex_ids[idx], Direction::kBoth,
                                  nullptr, never);
     ASSERT_TRUE(n1.ok() && n2.ok());
     EXPECT_EQ(n1->size(), n2->size()) << idx;
@@ -104,12 +109,13 @@ TEST(IntegrationTest, CancellationInterruptsDeepTraversal) {
 
   CancelToken cancelled;
   cancelled.Cancel();
-  auto bfs = query::BreadthFirst(**engine, mapping->vertex_ids[0], 10,
-                                 std::nullopt, cancelled);
+  auto session = (*engine)->CreateSession();
+  auto bfs = query::BreadthFirst(**engine, *session, mapping->vertex_ids[0],
+                                 10, std::nullopt, cancelled);
   EXPECT_FALSE(bfs.ok());
   EXPECT_TRUE(bfs.status().IsDeadlineExceeded());
 
-  auto sp = query::ShortestPath(**engine, mapping->vertex_ids[0],
+  auto sp = query::ShortestPath(**engine, *session, mapping->vertex_ids[0],
                                 mapping->vertex_ids[1], std::nullopt, 10,
                                 cancelled);
   EXPECT_FALSE(sp.ok());
@@ -144,12 +150,14 @@ TEST(IntegrationTest, CostModelOnlyAffectsTiming) {
   auto m1 = (*e1)->BulkLoad(data);
   auto m2 = (*e2)->BulkLoad(data);
   ASSERT_TRUE(m1.ok() && m2.ok());
-  EXPECT_EQ((*e1)->CountEdges(never).value(),
-            (*e2)->CountEdges(never).value());
-  auto n1 = (*e1)->NeighborsOf(m1->vertex_ids[3], Direction::kBoth, nullptr,
-                               never);
-  auto n2 = (*e2)->NeighborsOf(m2->vertex_ids[3], Direction::kBoth, nullptr,
-                               never);
+  auto s1 = (*e1)->CreateSession();
+  auto s2 = (*e2)->CreateSession();
+  EXPECT_EQ((*e1)->CountEdges(*s1, never).value(),
+            (*e2)->CountEdges(*s2, never).value());
+  auto n1 = (*e1)->NeighborsOf(*s1, m1->vertex_ids[3], Direction::kBoth,
+                               nullptr, never);
+  auto n2 = (*e2)->NeighborsOf(*s2, m2->vertex_ids[3], Direction::kBoth,
+                               nullptr, never);
   ASSERT_TRUE(n1.ok() && n2.ok());
   EXPECT_EQ(n1->size(), n2->size());
 }

@@ -63,6 +63,8 @@ GraphData HandcraftedData() {
 struct LoadedPair {
   std::unique_ptr<GraphEngine> native;
   std::unique_ptr<GraphEngine> per_element;
+  std::unique_ptr<QuerySession> native_session;
+  std::unique_ptr<QuerySession> per_element_session;
   LoadMapping native_map;
   LoadMapping per_element_map;
 };
@@ -98,6 +100,8 @@ class LoadConformanceTest : public ::testing::TestWithParam<std::string> {
     EXPECT_TRUE(pm.ok()) << pm.status();
     pair.per_element_map = std::move(pm).value();
     EXPECT_FALSE(pair.per_element->load_stats().native);
+    pair.native_session = pair.native->CreateSession();
+    pair.per_element_session = pair.per_element->CreateSession();
     return pair;
   }
 
@@ -126,19 +130,19 @@ void ExpectIndistinguishable(const GraphData& data, LoadedPair& pair,
   ASSERT_EQ(pair.per_element_map.edge_ids.size(), data.edges.size());
 
   // Counts.
-  EXPECT_EQ(pair.native->CountVertices(never).value(),
-            pair.per_element->CountVertices(never).value());
-  EXPECT_EQ(pair.native->CountEdges(never).value(),
-            pair.per_element->CountEdges(never).value());
+  EXPECT_EQ(pair.native->CountVertices(*pair.native_session, never).value(),
+            pair.per_element->CountVertices(*pair.per_element_session, never).value());
+  EXPECT_EQ(pair.native->CountEdges(*pair.native_session, never).value(),
+            pair.per_element->CountEdges(*pair.per_element_session, never).value());
 
   // Distinct edge labels (schema view).
-  EXPECT_EQ(pair.native->DistinctEdgeLabels(never).value(),
-            pair.per_element->DistinctEdgeLabels(never).value());
+  EXPECT_EQ(pair.native->DistinctEdgeLabels(*pair.native_session, never).value(),
+            pair.per_element->DistinctEdgeLabels(*pair.per_element_session, never).value());
 
   // Per-element labels and properties.
   for (uint64_t i = 0; i < data.vertices.size(); ++i) {
-    auto n = pair.native->GetVertex(pair.native_map.vertex_ids[i]);
-    auto p = pair.per_element->GetVertex(pair.per_element_map.vertex_ids[i]);
+    auto n = pair.native->GetVertex(*pair.native_session, pair.native_map.vertex_ids[i]);
+    auto p = pair.per_element->GetVertex(*pair.per_element_session, pair.per_element_map.vertex_ids[i]);
     ASSERT_TRUE(n.ok()) << n.status();
     ASSERT_TRUE(p.ok()) << p.status();
     EXPECT_EQ(n->label, p->label) << "vertex " << i;
@@ -148,8 +152,8 @@ void ExpectIndistinguishable(const GraphData& data, LoadedPair& pair,
   auto vreverse_n = ReverseOf(pair.native_map.vertex_ids);
   auto vreverse_p = ReverseOf(pair.per_element_map.vertex_ids);
   for (uint64_t i = 0; i < data.edges.size(); ++i) {
-    auto n = pair.native->GetEdge(pair.native_map.edge_ids[i]);
-    auto p = pair.per_element->GetEdge(pair.per_element_map.edge_ids[i]);
+    auto n = pair.native->GetEdge(*pair.native_session, pair.native_map.edge_ids[i]);
+    auto p = pair.per_element->GetEdge(*pair.per_element_session, pair.per_element_map.edge_ids[i]);
     ASSERT_TRUE(n.ok()) << n.status();
     ASSERT_TRUE(p.ok()) << p.status();
     EXPECT_EQ(n->label, p->label) << "edge " << i;
@@ -163,9 +167,9 @@ void ExpectIndistinguishable(const GraphData& data, LoadedPair& pair,
   for (uint64_t i = 0; i < data.vertices.size(); ++i) {
     for (Direction dir :
          {Direction::kOut, Direction::kIn, Direction::kBoth}) {
-      auto n = pair.native->NeighborsOf(pair.native_map.vertex_ids[i], dir,
+      auto n = pair.native->NeighborsOf(*pair.native_session, pair.native_map.vertex_ids[i], dir,
                                         nullptr, never);
-      auto p = pair.per_element->NeighborsOf(
+      auto p = pair.per_element->NeighborsOf(*pair.per_element_session, 
           pair.per_element_map.vertex_ids[i], dir, nullptr, never);
       ASSERT_TRUE(n.ok()) << n.status();
       ASSERT_TRUE(p.ok()) << p.status();
@@ -197,9 +201,9 @@ TEST_P(LoadConformanceTest, LabelFilteredAdjacencyMatches) {
   LoadedPair pair = LoadBoth(data);
   std::string knows = "knows", missing = "no-such-label";
   for (const std::string* label : {&knows, &missing}) {
-    auto n = pair.native->EdgesOf(pair.native_map.vertex_ids[0],
+    auto n = pair.native->EdgesOf(*pair.native_session, pair.native_map.vertex_ids[0],
                                   Direction::kBoth, label, never_);
-    auto p = pair.per_element->EdgesOf(pair.per_element_map.vertex_ids[0],
+    auto p = pair.per_element->EdgesOf(*pair.per_element_session, pair.per_element_map.vertex_ids[0],
                                        Direction::kBoth, label, never_);
     ASSERT_TRUE(n.ok()) << n.status();
     ASSERT_TRUE(p.ok()) << p.status();
@@ -220,9 +224,9 @@ TEST_P(LoadConformanceTest, PropertyIndexAnswersMatch) {
   auto vreverse_n = ReverseOf(pair.native_map.vertex_ids);
   auto vreverse_p = ReverseOf(pair.per_element_map.vertex_ids);
   for (const char* wanted : {"ada", "london", "nobody"}) {
-    auto n = pair.native->FindVerticesByProperty(
+    auto n = pair.native->FindVerticesByProperty(*pair.native_session, 
         "name", PropertyValue(wanted), never_);
-    auto p = pair.per_element->FindVerticesByProperty(
+    auto p = pair.per_element->FindVerticesByProperty(*pair.per_element_session, 
         "name", PropertyValue(wanted), never_);
     ASSERT_TRUE(n.ok()) << n.status();
     ASSERT_TRUE(p.ok()) << p.status();
@@ -253,25 +257,26 @@ TEST_P(LoadConformanceTest, MutationsAfterNativeLoadWork) {
   GraphData data = HandcraftedData();
   LoadedPair pair = LoadBoth(data);
   GraphEngine& engine = *pair.native;
+  QuerySession& session = *pair.native_session;
   const std::vector<VertexId>& ids = pair.native_map.vertex_ids;
 
   auto added = engine.AddVertex("person", {});
   ASSERT_TRUE(added.ok()) << added.status();
   auto e = engine.AddEdge(*added, ids[0], "knows", {});
   ASSERT_TRUE(e.ok()) << e.status();
-  auto deg = engine.DegreeOf(*added, Direction::kBoth, never_);
+  auto deg = engine.DegreeOf(session, *added, Direction::kBoth, never_);
   ASSERT_TRUE(deg.ok());
   EXPECT_EQ(*deg, 1u);
 
   // Removing a bulk-loaded vertex cascades through the deferred-built
   // adjacency (vertex 0 touches parallel edges, a self-loop, and three
   // labels).
-  uint64_t before = engine.CountEdges(never_).value();
+  uint64_t before = engine.CountEdges(session, never_).value();
   ASSERT_TRUE(engine.RemoveVertex(ids[0]).ok());
-  EXPECT_FALSE(engine.GetVertex(ids[0]).ok());
+  EXPECT_FALSE(engine.GetVertex(session, ids[0]).ok());
   // Vertex 0 is incident to 6 of the dataset's edges plus the one added
   // above.
-  EXPECT_EQ(engine.CountEdges(never_).value(), before - 7);
+  EXPECT_EQ(engine.CountEdges(session, never_).value(), before - 7);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -310,13 +315,15 @@ TEST(DocishNativeLoadTest, ReservedAndDuplicateKeysMatchPerElement) {
     engines[i] = std::move(engine).value();
     ASSERT_TRUE(engines[i]->BulkLoad(data).ok());
   }
-  auto nv = engines[0]->GetVertex(0);
-  auto pv = engines[1]->GetVertex(0);
+  std::unique_ptr<QuerySession> sessions[2] = {engines[0]->CreateSession(),
+                                               engines[1]->CreateSession()};
+  auto nv = engines[0]->GetVertex(*sessions[0], 0);
+  auto pv = engines[1]->GetVertex(*sessions[1], 0);
   ASSERT_TRUE(nv.ok() && pv.ok());
   EXPECT_EQ(nv->label, pv->label);
   EXPECT_EQ(Normalize(nv->properties), Normalize(pv->properties));
-  auto ne = engines[0]->GetEdge(0);
-  auto pe = engines[1]->GetEdge(0);
+  auto ne = engines[0]->GetEdge(*sessions[0], 0);
+  auto pe = engines[1]->GetEdge(*sessions[1], 0);
   ASSERT_TRUE(ne.ok() && pe.ok());
   EXPECT_EQ(ne->label, pe->label);
   EXPECT_EQ(ne->src, pe->src);

@@ -86,18 +86,19 @@ TEST(PaperShapeTest, SparkseeDegreeFilterOomButBfsCompletes) {
   auto mapping = (*engine)->BulkLoad(data);
   ASSERT_TRUE(mapping.ok());
   CancelToken never;
+  auto session = (*engine)->CreateSession();
 
-  (*engine)->BeginQuery();
+  session->BeginQuery();
   auto degree = query::Traversal::V()
                     .WhereDegreeAtLeast(Direction::kBoth, 4)
                     .Count()
-                    .ExecuteCount(**engine, never);
+                    .ExecuteCount(**engine, *session, never);
   ASSERT_FALSE(degree.ok());
   EXPECT_TRUE(degree.status().IsResourceExhausted()) << degree.status();
 
-  (*engine)->BeginQuery();
-  auto bfs = query::BreadthFirst(**engine, mapping->vertex_ids[1], 4,
-                                 std::nullopt, never);
+  session->BeginQuery();
+  auto bfs = query::BreadthFirst(**engine, *session, mapping->vertex_ids[1],
+                                 4, std::nullopt, never);
   EXPECT_TRUE(bfs.ok()) << bfs.status();
 }
 
@@ -161,14 +162,15 @@ TEST(PaperShapeTest, IndexAdoptionMatrix) {
     auto engine = OpenEngine(name, EngineOptions{});
     ASSERT_TRUE(engine.ok());
     ASSERT_TRUE((*engine)->BulkLoad(data).ok());
+    auto session = (*engine)->CreateSession();
     auto probe = data.vertices[7].properties.front();
-    auto before = (*engine)->FindVerticesByProperty(probe.first, probe.second,
-                                                    never);
+    auto before = (*engine)->FindVerticesByProperty(*session, probe.first,
+                                                    probe.second, never);
     ASSERT_TRUE(before.ok()) << name;
     Status created = (*engine)->CreateVertexPropertyIndex(probe.first);
     ASSERT_TRUE(created.ok()) << name << ": " << created;
-    auto after = (*engine)->FindVerticesByProperty(probe.first, probe.second,
-                                                   never);
+    auto after = (*engine)->FindVerticesByProperty(*session, probe.first,
+                                                   probe.second, never);
     ASSERT_TRUE(after.ok()) << name;
     EXPECT_EQ(before->size(), after->size()) << name;
   }
@@ -197,17 +199,20 @@ TEST(PaperShapeTest, SqlgLabelFilterIndependentOfLabelCount) {
         .value();
   }
   CancelToken never;
+  auto session = (*engine)->CreateSession();
   std::string hot = "hot";
   Timer filtered_timer;
   for (int i = 0; i < 50; ++i) {
     ASSERT_TRUE(
-        (*engine)->EdgesOf(v[0], Direction::kOut, &hot, never).ok());
+        (*engine)->EdgesOf(*session, v[0], Direction::kOut, &hot, never)
+            .ok());
   }
   int64_t filtered = filtered_timer.ElapsedMicros();
   Timer unfiltered_timer;
   for (int i = 0; i < 50; ++i) {
     ASSERT_TRUE(
-        (*engine)->EdgesOf(v[0], Direction::kOut, nullptr, never).ok());
+        (*engine)->EdgesOf(*session, v[0], Direction::kOut, nullptr, never)
+            .ok());
   }
   int64_t unfiltered = unfiltered_timer.ElapsedMicros();
   EXPECT_GT(unfiltered, 3 * filtered)
@@ -227,8 +232,9 @@ TEST(PaperShapeTest, ConflatedQ31MatchesStepwise) {
     auto engine = OpenEngine(name, EngineOptions{});
     ASSERT_TRUE(engine.ok());
     ASSERT_TRUE((*engine)->BulkLoad(data).ok());
+    auto session = (*engine)->CreateSession();
     auto n = query::Traversal::V().Out().Dedup().Count().ExecuteCount(
-        **engine, never);
+        **engine, *session, never);
     ASSERT_TRUE(n.ok());
     counts[name] = *n;
   }

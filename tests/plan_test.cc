@@ -47,6 +47,7 @@ class PlanEquivalenceTest : public ::testing::TestWithParam<std::string> {
     auto engine = OpenEngine(GetParam(), EngineOptions{});
     ASSERT_TRUE(engine.ok()) << engine.status();
     engine_ = std::move(engine).value();
+    session_ = engine_->CreateSession();
 
     auto add_person = [&](const char* name) {
       PropertyMap props;
@@ -78,9 +79,9 @@ class PlanEquivalenceTest : public ::testing::TestWithParam<std::string> {
     auto step_plan = t.Lower(QueryExecution::kStepWise);
     auto conf_plan = t.Lower(QueryExecution::kConflated);
     EXPECT_TRUE(step_plan.ok() && conf_plan.ok()) << shape;
-    auto step = step_plan->Run(*engine_, never_);
-    auto conf = conf_plan->Run(*engine_, never_);
-    auto dflt = t.Execute(*engine_, never_);
+    auto step = step_plan->Run(*engine_, *session_, never_);
+    auto conf = conf_plan->Run(*engine_, *session_, never_);
+    auto dflt = t.Execute(*engine_, *session_, never_);
     EXPECT_TRUE(step.ok()) << shape << ": " << step.status();
     EXPECT_TRUE(conf.ok()) << shape << ": " << conf.status();
     EXPECT_TRUE(dflt.ok()) << shape << ": " << dflt.status();
@@ -95,6 +96,7 @@ class PlanEquivalenceTest : public ::testing::TestWithParam<std::string> {
   }
 
   std::unique_ptr<GraphEngine> engine_;
+  std::unique_ptr<QuerySession> session_;
   VertexId p_[5];
   VertexId post_ = 0;
   VertexId tag_ = 0;
@@ -340,6 +342,7 @@ class PlanBehaviorTest : public ::testing::Test {
     auto engine = OpenEngine("neo19", EngineOptions{});
     ASSERT_TRUE(engine.ok());
     engine_ = std::move(engine).value();
+    session_ = engine_->CreateSession();
     std::vector<VertexId> v;
     for (int i = 0; i < 100; ++i) {
       v.push_back(engine_->AddVertex("n", {}).value());
@@ -350,6 +353,7 @@ class PlanBehaviorTest : public ::testing::Test {
     }
   }
   std::unique_ptr<GraphEngine> engine_;
+  std::unique_ptr<QuerySession> session_;
   CancelToken never_;
 };
 
@@ -359,7 +363,7 @@ TEST_F(PlanBehaviorTest, LimitStopsSourceScanUnderConflatedPolicy) {
   PlanStats conflated_stats;
   auto conflated = t.Lower(QueryExecution::kConflated);
   ASSERT_TRUE(conflated.ok());
-  auto out = conflated->Run(*engine_, never_, &conflated_stats);
+  auto out = conflated->Run(*engine_, *session_, never_, &conflated_stats);
   ASSERT_TRUE(out.ok()) << out.status();
   EXPECT_EQ(out->traversers.size(), 5u);
   // The fused pipeline propagates the limit into the scan: the source
@@ -373,7 +377,7 @@ TEST_F(PlanBehaviorTest, LimitStopsSourceScanUnderConflatedPolicy) {
   PlanStats step_stats;
   auto step = t.Lower(QueryExecution::kStepWise);
   ASSERT_TRUE(step.ok());
-  auto step_out = step->Run(*engine_, never_, &step_stats);
+  auto step_out = step->Run(*engine_, *session_, never_, &step_stats);
   ASSERT_TRUE(step_out.ok());
   EXPECT_EQ(step_out->traversers.size(), 5u);
   EXPECT_EQ(step_stats.rows_out[0], 100u);
@@ -387,7 +391,7 @@ TEST_F(PlanBehaviorTest, StreamingTrailingCountNeverMaterializes) {
   PlanStats conflated_stats;
   auto conflated = t.Lower(QueryExecution::kConflated);
   ASSERT_TRUE(conflated.ok());
-  auto conf_out = conflated->Run(*engine_, never_, &conflated_stats);
+  auto conf_out = conflated->Run(*engine_, *session_, never_, &conflated_stats);
   ASSERT_TRUE(conf_out.ok());
   EXPECT_TRUE(conf_out->counted);
   EXPECT_EQ(conflated_stats.barriers, 0u);
@@ -397,7 +401,7 @@ TEST_F(PlanBehaviorTest, StreamingTrailingCountNeverMaterializes) {
   PlanStats step_stats;
   auto step = t.Lower(QueryExecution::kStepWise);
   ASSERT_TRUE(step.ok());
-  auto step_out = step->Run(*engine_, never_, &step_stats);
+  auto step_out = step->Run(*engine_, *session_, never_, &step_stats);
   ASSERT_TRUE(step_out.ok());
   EXPECT_EQ(step_out->count, conf_out->count);
   // The step-wise barriers really materialized the full expansion.
@@ -405,7 +409,7 @@ TEST_F(PlanBehaviorTest, StreamingTrailingCountNeverMaterializes) {
   EXPECT_GT(step_stats.barriers, 0u);
 
   // A plan is reusable: a second run resets operator state.
-  auto again = conflated->Run(*engine_, never_);
+  auto again = conflated->Run(*engine_, *session_, never_);
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again->count, conf_out->count);
 }
@@ -417,7 +421,7 @@ TEST_F(PlanBehaviorTest, CancelledPlanFailsUnderBothPolicies) {
        {QueryExecution::kStepWise, QueryExecution::kConflated}) {
     auto plan = Traversal::V().Out().Dedup().Lower(policy);
     ASSERT_TRUE(plan.ok());
-    auto r = plan->Run(*engine_, cancelled);
+    auto r = plan->Run(*engine_, *session_, cancelled);
     EXPECT_FALSE(r.ok());
     EXPECT_TRUE(r.status().IsDeadlineExceeded());
   }

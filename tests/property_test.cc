@@ -98,6 +98,7 @@ TEST_P(PropertyChurnTest, RandomOpsMatchReferenceModel) {
   auto engine_or = OpenEngine(GetParam(), EngineOptions{});
   ASSERT_TRUE(engine_or.ok());
   std::unique_ptr<GraphEngine> engine = std::move(engine_or).value();
+  std::unique_ptr<QuerySession> session = engine->CreateSession();
   ModelGraph model;
   CancelToken never;
   Rng rng(0xC0FFEE ^ HashBytes(GetParam()));
@@ -220,16 +221,16 @@ TEST_P(PropertyChurnTest, RandomOpsMatchReferenceModel) {
 
     // Periodic deep check.
     if (op % 50 == 49) {
-      ASSERT_EQ(engine->CountVertices(never).value(),
+      ASSERT_EQ(engine->CountVertices(*session, never).value(),
                 model.vertices_.size());
-      ASSERT_EQ(engine->CountEdges(never).value(), model.edges_.size());
+      ASSERT_EQ(engine->CountEdges(*session, never).value(), model.edges_.size());
       // Adjacency of five random vertices, all directions.
       for (int probe = 0; probe < 5; ++probe) {
         uint64_t m = random_model_vertex();
         if (m == ~0ULL) break;
         for (Direction dir :
              {Direction::kIn, Direction::kOut, Direction::kBoth}) {
-          auto got = engine->NeighborsOf(v_id[m], dir, nullptr, never);
+          auto got = engine->NeighborsOf(*session, v_id[m], dir, nullptr, never);
           ASSERT_TRUE(got.ok());
           std::multiset<uint64_t> got_model_ids;
           for (VertexId g : *got) {
@@ -252,7 +253,7 @@ TEST_P(PropertyChurnTest, RandomOpsMatchReferenceModel) {
       // Property search.
       const char* key = kKeys[rng.Uniform(3)];
       PropertyValue value = random_value();
-      auto found = engine->FindVerticesByProperty(key, value, never);
+      auto found = engine->FindVerticesByProperty(*session, key, value, never);
       ASSERT_TRUE(found.ok());
       std::set<uint64_t> got_models;
       for (VertexId g : *found) {
@@ -264,7 +265,7 @@ TEST_P(PropertyChurnTest, RandomOpsMatchReferenceModel) {
       // Full vertex materialization of one random vertex.
       uint64_t m = random_model_vertex();
       if (m != ~0ULL) {
-        auto rec = engine->GetVertex(v_id[m]);
+        auto rec = engine->GetVertex(*session, v_id[m]);
         ASSERT_TRUE(rec.ok());
         EXPECT_EQ(rec->label, model.vertices_[m].label);
         // Property multiset equality (order may differ).

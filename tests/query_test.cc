@@ -31,6 +31,7 @@ class QueryTest : public ::testing::TestWithParam<std::string> {
     auto engine = OpenEngine(GetParam(), EngineOptions{});
     ASSERT_TRUE(engine.ok()) << engine.status();
     engine_ = std::move(engine).value();
+    session_ = engine_->CreateSession();
 
     auto add_person = [&](const char* name) {
       PropertyMap props;
@@ -59,6 +60,7 @@ class QueryTest : public ::testing::TestWithParam<std::string> {
   }
 
   std::unique_ptr<GraphEngine> engine_;
+  std::unique_ptr<QuerySession> session_;
   VertexId p_[5];
   VertexId post_ = 0;
   VertexId tag_ = 0;
@@ -66,21 +68,21 @@ class QueryTest : public ::testing::TestWithParam<std::string> {
 };
 
 TEST_P(QueryTest, SourceCounts) {
-  EXPECT_EQ(Traversal::V().Count().ExecuteCount(*engine_, never_).value(), 7u);
-  EXPECT_EQ(Traversal::E().Count().ExecuteCount(*engine_, never_).value(), 6u);
+  EXPECT_EQ(Traversal::V().Count().ExecuteCount(*engine_, *session_, never_).value(), 7u);
+  EXPECT_EQ(Traversal::E().Count().ExecuteCount(*engine_, *session_, never_).value(), 6u);
 }
 
 TEST_P(QueryTest, HasLabelFilter) {
   EXPECT_EQ(Traversal::V()
                 .HasLabel("person")
                 .Count()
-                .ExecuteCount(*engine_, never_)
+                .ExecuteCount(*engine_, *session_, never_)
                 .value(),
             5u);
   EXPECT_EQ(Traversal::E()
                 .HasLabel("knows")
                 .Count()
-                .ExecuteCount(*engine_, never_)
+                .ExecuteCount(*engine_, *session_, never_)
                 .value(),
             4u);
 }
@@ -88,23 +90,23 @@ TEST_P(QueryTest, HasLabelFilter) {
 TEST_P(QueryTest, HasPropertyFilter) {
   auto ids = Traversal::V()
                  .Has("name", PropertyValue("cyd"))
-                 .ExecuteIds(*engine_, never_);
+                 .ExecuteIds(*engine_, *session_, never_);
   ASSERT_TRUE(ids.ok());
   EXPECT_EQ(*ids, std::vector<uint64_t>{p_[2]});
 }
 
 TEST_P(QueryTest, OutInBothHops) {
-  auto out = Traversal::V(p_[0]).Out().ExecuteIds(*engine_, never_);
+  auto out = Traversal::V(p_[0]).Out().ExecuteIds(*engine_, *session_, never_);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(std::set<uint64_t>(out->begin(), out->end()),
             (std::set<uint64_t>{p_[1], p_[2]}));
 
-  auto in = Traversal::V(p_[2]).In().ExecuteIds(*engine_, never_);
+  auto in = Traversal::V(p_[2]).In().ExecuteIds(*engine_, *session_, never_);
   ASSERT_TRUE(in.ok());
   EXPECT_EQ(std::set<uint64_t>(in->begin(), in->end()),
             (std::set<uint64_t>{p_[0], p_[1]}));
 
-  auto both = Traversal::V(p_[1]).Both().ExecuteIds(*engine_, never_);
+  auto both = Traversal::V(p_[1]).Both().ExecuteIds(*engine_, *session_, never_);
   ASSERT_TRUE(both.ok());
   EXPECT_EQ(std::set<uint64_t>(both->begin(), both->end()),
             (std::set<uint64_t>{p_[0], p_[2], post_}));
@@ -112,7 +114,7 @@ TEST_P(QueryTest, OutInBothHops) {
 
 TEST_P(QueryTest, TwoHopTraversalWithDedup) {
   auto two_hop =
-      Traversal::V(p_[0]).Out().Out().Dedup().ExecuteIds(*engine_, never_);
+      Traversal::V(p_[0]).Out().Out().Dedup().ExecuteIds(*engine_, *session_, never_);
   ASSERT_TRUE(two_hop.ok());
   // p0 -> {p1, p2} -> {p2, p3} dedup => {p2, p3}
   EXPECT_EQ(std::set<uint64_t>(two_hop->begin(), two_hop->end()),
@@ -124,12 +126,12 @@ TEST_P(QueryTest, EdgeStepsAndLabels) {
                     .OutE()
                     .Label()
                     .Dedup()
-                    .ExecuteValues(*engine_, never_);
+                    .ExecuteValues(*engine_, *session_, never_);
   ASSERT_TRUE(labels.ok());
   EXPECT_EQ(std::set<std::string>(labels->begin(), labels->end()),
             (std::set<std::string>{"hasCreator", "hasTag"}));
 
-  auto in_e = Traversal::V(p_[1]).InE().Label().ExecuteValues(*engine_, never_);
+  auto in_e = Traversal::V(p_[1]).InE().Label().ExecuteValues(*engine_, *session_, never_);
   ASSERT_TRUE(in_e.ok());
   EXPECT_EQ(std::set<std::string>(in_e->begin(), in_e->end()),
             (std::set<std::string>{"knows", "hasCreator"}));
@@ -137,7 +139,7 @@ TEST_P(QueryTest, EdgeStepsAndLabels) {
 
 TEST_P(QueryTest, LabelRestrictedHop) {
   auto knows_only =
-      Traversal::V(p_[1]).Both(std::string("knows")).ExecuteIds(*engine_, never_);
+      Traversal::V(p_[1]).Both(std::string("knows")).ExecuteIds(*engine_, *session_, never_);
   ASSERT_TRUE(knows_only.ok());
   EXPECT_EQ(std::set<uint64_t>(knows_only->begin(), knows_only->end()),
             (std::set<uint64_t>{p_[0], p_[2]}));
@@ -145,11 +147,11 @@ TEST_P(QueryTest, LabelRestrictedHop) {
 
 TEST_P(QueryTest, ValuesStep) {
   auto names =
-      Traversal::V(p_[3]).Values("name").ExecuteValues(*engine_, never_);
+      Traversal::V(p_[3]).Values("name").ExecuteValues(*engine_, *session_, never_);
   ASSERT_TRUE(names.ok());
   EXPECT_EQ(*names, std::vector<std::string>{"dee"});
   // Missing property drops the traverser.
-  auto none = Traversal::V(post_).Values("name").ExecuteValues(*engine_, never_);
+  auto none = Traversal::V(post_).Values("name").ExecuteValues(*engine_, *session_, never_);
   ASSERT_TRUE(none.ok());
   EXPECT_TRUE(none->empty());
 }
@@ -160,7 +162,7 @@ TEST_P(QueryTest, DegreeFilter) {
   // post has 2.
   auto ids = Traversal::V()
                  .WhereDegreeAtLeast(Direction::kBoth, 3)
-                 .ExecuteIds(*engine_, never_);
+                 .ExecuteIds(*engine_, *session_, never_);
   ASSERT_TRUE(ids.ok());
   EXPECT_EQ(std::set<uint64_t>(ids->begin(), ids->end()),
             (std::set<uint64_t>{p_[1], p_[2]}));
@@ -168,7 +170,7 @@ TEST_P(QueryTest, DegreeFilter) {
 
 TEST_P(QueryTest, GlobalOutDedup) {
   // Q.31 shape: nodes having an incoming edge.
-  auto n = Traversal::V().Out().Dedup().Count().ExecuteCount(*engine_, never_);
+  auto n = Traversal::V().Out().Dedup().Count().ExecuteCount(*engine_, *session_, never_);
   ASSERT_TRUE(n.ok());
   // Targets: p1, p2, p3, tag  (post and p0 and p4 have no incoming edge).
   EXPECT_EQ(*n, 4u);
@@ -178,19 +180,19 @@ TEST_P(QueryTest, MissingElementSourceYieldsEmpty) {
   // g.V(id)/g.E(id) on a missing element must yield an empty traverser
   // set on every engine (Gremlin semantics), not propagate NotFound.
   const uint64_t no_such = 0x7FFFFFFFFFFFULL;
-  auto v = Traversal::V(no_such).ExecuteIds(*engine_, never_);
+  auto v = Traversal::V(no_such).ExecuteIds(*engine_, *session_, never_);
   ASSERT_TRUE(v.ok()) << v.status();
   EXPECT_TRUE(v->empty());
-  auto e = Traversal::E(no_such).ExecuteIds(*engine_, never_);
+  auto e = Traversal::E(no_such).ExecuteIds(*engine_, *session_, never_);
   ASSERT_TRUE(e.ok()) << e.status();
   EXPECT_TRUE(e->empty());
-  auto n = Traversal::V(no_such).Out().Count().ExecuteCount(*engine_, never_);
+  auto n = Traversal::V(no_such).Out().Count().ExecuteCount(*engine_, *session_, never_);
   ASSERT_TRUE(n.ok()) << n.status();
   EXPECT_EQ(*n, 0u);
 }
 
 TEST_P(QueryTest, LimitStep) {
-  auto limited = Traversal::V().Limit(3).ExecuteIds(*engine_, never_);
+  auto limited = Traversal::V().Limit(3).ExecuteIds(*engine_, *session_, never_);
   ASSERT_TRUE(limited.ok());
   EXPECT_EQ(limited->size(), 3u);
 }
@@ -198,31 +200,31 @@ TEST_P(QueryTest, LimitStep) {
 TEST_P(QueryTest, CancelledTraversalFails) {
   CancelToken cancelled;
   cancelled.Cancel();
-  auto r = Traversal::V().Out().Dedup().Execute(*engine_, cancelled);
+  auto r = Traversal::V().Out().Dedup().Execute(*engine_, *session_, cancelled);
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsDeadlineExceeded());
 }
 
 TEST_P(QueryTest, BreadthFirstDepths) {
-  auto d1 = BreadthFirst(*engine_, p_[0], 1, std::nullopt, never_);
+  auto d1 = BreadthFirst(*engine_, *session_, p_[0], 1, std::nullopt, never_);
   ASSERT_TRUE(d1.ok());
   EXPECT_EQ(std::set<VertexId>(d1->visited.begin(), d1->visited.end()),
             (std::set<VertexId>{p_[1], p_[2]}));
 
-  auto d2 = BreadthFirst(*engine_, p_[0], 2, std::nullopt, never_);
+  auto d2 = BreadthFirst(*engine_, *session_, p_[0], 2, std::nullopt, never_);
   ASSERT_TRUE(d2.ok());
   EXPECT_EQ(std::set<VertexId>(d2->visited.begin(), d2->visited.end()),
             (std::set<VertexId>{p_[1], p_[2], p_[3], post_}));
   EXPECT_EQ(d2->depth_reached, 2);
 
   // Label-filtered BFS never leaves the knows subgraph.
-  auto knows = BreadthFirst(*engine_, p_[0], 5, std::string("knows"), never_);
+  auto knows = BreadthFirst(*engine_, *session_, p_[0], 5, std::string("knows"), never_);
   ASSERT_TRUE(knows.ok());
   EXPECT_EQ(std::set<VertexId>(knows->visited.begin(), knows->visited.end()),
             (std::set<VertexId>{p_[1], p_[2], p_[3]}));
 
   // Isolated vertex: nothing reachable.
-  auto isolated = BreadthFirst(*engine_, p_[4], 3, std::nullopt, never_);
+  auto isolated = BreadthFirst(*engine_, *session_, p_[4], 3, std::nullopt, never_);
   ASSERT_TRUE(isolated.ok());
   EXPECT_TRUE(isolated->visited.empty());
 }
@@ -239,7 +241,7 @@ TEST_P(QueryTest, BreadthFirstStoreSemanticsExcludeStart) {
   ASSERT_TRUE(engine_->AddEdge(*cycle_b, *cycle_c, "ring", {}).ok());
   ASSERT_TRUE(engine_->AddEdge(*cycle_c, *cycle_a, "ring", {}).ok());
 
-  auto bfs = BreadthFirst(*engine_, *cycle_a, 5, std::string("ring"), never_);
+  auto bfs = BreadthFirst(*engine_, *session_, *cycle_a, 5, std::string("ring"), never_);
   ASSERT_TRUE(bfs.ok());
   EXPECT_EQ(std::set<VertexId>(bfs->visited.begin(), bfs->visited.end()),
             (std::set<VertexId>{*cycle_b, *cycle_c}));
@@ -253,14 +255,14 @@ TEST_P(QueryTest, BreadthFirstStoreSemanticsExcludeStart) {
   auto looped = engine_->AddVertex("cycle", {});
   ASSERT_TRUE(looped.ok());
   ASSERT_TRUE(engine_->AddEdge(*looped, *looped, "ring", {}).ok());
-  auto self = BreadthFirst(*engine_, *looped, 3, std::string("ring"), never_);
+  auto self = BreadthFirst(*engine_, *session_, *looped, 3, std::string("ring"), never_);
   ASSERT_TRUE(self.ok());
   EXPECT_TRUE(self->visited.empty());
   EXPECT_EQ(self->depth_reached, 0);
 }
 
 TEST_P(QueryTest, ShortestPaths) {
-  auto direct = ShortestPath(*engine_, p_[0], p_[3], std::nullopt, 10, never_);
+  auto direct = ShortestPath(*engine_, *session_, p_[0], p_[3], std::nullopt, 10, never_);
   ASSERT_TRUE(direct.ok());
   ASSERT_TRUE(direct->found);
   // p0 -> p2 -> p3 via the shortcut: length 3 vertices.
@@ -268,19 +270,19 @@ TEST_P(QueryTest, ShortestPaths) {
   EXPECT_EQ(direct->path.front(), p_[0]);
   EXPECT_EQ(direct->path.back(), p_[3]);
 
-  auto to_self = ShortestPath(*engine_, p_[1], p_[1], std::nullopt, 10, never_);
+  auto to_self = ShortestPath(*engine_, *session_, p_[1], p_[1], std::nullopt, 10, never_);
   ASSERT_TRUE(to_self.ok());
   EXPECT_EQ(to_self->path, std::vector<VertexId>{p_[1]});
 
   auto unreachable =
-      ShortestPath(*engine_, p_[0], p_[4], std::nullopt, 10, never_);
+      ShortestPath(*engine_, *session_, p_[0], p_[4], std::nullopt, 10, never_);
   ASSERT_TRUE(unreachable.ok());
   EXPECT_FALSE(unreachable->found);
 
   // Label-restricted: tag is reachable only through post edges, so a
   // "knows"-only search fails.
   auto labeled =
-      ShortestPath(*engine_, p_[0], tag_, std::string("knows"), 10, never_);
+      ShortestPath(*engine_, *session_, p_[0], tag_, std::string("knows"), 10, never_);
   ASSERT_TRUE(labeled.ok());
   EXPECT_FALSE(labeled->found);
 }

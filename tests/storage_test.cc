@@ -5,7 +5,11 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "src/storage/append_store.h"
 #include "src/storage/bitmap.h"
@@ -390,6 +394,49 @@ TEST(LruCacheTest, ZeroCapacityNeverStores) {
   LruCache<int, int> cache(0);
   cache.Put(1, 10);
   EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+// The deployment shape the Titan-like engine uses since the QuerySession
+// refactor: one LruCache per read session, concurrent sessions each
+// churning their own instance (the engine shares NO cache state between
+// clients). Each thread's hit/miss accounting must be exactly what a
+// single-threaded client would see — and under the CI ThreadSanitizer
+// build this test also proves the per-session arrangement is race-free.
+TEST(LruCacheTest, PerSessionInstancesAreIndependentAcrossThreads) {
+  constexpr int kClients = 4;
+  constexpr int kOps = 20000;
+  constexpr size_t kCapacity = 64;
+
+  // Golden single-threaded pass over the same access pattern.
+  auto churn = [](uint64_t seed, LruCache<uint64_t, uint64_t>* cache) {
+    Rng rng(seed);
+    for (int i = 0; i < kOps; ++i) {
+      uint64_t key = rng.Uniform(256);
+      if (cache->Get(key) == nullptr) cache->Put(key, key * 2);
+    }
+  };
+  std::vector<std::pair<uint64_t, uint64_t>> golden(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    LruCache<uint64_t, uint64_t> cache(kCapacity);
+    churn(/*seed=*/c + 1, &cache);
+    golden[c] = {cache.hits(), cache.misses()};
+  }
+
+  std::vector<std::unique_ptr<LruCache<uint64_t, uint64_t>>> caches;
+  for (int c = 0; c < kClients; ++c) {
+    caches.push_back(
+        std::make_unique<LruCache<uint64_t, uint64_t>>(kCapacity));
+  }
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back(
+        [&churn, &caches, c] { churn(c + 1, caches[c].get()); });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(caches[c]->hits(), golden[c].first) << "client " << c;
+    EXPECT_EQ(caches[c]->misses(), golden[c].second) << "client " << c;
+  }
 }
 
 }  // namespace
