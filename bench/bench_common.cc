@@ -145,10 +145,20 @@ bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags) {
       flags->json_path = v;
     } else if (const char* v = value_of("--engines=")) {
       flags->engines = SplitList(v);
+    } else if (const char* v = value_of("--threads=")) {
+      flags->threads.clear();
+      for (const std::string& t : SplitList(v)) {
+        flags->threads.push_back(std::atoi(t.c_str()));
+      }
+    } else if (const char* v = value_of("--iterations=")) {
+      flags->iterations = std::atoi(v);
+    } else if (std::strcmp(arg, "--cost-model") == 0) {
+      flags->cost_model = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale=f] [--rounds=n] [--dataset=name] "
-                   "[--engines=a,b,c] [--json=path]\n",
+                   "[--engines=a,b,c] [--json=path] [--threads=1,2,4] "
+                   "[--iterations=n] [--cost-model]\n",
                    argv[0]);
       return false;
     }

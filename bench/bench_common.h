@@ -65,19 +65,25 @@ void PrintBanner(const std::string& title, const BenchProfile& profile);
 /// BENCH_*.json artifacts CI archives). Returns false on I/O error.
 bool WriteJsonArtifact(const std::string& path, const Json& doc);
 
-/// Flags shared by the micro benches (bench_micro_adjacency,
-/// bench_micro_plan), which run without the full BenchProfile: the cost
-/// model is always off there by design.
+/// Flags shared by all bench_micro_* binaries, which run without the
+/// full BenchProfile (the cost model defaults to off there by design —
+/// they measure the data structures). One parser serves every binary so
+/// the CLI surface stays uniform; binaries ignore the flags they have no
+/// use for (e.g. --threads outside the concurrency bench).
 struct MicroBenchFlags {
   double scale = 0.02;
   int rounds = 3;
   std::string dataset = "mico";
   std::string json_path;               // empty = no JSON artifact
   std::vector<std::string> engines;    // empty = all nine
+  std::vector<int> threads;            // --threads=1,2,4 (concurrency sweep)
+  int iterations = 0;                  // 0 = binary default
+  bool cost_model = false;             // --cost-model turns the charges on
 };
 
-/// Parses --scale/--rounds/--dataset/--engines/--json into `flags`.
-/// Unknown flags print usage and return false.
+/// Parses --scale/--rounds/--dataset/--engines/--json/--threads/
+/// --iterations/--cost-model into `flags`. Unknown flags print usage and
+/// return false.
 bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags);
 
 /// Shared driver for the per-figure binaries: runs the Table 2 queries

@@ -37,40 +37,6 @@ namespace {
 // sweep measures concurrency, not one giant scan).
 const std::vector<int> kReadQueryNumbers = {14, 15, 22, 23, 24};
 
-struct Flags {
-  bench::MicroBenchFlags micro;
-  std::vector<int> threads;      // empty = 1,2,...,hardware_concurrency
-  int iterations_per_thread = 200;
-  bool cost_model = false;
-};
-
-bool ParseFlags(int argc, char** argv, Flags* flags) {
-  std::vector<char*> passthrough;
-  passthrough.push_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--threads=", 10) == 0) {
-      std::string list = arg + 10;
-      size_t pos = 0;
-      while (pos < list.size()) {
-        size_t comma = list.find(',', pos);
-        if (comma == std::string::npos) comma = list.size();
-        flags->threads.push_back(std::atoi(list.substr(pos, comma - pos)
-                                               .c_str()));
-        pos = comma + 1;
-      }
-    } else if (std::strncmp(arg, "--iterations=", 13) == 0) {
-      flags->iterations_per_thread = std::atoi(arg + 13);
-    } else if (std::strcmp(arg, "--cost-model") == 0) {
-      flags->cost_model = true;
-    } else {
-      passthrough.push_back(argv[i]);
-    }
-  }
-  return bench::ParseMicroBenchFlags(static_cast<int>(passthrough.size()),
-                                     passthrough.data(), &flags->micro);
-}
-
 std::vector<int> DefaultThreadSweep() {
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
@@ -83,19 +49,20 @@ std::vector<int> DefaultThreadSweep() {
 }
 
 int Run(int argc, char** argv) {
-  Flags flags;
-  if (!ParseFlags(argc, argv, &flags)) return 2;
+  bench::MicroBenchFlags flags;
+  flags.iterations = 200;  // closed-loop rounds per client thread
+  if (!bench::ParseMicroBenchFlags(argc, argv, &flags)) return 2;
   if (flags.threads.empty()) flags.threads = DefaultThreadSweep();
 
   RegisterBuiltinEngines();
-  std::vector<std::string> engines = flags.micro.engines;
+  std::vector<std::string> engines = flags.engines;
   if (engines.empty()) engines = EngineRegistry::Instance().Names();
 
   datasets::GenOptions gen;
-  gen.scale = flags.micro.scale;
-  auto data = datasets::GenerateByName(flags.micro.dataset, gen);
+  gen.scale = flags.scale;
+  auto data = datasets::GenerateByName(flags.dataset, gen);
   if (!data.ok()) {
-    std::fprintf(stderr, "dataset %s: %s\n", flags.micro.dataset.c_str(),
+    std::fprintf(stderr, "dataset %s: %s\n", flags.dataset.c_str(),
                  data.status().ToString().c_str());
     return 1;
   }
@@ -110,8 +77,8 @@ int Run(int argc, char** argv) {
   std::printf(
       "concurrency micro-bench: dataset=%s scale=%.3f (%zu vertices, %zu "
       "edges), %d iterations/thread x %zu read queries, cost model %s\n\n",
-      flags.micro.dataset.c_str(), flags.micro.scale, data->vertices.size(),
-      data->edges.size(), flags.iterations_per_thread, specs.size(),
+      flags.dataset.c_str(), flags.scale, data->vertices.size(),
+      data->edges.size(), flags.iterations, specs.size(),
       flags.cost_model ? "on" : "off");
   std::printf("%-9s %8s %12s %9s %10s %10s %10s\n", "engine", "threads",
               "queries/s", "speedup", "p50", "p95", "p99");
@@ -129,7 +96,7 @@ int Run(int argc, char** argv) {
     double single_thread_qps = 0;
     for (int threads : flags.threads) {
       auto result = runner.RunConcurrent(*loaded, *data, specs, threads,
-                                         flags.iterations_per_thread);
+                                         flags.iterations);
       if (!result.ok()) {
         std::fprintf(stderr, "%s x%d: %s\n", name.c_str(), threads,
                      result.status().ToString().c_str());
@@ -178,19 +145,19 @@ int Run(int argc, char** argv) {
     std::printf("\n");
   }
 
-  if (!flags.micro.json_path.empty()) {
+  if (!flags.json_path.empty()) {
     Json doc(Json::Object{
         {"bench", Json("micro_concurrency")},
-        {"dataset", Json(flags.micro.dataset)},
-        {"scale", Json(flags.micro.scale)},
+        {"dataset", Json(flags.dataset)},
+        {"scale", Json(flags.scale)},
         {"iterations_per_thread",
-         Json(static_cast<int64_t>(flags.iterations_per_thread))},
+         Json(static_cast<int64_t>(flags.iterations))},
         {"cost_model", Json(flags.cost_model)},
         {"hardware_concurrency",
          Json(static_cast<int64_t>(std::thread::hardware_concurrency()))},
         {"results", Json(std::move(json_rows))},
     });
-    if (!bench::WriteJsonArtifact(flags.micro.json_path, doc)) return 1;
+    if (!bench::WriteJsonArtifact(flags.json_path, doc)) return 1;
   }
   std::printf(
       "(closed loop: every thread issues the next query as soon as the\n"

@@ -1,8 +1,17 @@
 // google-benchmark microbenchmarks of the engine primitives themselves
 // (no cost model): AddVertex/AddEdge, id lookup, neighborhood expansion —
 // the honest in-process data-structure costs under every figure.
+//
+// Accepts the suite-wide --json=<path> flag (emitting BENCH_engines.json,
+// archived by CI like the other micro benches) by translating it into
+// google-benchmark's JSON reporter; all other --benchmark_* flags pass
+// through untouched.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/datasets/generators.h"
 #include "src/graph/registry.h"
@@ -98,4 +107,26 @@ ENGINE_BENCH(titan10);
 }  // namespace
 }  // namespace gdbmicro
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the --json translation described in the header
+// comment: --json=PATH becomes --benchmark_out=PATH in JSON format.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      args.emplace_back(std::string("--benchmark_out=") + (arg + 7));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -58,7 +58,7 @@ Result<PolicyMeasurement> MeasurePolicy(const Traversal& t,
   for (int r = 0; r < rounds; ++r) {
     GDB_ASSIGN_OR_RETURN(query::TraversalOutput out,
                          plan.Run(engine, session, cancel, &stats));
-    m.rows = out.counted ? out.count : out.traversers.size();
+    m.rows = out.counted ? out.count : out.rows.size();
   }
   m.seconds_per_run = timer.ElapsedSeconds() / rounds;
   m.peak_frontier_bytes = stats.peak_frontier_bytes;

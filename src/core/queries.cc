@@ -1,5 +1,8 @@
 #include "src/core/queries.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "src/query/algorithms.h"
 #include "src/query/traversal.h"
 #include "src/util/string_util.h"
@@ -7,9 +10,35 @@
 namespace gdbmicro {
 namespace core {
 
+using query::Bound;
 using query::BreadthFirst;
+using query::PreparedPlan;
 using query::ShortestPath;
 using query::Traversal;
+
+Result<const PreparedPlan*> PreparedQueryCache::Get(
+    int key, const std::function<query::Traversal()>& build) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) return &it->second;
+  }
+  // Lower outside the exclusive section; a concurrent loser's plan is
+  // discarded (lowering is idempotent, the first insert wins).
+  GDB_ASSIGN_OR_RETURN(PreparedPlan plan, build().Prepare(*engine_));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = plans_.try_emplace(key, std::move(plan));
+  (void)inserted;
+  return &it->second;
+}
+
+const PreparedQueryCache& QueryContext::prepared_cache() {
+  if (prepared != nullptr) return *prepared;
+  if (local_prepared_ == nullptr) {
+    local_prepared_ = std::make_unique<PreparedQueryCache>(engine);
+  }
+  return *local_prepared_;
+}
 
 std::string_view CategoryToString(Category c) {
   switch (c) {
@@ -34,6 +63,20 @@ namespace {
 // Bounded loop depth for the shortest-path queries (Gremlin loops in the
 // suite are depth-bounded; 30 exceeds every dataset's diameter).
 constexpr int kPathMaxDepth = 30;
+
+/// Runs the prepared plan for `key` (lowered from `build()` once per
+/// loaded engine) with the context's rebindable parameter slots and
+/// returns the result cardinality. This is the read queries' hot path:
+/// no per-iteration traversal rebuild, no re-lowering, and the run
+/// collects into session-scratch buffers (see plan.h).
+Result<QueryResult> RunPreparedCount(
+    QueryContext& ctx, int key, const std::function<Traversal()>& build) {
+  GDB_ASSIGN_OR_RETURN(const PreparedPlan* plan,
+                       ctx.prepared_cache().Get(key, build));
+  GDB_ASSIGN_OR_RETURN(uint64_t n,
+                       plan->RunCount(*ctx.session, ctx.cancel, ctx.params));
+  return QueryResult{n};
+}
 
 QuerySpec Make(int number, std::string gremlin, std::string description,
                Category category, bool mutates,
@@ -176,20 +219,14 @@ std::vector<QuerySpec> BuildCatalog() {
   catalog.push_back(Make(
       14, "g.V(id)", "The node with identifier id", Category::kRead, false,
       [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_ASSIGN_OR_RETURN(
-            VertexRecord rec,
-            ctx.engine->GetVertex(*ctx.session, ctx.workload->ReadVertex(ctx.iteration)));
-        (void)rec;
-        return QueryResult{1};
+        ctx.params.id = ctx.workload->ReadVertex(ctx.iteration);
+        return RunPreparedCount(ctx, 14, [] { return Traversal::V(Bound{}); });
       }));
   catalog.push_back(Make(
       15, "g.E(id)", "The edge with identifier id", Category::kRead, false,
       [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_ASSIGN_OR_RETURN(
-            EdgeRecord rec,
-            ctx.engine->GetEdge(*ctx.session, ctx.workload->ReadEdge(ctx.iteration)));
-        (void)rec;
-        return QueryResult{1};
+        ctx.params.id = ctx.workload->ReadEdge(ctx.iteration);
+        return RunPreparedCount(ctx, 15, [] { return Traversal::E(Bound{}); });
       }));
 
   // ---- U: Update (Q.16, Q.17) ----------------------------------------------
@@ -254,108 +291,121 @@ std::vector<QuerySpec> BuildCatalog() {
       }));
 
   // ---- T: Traversals (Q.22-Q.35) ------------------------------------------------
-  auto neighbors = [](QueryContext& ctx, Direction dir,
+  //
+  // The traversal reads run through prepared plans: lowered once per
+  // loaded engine, per-iteration arguments (start vertex, edge label)
+  // rebound through the context's PlanParams slots. The plans stream the
+  // same adjacency visitors the direct calls used, so the measured
+  // engine work is unchanged — only the per-iteration harness overhead
+  // (rebuild + re-lower + materialized neighbor vectors) is gone.
+  auto neighbors = [](QueryContext& ctx, int key, Direction dir,
                       bool with_label) -> Result<QueryResult> {
-    std::string label =
-        with_label ? ctx.workload->EdgeLabel(ctx.iteration) : std::string();
-    GDB_ASSIGN_OR_RETURN(
-        std::vector<VertexId> out,
-        ctx.engine->NeighborsOf(*ctx.session, ctx.workload->ReadVertex(ctx.iteration), dir,
-                                with_label ? &label : nullptr, ctx.cancel));
-    return QueryResult{out.size()};
+    ctx.params.id = ctx.workload->ReadVertex(ctx.iteration);
+    if (with_label) ctx.params.label = ctx.workload->EdgeLabel(ctx.iteration);
+    return RunPreparedCount(ctx, key, [dir, with_label] {
+      Traversal t = Traversal::V(Bound{});
+      switch (dir) {
+        case Direction::kIn:
+          with_label ? t.In(Bound{}) : t.In();
+          break;
+        case Direction::kOut:
+          with_label ? t.Out(Bound{}) : t.Out();
+          break;
+        case Direction::kBoth:
+          with_label ? t.Both(Bound{}) : t.Both();
+          break;
+      }
+      t.Count();
+      return t;
+    });
   };
   catalog.push_back(Make(22, "v.in()",
                          "Nodes adjacent to v via incoming edges",
                          Category::kTraversal, false,
                          [neighbors](QueryContext& ctx) {
-                           return neighbors(ctx, Direction::kIn, false);
+                           return neighbors(ctx, 22, Direction::kIn, false);
                          }));
   catalog.push_back(Make(23, "v.out()",
                          "Nodes adjacent to v via outgoing edges",
                          Category::kTraversal, false,
                          [neighbors](QueryContext& ctx) {
-                           return neighbors(ctx, Direction::kOut, false);
+                           return neighbors(ctx, 23, Direction::kOut, false);
                          }));
   catalog.push_back(Make(24, "v.both('l')",
                          "Nodes adjacent to v via edges labeled l",
                          Category::kTraversal, false,
                          [neighbors](QueryContext& ctx) {
-                           return neighbors(ctx, Direction::kBoth, true);
+                           return neighbors(ctx, 24, Direction::kBoth, true);
                          }));
 
-  auto edge_labels = [](QueryContext& ctx,
+  auto edge_labels = [](QueryContext& ctx, int key,
                         Direction dir) -> Result<QueryResult> {
-    Traversal t = Traversal::V(ctx.workload->ReadVertex(ctx.iteration));
-    switch (dir) {
-      case Direction::kIn:
-        t.InE();
-        break;
-      case Direction::kOut:
-        t.OutE();
-        break;
-      case Direction::kBoth:
-        t.BothE();
-        break;
-    }
-    t.Label().Dedup();
-    GDB_ASSIGN_OR_RETURN(uint64_t n, t.ExecuteCount(*ctx.engine, *ctx.session, ctx.cancel));
-    return QueryResult{n};
+    ctx.params.id = ctx.workload->ReadVertex(ctx.iteration);
+    return RunPreparedCount(ctx, key, [dir] {
+      Traversal t = Traversal::V(Bound{});
+      switch (dir) {
+        case Direction::kIn:
+          t.InE();
+          break;
+        case Direction::kOut:
+          t.OutE();
+          break;
+        case Direction::kBoth:
+          t.BothE();
+          break;
+      }
+      t.Label().Dedup().Count();
+      return t;
+    });
   };
   catalog.push_back(Make(25, "v.inE.label.dedup()",
                          "Labels of incoming edges of v (no dupl.)",
                          Category::kTraversal, false,
                          [edge_labels](QueryContext& ctx) {
-                           return edge_labels(ctx, Direction::kIn);
+                           return edge_labels(ctx, 25, Direction::kIn);
                          }));
   catalog.push_back(Make(26, "v.outE.label.dedup()",
                          "Labels of outgoing edges of v (no dupl.)",
                          Category::kTraversal, false,
                          [edge_labels](QueryContext& ctx) {
-                           return edge_labels(ctx, Direction::kOut);
+                           return edge_labels(ctx, 26, Direction::kOut);
                          }));
   catalog.push_back(Make(27, "v.bothE.label.dedup()",
                          "Labels of edges of v (no dupl.)",
                          Category::kTraversal, false,
                          [edge_labels](QueryContext& ctx) {
-                           return edge_labels(ctx, Direction::kBoth);
+                           return edge_labels(ctx, 27, Direction::kBoth);
                          }));
 
-  auto degree_filter = [](QueryContext& ctx,
+  auto degree_filter = [](QueryContext& ctx, int key,
                           Direction dir) -> Result<QueryResult> {
-    GDB_ASSIGN_OR_RETURN(
-        uint64_t n,
-        Traversal::V()
-            .WhereDegreeAtLeast(dir, ctx.workload->DegreeK())
-            .Count()
-            .ExecuteCount(*ctx.engine, *ctx.session, ctx.cancel));
-    return QueryResult{n};
+    uint64_t k = ctx.workload->DegreeK();
+    return RunPreparedCount(ctx, key, [dir, k] {
+      return Traversal::V().WhereDegreeAtLeast(dir, k).Count();
+    });
   };
   catalog.push_back(Make(28, "g.V.filter{it.inE.count()>=k}",
                          "Nodes of at least k-incoming-degree",
                          Category::kTraversal, false,
                          [degree_filter](QueryContext& ctx) {
-                           return degree_filter(ctx, Direction::kIn);
+                           return degree_filter(ctx, 28, Direction::kIn);
                          }));
   catalog.push_back(Make(29, "g.V.filter{it.outE.count()>=k}",
                          "Nodes of at least k-outgoing-degree",
                          Category::kTraversal, false,
                          [degree_filter](QueryContext& ctx) {
-                           return degree_filter(ctx, Direction::kOut);
+                           return degree_filter(ctx, 29, Direction::kOut);
                          }));
   catalog.push_back(Make(30, "g.V.filter{it.bothE.count()>=k}",
                          "Nodes of at least k-degree", Category::kTraversal,
                          false, [degree_filter](QueryContext& ctx) {
-                           return degree_filter(ctx, Direction::kBoth);
+                           return degree_filter(ctx, 30, Direction::kBoth);
                          }));
   catalog.push_back(Make(
       31, "g.V.out.dedup()", "Nodes having an incoming edge",
       Category::kTraversal, false, [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_ASSIGN_OR_RETURN(uint64_t n, Traversal::V()
-                                             .Out()
-                                             .Dedup()
-                                             .Count()
-                                             .ExecuteCount(*ctx.engine, *ctx.session, ctx.cancel));
-        return QueryResult{n};
+        return RunPreparedCount(
+            ctx, 31, [] { return Traversal::V().Out().Dedup().Count(); });
       }));
 
   for (int depth : {2, 3, 4, 5}) {

@@ -12,11 +12,15 @@
 #define GDBMICRO_CORE_QUERIES_H_
 
 #include <functional>
+#include <memory>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/datasets/workload.h"
 #include "src/graph/engine.h"
+#include "src/query/traversal.h"
 
 namespace gdbmicro {
 namespace core {
@@ -32,8 +36,34 @@ enum class Category {
 
 std::string_view CategoryToString(Category c);
 
-/// Execution context handed to each query implementation.
+/// Cache of prepared plans for one loaded engine, keyed by query shape
+/// (the Table 2 number, or any caller-chosen key). A PreparedPlan is
+/// immutable after lowering, so one cache entry serves every session of
+/// the engine; lookups take a shared lock, the one-time lowering takes
+/// the exclusive lock. Entry addresses are stable (node-based map) —
+/// returned pointers stay valid for the cache's lifetime.
+class PreparedQueryCache {
+ public:
+  explicit PreparedQueryCache(const GraphEngine* engine) : engine_(engine) {}
+
+  /// The prepared plan for `key`, lowering `build()` on first use.
+  Result<const query::PreparedPlan*> Get(
+      int key, const std::function<query::Traversal()>& build) const;
+
+ private:
+  const GraphEngine* engine_;
+  mutable std::shared_mutex mu_;
+  mutable std::unordered_map<int, query::PreparedPlan> plans_;
+};
+
+/// Execution context handed to each query implementation. Reused across
+/// the iterations of a run, so the parameter slots below amortize their
+/// capacity (non-copyable for the same reason).
 struct QueryContext {
+  QueryContext() = default;
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
   GraphEngine* engine = nullptr;
   /// The calling client's read session (one per thread; see the engine.h
   /// concurrency contract). Read queries pass it to every engine call;
@@ -44,6 +74,22 @@ struct QueryContext {
   /// Batch iteration index; implementations vary their sampled parameters
   /// with it so a batch is 10 distinct random picks, as in the paper.
   int iteration = 0;
+
+  /// Prepared plans shared across every client of the loaded engine
+  /// (set by the Runner). Contexts built without one — tests, ad-hoc
+  /// drivers — fall back to a context-local cache via prepared_cache().
+  const PreparedQueryCache* prepared = nullptr;
+  /// Rebindable per-iteration arguments for the prepared plans (see
+  /// PlanParams in plan.h); result collection reuses the session
+  /// scratch, so no output buffer lives here.
+  query::PlanParams params;
+
+  /// The effective cache: `prepared` when set, else a lazily created
+  /// context-local one (still compile-once/run-many within this context).
+  const PreparedQueryCache& prepared_cache();
+
+ private:
+  std::unique_ptr<PreparedQueryCache> local_prepared_;
 };
 
 struct QueryResult {

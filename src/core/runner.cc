@@ -56,6 +56,7 @@ Result<LoadedEngine> Runner::Load(const std::string& engine_name,
 
   loaded.engine = std::move(engine);
   loaded.session = loaded.engine->CreateSession();
+  loaded.prepared = std::make_unique<PreparedQueryCache>(loaded.engine.get());
   loaded.mapping = std::make_unique<LoadMapping>(std::move(mapping));
   loaded.workload = std::make_unique<datasets::Workload>(
       &data, loaded.mapping.get(), options_.workload_seed);
@@ -92,6 +93,7 @@ std::vector<Measurement> Runner::RunQuery(LoadedEngine& loaded,
     ctx.engine = loaded.engine.get();
     ctx.session = loaded.session.get();
     ctx.workload = loaded.workload.get();
+    ctx.prepared = loaded.prepared.get();
     ctx.cancel = CancelToken::WithTimeout(options_.deadline);
     Timer timer;
     Status status = Status::OK();
@@ -186,6 +188,10 @@ Result<ConcurrentMeasurement> Runner::RunConcurrent(
         ctx.engine = loaded.engine.get();
         ctx.session = session.get();
         ctx.workload = workloads[static_cast<size_t>(t)].get();
+        // The prepared-plan cache is shared across clients by design:
+        // lowering happens once, every thread runs the same plan through
+        // its own session scratch.
+        ctx.prepared = loaded.prepared.get();
         // One deadline per client covering its whole closed loop.
         ctx.cancel = CancelToken::WithTimeout(options_.deadline);
         slot.latencies_ms.reserve(static_cast<size_t>(iterations_per_thread) *

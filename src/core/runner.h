@@ -80,12 +80,15 @@ struct Measurement {
 /// is heap-allocated because the workload keeps a pointer into it and the
 /// struct is returned by value. `session` is the sequential runner's own
 /// read session; RunConcurrent ignores it and gives each client thread a
-/// session of its own.
+/// session of its own. `prepared` caches the catalog's lowered plans:
+/// prepared plans are immutable, so the one cache serves the sequential
+/// runner and every RunConcurrent client thread alike.
 struct LoadedEngine {
   std::unique_ptr<GraphEngine> engine;
   std::unique_ptr<LoadMapping> mapping;
   std::unique_ptr<datasets::Workload> workload;
   std::unique_ptr<QuerySession> session;
+  std::unique_ptr<PreparedQueryCache> prepared;
   Measurement load_measurement;  // the Q.1 data point
 };
 

@@ -857,15 +857,25 @@ Status NeoEngine::WalkMatching(
     return Status::OK();  // unknown label: no edges
   }
   uint32_t group_hint = v30_ && label != nullptr ? label_id : Dictionary::kNoId;
+  // Single-pointer capture: a multi-reference [&] closure exceeds
+  // std::function's small-buffer size and would heap-allocate per call —
+  // visible as one allocation per hop on degree-1 vertices.
+  struct MatchCtx {
+    const std::string* label;
+    uint32_t label_id;
+    Direction dir;
+    const std::function<bool(EdgeId, int, const EdgeRec&)>& fn;
+  } match{label, label_id, dir, fn};
   return WalkIncidenceFiltered(
-      v, group_hint, cancel, [&](EdgeId e, int role, const EdgeRec& rec) {
-        if (label != nullptr && rec.label != label_id) return true;
+      v, group_hint, cancel, [&match](EdgeId e, int role, const EdgeRec& rec) {
+        if (match.label != nullptr && rec.label != match.label_id) return true;
         bool is_self_loop = rec.src == rec.dst;
         if (is_self_loop && role == 1) return true;  // emitted via src role
-        bool matches = dir == Direction::kBoth ||
-                       (dir == Direction::kOut && role == 0) ||
-                       (dir == Direction::kIn && role == 1) || is_self_loop;
-        if (matches) return fn(e, role, rec);
+        bool matches = match.dir == Direction::kBoth ||
+                       (match.dir == Direction::kOut && role == 0) ||
+                       (match.dir == Direction::kIn && role == 1) ||
+                       is_self_loop;
+        if (matches) return match.fn(e, role, rec);
         return true;
       });
 }

@@ -142,6 +142,17 @@ struct TraversalScratch {
   std::unordered_set<VertexId> visited_sparse;
 };
 
+/// Opaque base for per-session state owned by layers above the graph
+/// engine. The query planner keeps its per-session run scratch (dedup
+/// sets, limit counters, frontier buffers, the interned value pool — see
+/// query::PlanScratch in src/query/plan.h) in the session through this
+/// slot, so the engine layer needs no dependency on the query layer while
+/// prepared plans stay immutable and shareable across sessions.
+class SessionState {
+ public:
+  virtual ~SessionState() = default;
+};
+
 /// Per-query mutable state for reads against a loaded engine.
 ///
 /// One session models one client connection: create one per thread with
@@ -168,9 +179,19 @@ class QuerySession {
 
   TraversalScratch& traversal_scratch() { return scratch_; }
 
+  /// The query layer's per-session scratch slot (lazily installed by
+  /// query::PlanScratch::For). Like the traversal scratch, it survives
+  /// BeginQuery by design: it models connection-lifetime state (reused
+  /// buffers, the interned value dictionary), not per-query results.
+  SessionState* query_state() const { return query_state_.get(); }
+  void set_query_state(std::unique_ptr<SessionState> state) {
+    query_state_ = std::move(state);
+  }
+
  private:
   const GraphEngine* engine_;
   TraversalScratch scratch_;
+  std::unique_ptr<SessionState> query_state_;
 };
 
 class GraphEngine {

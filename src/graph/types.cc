@@ -26,6 +26,14 @@ std::string PropertyValue::ToString() const {
   return string_value();
 }
 
+void PropertyValue::AppendTo(std::string* out) const {
+  if (is_string()) {
+    out->append(string_value());
+  } else {
+    out->append(ToString());
+  }
+}
+
 uint64_t PropertyValue::Hash() const {
   if (is_null()) return 0x6e756c6cULL;
   if (is_bool()) return HashInt(bool_value() ? 3 : 5);

@@ -55,6 +55,10 @@ class PropertyValue {
   /// Value rendered for reports and debugging.
   std::string ToString() const;
 
+  /// Appends the ToString() rendering to *out without the temporary —
+  /// the traverser-row value path renders into a reused buffer.
+  void AppendTo(std::string* out) const;
+
   /// Stable hash (used by hash indexes on property values).
   uint64_t Hash() const;
 

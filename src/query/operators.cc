@@ -8,41 +8,65 @@ namespace query {
 namespace {
 
 /// Renders a Has()-style predicate for Explain.
-std::string PredicateArgs(const std::string& key, const PropertyValue& value) {
-  return StrFormat("%s == %s", key.c_str(), value.ToString().c_str());
+std::string PredicateArgs(const std::string& key, const PropertyValue& value,
+                          bool bound) {
+  return StrFormat("%s == %s", key.c_str(),
+                   bound ? "?" : value.ToString().c_str());
 }
 
 /// Renders an adjacency step's arguments for Explain.
-std::string AdjacencyArgs(Direction dir,
-                          const std::optional<std::string>& label) {
+std::string AdjacencyArgs(Direction dir, LabelMode mode,
+                          const std::string& label) {
   std::string out(DirectionToString(dir));
-  if (label.has_value()) {
+  if (mode == LabelMode::kFixed) {
     out += ", label=";
-    out += *label;
+    out += label;
+  } else if (mode == LabelMode::kBound) {
+    out += ", label=?";
   }
   return out;
 }
 
+/// The adjacency-visitor label argument for the three label modes.
+const std::string* VisitLabel(const ExecContext& ctx, LabelMode mode,
+                              const std::string& label) {
+  switch (mode) {
+    case LabelMode::kAny:
+      return nullptr;
+    case LabelMode::kFixed:
+      return &label;
+    case LabelMode::kBound:
+      return &ctx.params->label;
+  }
+  return nullptr;
+}
+
+/// Interns a rendered property value into the session pool without a
+/// per-row temporary: strings intern their payload directly, scalars
+/// render into the scratch's reused buffer first.
+uint64_t InternValue(const ExecContext& ctx, const PropertyValue& v) {
+  if (v.is_string()) return ctx.scratch.pool.Intern(v.string_value());
+  ctx.scratch.value_buf.clear();
+  v.AppendTo(&ctx.scratch.value_buf);
+  return ctx.scratch.pool.Intern(ctx.scratch.value_buf);
+}
+
 }  // namespace
 
-Status Operator::Produce(const GraphEngine& engine, QuerySession& session,
-                         const CancelToken& cancel, const RowSink& sink) {
-  (void)engine;
-  (void)session;
-  (void)cancel;
+Status Operator::Produce(const ExecContext& ctx, OpScratch& state,
+                         const RowSink& sink) const {
+  (void)ctx;
+  (void)state;
   (void)sink;
   return Status::Internal(StrFormat("%s is not a source operator",
                                     std::string(name()).c_str()));
 }
 
-Result<bool> Operator::Process(const GraphEngine& engine,
-                               QuerySession& session,
-                               const CancelToken& cancel,
-                               const Traverser& in, const RowSink& sink) {
-  (void)engine;
-  (void)session;
-  (void)cancel;
-  (void)in;
+Result<bool> Operator::Process(const ExecContext& ctx, OpScratch& state,
+                               uint64_t row, const RowSink& sink) const {
+  (void)ctx;
+  (void)state;
+  (void)row;
   (void)sink;
   return Status::Internal(StrFormat("%s is a source operator",
                                     std::string(name()).c_str()));
@@ -50,241 +74,225 @@ Result<bool> Operator::Process(const GraphEngine& engine,
 
 // --- Sources ---------------------------------------------------------------
 
-Status VertexScan::Produce(const GraphEngine& engine, QuerySession& session,
-                           const CancelToken& cancel,
-                           const RowSink& sink) {
-  return engine.ScanVertices(session, cancel, [&](VertexId id) {
-    return sink(Traverser{Traverser::Kind::kVertex, id, {}});
-  });
+Status VertexScan::Produce(const ExecContext& ctx, OpScratch& state,
+                           const RowSink& sink) const {
+  (void)state;
+  return ctx.engine.ScanVertices(ctx.session, ctx.cancel,
+                                 [&](VertexId id) { return sink(id); });
 }
 
-Status EdgeScan::Produce(const GraphEngine& engine, QuerySession& session,
-                         const CancelToken& cancel, const RowSink& sink) {
-  return engine.ScanEdges(session, cancel, [&](const EdgeEnds& e) {
-    return sink(Traverser{Traverser::Kind::kEdge, e.id, {}});
-  });
+Status EdgeScan::Produce(const ExecContext& ctx, OpScratch& state,
+                         const RowSink& sink) const {
+  (void)state;
+  return ctx.engine.ScanEdges(ctx.session, ctx.cancel,
+                              [&](const EdgeEnds& e) { return sink(e.id); });
 }
 
 std::string VertexLookup::args() const {
+  if (bound_) return "id=?";
   return StrFormat("id=%llu", static_cast<unsigned long long>(id_));
 }
 
-Status VertexLookup::Produce(const GraphEngine& engine, QuerySession& session,
-                             const CancelToken& cancel,
-                             const RowSink& sink) {
-  GDB_CHECK_CANCEL(cancel);
-  auto rec = engine.GetVertex(session, id_);
+Status VertexLookup::Produce(const ExecContext& ctx, OpScratch& state,
+                             const RowSink& sink) const {
+  (void)state;
+  GDB_CHECK_CANCEL(ctx.cancel);
+  VertexId id = bound_ ? ctx.params->id : id_;
+  auto rec = ctx.engine.GetVertex(ctx.session, id);
   if (!rec.ok()) {
     // g.V(id) on a missing vertex is an empty traverser set, not a query
     // error (Gremlin semantics).
     if (rec.status().IsNotFound()) return Status::OK();
     return rec.status();
   }
-  sink(Traverser{Traverser::Kind::kVertex, rec->id, {}});
+  sink(rec->id);
   return Status::OK();
 }
 
 std::string EdgeLookup::args() const {
+  if (bound_) return "id=?";
   return StrFormat("id=%llu", static_cast<unsigned long long>(id_));
 }
 
-Status EdgeLookup::Produce(const GraphEngine& engine, QuerySession& session,
-                           const CancelToken& cancel,
-                           const RowSink& sink) {
-  GDB_CHECK_CANCEL(cancel);
-  auto rec = engine.GetEdge(session, id_);
+Status EdgeLookup::Produce(const ExecContext& ctx, OpScratch& state,
+                           const RowSink& sink) const {
+  (void)state;
+  GDB_CHECK_CANCEL(ctx.cancel);
+  EdgeId id = bound_ ? ctx.params->id : id_;
+  auto rec = ctx.engine.GetEdge(ctx.session, id);
   if (!rec.ok()) {
     if (rec.status().IsNotFound()) return Status::OK();
     return rec.status();
   }
-  sink(Traverser{Traverser::Kind::kEdge, rec->id, {}});
+  sink(rec->id);
   return Status::OK();
 }
 
 std::string PropertyIndexScan::args() const {
-  return PredicateArgs(key_, value_);
+  return PredicateArgs(key_, value_, bound_);
 }
 
-Status PropertyIndexScan::Produce(const GraphEngine& engine, QuerySession& session,
-                                  const CancelToken& cancel,
-                                  const RowSink& sink) {
-  GDB_ASSIGN_OR_RETURN(std::vector<VertexId> ids,
-                       engine.FindVerticesByProperty(session, key_, value_, cancel));
+Status PropertyIndexScan::Produce(const ExecContext& ctx, OpScratch& state,
+                                  const RowSink& sink) const {
+  (void)state;
+  const PropertyValue& value = bound_ ? ctx.params->value : value_;
+  GDB_ASSIGN_OR_RETURN(
+      std::vector<VertexId> ids,
+      ctx.engine.FindVerticesByProperty(ctx.session, key_, value, ctx.cancel));
   for (VertexId v : ids) {
-    if (!sink(Traverser{Traverser::Kind::kVertex, v, {}})) break;
+    if (!sink(v)) break;
   }
   return Status::OK();
 }
 
 std::string EdgeLabelScan::args() const { return "label=" + label_; }
 
-Status EdgeLabelScan::Produce(const GraphEngine& engine, QuerySession& session,
-                              const CancelToken& cancel,
-                              const RowSink& sink) {
-  GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> ids,
-                       engine.FindEdgesByLabel(session, label_, cancel));
+Status EdgeLabelScan::Produce(const ExecContext& ctx, OpScratch& state,
+                              const RowSink& sink) const {
+  (void)state;
+  GDB_ASSIGN_OR_RETURN(
+      std::vector<EdgeId> ids,
+      ctx.engine.FindEdgesByLabel(ctx.session, label_, ctx.cancel));
   for (EdgeId e : ids) {
-    if (!sink(Traverser{Traverser::Kind::kEdge, e, {}})) break;
+    if (!sink(e)) break;
   }
   return Status::OK();
 }
 
-void DistinctEdgeTargetScan::Reset() {
-  seen_.clear();
-  seen_.reserve(1024);
-}
-
-Status DistinctEdgeTargetScan::Produce(const GraphEngine& engine, QuerySession& session,
-                                       const CancelToken& cancel,
-                                       const RowSink& sink) {
-  return engine.ScanEdges(session, cancel, [&](const EdgeEnds& e) {
-    if (!seen_.insert(e.dst).second) return true;
-    return sink(Traverser{Traverser::Kind::kVertex, e.dst, {}});
-  });
+Status DistinctEdgeTargetScan::Produce(const ExecContext& ctx,
+                                       OpScratch& state,
+                                       const RowSink& sink) const {
+  OpScratch& s = Fresh(ctx, state);
+  return ctx.engine.ScanEdges(ctx.session, ctx.cancel,
+                              [&](const EdgeEnds& e) {
+                                if (!s.seen.insert(e.dst).second) return true;
+                                return sink(e.dst);
+                              });
 }
 
 // --- Pipeline operators ----------------------------------------------------
 
 std::string LabelFilter::args() const { return "label=" + label_; }
 
-Result<bool> LabelFilter::Process(const GraphEngine& engine,
-                                  QuerySession& session,
-                                  const CancelToken& cancel,
-                                  const Traverser& in, const RowSink& sink) {
-  GDB_CHECK_CANCEL(cancel);
-  if (in.kind == Traverser::Kind::kVertex) {
-    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(session, in.id));
-    if (rec.label == label_) return sink(in);
-  } else if (in.kind == Traverser::Kind::kEdge) {
-    GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(session, in.id));
-    if (ends.label == label_) return sink(in);
+Result<bool> LabelFilter::Process(const ExecContext& ctx, OpScratch& state,
+                                  uint64_t row, const RowSink& sink) const {
+  (void)state;
+  GDB_CHECK_CANCEL(ctx.cancel);
+  if (input_kind() == RowKind::kVertex) {
+    GDB_ASSIGN_OR_RETURN(VertexRecord rec, ctx.engine.GetVertex(ctx.session, row));
+    if (rec.label == label_) return sink(row);
+  } else if (input_kind() == RowKind::kEdge) {
+    GDB_ASSIGN_OR_RETURN(EdgeEnds ends, ctx.engine.GetEdgeEnds(ctx.session, row));
+    if (ends.label == label_) return sink(row);
   }
   return true;
 }
 
-std::string PropertyFilter::args() const { return PredicateArgs(key_, value_); }
+std::string PropertyFilter::args() const {
+  return PredicateArgs(key_, value_, bound_);
+}
 
-Result<bool> PropertyFilter::Process(const GraphEngine& engine,
-                                     QuerySession& session,
-                                     const CancelToken& cancel,
-                                     const Traverser& in, const RowSink& sink) {
-  GDB_CHECK_CANCEL(cancel);
+Result<bool> PropertyFilter::Process(const ExecContext& ctx, OpScratch& state,
+                                     uint64_t row, const RowSink& sink) const {
+  (void)state;
+  GDB_CHECK_CANCEL(ctx.cancel);
+  const PropertyValue& value = bound_ ? ctx.params->value : value_;
   PropertyMap props;
-  if (in.kind == Traverser::Kind::kVertex) {
-    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(session, in.id));
+  if (input_kind() == RowKind::kVertex) {
+    GDB_ASSIGN_OR_RETURN(VertexRecord rec, ctx.engine.GetVertex(ctx.session, row));
     props = std::move(rec.properties);
-  } else if (in.kind == Traverser::Kind::kEdge) {
-    GDB_ASSIGN_OR_RETURN(EdgeRecord rec, engine.GetEdge(session, in.id));
+  } else if (input_kind() == RowKind::kEdge) {
+    GDB_ASSIGN_OR_RETURN(EdgeRecord rec, ctx.engine.GetEdge(ctx.session, row));
     props = std::move(rec.properties);
+  } else {
+    return true;  // value rows carry no properties
   }
   const PropertyValue* v = FindProperty(props, key_);
-  if (v != nullptr && *v == value_) return sink(in);
+  if (v != nullptr && *v == value) return sink(row);
   return true;
 }
 
-std::string Expand::args() const { return AdjacencyArgs(dir_, label_); }
+std::string Expand::args() const { return AdjacencyArgs(dir_, mode_, label_); }
 
-Result<bool> Expand::Process(const GraphEngine& engine,
-                             QuerySession& session,
-                             const CancelToken& cancel,
-                             const Traverser& in, const RowSink& sink) {
-  if (in.kind != Traverser::Kind::kVertex) return true;
+Result<bool> Expand::Process(const ExecContext& ctx, OpScratch& state,
+                             uint64_t row, const RowSink& sink) const {
+  (void)state;
+  if (input_kind() != RowKind::kVertex) return true;
   bool keep_going = true;
-  GDB_RETURN_IF_ERROR(engine.ForEachNeighbor(session, 
-      in.id, dir_, label_.has_value() ? &*label_ : nullptr, cancel,
+  GDB_RETURN_IF_ERROR(ctx.engine.ForEachNeighbor(
+      ctx.session, row, dir_, VisitLabel(ctx, mode_, label_), ctx.cancel,
       [&](VertexId v) {
-        keep_going = sink(Traverser{Traverser::Kind::kVertex, v, {}});
+        keep_going = sink(v);
         return keep_going;
       }));
   return keep_going;
 }
 
-std::string ExpandE::args() const { return AdjacencyArgs(dir_, label_); }
+std::string ExpandE::args() const { return AdjacencyArgs(dir_, mode_, label_); }
 
-Result<bool> ExpandE::Process(const GraphEngine& engine,
-                              QuerySession& session,
-                              const CancelToken& cancel,
-                              const Traverser& in, const RowSink& sink) {
-  if (in.kind != Traverser::Kind::kVertex) return true;
+Result<bool> ExpandE::Process(const ExecContext& ctx, OpScratch& state,
+                              uint64_t row, const RowSink& sink) const {
+  (void)state;
+  if (input_kind() != RowKind::kVertex) return true;
   bool keep_going = true;
-  GDB_RETURN_IF_ERROR(engine.ForEachEdgeOf(session, 
-      in.id, dir_, label_.has_value() ? &*label_ : nullptr, cancel,
+  GDB_RETURN_IF_ERROR(ctx.engine.ForEachEdgeOf(
+      ctx.session, row, dir_, VisitLabel(ctx, mode_, label_), ctx.cancel,
       [&](EdgeId e) {
-        keep_going = sink(Traverser{Traverser::Kind::kEdge, e, {}});
+        keep_going = sink(e);
         return keep_going;
       }));
   return keep_going;
 }
 
-Result<bool> EndpointMap::Process(const GraphEngine& engine,
-                                  QuerySession& session,
-                                  const CancelToken& cancel,
-                                  const Traverser& in, const RowSink& sink) {
-  GDB_CHECK_CANCEL(cancel);
-  if (in.kind != Traverser::Kind::kEdge) return true;
-  GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(session, in.id));
-  return sink(Traverser{Traverser::Kind::kVertex,
-                        out_ ? ends.src : ends.dst,
-                        {}});
+Result<bool> EndpointMap::Process(const ExecContext& ctx, OpScratch& state,
+                                  uint64_t row, const RowSink& sink) const {
+  (void)state;
+  GDB_CHECK_CANCEL(ctx.cancel);
+  if (input_kind() != RowKind::kEdge) return true;
+  GDB_ASSIGN_OR_RETURN(EdgeEnds ends, ctx.engine.GetEdgeEnds(ctx.session, row));
+  return sink(out_ ? ends.src : ends.dst);
 }
 
-Result<bool> LabelMap::Process(const GraphEngine& engine,
-                               QuerySession& session,
-                               const CancelToken& cancel,
-                               const Traverser& in, const RowSink& sink) {
-  GDB_CHECK_CANCEL(cancel);
-  if (in.kind == Traverser::Kind::kEdge) {
-    GDB_ASSIGN_OR_RETURN(EdgeEnds ends, engine.GetEdgeEnds(session, in.id));
-    return sink(Traverser{Traverser::Kind::kValue, 0, std::move(ends.label)});
+Result<bool> LabelMap::Process(const ExecContext& ctx, OpScratch& state,
+                               uint64_t row, const RowSink& sink) const {
+  (void)state;
+  GDB_CHECK_CANCEL(ctx.cancel);
+  if (input_kind() == RowKind::kEdge) {
+    GDB_ASSIGN_OR_RETURN(EdgeEnds ends, ctx.engine.GetEdgeEnds(ctx.session, row));
+    return sink(ctx.scratch.pool.Intern(ends.label));
   }
-  if (in.kind == Traverser::Kind::kVertex) {
-    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(session, in.id));
-    return sink(Traverser{Traverser::Kind::kValue, 0, std::move(rec.label)});
+  if (input_kind() == RowKind::kVertex) {
+    GDB_ASSIGN_OR_RETURN(VertexRecord rec, ctx.engine.GetVertex(ctx.session, row));
+    return sink(ctx.scratch.pool.Intern(rec.label));
   }
   return true;
 }
 
-Result<bool> ValuesMap::Process(const GraphEngine& engine,
-                                QuerySession& session,
-                                const CancelToken& cancel,
-                                const Traverser& in, const RowSink& sink) {
-  GDB_CHECK_CANCEL(cancel);
+Result<bool> ValuesMap::Process(const ExecContext& ctx, OpScratch& state,
+                                uint64_t row, const RowSink& sink) const {
+  (void)state;
+  GDB_CHECK_CANCEL(ctx.cancel);
   PropertyMap props;
-  if (in.kind == Traverser::Kind::kVertex) {
-    GDB_ASSIGN_OR_RETURN(VertexRecord rec, engine.GetVertex(session, in.id));
+  if (input_kind() == RowKind::kVertex) {
+    GDB_ASSIGN_OR_RETURN(VertexRecord rec, ctx.engine.GetVertex(ctx.session, row));
     props = std::move(rec.properties);
-  } else if (in.kind == Traverser::Kind::kEdge) {
-    GDB_ASSIGN_OR_RETURN(EdgeRecord rec, engine.GetEdge(session, in.id));
+  } else if (input_kind() == RowKind::kEdge) {
+    GDB_ASSIGN_OR_RETURN(EdgeRecord rec, ctx.engine.GetEdge(ctx.session, row));
     props = std::move(rec.properties);
+  } else {
+    return true;
   }
   if (const PropertyValue* v = FindProperty(props, key_)) {
-    return sink(Traverser{Traverser::Kind::kValue, 0, v->ToString()});
+    return sink(InternValue(ctx, *v));
   }
   return true;
 }
 
-void Dedup::Reset() {
-  seen_ids_.clear();
-  seen_values_.clear();
-}
-
-Result<bool> Dedup::Process(const GraphEngine& engine,
-                            QuerySession& session,
-                            const CancelToken& cancel,
-                            const Traverser& in, const RowSink& sink) {
-  (void)engine;
-  (void)session;
-  GDB_CHECK_CANCEL(cancel);
-  bool fresh;
-  if (in.kind == Traverser::Kind::kValue) {
-    fresh = seen_values_.insert(in.value).second;
-  } else {
-    uint64_t key =
-        in.id ^
-        (static_cast<uint64_t>(in.kind == Traverser::Kind::kEdge) << 63);
-    fresh = seen_ids_.insert(key).second;
-  }
-  if (fresh) return sink(in);
+Result<bool> Dedup::Process(const ExecContext& ctx, OpScratch& state,
+                            uint64_t row, const RowSink& sink) const {
+  GDB_CHECK_CANCEL(ctx.cancel);
+  OpScratch& s = Fresh(ctx, state);
+  if (s.seen.insert(row).second) return sink(row);
   return true;
 }
 
@@ -292,17 +300,13 @@ std::string Limit::args() const {
   return StrFormat("%llu", static_cast<unsigned long long>(n_));
 }
 
-Result<bool> Limit::Process(const GraphEngine& engine,
-                            QuerySession& session,
-                            const CancelToken& cancel,
-                            const Traverser& in, const RowSink& sink) {
-  (void)engine;
-  (void)session;
-  (void)cancel;
-  if (emitted_ >= n_) return false;
-  ++emitted_;
-  bool keep_going = sink(in);
-  return keep_going && emitted_ < n_;
+Result<bool> Limit::Process(const ExecContext& ctx, OpScratch& state,
+                            uint64_t row, const RowSink& sink) const {
+  OpScratch& s = Fresh(ctx, state);
+  if (s.counter >= n_) return false;
+  ++s.counter;
+  bool keep_going = sink(row);
+  return keep_going && s.counter < n_;
 }
 
 std::string DegreeFilter::args() const {
@@ -311,31 +315,26 @@ std::string DegreeFilter::args() const {
                    static_cast<unsigned long long>(k_));
 }
 
-Result<bool> DegreeFilter::Process(const GraphEngine& engine,
-                                   QuerySession& session,
-                                   const CancelToken& cancel,
-                                   const Traverser& in, const RowSink& sink) {
-  GDB_CHECK_CANCEL(cancel);
-  if (in.kind != Traverser::Kind::kVertex) return true;
+Result<bool> DegreeFilter::Process(const ExecContext& ctx, OpScratch& state,
+                                   uint64_t row, const RowSink& sink) const {
+  (void)state;
+  GDB_CHECK_CANCEL(ctx.cancel);
+  if (input_kind() != RowKind::kVertex) return true;
   // Gremlin shape: the inner it.xE.count() materializes the incident edge
   // list for every candidate vertex (CountEdgesOf is exactly that
   // primitive; see engine.h).
-  GDB_ASSIGN_OR_RETURN(uint64_t degree, engine.CountEdgesOf(session, in.id, dir_,
-                                                            cancel));
-  if (degree >= k_) return sink(in);
+  GDB_ASSIGN_OR_RETURN(
+      uint64_t degree,
+      ctx.engine.CountEdgesOf(ctx.session, row, dir_, ctx.cancel));
+  if (degree >= k_) return sink(row);
   return true;
 }
 
-Result<bool> CountSink::Process(const GraphEngine& engine,
-                                QuerySession& session,
-                                const CancelToken& cancel,
-                                const Traverser& in, const RowSink& sink) {
-  (void)engine;
-  (void)session;
-  (void)cancel;
-  (void)in;
+Result<bool> CountSink::Process(const ExecContext& ctx, OpScratch& state,
+                                uint64_t row, const RowSink& sink) const {
+  (void)row;
   (void)sink;
-  ++count_;
+  ++Fresh(ctx, state).counter;
   return true;
 }
 

@@ -15,15 +15,57 @@ bool IsSourceOp(LogicalOp op) {
          op == LogicalOp::kSourceE || op == LogicalOp::kSourceEId;
 }
 
+/// Cap on speculative sink reservations: a statically-bounded plan never
+/// grows its output from empty, but a huge Limit(n) must not presize
+/// gigabytes either.
+constexpr uint64_t kMaxReserveRows = 1 << 16;
+
 /// Approximate heap footprint of a materialized frontier (the
 /// intermediate-result bytes the step-wise policy pays per barrier).
-uint64_t FrontierBytes(const std::vector<Traverser>& rows) {
-  uint64_t bytes = rows.size() * sizeof(Traverser);
-  for (const Traverser& t : rows) bytes += t.value.size();
+/// Value rows charge their interned payload, keeping the profile
+/// comparable to the string-carrying rows they replaced.
+uint64_t FrontierBytes(const std::vector<uint64_t>& rows, RowKind kind,
+                       const ValuePool& pool) {
+  uint64_t bytes = rows.size() * sizeof(uint64_t);
+  if (kind == RowKind::kValue) {
+    for (uint64_t row : rows) bytes += pool.Get(row).size();
+  }
   return bytes;
 }
 
+/// Reads a CountSink's accumulated count from its scratch slot: an
+/// untouched slot (stale epoch) means no row reached the sink this run.
+uint64_t CountFrom(const OpScratch& slot, uint64_t run_epoch) {
+  return slot.epoch == run_epoch ? slot.counter : 0;
+}
+
+/// Lowers an id-source step (g.V(id)/g.E(id)) whose id is either fixed
+/// or a Run-time PlanParams slot.
+template <typename Op>
+std::unique_ptr<Operator> LowerLookup(const LogicalStep& s) {
+  if (s.bound) return std::make_unique<Op>(Bound{});
+  return std::make_unique<Op>(s.id);
+}
+
+/// Lowers a has(k, v) shape (filter or index-scan rewrite) whose value
+/// is either fixed or a Run-time PlanParams slot.
+template <typename Op>
+std::unique_ptr<Operator> LowerPredicate(const LogicalStep& s) {
+  if (s.bound) return std::make_unique<Op>(s.key, Bound{});
+  return std::make_unique<Op>(s.key, s.value);
+}
+
 }  // namespace
+
+PlanScratch& PlanScratch::For(QuerySession& session) {
+  auto* state = static_cast<PlanScratch*>(session.query_state());
+  if (state == nullptr) {
+    auto created = std::make_unique<PlanScratch>();
+    state = created.get();
+    session.set_query_state(std::move(created));
+  }
+  return *state;
+}
 
 // Out of line: unique_ptr<Operator> members need the complete type.
 Plan::~Plan() = default;
@@ -63,15 +105,15 @@ Result<Plan> Plan::Lower(const std::vector<LogicalStep>& steps,
       return at < steps.size() && steps[at].op == op;
     };
     if (is(0, LogicalOp::kSourceV) && is(1, LogicalOp::kOut) &&
-        !steps[1].label.has_value() && is(2, LogicalOp::kDedup)) {
+        !steps[1].label.has_value() && !steps[1].bound &&
+        is(2, LogicalOp::kDedup)) {
       // V().out().dedup() — paper Q.31: SELECT DISTINCT dst over the edge
       // tables instead of a per-vertex union of expansions.
       plan.ops_.push_back(std::make_unique<DistinctEdgeTargetScan>());
       i = 3;
     } else if (is(0, LogicalOp::kSourceV) && is(1, LogicalOp::kHas)) {
       // V().has(k, v) — paper Q.11: one native property search.
-      plan.ops_.push_back(
-          std::make_unique<PropertyIndexScan>(steps[1].key, steps[1].value));
+      plan.ops_.push_back(LowerPredicate<PropertyIndexScan>(steps[1]));
       i = 2;
     } else if (is(0, LogicalOp::kSourceE) && is(1, LogicalOp::kHasLabel)) {
       // E().hasLabel(l) — paper Q.13: the native edges-by-label search.
@@ -79,6 +121,16 @@ Result<Plan> Plan::Lower(const std::vector<LogicalStep>& steps,
       i = 2;
     }
   }
+
+  auto adjacency = [](const LogicalStep& s, Direction dir, bool edges)
+      -> std::unique_ptr<Operator> {
+    if (edges) {
+      if (s.bound) return std::make_unique<ExpandE>(dir, Bound{});
+      return std::make_unique<ExpandE>(dir, s.label);
+    }
+    if (s.bound) return std::make_unique<Expand>(dir, Bound{});
+    return std::make_unique<Expand>(dir, s.label);
+  };
 
   for (; i < steps.size(); ++i) {
     const LogicalStep& s = steps[i];
@@ -90,41 +142,37 @@ Result<Plan> Plan::Lower(const std::vector<LogicalStep>& steps,
         plan.ops_.push_back(std::make_unique<VertexScan>());
         break;
       case LogicalOp::kSourceVId:
-        plan.ops_.push_back(std::make_unique<VertexLookup>(s.id));
+        plan.ops_.push_back(LowerLookup<VertexLookup>(s));
         break;
       case LogicalOp::kSourceE:
         plan.ops_.push_back(std::make_unique<EdgeScan>());
         break;
       case LogicalOp::kSourceEId:
-        plan.ops_.push_back(std::make_unique<EdgeLookup>(s.id));
+        plan.ops_.push_back(LowerLookup<EdgeLookup>(s));
         break;
       case LogicalOp::kHasLabel:
         plan.ops_.push_back(std::make_unique<LabelFilter>(s.key));
         break;
       case LogicalOp::kHas:
-        plan.ops_.push_back(std::make_unique<PropertyFilter>(s.key, s.value));
+        plan.ops_.push_back(LowerPredicate<PropertyFilter>(s));
         break;
       case LogicalOp::kOut:
-        plan.ops_.push_back(
-            std::make_unique<Expand>(Direction::kOut, s.label));
+        plan.ops_.push_back(adjacency(s, Direction::kOut, /*edges=*/false));
         break;
       case LogicalOp::kIn:
-        plan.ops_.push_back(std::make_unique<Expand>(Direction::kIn, s.label));
+        plan.ops_.push_back(adjacency(s, Direction::kIn, /*edges=*/false));
         break;
       case LogicalOp::kBoth:
-        plan.ops_.push_back(
-            std::make_unique<Expand>(Direction::kBoth, s.label));
+        plan.ops_.push_back(adjacency(s, Direction::kBoth, /*edges=*/false));
         break;
       case LogicalOp::kOutE:
-        plan.ops_.push_back(
-            std::make_unique<ExpandE>(Direction::kOut, s.label));
+        plan.ops_.push_back(adjacency(s, Direction::kOut, /*edges=*/true));
         break;
       case LogicalOp::kInE:
-        plan.ops_.push_back(std::make_unique<ExpandE>(Direction::kIn, s.label));
+        plan.ops_.push_back(adjacency(s, Direction::kIn, /*edges=*/true));
         break;
       case LogicalOp::kBothE:
-        plan.ops_.push_back(
-            std::make_unique<ExpandE>(Direction::kBoth, s.label));
+        plan.ops_.push_back(adjacency(s, Direction::kBoth, /*edges=*/true));
         break;
       case LogicalOp::kOutV:
         plan.ops_.push_back(std::make_unique<EndpointMap>(true));
@@ -150,143 +198,196 @@ Result<Plan> Plan::Lower(const std::vector<LogicalStep>& steps,
       case LogicalOp::kCount:
         plan.ops_.push_back(std::make_unique<CountSink>());
         plan.counted_ = true;
-        // Steps after a terminal count are unreachable.
-        return plan;
+        break;
+    }
+    if (plan.counted_) break;  // steps after a terminal count are unreachable
+  }
+
+  // Fold the static row-kind and row-bound chains: each operator's input
+  // kind is the previous operator's output kind, so rows need no per-row
+  // tag, and a statically bounded chain (lookup source, Limit) lets the
+  // executors reserve their sinks.
+  for (const LogicalStep& s : steps) {
+    if (s.bound) {
+      plan.needs_params_ = true;
+      break;
     }
   }
+  RowKind kind = RowKind::kVertex;
+  std::optional<uint64_t> bound;
+  for (auto& op : plan.ops_) {
+    op->set_input_kind(kind);
+    kind = op->OutputKind(kind);
+    bound = op->RowBound(bound);
+  }
+  plan.output_kind_ = kind;
+  plan.row_bound_ = plan.counted_ ? std::optional<uint64_t>(0) : bound;
   return plan;
+}
+
+Status Plan::RunInto(const GraphEngine& engine, QuerySession& session,
+                     const CancelToken& cancel, const PlanParams* params,
+                     TraversalOutput* out, PlanStats* stats) const {
+  if (needs_params_ && params == nullptr) {
+    return Status::InvalidArgument(
+        "plan has bound parameters; Run needs PlanParams");
+  }
+  out->Clear();
+  out->kind = output_kind_;
+  if (stats != nullptr) {
+    *stats = PlanStats{};
+    stats->rows_out.assign(ops_.size(), 0);
+  }
+  if (ops_.empty()) return Status::OK();
+  GDB_CHECK_CANCEL(cancel);
+
+  PlanScratch& scratch = PlanScratch::For(session);
+  ++scratch.run_epoch;
+  if (scratch.ops.size() < ops_.size()) scratch.ops.resize(ops_.size());
+  if (row_bound_.has_value()) {
+    out->rows.reserve(std::min<uint64_t>(*row_bound_, kMaxReserveRows));
+  }
+
+  Status status =
+      policy_ == QueryExecution::kConflated
+          ? RunStreaming(engine, session, cancel, params, scratch, out, stats)
+          : RunStepWise(engine, session, cancel, params, scratch, out, stats);
+  GDB_RETURN_IF_ERROR(status);
+
+  if (counted_) {
+    out->counted = true;
+    out->count = CountFrom(scratch.ops[ops_.size() - 1], scratch.run_epoch);
+  } else {
+    out->count = out->rows.size();
+    if (output_kind_ == RowKind::kValue) {
+      out->values.reserve(out->rows.size());
+      for (uint64_t row : out->rows) {
+        out->values.push_back(scratch.pool.Get(row));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Result<TraversalOutput> Plan::Run(const GraphEngine& engine,
                                   QuerySession& session,
                                   const CancelToken& cancel,
-                                  PlanStats* stats) {
-  for (auto& op : ops_) op->Reset();
-  if (stats != nullptr) {
-    *stats = PlanStats{};
-    stats->rows_out.assign(ops_.size(), 0);
-  }
-  if (ops_.empty()) return TraversalOutput{};
-  GDB_CHECK_CANCEL(cancel);
-  return policy_ == QueryExecution::kConflated
-             ? RunStreaming(engine, session, cancel, stats)
-             : RunStepWise(engine, session, cancel, stats);
+                                  PlanStats* stats) const {
+  TraversalOutput out;
+  GDB_RETURN_IF_ERROR(RunInto(engine, session, cancel, nullptr, &out, stats));
+  return out;
 }
 
-Result<TraversalOutput> Plan::RunStreaming(const GraphEngine& engine,
-                                           QuerySession& session,
-                                           const CancelToken& cancel,
-                                           PlanStats* stats) {
-  TraversalOutput out;
+namespace {
+
+/// The fused streaming executor's per-run driver: pushes each row
+/// through the remaining chain by recursion, with RowSink (a non-owning
+/// function_ref) referencing stack frames — composing and running the
+/// chain allocates nothing.
+struct StreamDriver {
+  const std::vector<std::unique_ptr<Operator>>& ops;
+  const ExecContext& ctx;
+  TraversalOutput* out;
+  PlanStats* stats;
   // A Process error can't travel up through the bool-valued sink chain;
   // it is parked here and the chain collapses via `false`.
   Status error = Status::OK();
 
-  // Compose the chain back-to-front: `chain` is the sink accepting the
-  // output of operator idx-1. The stats wrapper counts what operator idx
-  // emits (the sink it is handed).
-  RowSink chain = [&out](const Traverser& t) {
-    out.traversers.push_back(t);
-    return true;
-  };
-  for (size_t idx = ops_.size(); idx-- > 1;) {
-    RowSink downstream = std::move(chain);
-    if (stats != nullptr) {
-      uint64_t* rows = &stats->rows_out[idx];
-      RowSink inner = std::move(downstream);
-      downstream = [rows, inner](const Traverser& t) {
-        ++*rows;
-        return inner(t);
-      };
+  /// Feeds `row` (emitted by operator idx-1) into operator idx.
+  bool Feed(size_t idx, uint64_t row) {
+    if (idx == ops.size()) {
+      out->rows.push_back(row);
+      return true;
     }
-    Operator* op = ops_[idx].get();
-    chain = [op, &engine, &session, &cancel, &error,
-             downstream = std::move(downstream)](const Traverser& t) {
-      Result<bool> more = op->Process(engine, session, cancel, t, downstream);
-      if (!more.ok()) {
-        error = std::move(more).status();
-        return false;
-      }
-      return *more;
+    auto next = [this, idx](uint64_t r) {
+      if (stats != nullptr) ++stats->rows_out[idx];
+      return Feed(idx + 1, r);
     };
+    Result<bool> more =
+        ops[idx]->Process(ctx, ctx.scratch.ops[idx], row, RowSink(next));
+    if (!more.ok()) {
+      error = std::move(more).status();
+      return false;
+    }
+    return *more;
   }
-  if (stats != nullptr) {
-    uint64_t* rows = &stats->rows_out[0];
-    RowSink inner = std::move(chain);
-    chain = [rows, inner](const Traverser& t) {
-      ++*rows;
-      return inner(t);
-    };
-  }
+};
 
-  GDB_RETURN_IF_ERROR(ops_[0]->Produce(engine, session, cancel, chain));
-  GDB_RETURN_IF_ERROR(error);
+}  // namespace
 
-  if (counted_) {
-    out.counted = true;
-    out.count = static_cast<const CountSink*>(ops_.back().get())->count();
-  } else {
-    out.count = out.traversers.size();
-  }
-  return out;
+Status Plan::RunStreaming(const GraphEngine& engine, QuerySession& session,
+                          const CancelToken& cancel, const PlanParams* params,
+                          PlanScratch& scratch, TraversalOutput* out,
+                          PlanStats* stats) const {
+  ExecContext ctx{engine, session, cancel, scratch, params};
+  StreamDriver driver{ops_, ctx, out, stats, Status::OK()};
+  auto source_sink = [&driver, stats](uint64_t row) {
+    if (stats != nullptr) ++stats->rows_out[0];
+    return driver.Feed(1, row);
+  };
+  GDB_RETURN_IF_ERROR(
+      ops_[0]->Produce(ctx, scratch.ops[0], RowSink(source_sink)));
+  return driver.error;
 }
 
-Result<TraversalOutput> Plan::RunStepWise(const GraphEngine& engine,
-                                          QuerySession& session,
-                                          const CancelToken& cancel,
-                                          PlanStats* stats) {
-  // The frontier buffers are hoisted out of the operator loop and
-  // swapped, so a multi-hop query reuses their capacity instead of
+Status Plan::RunStepWise(const GraphEngine& engine, QuerySession& session,
+                         const CancelToken& cancel, const PlanParams* params,
+                         PlanScratch& scratch, TraversalOutput* out,
+                         PlanStats* stats) const {
+  ExecContext ctx{engine, session, cancel, scratch, params};
+  // The frontier buffers live in the session scratch and are swapped, so
+  // repeated runs and multi-hop queries reuse their capacity instead of
   // reallocating per barrier — but every operator still materializes its
   // full output before the next one runs (the TinkerPop execution model
-  // the paper measures).
-  std::vector<Traverser> frontier;
-  std::vector<Traverser> next;
+  // the paper measures), now as flat POD columns.
+  std::vector<uint64_t>& frontier = scratch.frontier;
+  std::vector<uint64_t>& next = scratch.next;
+  frontier.clear();
+  next.clear();
 
-  auto note_barrier = [&](const std::vector<Traverser>& rows) {
+  RowKind kind = RowKind::kVertex;
+  auto note_barrier = [&](const std::vector<uint64_t>& rows) {
     if (stats == nullptr) return;
     ++stats->barriers;
     stats->peak_frontier_rows =
         std::max<uint64_t>(stats->peak_frontier_rows, rows.size());
-    stats->peak_frontier_bytes =
-        std::max(stats->peak_frontier_bytes, FrontierBytes(rows));
+    stats->peak_frontier_bytes = std::max(
+        stats->peak_frontier_bytes, FrontierBytes(rows, kind, scratch.pool));
   };
 
-  GDB_RETURN_IF_ERROR(
-      ops_[0]->Produce(engine, session, cancel, [&](const Traverser& t) {
-        frontier.push_back(t);
-        return true;
-      }));
+  auto collect = [&frontier](uint64_t row) {
+    frontier.push_back(row);
+    return true;
+  };
+  GDB_RETURN_IF_ERROR(ops_[0]->Produce(ctx, scratch.ops[0], RowSink(collect)));
   if (stats != nullptr) stats->rows_out[0] = frontier.size();
+  kind = ops_[0]->OutputKind(kind);
   note_barrier(frontier);
 
   for (size_t idx = 1; idx < ops_.size(); ++idx) {
-    Operator* op = ops_[idx].get();
+    const Operator* op = ops_[idx].get();
     next.clear();
-    RowSink push = [&next](const Traverser& t) {
-      next.push_back(t);
+    auto push = [&next](uint64_t row) {
+      next.push_back(row);
       return true;
     };
-    for (const Traverser& t : frontier) {
+    RowSink push_sink(push);
+    for (uint64_t row : frontier) {
       GDB_CHECK_CANCEL(cancel);
-      GDB_ASSIGN_OR_RETURN(bool more,
-                           op->Process(engine, session, cancel, t, push));
+      GDB_ASSIGN_OR_RETURN(
+          bool more, op->Process(ctx, scratch.ops[idx], row, push_sink));
       if (!more) break;
     }
     if (stats != nullptr) stats->rows_out[idx] += next.size();
+    kind = op->OutputKind(kind);
     note_barrier(next);
     std::swap(frontier, next);
   }
 
-  TraversalOutput out;
-  if (counted_) {
-    out.counted = true;
-    out.count = static_cast<const CountSink*>(ops_.back().get())->count();
-  } else {
-    out.traversers = std::move(frontier);
-    out.count = out.traversers.size();
+  if (!counted_) {
+    out->rows.assign(frontier.begin(), frontier.end());
   }
-  return out;
+  return Status::OK();
 }
 
 std::string Plan::Explain() const {

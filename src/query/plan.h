@@ -26,14 +26,36 @@
 // structural. Plan::Explain() prints the operator tree (root = last
 // operator, children indented, the RDF-3X print(indent) idiom) and is
 // the unit-testable surface of the lowering pass.
+//
+// Prepared execution (the RDF-3X compile-once/run-many discipline): a
+// Plan is immutable after Lower() and Run() is const — every per-run
+// mutable structure (dedup sets, limit counters, count accumulators,
+// step-wise frontier buffers, the rendered-value dictionary) lives in a
+// per-session PlanScratch, so ONE lowered plan serves any number of
+// concurrent sessions with zero re-lowering and near-zero per-run
+// allocation. Traversal::Prepare(engine) wraps that in a PreparedPlan;
+// per-iteration query arguments (the vertex id of g.V(id), the value of
+// has(k, v), an adjacency label) are bound at Run time through
+// PlanParams slots instead of rebuilding and re-lowering the traversal.
+//
+// Rows are flat: a traverser is one uint64_t — the vertex/edge id, or an
+// index into the session's interned value pool for label/property-value
+// rows. The row *kind* is a static property of each pipeline position
+// (computed at lowering), so step-wise barriers move POD columns instead
+// of vectors of string-carrying structs, and a value string is
+// materialized exactly once per distinct value per session.
 
 #ifndef GDBMICRO_QUERY_PLAN_H_
 #define GDBMICRO_QUERY_PLAN_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/graph/engine.h"
@@ -43,20 +65,107 @@ namespace query {
 
 class Operator;
 
-/// A traverser: one element flowing through the pipeline.
-struct Traverser {
-  enum class Kind { kVertex, kEdge, kValue };
-  Kind kind = Kind::kVertex;
-  uint64_t id = kInvalidId;  // vertex or edge id
-  std::string value;         // label or property value (kValue)
+/// What a pipeline position's rows denote. Uniform per position: sources
+/// fix it, and every operator maps its input kind to one output kind, so
+/// lowering computes the whole chain statically (this is what lets a row
+/// be a bare uint64_t).
+enum class RowKind : uint8_t { kVertex, kEdge, kValue };
+
+/// Session-lifetime dictionary of rendered value strings (labels,
+/// property values). Value rows carry an index into this pool; equal
+/// strings intern to equal indexes, so Dedup over values is integer
+/// dedup and a repeated label costs zero allocation after its first
+/// appearance. Storage is a deque: views handed out stay valid for the
+/// session's lifetime.
+class ValuePool {
+ public:
+  uint64_t Intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    values_.emplace_back(s);
+    uint64_t idx = values_.size() - 1;
+    index_.emplace(std::string_view(values_.back()), idx);
+    return idx;
+  }
+  std::string_view Get(uint64_t idx) const { return values_[idx]; }
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::deque<std::string> values_;
+  std::unordered_map<std::string_view, uint64_t> index_;
 };
 
-/// Output of a plan run: the final traverser set, or just the count when
-/// the plan ends in a CountSink.
+/// Per-run arguments for a plan with bound steps (Traversal::V(Bound{}),
+/// Has(key, Bound{}), Out(Bound{}) …). One slot per argument class is all
+/// the Table 2 shapes need; rebinding reuses the slots' storage.
+struct PlanParams {
+  uint64_t id = 0;      // g.V(?) / g.E(?) source id
+  PropertyValue value;  // has(k, ?) comparison value
+  std::string label;    // adjacency label of out(?) / inE(?) / …
+};
+
+/// Marker selecting the bound-parameter overloads of the Traversal
+/// builder steps: Traversal::V(Bound{}) lowers to a source whose id is
+/// read from PlanParams at Run time.
+struct Bound {};
+
+/// Output of a plan run, structure-of-arrays: a flat id column plus a
+/// value column that is materialized only when the plan ends in a
+/// Values()/Label() map. For value rows, rows[i] is the pool index and
+/// values[i] the interned string (a view into the session's ValuePool —
+/// valid for the session's lifetime). Reused across runs via RunInto:
+/// Clear() drops rows, not capacity.
 struct TraversalOutput {
-  std::vector<Traverser> traversers;
+  RowKind kind = RowKind::kVertex;
+  std::vector<uint64_t> rows;
+  std::vector<std::string_view> values;
   uint64_t count = 0;
   bool counted = false;
+
+  size_t size() const { return rows.size(); }
+  void Clear() {
+    rows.clear();
+    values.clear();
+    count = 0;
+    counted = false;
+    kind = RowKind::kVertex;
+  }
+};
+
+/// One operator's slot of per-run state (dedup set, limit/count
+/// accumulator). Epoch-stamped: a slot is lazily reset the first time an
+/// operator touches it in a run whose epoch differs from the stamp, so
+/// starting a run is O(1) — no per-operator reset sweep, and untouched
+/// slots cost nothing. clear() keeps the hash set's buckets, so a warm
+/// slot reallocates nothing.
+struct OpScratch {
+  uint64_t epoch = 0;
+  uint64_t counter = 0;
+  std::unordered_set<uint64_t> seen;
+};
+
+/// All per-run mutable state of plan execution, owned by a QuerySession
+/// (one client thread) and reused across every plan that session runs —
+/// the counterpart of TraversalScratch for the operator pipeline. Living
+/// here instead of in the operators is what makes a lowered Plan
+/// immutable and shareable across concurrent sessions.
+struct PlanScratch final : public SessionState {
+  /// Monotonic run counter; OpScratch slots lazily reset against it.
+  uint64_t run_epoch = 0;
+  /// One slot per operator position, grown to the widest plan seen.
+  std::vector<OpScratch> ops;
+  /// Step-wise barrier buffers (flat POD columns, swapped per barrier).
+  std::vector<uint64_t> frontier;
+  std::vector<uint64_t> next;
+  /// Interned label / property-value strings (session lifetime).
+  ValuePool pool;
+  /// Reused render buffer for non-string property values.
+  std::string value_buf;
+  /// Reused output for count-only consumers (PreparedPlan::RunCount).
+  TraversalOutput count_out;
+
+  /// The session's scratch, installed on first use.
+  static PlanScratch& For(QuerySession& session);
 };
 
 /// The logical steps a Traversal records; Plan::Lower consumes them.
@@ -92,6 +201,9 @@ struct LogicalStep {
   PropertyValue value;     // Has() value
   std::optional<std::string> label;  // adjacency label filter
   Direction dir = Direction::kBoth;  // degree filter direction
+  /// Step argument is a PlanParams slot bound at Run time (the id of
+  /// kSourceVId/kSourceEId, the value of kHas, an adjacency label).
+  bool bound = false;
 };
 
 /// Per-run execution statistics, filled by Plan::Run when requested.
@@ -110,7 +222,11 @@ struct PlanStats {
 };
 
 /// A lowered, runnable physical plan: a linear operator chain whose first
-/// element is a source. Move-only (owns the operators).
+/// element is a source. Immutable after Lower() — Run() is const and all
+/// per-run state lives in the calling session's PlanScratch, so one Plan
+/// may be executed by any number of sessions concurrently (each session
+/// is still single-threaded, like the engine contract). Move-only (owns
+/// the operators).
 class Plan {
  public:
   ~Plan();
@@ -125,15 +241,19 @@ class Plan {
   static Result<Plan> Lower(const std::vector<LogicalStep>& steps,
                             QueryExecution policy);
 
-  /// Executes the plan. Resets all operator state first, so a plan may be
-  /// run repeatedly. `session` is the calling client's read session; a
-  /// Plan instance holds per-run operator state (dedup sets, limit
-  /// counters) and is therefore single-threaded like the session itself —
-  /// concurrent clients each lower their own Plan. `stats`, when
-  /// non-null, is overwritten.
-  Result<TraversalOutput> Run(const GraphEngine& engine, QuerySession& session,
-                              const CancelToken& cancel,
-                              PlanStats* stats = nullptr);
+  /// Executes the plan into `out` (cleared first; its capacity is
+  /// reused, so a caller that keeps one TraversalOutput across runs
+  /// allocates nothing at steady state). `session` must belong to
+  /// `engine`; `params` supplies the bound-step arguments (required iff
+  /// needs_params()). `stats`, when non-null, is overwritten.
+  Status RunInto(const GraphEngine& engine, QuerySession& session,
+                 const CancelToken& cancel, const PlanParams* params,
+                 TraversalOutput* out, PlanStats* stats = nullptr) const;
+
+  /// Convenience wrapper returning a fresh output.
+  Result<TraversalOutput> Run(const GraphEngine& engine,
+                              QuerySession& session, const CancelToken& cancel,
+                              PlanStats* stats = nullptr) const;
 
   /// Operator tree, root (last operator) first, two-space indent per
   /// child level. One operator per line: Name or Name(args).
@@ -141,22 +261,81 @@ class Plan {
 
   QueryExecution policy() const { return policy_; }
   size_t num_operators() const { return ops_.size(); }
+  /// True when the chain has bound steps: RunInto then requires params.
+  bool needs_params() const { return needs_params_; }
+  /// Kind of the rows the plan emits (meaningless for counted plans).
+  RowKind output_kind() const { return output_kind_; }
+  /// Statically-known upper bound on the emitted row count, when the
+  /// chain can bound it (lookup sources, Limit); lets RunInto reserve
+  /// its sinks instead of growing them from empty.
+  std::optional<uint64_t> row_bound() const { return row_bound_; }
 
  private:
   Plan() = default;
 
-  Result<TraversalOutput> RunStreaming(const GraphEngine& engine,
-                                       QuerySession& session,
-                                       const CancelToken& cancel,
-                                       PlanStats* stats);
-  Result<TraversalOutput> RunStepWise(const GraphEngine& engine,
-                                      QuerySession& session,
-                                      const CancelToken& cancel,
-                                      PlanStats* stats);
+  Status RunStreaming(const GraphEngine& engine, QuerySession& session,
+                      const CancelToken& cancel, const PlanParams* params,
+                      PlanScratch& scratch, TraversalOutput* out,
+                      PlanStats* stats) const;
+  Status RunStepWise(const GraphEngine& engine, QuerySession& session,
+                     const CancelToken& cancel, const PlanParams* params,
+                     PlanScratch& scratch, TraversalOutput* out,
+                     PlanStats* stats) const;
 
   std::vector<std::unique_ptr<Operator>> ops_;
   bool counted_ = false;  // chain ends in a CountSink
+  bool needs_params_ = false;
+  RowKind output_kind_ = RowKind::kVertex;
+  std::optional<uint64_t> row_bound_;
   QueryExecution policy_ = QueryExecution::kStepWise;
+};
+
+/// A plan prepared for one engine (lowered once under the engine's
+/// policy) and runnable from any of that engine's sessions — build with
+/// Traversal::Prepare(engine), run every iteration with fresh PlanParams.
+/// Immutable and therefore shareable across concurrent client threads;
+/// the engine must outlive it.
+class PreparedPlan {
+ public:
+  PreparedPlan(PreparedPlan&&) noexcept = default;
+  PreparedPlan& operator=(PreparedPlan&&) noexcept = default;
+
+  /// Executes into a caller-owned, capacity-reused output.
+  Status RunInto(QuerySession& session, const CancelToken& cancel,
+                 const PlanParams& params, TraversalOutput* out,
+                 PlanStats* stats = nullptr) const {
+    return plan_.RunInto(*engine_, session, cancel, &params, out, stats);
+  }
+
+  Result<TraversalOutput> Run(QuerySession& session, const CancelToken& cancel,
+                              const PlanParams& params = {}) const {
+    TraversalOutput out;
+    GDB_RETURN_IF_ERROR(RunInto(session, cancel, params, &out));
+    return out;
+  }
+
+  /// Executes and returns only the cardinality (the count value for
+  /// counted plans, the traverser-set size otherwise), collecting into
+  /// the session scratch so nothing is allocated at steady state.
+  Result<uint64_t> RunCount(QuerySession& session, const CancelToken& cancel,
+                            const PlanParams& params = {}) const {
+    TraversalOutput* out = &PlanScratch::For(session).count_out;
+    GDB_RETURN_IF_ERROR(RunInto(session, cancel, params, out));
+    return out->counted ? out->count : out->rows.size();
+  }
+
+  const GraphEngine& engine() const { return *engine_; }
+  const Plan& plan() const { return plan_; }
+  std::string Explain() const { return plan_.Explain(); }
+  QueryExecution policy() const { return plan_.policy(); }
+
+ private:
+  friend class Traversal;
+  PreparedPlan(const GraphEngine* engine, Plan plan)
+      : engine_(engine), plan_(std::move(plan)) {}
+
+  const GraphEngine* engine_;
+  Plan plan_;
 };
 
 }  // namespace query

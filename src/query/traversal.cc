@@ -31,6 +31,22 @@ Traversal Traversal::E(EdgeId id) {
   return t;
 }
 
+Traversal Traversal::V(Bound) {
+  Traversal t;
+  LogicalStep s{LogicalOp::kSourceVId};
+  s.bound = true;
+  t.steps_.push_back(s);
+  return t;
+}
+
+Traversal Traversal::E(Bound) {
+  Traversal t;
+  LogicalStep s{LogicalOp::kSourceEId};
+  s.bound = true;
+  t.steps_.push_back(s);
+  return t;
+}
+
 Traversal& Traversal::HasLabel(std::string label) {
   LogicalStep s{LogicalOp::kHasLabel};
   s.key = std::move(label);
@@ -42,6 +58,14 @@ Traversal& Traversal::Has(std::string key, PropertyValue value) {
   LogicalStep s{LogicalOp::kHas};
   s.key = std::move(key);
   s.value = std::move(value);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Traversal& Traversal::Has(std::string key, Bound) {
+  LogicalStep s{LogicalOp::kHas};
+  s.key = std::move(key);
+  s.bound = true;
   steps_.push_back(std::move(s));
   return *this;
 }
@@ -85,6 +109,46 @@ Traversal& Traversal::BothE(std::optional<std::string> label) {
   LogicalStep s{LogicalOp::kBothE};
   s.label = std::move(label);
   steps_.push_back(std::move(s));
+  return *this;
+}
+
+namespace {
+
+LogicalStep BoundAdjacency(LogicalOp op) {
+  LogicalStep s{op};
+  s.bound = true;
+  return s;
+}
+
+}  // namespace
+
+Traversal& Traversal::Out(Bound) {
+  steps_.push_back(BoundAdjacency(LogicalOp::kOut));
+  return *this;
+}
+
+Traversal& Traversal::In(Bound) {
+  steps_.push_back(BoundAdjacency(LogicalOp::kIn));
+  return *this;
+}
+
+Traversal& Traversal::Both(Bound) {
+  steps_.push_back(BoundAdjacency(LogicalOp::kBoth));
+  return *this;
+}
+
+Traversal& Traversal::OutE(Bound) {
+  steps_.push_back(BoundAdjacency(LogicalOp::kOutE));
+  return *this;
+}
+
+Traversal& Traversal::InE(Bound) {
+  steps_.push_back(BoundAdjacency(LogicalOp::kInE));
+  return *this;
+}
+
+Traversal& Traversal::BothE(Bound) {
+  steps_.push_back(BoundAdjacency(LogicalOp::kBothE));
   return *this;
 }
 
@@ -155,21 +219,23 @@ Result<TraversalOutput> Traversal::Execute(const GraphEngine& engine,
   return plan.Run(engine, session, cancel);
 }
 
+Result<PreparedPlan> Traversal::Prepare(const GraphEngine& engine) const {
+  GDB_ASSIGN_OR_RETURN(Plan plan, Plan::Lower(steps_, PolicyFor(engine)));
+  return PreparedPlan(&engine, std::move(plan));
+}
+
 Result<uint64_t> Traversal::ExecuteCount(const GraphEngine& engine,
                                          QuerySession& session,
                                          const CancelToken& cancel) const {
   GDB_ASSIGN_OR_RETURN(TraversalOutput out, Execute(engine, session, cancel));
-  return out.counted ? out.count : out.traversers.size();
+  return out.counted ? out.count : out.rows.size();
 }
 
 Result<std::vector<uint64_t>> Traversal::ExecuteIds(
     const GraphEngine& engine, QuerySession& session,
     const CancelToken& cancel) const {
   GDB_ASSIGN_OR_RETURN(TraversalOutput out, Execute(engine, session, cancel));
-  std::vector<uint64_t> ids;
-  ids.reserve(out.traversers.size());
-  for (const Traverser& t : out.traversers) ids.push_back(t.id);
-  return ids;
+  return std::move(out.rows);
 }
 
 Result<std::vector<std::string>> Traversal::ExecuteValues(
@@ -177,8 +243,8 @@ Result<std::vector<std::string>> Traversal::ExecuteValues(
     const CancelToken& cancel) const {
   GDB_ASSIGN_OR_RETURN(TraversalOutput out, Execute(engine, session, cancel));
   std::vector<std::string> values;
-  values.reserve(out.traversers.size());
-  for (Traverser& t : out.traversers) values.push_back(std::move(t.value));
+  values.reserve(out.values.size());
+  for (std::string_view v : out.values) values.emplace_back(v);
   return values;
 }
 

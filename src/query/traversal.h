@@ -36,23 +36,37 @@ class Traversal {
   static Traversal V();
   /// g.V(id) — a single vertex; missing id yields an empty traverser set.
   static Traversal V(VertexId id);
+  /// g.V(?) — the id is a PlanParams slot bound at Run time, so one
+  /// prepared plan serves every per-iteration id without re-lowering.
+  static Traversal V(Bound);
   /// g.E() — all edges.
   static Traversal E();
   /// g.E(id) — a single edge; missing id yields an empty traverser set.
   static Traversal E(EdgeId id);
+  /// g.E(?) — bound-id edge source (see V(Bound)).
+  static Traversal E(Bound);
 
   /// Filters vertices/edges by label.
   Traversal& HasLabel(std::string label);
   /// Filters elements by property equality (paper Q.11/Q.12 shape).
   Traversal& Has(std::string key, PropertyValue value);
-  /// 1-hop adjacency (paper Q.22-24). Empty optional = any label.
+  /// has(k, ?) — the comparison value is bound through PlanParams.
+  Traversal& Has(std::string key, Bound);
+  /// 1-hop adjacency (paper Q.22-24). Empty optional = any label; the
+  /// Bound overloads read the label from PlanParams at Run time.
   Traversal& Out(std::optional<std::string> label = std::nullopt);
   Traversal& In(std::optional<std::string> label = std::nullopt);
   Traversal& Both(std::optional<std::string> label = std::nullopt);
+  Traversal& Out(Bound);
+  Traversal& In(Bound);
+  Traversal& Both(Bound);
   /// Incident edges (paper Q.25-27 substrate).
   Traversal& OutE(std::optional<std::string> label = std::nullopt);
   Traversal& InE(std::optional<std::string> label = std::nullopt);
   Traversal& BothE(std::optional<std::string> label = std::nullopt);
+  Traversal& OutE(Bound);
+  Traversal& InE(Bound);
+  Traversal& BothE(Bound);
   /// Endpoints of edge traversers.
   Traversal& OutV();
   Traversal& InV();
@@ -75,10 +89,17 @@ class Traversal {
   /// Lowers to a physical plan and runs it against `engine` under the
   /// policy PolicyFor(engine) selects. `session` is the calling client's
   /// read session (one per thread; see the engine.h concurrency
-  /// contract).
+  /// contract). Rebuild-and-execute is the comparison baseline for the
+  /// prepared path; hot loops should Prepare() once instead.
   Result<TraversalOutput> Execute(const GraphEngine& engine,
                                   QuerySession& session,
                                   const CancelToken& cancel) const;
+
+  /// Lowers once under the engine's policy into a reusable PreparedPlan:
+  /// immutable, shareable across that engine's sessions, with bound
+  /// steps (V(Bound{}), Has(k, Bound{}), Out(Bound{})) taking their
+  /// per-iteration arguments from PlanParams at Run time.
+  Result<PreparedPlan> Prepare(const GraphEngine& engine) const;
 
   /// Lowers this traversal under an explicit policy without executing.
   Result<Plan> Lower(QueryExecution policy) const;

@@ -64,10 +64,10 @@ TEST_F(EdgeStepTest, MissingSourceIdYieldsEmpty) {
   // traverser set, not a query error.
   auto v = Traversal::V(99999).Execute(*engine_, *session_, never_);
   ASSERT_TRUE(v.ok()) << v.status();
-  EXPECT_TRUE(v->traversers.empty());
+  EXPECT_TRUE(v->rows.empty());
   auto e = Traversal::E(99999).Execute(*engine_, *session_, never_);
   ASSERT_TRUE(e.ok()) << e.status();
-  EXPECT_TRUE(e->traversers.empty());
+  EXPECT_TRUE(e->rows.empty());
 }
 
 TEST_F(EdgeStepTest, LabelFilteredEdgeSteps) {

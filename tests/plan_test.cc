@@ -19,18 +19,23 @@ namespace {
 
 using query::Plan;
 using query::PlanStats;
+using query::RowKind;
 using query::Traversal;
 using query::TraversalOutput;
-using query::Traverser;
 
 // Order-insensitive canonical form of an output: Gremlin specifies the
 // traverser multiset, not its order (each engine emits in storage order).
+// Value rows canonicalize by their materialized string (pool indexes are
+// session-local), id rows by the flat id.
 std::multiset<std::tuple<int, uint64_t, std::string>> Canon(
     const TraversalOutput& out) {
   std::multiset<std::tuple<int, uint64_t, std::string>> rows;
-  for (const Traverser& t : out.traversers) {
-    rows.insert({static_cast<int>(t.kind),
-                 t.kind == Traverser::Kind::kValue ? 0 : t.id, t.value});
+  for (size_t i = 0; i < out.rows.size(); ++i) {
+    if (out.kind == RowKind::kValue) {
+      rows.insert({static_cast<int>(out.kind), 0, std::string(out.values[i])});
+    } else {
+      rows.insert({static_cast<int>(out.kind), out.rows[i], std::string()});
+    }
   }
   return rows;
 }
@@ -183,13 +188,12 @@ TEST_P(PlanEquivalenceTest, Table2ReadAndTraversalShapes) {
 
   TraversalOutput cyd = RequirePolicyEquivalence(
       Traversal::V().Has("name", PropertyValue("cyd")), "golden has");
-  ASSERT_EQ(cyd.traversers.size(), 1u);
-  EXPECT_EQ(cyd.traversers[0].id, p_[2]);
+  ASSERT_EQ(cyd.rows.size(), 1u);
+  EXPECT_EQ(cyd.rows[0], p_[2]);
 
   TraversalOutput q31 =
       RequirePolicyEquivalence(Traversal::V().Out().Dedup(), "golden q31");
-  std::set<uint64_t> targets;
-  for (const Traverser& t : q31.traversers) targets.insert(t.id);
+  std::set<uint64_t> targets(q31.rows.begin(), q31.rows.end());
   EXPECT_EQ(targets, (std::set<uint64_t>{p_[1], p_[2], p_[3], tag_}));
 }
 
@@ -365,7 +369,7 @@ TEST_F(PlanBehaviorTest, LimitStopsSourceScanUnderConflatedPolicy) {
   ASSERT_TRUE(conflated.ok());
   auto out = conflated->Run(*engine_, *session_, never_, &conflated_stats);
   ASSERT_TRUE(out.ok()) << out.status();
-  EXPECT_EQ(out->traversers.size(), 5u);
+  EXPECT_EQ(out->rows.size(), 5u);
   // The fused pipeline propagates the limit into the scan: the source
   // emitted (= the engine visited) no more than the limit.
   ASSERT_EQ(conflated_stats.rows_out.size(), 2u);
@@ -379,7 +383,7 @@ TEST_F(PlanBehaviorTest, LimitStopsSourceScanUnderConflatedPolicy) {
   ASSERT_TRUE(step.ok());
   auto step_out = step->Run(*engine_, *session_, never_, &step_stats);
   ASSERT_TRUE(step_out.ok());
-  EXPECT_EQ(step_out->traversers.size(), 5u);
+  EXPECT_EQ(step_out->rows.size(), 5u);
   EXPECT_EQ(step_stats.rows_out[0], 100u);
   EXPECT_EQ(step_stats.peak_frontier_rows, 100u);
   EXPECT_EQ(step_stats.barriers, 2u);
