@@ -150,6 +150,17 @@ bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags) {
       for (const std::string& t : SplitList(v)) {
         flags->threads.push_back(std::atoi(t.c_str()));
       }
+    } else if (const char* v = value_of("--write-ratio=")) {
+      flags->write_ratios.clear();
+      for (const std::string& r : SplitList(v)) {
+        double ratio = std::atof(r.c_str());
+        if (ratio < 0.0 || ratio > 1.0) {
+          std::fprintf(stderr, "--write-ratio values must be in [0,1]: %s\n",
+                       r.c_str());
+          return false;
+        }
+        flags->write_ratios.push_back(ratio);
+      }
     } else if (const char* v = value_of("--iterations=")) {
       flags->iterations = std::atoi(v);
     } else if (std::strcmp(arg, "--cost-model") == 0) {
@@ -158,7 +169,8 @@ bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags) {
       std::fprintf(stderr,
                    "usage: %s [--scale=f] [--rounds=n] [--dataset=name] "
                    "[--engines=a,b,c] [--json=path] [--threads=1,2,4] "
-                   "[--iterations=n] [--cost-model]\n",
+                   "[--write-ratio=0,0.1,0.5] [--iterations=n] "
+                   "[--cost-model]\n",
                    argv[0]);
       return false;
     }

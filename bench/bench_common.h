@@ -77,13 +77,14 @@ struct MicroBenchFlags {
   std::string json_path;               // empty = no JSON artifact
   std::vector<std::string> engines;    // empty = all nine
   std::vector<int> threads;            // --threads=1,2,4 (concurrency sweep)
+  std::vector<double> write_ratios;    // --write-ratio=0,0.1,0.5 (mixed mode)
   int iterations = 0;                  // 0 = binary default
   bool cost_model = false;             // --cost-model turns the charges on
 };
 
 /// Parses --scale/--rounds/--dataset/--engines/--json/--threads/
-/// --iterations/--cost-model into `flags`. Unknown flags print usage and
-/// return false.
+/// --write-ratio/--iterations/--cost-model into `flags`. Unknown flags
+/// print usage and return false.
 bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags);
 
 /// Shared driver for the per-figure binaries: runs the Table 2 queries

@@ -9,9 +9,16 @@
 // emulated round trips back on (each thread burns its own CPU-clock
 // charges, see cost_model.h).
 //
+// With --write-ratio the sweep switches to mixed mode: each client flips
+// a coin per op and either reads through a fresh epoch-pinned session or
+// commits one of the Fig. 3 CUD batches (Q.2-Q.7, Q.16-Q.21) through the
+// engine's single-writer WAL path (src/graph/writer.h). Rows then carry
+// per-class latency (R/C/U/D) plus WAL and epoch counters.
+//
 // Usage: bench_micro_concurrency [--scale=<f>] [--engines=a,b,c]
 //        [--rounds=<n>] [--dataset=<name>] [--json=<path>]
-//        [--threads=1,2,4] [--iterations=<n>] [--cost-model]
+//        [--threads=1,2,4] [--write-ratio=0.1,0.5] [--iterations=<n>]
+//        [--cost-model]
 //
 // --json writes BENCH_concurrency.json (archived by CI).
 
@@ -37,6 +44,12 @@ namespace {
 // sweep measures concurrency, not one giant scan).
 const std::vector<int> kReadQueryNumbers = {14, 15, 22, 23, 24};
 
+// The write mix for --write-ratio mode: the Fig. 3 C/U/D operations
+// (insert node/edge, set properties, deletes), each committed as one
+// WriteBatch through the shared GraphWriter.
+const std::vector<int> kWriteQueryNumbers = {2,  3,  4,  5,  6,  7,
+                                             16, 17, 18, 19, 20, 21};
+
 std::vector<int> DefaultThreadSweep() {
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
@@ -46,6 +59,117 @@ std::vector<int> DefaultThreadSweep() {
     sweep.push_back(static_cast<int>(hw));
   }
   return sweep;
+}
+
+// Mixed read/write sweep (--write-ratio): every (threads, ratio) point
+// runs against a freshly loaded instance — deletes consume their victim
+// pools, so reusing one instance across points would skew later rows.
+int RunMixedSweep(const bench::MicroBenchFlags& flags,
+                  const std::vector<std::string>& engines,
+                  const GraphData& data, const core::Runner& runner) {
+  auto read_specs = core::QueriesByNumber(kReadQueryNumbers);
+  auto write_specs = core::QueriesByNumber(kWriteQueryNumbers);
+
+  std::printf(
+      "mixed read/write micro-bench: dataset=%s scale=%.3f (%zu vertices, "
+      "%zu edges), %d iterations/thread, %zu read + %zu write queries\n\n",
+      flags.dataset.c_str(), flags.scale, data.vertices.size(),
+      data.edges.size(), flags.iterations, read_specs.size(),
+      write_specs.size());
+  std::printf("%-9s %8s %7s %10s %9s %9s %9s %9s %7s\n", "engine", "threads",
+              "w-ratio", "ops/s", "R p95", "C p95", "U p95", "D p95",
+              "epochs");
+
+  Json::Array json_rows;
+  bool all_ok = true;
+  for (const std::string& name : engines) {
+    for (int threads : flags.threads) {
+      for (double ratio : flags.write_ratios) {
+        auto loaded = runner.Load(name, data);
+        if (!loaded.ok()) {
+          std::fprintf(stderr, "%s load: %s\n", name.c_str(),
+                       loaded.status().ToString().c_str());
+          all_ok = false;
+          continue;
+        }
+        auto result = runner.RunMixed(*loaded, data, read_specs, write_specs,
+                                      threads, flags.iterations, ratio);
+        if (!result.ok()) {
+          std::fprintf(stderr, "%s x%d w=%.2f: %s\n", name.c_str(), threads,
+                       ratio, result.status().ToString().c_str());
+          all_ok = false;
+          continue;
+        }
+        if (!result->status.ok()) {
+          std::fprintf(stderr, "%s x%d w=%.2f: client failure: %s\n",
+                       name.c_str(), threads, ratio,
+                       result->status.ToString().c_str());
+          all_ok = false;
+        }
+        std::printf(
+            "%-9s %8d %7.2f %10.0f %9.3f %9.3f %9.3f %9.3f %7llu\n",
+            name.c_str(), threads, ratio, result->OpsPerSec(),
+            result->read_latency.p95_ms, result->create_latency.p95_ms,
+            result->update_latency.p95_ms, result->delete_latency.p95_ms,
+            (unsigned long long)result->epochs_published);
+        std::fflush(stdout);
+        auto latency_object = [](const core::LatencyStats& lat) {
+          return Json(Json::Object{
+              {"samples", Json(static_cast<int64_t>(lat.samples))},
+              {"p50_ms", Json(lat.p50_ms)},
+              {"p95_ms", Json(lat.p95_ms)},
+              {"p99_ms", Json(lat.p99_ms)},
+              {"mean_ms", Json(lat.mean_ms)},
+              {"max_ms", Json(lat.max_ms)},
+          });
+        };
+        json_rows.push_back(Json(Json::Object{
+            {"engine", Json(name)},
+            {"mode", Json(std::string("mixed"))},
+            {"threads", Json(static_cast<int64_t>(threads))},
+            {"write_ratio", Json(ratio)},
+            {"reads_ok", Json(static_cast<int64_t>(result->reads_ok))},
+            {"writes_ok", Json(static_cast<int64_t>(result->writes_ok))},
+            {"failures", Json(static_cast<int64_t>(result->failures))},
+            {"wall_millis", Json(result->wall_millis)},
+            {"ops_per_sec", Json(result->OpsPerSec())},
+            {"read_latency", latency_object(result->read_latency)},
+            {"create_latency", latency_object(result->create_latency)},
+            {"update_latency", latency_object(result->update_latency)},
+            {"delete_latency", latency_object(result->delete_latency)},
+            {"epochs_published",
+             Json(static_cast<int64_t>(result->epochs_published))},
+            {"wal_commits", Json(static_cast<int64_t>(result->wal_commits))},
+            {"wal_flushes", Json(static_cast<int64_t>(result->wal_flushes))},
+            {"wal_bytes", Json(static_cast<int64_t>(result->wal_bytes))},
+            {"values_separated",
+             Json(static_cast<int64_t>(result->values_separated))},
+        }));
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (!flags.json_path.empty()) {
+    Json doc(Json::Object{
+        {"bench", Json("micro_concurrency")},
+        {"mode", Json(std::string("mixed"))},
+        {"dataset", Json(flags.dataset)},
+        {"scale", Json(flags.scale)},
+        {"iterations_per_thread",
+         Json(static_cast<int64_t>(flags.iterations))},
+        {"hardware_concurrency",
+         Json(static_cast<int64_t>(std::thread::hardware_concurrency()))},
+        {"results", Json(std::move(json_rows))},
+    });
+    if (!bench::WriteJsonArtifact(flags.json_path, doc)) return 1;
+  }
+  std::printf(
+      "(mixed closed loop: each op is a WAL commit with probability\n"
+      " w-ratio, a read through a fresh epoch-pinned session otherwise;\n"
+      " per-class latency is the Fig. 3 C/R/U/D decomposition measured\n"
+      " under concurrency — see src/graph/writer.h.)\n");
+  return all_ok ? 0 : 1;
 }
 
 int Run(int argc, char** argv) {
@@ -72,6 +196,11 @@ int Run(int argc, char** argv) {
   runner_options.deadline = std::chrono::seconds(120);
   runner_options.memory_budget_bytes = 0;
   core::Runner runner(runner_options);
+
+  if (!flags.write_ratios.empty()) {
+    return RunMixedSweep(flags, engines, *data, runner);
+  }
+
   auto specs = core::QueriesByNumber(kReadQueryNumbers);
 
   std::printf(

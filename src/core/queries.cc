@@ -3,6 +3,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "src/graph/writer.h"
 #include "src/query/algorithms.h"
 #include "src/query/traversal.h"
 #include "src/util/string_util.h"
@@ -38,6 +39,16 @@ const PreparedQueryCache& QueryContext::prepared_cache() {
     local_prepared_ = std::make_unique<PreparedQueryCache>(engine);
   }
   return *local_prepared_;
+}
+
+Result<uint64_t> QueryContext::Commit(const WriteBatch& batch) {
+  if (writer != nullptr) {
+    GDB_ASSIGN_OR_RETURN(CommitReceipt receipt, writer->Commit(batch));
+    (void)receipt;
+  } else {
+    GDB_RETURN_IF_ERROR(ApplyWriteBatch(*engine, batch));
+  }
+  return batch.size();
 }
 
 std::string_view CategoryToString(Category c) {
@@ -99,74 +110,78 @@ std::vector<QuerySpec> BuildCatalog() {
   std::vector<QuerySpec> catalog;
 
   // ---- C: Create (Q.2-Q.7) ----------------------------------------------
+  //
+  // Every mutating spec stages a WriteBatch and hands it to
+  // QueryContext::Commit: under the sequential runner it applies directly
+  // (same engine calls as before), under mixed read/write mode the same
+  // batch goes through the single-writer WAL commit path.
   catalog.push_back(Make(
       2, "g.addVertex(p[])", "Create new node with properties p",
       Category::kCreate, true, [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_ASSIGN_OR_RETURN(
-            VertexId id,
-            ctx.engine->AddVertex("benchnode",
-                                  ctx.workload->NewProperties(ctx.iteration)));
-        (void)id;
-        return QueryResult{1};
+        WriteBatch batch;
+        batch.AddVertex("benchnode", ctx.workload->NewProperties(ctx.iteration));
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.Commit(batch));
+        return QueryResult{n};
       }));
   catalog.push_back(Make(
       3, "g.addEdge(v1, v2, l)", "Add edge l from v1 to v2",
       Category::kCreate, true, [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_ASSIGN_OR_RETURN(
-            EdgeId id,
-            ctx.engine->AddEdge(ctx.workload->ReadVertex(2 * ctx.iteration),
-                                ctx.workload->ReadVertex(2 * ctx.iteration + 1),
-                                ctx.workload->EdgeLabel(ctx.iteration), {}));
-        (void)id;
-        return QueryResult{1};
+        WriteBatch batch;
+        batch.AddEdge(ctx.workload->ReadVertex(2 * ctx.iteration),
+                      ctx.workload->ReadVertex(2 * ctx.iteration + 1),
+                      ctx.workload->EdgeLabel(ctx.iteration), {});
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.Commit(batch));
+        return QueryResult{n};
       }));
   catalog.push_back(Make(
       4, "g.addEdge(v1, v2, l, p[])", "Same as Q.3, but with properties p",
       Category::kCreate, true, [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_ASSIGN_OR_RETURN(
-            EdgeId id,
-            ctx.engine->AddEdge(ctx.workload->ReadVertex(2 * ctx.iteration),
-                                ctx.workload->ReadVertex(2 * ctx.iteration + 1),
-                                ctx.workload->EdgeLabel(ctx.iteration),
-                                ctx.workload->NewProperties(ctx.iteration)));
-        (void)id;
-        return QueryResult{1};
+        WriteBatch batch;
+        batch.AddEdge(ctx.workload->ReadVertex(2 * ctx.iteration),
+                      ctx.workload->ReadVertex(2 * ctx.iteration + 1),
+                      ctx.workload->EdgeLabel(ctx.iteration),
+                      ctx.workload->NewProperties(ctx.iteration));
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.Commit(batch));
+        return QueryResult{n};
       }));
   catalog.push_back(Make(
       5, "v.setProperty(Name, Value)", "Add property Name=Value to node v",
       Category::kCreate, true, [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_RETURN_IF_ERROR(ctx.engine->SetVertexProperty(
-            ctx.workload->ReadVertex(500 + ctx.iteration), "bench_new_prop",
-            PropertyValue(static_cast<int64_t>(ctx.iteration))));
-        return QueryResult{1};
+        WriteBatch batch;
+        batch.SetVertexProperty(ctx.workload->ReadVertex(500 + ctx.iteration),
+                                "bench_new_prop",
+                                PropertyValue(static_cast<int64_t>(ctx.iteration)));
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.Commit(batch));
+        return QueryResult{n};
       }));
   catalog.push_back(Make(
       6, "e.setProperty(Name, Value)", "Add property Name=Value to edge e",
       Category::kCreate, true, [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_RETURN_IF_ERROR(ctx.engine->SetEdgeProperty(
-            ctx.workload->ReadEdge(600 + ctx.iteration), "bench_new_prop",
-            PropertyValue(static_cast<int64_t>(ctx.iteration))));
-        return QueryResult{1};
+        WriteBatch batch;
+        batch.SetEdgeProperty(
+            EdgeRef(ctx.workload->ReadEdge(600 + ctx.iteration)),
+            "bench_new_prop", PropertyValue(static_cast<int64_t>(ctx.iteration)));
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.Commit(batch));
+        return QueryResult{n};
       }));
   catalog.push_back(Make(
       7, "g.addVertex(...); g.addEdge(...)",
       "Add a new node, and then edges to it", Category::kCreate, true,
       [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_ASSIGN_OR_RETURN(
-            VertexId id,
-            ctx.engine->AddVertex("benchnode",
-                                  ctx.workload->NewProperties(ctx.iteration)));
+        // One atomic batch: the new vertex plus its fan-out edges, wired
+        // through the batch's pending-handle forward reference.
+        WriteBatch batch;
+        PendingVertex v = batch.AddVertex(
+            "benchnode", ctx.workload->NewProperties(ctx.iteration));
         constexpr int kFanOut = 5;
         for (int i = 0; i < kFanOut; ++i) {
-          GDB_ASSIGN_OR_RETURN(
-              EdgeId e, ctx.engine->AddEdge(
-                            id,
-                            ctx.workload->ReadVertex(700 + ctx.iteration *
-                                                               kFanOut + i),
-                            ctx.workload->EdgeLabel(i), {}));
-          (void)e;
+          batch.AddEdge(v,
+                        ctx.workload->ReadVertex(700 + ctx.iteration * kFanOut +
+                                                 i),
+                        ctx.workload->EdgeLabel(i), {});
         }
-        return QueryResult{1 + kFanOut};
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.Commit(batch));
+        return QueryResult{n};
       }));
 
   // ---- R: Read (Q.8-Q.15) -------------------------------------------------
@@ -235,36 +250,46 @@ std::vector<QuerySpec> BuildCatalog() {
       Category::kUpdate, true, [](QueryContext& ctx) -> Result<QueryResult> {
         auto [name, value] = ctx.workload->VertexProperty(ctx.iteration);
         (void)value;
-        GDB_RETURN_IF_ERROR(ctx.engine->SetVertexProperty(
-            ctx.workload->ReadVertex(1600 + ctx.iteration), name,
-            PropertyValue(StrFormat("updated-%d", ctx.iteration))));
-        return QueryResult{1};
+        WriteBatch batch;
+        batch.SetVertexProperty(ctx.workload->ReadVertex(1600 + ctx.iteration),
+                                name,
+                                PropertyValue(StrFormat("updated-%d",
+                                                        ctx.iteration)));
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.Commit(batch));
+        return QueryResult{n};
       }));
   catalog.push_back(Make(
       17, "e.setProperty(Name, Value)", "Update property Name for edge e",
       Category::kUpdate, true, [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_RETURN_IF_ERROR(ctx.engine->SetEdgeProperty(
-            ctx.workload->ReadEdge(1700 + ctx.iteration), "weight",
-            PropertyValue(static_cast<int64_t>(ctx.iteration))));
-        return QueryResult{1};
+        WriteBatch batch;
+        batch.SetEdgeProperty(
+            EdgeRef(ctx.workload->ReadEdge(1700 + ctx.iteration)), "weight",
+            PropertyValue(static_cast<int64_t>(ctx.iteration)));
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.Commit(batch));
+        return QueryResult{n};
       }));
 
   // ---- D: Delete (Q.18-Q.21) -------------------------------------------------
+  //
+  // Removes are idempotent through the batch path: a victim already gone
+  // (Q.18 cascades into Q.19's pool; concurrent writers race on victim
+  // streams in mixed mode) is a no-op, not an error.
   catalog.push_back(Make(
       18, "g.removeVertex(id)", "Delete node identified by id",
       Category::kDelete, true, [](QueryContext& ctx) -> Result<QueryResult> {
-        GDB_RETURN_IF_ERROR(ctx.engine->RemoveVertex(
-            ctx.workload->DeleteVertex(1800 + ctx.iteration)));
-        return QueryResult{1};
+        WriteBatch batch;
+        batch.RemoveVertex(ctx.workload->DeleteVertex(1800 + ctx.iteration));
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.Commit(batch));
+        return QueryResult{n};
       }));
   catalog.push_back(Make(
       19, "g.removeEdge(id)", "Delete edge identified by id",
       Category::kDelete, true, [](QueryContext& ctx) -> Result<QueryResult> {
-        Status s = ctx.engine->RemoveEdge(
-            ctx.workload->DeleteEdge(1900 + ctx.iteration));
-        // The victim edge may already be gone if Q.18 removed an endpoint.
-        if (!s.ok() && !s.IsNotFound()) return s;
-        return QueryResult{s.ok() ? 1ULL : 0ULL};
+        WriteBatch batch;
+        batch.RemoveEdge(
+            EdgeRef(ctx.workload->DeleteEdge(1900 + ctx.iteration)));
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.Commit(batch));
+        return QueryResult{n};
       }));
   catalog.push_back(Make(
       20, "v.removeProperty(Name)", "Remove node property Name from v",
@@ -272,22 +297,24 @@ std::vector<QuerySpec> BuildCatalog() {
         uint64_t index = ctx.workload->ReadVertexIndex(2000 + ctx.iteration);
         const auto& props = ctx.workload->data().vertices[index].properties;
         if (props.empty()) return QueryResult{0};
-        Status s = ctx.engine->RemoveVertexProperty(
-            ctx.workload->mapping().vertex_ids[index], props.front().first);
-        if (!s.ok() && !s.IsNotFound()) return s;
-        return QueryResult{s.ok() ? 1ULL : 0ULL};
+        WriteBatch batch;
+        batch.RemoveVertexProperty(ctx.workload->mapping().vertex_ids[index],
+                                   props.front().first);
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.Commit(batch));
+        return QueryResult{n};
       }));
   catalog.push_back(Make(
       21, "e.removeProperty(Name)", "Remove edge property Name from e",
       Category::kDelete, true, [](QueryContext& ctx) -> Result<QueryResult> {
         uint64_t index = ctx.workload->ReadEdgeIndex(2100 + ctx.iteration);
         const auto& props = ctx.workload->data().edges[index].properties;
-        std::string name = props.empty() ? "weight" : props.front().first;
-        Status s = ctx.engine->RemoveEdgeProperty(
-            ctx.workload->mapping().edge_ids[index], name);
         // Datasets without edge properties measure the miss path.
-        if (!s.ok() && !s.IsNotFound()) return s;
-        return QueryResult{s.ok() ? 1ULL : 0ULL};
+        std::string name = props.empty() ? "weight" : props.front().first;
+        WriteBatch batch;
+        batch.RemoveEdgeProperty(
+            EdgeRef(ctx.workload->mapping().edge_ids[index]), name);
+        GDB_ASSIGN_OR_RETURN(uint64_t n, ctx.Commit(batch));
+        return QueryResult{n};
       }));
 
   // ---- T: Traversals (Q.22-Q.35) ------------------------------------------------

@@ -23,6 +23,10 @@
 #include "src/query/traversal.h"
 
 namespace gdbmicro {
+
+class GraphWriter;
+class WriteBatch;
+
 namespace core {
 
 enum class Category {
@@ -67,8 +71,12 @@ struct QueryContext {
   GraphEngine* engine = nullptr;
   /// The calling client's read session (one per thread; see the engine.h
   /// concurrency contract). Read queries pass it to every engine call;
-  /// mutating queries only need the engine.
+  /// mutating queries only need the engine (or `writer`, below).
   QuerySession* session = nullptr;
+  /// When set (mixed read/write mode), mutating specs commit their
+  /// WriteBatch through this single-writer WAL path instead of calling
+  /// the engine's raw write methods; see QueryContext::Commit.
+  GraphWriter* writer = nullptr;
   const datasets::Workload* workload = nullptr;
   CancelToken cancel;
   /// Batch iteration index; implementations vary their sampled parameters
@@ -87,6 +95,14 @@ struct QueryContext {
   /// The effective cache: `prepared` when set, else a lazily created
   /// context-local one (still compile-once/run-many within this context).
   const PreparedQueryCache& prepared_cache();
+
+  /// Applies a mutating spec's staged batch: through `writer` (WAL-logged,
+  /// epoch-published, safe under concurrent readers) when one is
+  /// installed, else directly against the engine (the single-threaded
+  /// sequential path — no logging overhead in the measured Fig. 3 single
+  /// numbers). Both paths treat removes of already-gone elements as
+  /// no-ops. Returns the number of ops applied.
+  Result<uint64_t> Commit(const WriteBatch& batch);
 
  private:
   std::unique_ptr<PreparedQueryCache> local_prepared_;

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <thread>
 
+#include "src/util/rng.h"
 #include "src/util/timer.h"
 
 namespace gdbmicro {
@@ -57,6 +58,7 @@ Result<LoadedEngine> Runner::Load(const std::string& engine_name,
   loaded.engine = std::move(engine);
   loaded.session = loaded.engine->CreateSession();
   loaded.prepared = std::make_unique<PreparedQueryCache>(loaded.engine.get());
+  loaded.writer = std::make_unique<GraphWriter>(loaded.engine.get());
   loaded.mapping = std::make_unique<LoadMapping>(std::move(mapping));
   loaded.workload = std::make_unique<datasets::Workload>(
       &data, loaded.mapping.get(), options_.workload_seed);
@@ -233,6 +235,176 @@ Result<ConcurrentMeasurement> Runner::RunConcurrent(
     if (out.status.ok() && !slot.status.ok()) out.status = slot.status;
   }
   out.latency = LatencyStats::FromSamples(std::move(all_latencies));
+  return out;
+}
+
+Result<MixedMeasurement> Runner::RunMixed(
+    LoadedEngine& loaded, const GraphData& data,
+    const std::vector<const QuerySpec*>& read_specs,
+    const std::vector<const QuerySpec*>& write_specs, int threads,
+    int iterations_per_thread, double write_ratio) const {
+  if (threads < 1) {
+    return Status::InvalidArgument("RunMixed needs at least one thread");
+  }
+  if (read_specs.empty() || write_specs.empty()) {
+    return Status::InvalidArgument(
+        "RunMixed needs at least one read spec and one write spec");
+  }
+  if (write_ratio < 0.0 || write_ratio > 1.0) {
+    return Status::InvalidArgument("write_ratio must be in [0, 1]");
+  }
+  for (const QuerySpec* spec : read_specs) {
+    if (spec->mutates) {
+      return Status::InvalidArgument(spec->name +
+                                     " mutates; pass it in write_specs");
+    }
+  }
+  for (const QuerySpec* spec : write_specs) {
+    if (!spec->mutates) {
+      return Status::InvalidArgument(spec->name +
+                                     " is read-only; pass it in read_specs");
+    }
+  }
+  if (loaded.writer == nullptr) {
+    return Status::InvalidArgument("loaded engine has no GraphWriter");
+  }
+
+  MixedMeasurement out;
+  out.engine = std::string(loaded.engine->name());
+  out.dataset = data.name;
+  out.threads = threads;
+  out.iterations_per_thread = iterations_per_thread;
+  out.write_ratio = write_ratio;
+
+  // The runner's long-lived session pins the current epoch; holding it
+  // across the run would park every commit in BeginApply forever.
+  // Recycle it around the mixed run.
+  loaded.session.reset();
+  const uint64_t epochs_before = loaded.engine->epochs().current();
+  const uint64_t wal_commits_before = loaded.writer->wal().commits_logged();
+  const uint64_t wal_flushes_before = loaded.writer->wal().flushes();
+
+  struct ThreadResult {
+    std::vector<double> read_ms, create_ms, update_ms, delete_ms;
+    uint64_t reads_ok = 0;
+    uint64_t writes_ok = 0;
+    uint64_t failures = 0;
+    Status status;
+  };
+  std::vector<ThreadResult> results(static_cast<size_t>(threads));
+  std::vector<std::unique_ptr<datasets::Workload>> workloads;
+  workloads.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workloads.push_back(std::make_unique<datasets::Workload>(
+        &data, loaded.mapping.get(),
+        options_.workload_seed + static_cast<uint64_t>(t)));
+  }
+
+  Timer wall;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        ThreadResult& slot = results[static_cast<size_t>(t)];
+        // A coin stream independent of the workload parameter streams, so
+        // the read/write interleaving does not perturb victim selection.
+        Rng coin(options_.workload_seed ^
+                 (0xc0ffee00ULL + static_cast<uint64_t>(t)));
+        QueryContext ctx;
+        ctx.engine = loaded.engine.get();
+        ctx.workload = workloads[static_cast<size_t>(t)].get();
+        ctx.prepared = loaded.prepared.get();
+        ctx.writer = loaded.writer.get();
+        ctx.cancel = CancelToken::WithTimeout(options_.deadline);
+        size_t next_read = 0;
+        size_t next_write = 0;
+        for (int it = 0; it < iterations_per_thread && slot.status.ok();
+             ++it) {
+          // Victim streams must be globally disjoint: Q.18's delete pool
+          // is indexed by iteration, and two threads sharing an index
+          // would race to the same victim every round.
+          ctx.iteration = t * iterations_per_thread + it;
+          const bool is_write = coin.Chance(write_ratio);
+          const QuerySpec* spec =
+              is_write ? write_specs[next_write++ % write_specs.size()]
+                       : read_specs[next_read++ % read_specs.size()];
+          Timer op_timer;
+          Result<QueryResult> r = QueryResult{};
+          if (is_write) {
+            // Writes never touch a session: the spec stages a WriteBatch
+            // and commits through the shared writer.
+            ctx.session = nullptr;
+            r = spec->run(ctx);
+          } else {
+            // One session per read op. Sessions pin their epoch for life,
+            // so short-lived sessions are what lets the writer drain; the
+            // pin also makes the read's snapshot explicit.
+            std::unique_ptr<QuerySession> session =
+                loaded.engine->CreateSession();
+            ctx.session = session.get();
+            ctx.session->BeginQuery();
+            r = spec->run(ctx);
+          }
+          if (!r.ok()) {
+            slot.status = std::move(r).status();
+            ++slot.failures;
+            break;
+          }
+          const double ms = op_timer.ElapsedMillis();
+          if (!is_write) {
+            ++slot.reads_ok;
+            slot.read_ms.push_back(ms);
+          } else {
+            ++slot.writes_ok;
+            switch (spec->category) {
+              case Category::kCreate:
+                slot.create_ms.push_back(ms);
+                break;
+              case Category::kUpdate:
+                slot.update_ms.push_back(ms);
+                break;
+              default:
+                slot.delete_ms.push_back(ms);
+                break;
+            }
+          }
+          if (ctx.cancel.Expired()) {
+            slot.status = ctx.cancel.ToStatus();
+            break;
+          }
+        }
+      });
+    }
+    for (std::thread& c : clients) c.join();
+  }
+  out.wall_millis = wall.ElapsedMillis();
+  loaded.session = loaded.engine->CreateSession();
+
+  std::vector<double> read_ms, create_ms, update_ms, delete_ms;
+  for (ThreadResult& slot : results) {
+    out.reads_ok += slot.reads_ok;
+    out.writes_ok += slot.writes_ok;
+    out.failures += slot.failures;
+    read_ms.insert(read_ms.end(), slot.read_ms.begin(), slot.read_ms.end());
+    create_ms.insert(create_ms.end(), slot.create_ms.begin(),
+                     slot.create_ms.end());
+    update_ms.insert(update_ms.end(), slot.update_ms.begin(),
+                     slot.update_ms.end());
+    delete_ms.insert(delete_ms.end(), slot.delete_ms.begin(),
+                     slot.delete_ms.end());
+    if (out.status.ok() && !slot.status.ok()) out.status = slot.status;
+  }
+  out.read_latency = LatencyStats::FromSamples(std::move(read_ms));
+  out.create_latency = LatencyStats::FromSamples(std::move(create_ms));
+  out.update_latency = LatencyStats::FromSamples(std::move(update_ms));
+  out.delete_latency = LatencyStats::FromSamples(std::move(delete_ms));
+  out.epochs_published = loaded.engine->epochs().current() - epochs_before;
+  const Wal& wal = loaded.writer->wal();
+  out.wal_commits = wal.commits_logged() - wal_commits_before;
+  out.wal_flushes = wal.flushes() - wal_flushes_before;
+  out.wal_bytes = wal.bytes_logged();
+  out.values_separated = wal.values_separated();
   return out;
 }
 

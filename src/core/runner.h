@@ -17,6 +17,7 @@
 #include "src/core/queries.h"
 #include "src/datasets/workload.h"
 #include "src/graph/registry.h"
+#include "src/graph/writer.h"
 
 namespace gdbmicro {
 namespace core {
@@ -89,6 +90,10 @@ struct LoadedEngine {
   std::unique_ptr<datasets::Workload> workload;
   std::unique_ptr<QuerySession> session;
   std::unique_ptr<PreparedQueryCache> prepared;
+  /// The engine's single-writer WAL commit path (see src/graph/writer.h).
+  /// The sequential runner leaves it idle; RunMixed routes every mutating
+  /// spec through it.
+  std::unique_ptr<GraphWriter> writer;
   Measurement load_measurement;  // the Q.1 data point
 };
 
@@ -111,6 +116,44 @@ struct ConcurrentMeasurement {
     return wall_millis > 0 ? static_cast<double>(queries) /
                                  (wall_millis / 1000.0)
                            : 0.0;
+  }
+};
+
+/// Result of one mixed read/write run: client threads issue reads through
+/// epoch-pinned sessions and, with probability `write_ratio`, commit a
+/// CUD batch through the shared GraphWriter instead. Latency is recorded
+/// per query class (the Fig. 3 C/R/U/D decomposition, now measured under
+/// concurrency).
+struct MixedMeasurement {
+  std::string engine;
+  std::string dataset;
+  int threads = 0;                // client threads (each reads AND writes)
+  int iterations_per_thread = 0;  // closed-loop rounds over the spec lists
+  double write_ratio = 0;         // probability an op is a write
+  uint64_t reads_ok = 0;
+  uint64_t writes_ok = 0;
+  uint64_t failures = 0;
+  double wall_millis = 0;
+  /// Latency distributions per query class. Reads land in `read_latency`
+  /// (R and T specs alike); writes split by their catalog category.
+  LatencyStats read_latency;
+  LatencyStats create_latency;
+  LatencyStats update_latency;
+  LatencyStats delete_latency;
+  /// Epochs published by the writer during the run (== WAL commits that
+  /// applied).
+  uint64_t epochs_published = 0;
+  uint64_t wal_commits = 0;
+  uint64_t wal_flushes = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t values_separated = 0;
+  Status status;  // first non-OK status observed, else OK
+
+  uint64_t Ops() const { return reads_ok + writes_ok; }
+  double OpsPerSec() const {
+    return wall_millis > 0
+               ? static_cast<double>(Ops()) / (wall_millis / 1000.0)
+               : 0.0;
   }
 };
 
@@ -141,6 +184,22 @@ class Runner {
       LoadedEngine& loaded, const GraphData& data,
       const std::vector<const QuerySpec*>& specs, int threads,
       int iterations_per_thread) const;
+
+  /// Mixed read/write mode: `threads` client threads loop
+  /// `iterations_per_thread` times; each op is a write with probability
+  /// `write_ratio` (a CUD spec committed through loaded.writer, which
+  /// serializes writers internally) and a read otherwise (a read spec
+  /// through a session created for the op — sessions are per-op so the
+  /// writer's epoch gate always drains; a session pinned before a commit
+  /// publishes observes the pre-commit snapshot for its whole lifetime).
+  /// `read_specs` must be read-only and `write_specs` mutating. The
+  /// loaded engine's long-lived `session` is recycled around the run (it
+  /// would otherwise pin its epoch forever and deadlock the writer).
+  Result<MixedMeasurement> RunMixed(
+      LoadedEngine& loaded, const GraphData& data,
+      const std::vector<const QuerySpec*>& read_specs,
+      const std::vector<const QuerySpec*>& write_specs, int threads,
+      int iterations_per_thread, double write_ratio) const;
 
   /// Full sweep: load once, run all `specs`. Read/traversal queries run
   /// before mutating ones so they observe the pristine dataset (the

@@ -9,6 +9,12 @@
 
 namespace gdbmicro {
 
+QuerySession::QuerySession(const GraphEngine* engine) : engine_(engine) {
+  epoch_ = engine_->epochs().Pin();
+}
+
+QuerySession::~QuerySession() { engine_->epochs().Unpin(epoch_); }
+
 std::string_view QueryExecutionToString(QueryExecution q) {
   switch (q) {
     case QueryExecution::kStepWise:

@@ -6,16 +6,32 @@
 // traversal machine is built on. Engines differ only in *how* these are
 // implemented — which is precisely what the microbenchmark measures.
 //
-// Concurrency contract: a loaded engine is an immutable snapshot for the
-// read surface. Every read method is const, takes an explicit
-// QuerySession, and touches no engine-level mutable state — all per-query
-// scratch (working-memory arenas, batched-read windows, row caches, JSON
-// parse buffers) lives in the session, so any number of threads may read
-// the same engine concurrently, each through its own session. Sessions are
-// NOT thread-safe themselves (one session = one client thread), must only
-// be used with the engine that created them, and must not outlive it. The
-// write surface (AddVertex/AddEdge/Set*/Remove*) mutates the snapshot and
-// is single-writer: it must not run concurrently with any read session.
+// Concurrency contract — epoch-pinned snapshots + a single writer
+// through the WAL:
+//
+//  * Read surface. Every read method is const, takes an explicit
+//    QuerySession, and touches no engine-level mutable state — all
+//    per-query scratch (working-memory arenas, batched-read windows, row
+//    caches, JSON parse buffers) lives in the session, so any number of
+//    threads may read the same engine concurrently, each through its own
+//    session. Sessions are NOT thread-safe themselves (one session = one
+//    client thread), must only be used with the engine that created
+//    them, and must not outlive it.
+//  * Versioning. CreateSession() pins the engine's current snapshot
+//    epoch (see src/graph/epoch.h) and the session observes exactly that
+//    snapshot for its entire lifetime; destroying the session unpins it.
+//    A committing writer drains pinned readers before mutating, applies
+//    in place with exclusive access, then atomically publishes the next
+//    epoch — sessions created afterwards see the updated graph. Retired
+//    epochs run their reclaim callbacks only once unpinned.
+//  * Write surface. Concurrent-safe writes go through GraphWriter
+//    (src/graph/writer.h): batches are WAL-logged (framed, checksummed,
+//    group-committed) before being applied under the epoch gate, so a
+//    crash mid-commit always recovers to a consistent batch boundary.
+//    The raw virtual write methods (AddVertex/AddEdge/Set*/Remove*)
+//    remain the engine primitive layer that GraphWriter and the bulk
+//    loaders drive; calling them directly is legal only when no read
+//    session exists (single-threaded setup, tests, bulk load).
 
 #ifndef GDBMICRO_GRAPH_ENGINE_H_
 #define GDBMICRO_GRAPH_ENGINE_H_
@@ -28,6 +44,7 @@
 #include <vector>
 
 #include "src/graph/cost_model.h"
+#include "src/graph/epoch.h"
 #include "src/graph/graph_data.h"
 #include "src/graph/types.h"
 #include "src/util/cancel.h"
@@ -164,8 +181,11 @@ class SessionState {
 /// that created it, and must not outlive the engine.
 class QuerySession {
  public:
-  explicit QuerySession(const GraphEngine* engine) : engine_(engine) {}
-  virtual ~QuerySession() = default;
+  /// Pins the engine's current snapshot epoch; blocks briefly while a
+  /// writer is publishing (see the concurrency contract above).
+  explicit QuerySession(const GraphEngine* engine);
+  /// Unpins the epoch pinned at construction.
+  virtual ~QuerySession();
   QuerySession(const QuerySession&) = delete;
   QuerySession& operator=(const QuerySession&) = delete;
 
@@ -176,6 +196,9 @@ class QuerySession {
 
   /// The engine this session was created by.
   const GraphEngine* engine() const { return engine_; }
+
+  /// The snapshot epoch this session observes (pinned for its lifetime).
+  uint64_t epoch() const { return epoch_; }
 
   TraversalScratch& traversal_scratch() { return scratch_; }
 
@@ -190,6 +213,7 @@ class QuerySession {
 
  private:
   const GraphEngine* engine_;
+  uint64_t epoch_ = 0;
   TraversalScratch scratch_;
   std::unique_ptr<SessionState> query_state_;
 };
@@ -250,6 +274,12 @@ class GraphEngine {
 
   /// Stats of the most recent BulkLoad on this instance.
   const BulkLoadStats& load_stats() const { return load_stats_; }
+
+  /// The snapshot-epoch manager sessions pin and GraphWriter publishes
+  /// through (see the concurrency contract above). Mutable because
+  /// pinning is a synchronization action, not a logical mutation of the
+  /// engine.
+  EpochManager& epochs() const { return epochs_; }
 
   // --- Read (paper Q.8-Q.15) -------------------------------------------
   //
@@ -435,6 +465,7 @@ class GraphEngine {
 
  private:
   BulkLoadStats load_stats_;
+  mutable EpochManager epochs_;
 };
 
 }  // namespace gdbmicro

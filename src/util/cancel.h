@@ -33,18 +33,27 @@ class CancelToken {
   /// Requests cancellation from another thread.
   void Cancel() const { state_->cancelled.store(true, std::memory_order_relaxed); }
 
-  /// True if cancelled or past deadline. Cheap: deadline is consulted only
-  /// every 256 calls to keep the check out of the measured hot path.
+  /// True if cancelled or past deadline. Cheap: the clock is consulted on
+  /// the first probe (so an already-expired deadline is seen immediately,
+  /// even by short loops) and every `kClockStride` probes after that,
+  /// keeping the syscall out of the measured scan hot path. The probe
+  /// counter is atomic: tokens are shared across reader threads and the
+  /// stride must not be a data race.
   bool Expired() const {
     if (state_->cancelled.load(std::memory_order_relaxed)) return true;
     if (!state_->has_deadline) return false;
-    if ((++state_->poll_counter & 0xFF) != 0) return false;
+    uint32_t probe =
+        state_->poll_counter.fetch_add(1, std::memory_order_relaxed);
+    if (probe % kClockStride != 0) return false;
     if (Clock::now() >= state_->deadline) {
       state_->cancelled.store(true, std::memory_order_relaxed);
       return true;
     }
     return false;
   }
+
+  /// Clock probes between deadline checks (see Expired).
+  static constexpr uint32_t kClockStride = 256;
 
   /// Status to propagate when Expired() is observed.
   Status ToStatus() const {
@@ -57,7 +66,7 @@ class CancelToken {
     std::atomic<bool> cancelled{false};
     bool has_deadline = false;
     Clock::time_point deadline{};
-    mutable uint32_t poll_counter = 0;
+    mutable std::atomic<uint32_t> poll_counter{0};
   };
   std::shared_ptr<State> state_;
 };

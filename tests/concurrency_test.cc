@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -18,6 +20,7 @@
 
 #include "src/datasets/generators.h"
 #include "src/graph/registry.h"
+#include "src/graph/writer.h"
 #include "src/query/algorithms.h"
 #include "src/query/traversal.h"
 
@@ -44,15 +47,17 @@ struct Observation {
   bool operator==(const Observation&) const = default;
 };
 
-// One client's full pass over the read surface, through its own session.
-// Any error is reported through `ok` (gtest assertions are not
-// thread-safe, so worker threads only record).
-Observation Observe(const GraphEngine& engine, const LoadMapping& mapping,
+// One client's full pass over the read surface, through the caller's
+// session (callers own the session so the mixed-mode golden can observe
+// twice through one epoch pin). Any error is reported through `ok`
+// (gtest assertions are not thread-safe, so worker threads only record).
+Observation Observe(const GraphEngine& engine, QuerySession& session_ref,
+                    const LoadMapping& mapping,
                     const std::pair<std::string, PropertyValue>& probe_prop,
                     bool* ok) {
   Observation obs;
   CancelToken never;
-  std::unique_ptr<QuerySession> session = engine.CreateSession();
+  QuerySession* session = &session_ref;
   *ok = false;
 
   auto vcount = engine.CountVertices(*session, never);
@@ -135,8 +140,10 @@ TEST_P(ConcurrencyTest, ThreadedReadsMatchSingleThreadedGolden) {
     ASSERT_TRUE(mapping.ok()) << mapping.status();
 
     bool golden_ok = false;
+    std::unique_ptr<QuerySession> golden_session = (*engine)->CreateSession();
     Observation golden =
-        Observe(**engine, *mapping, probe_prop, &golden_ok);
+        Observe(**engine, *golden_session, *mapping, probe_prop, &golden_ok);
+    golden_session.reset();
     ASSERT_TRUE(golden_ok) << GetParam() << " single-threaded pass failed"
                            << " (cost model " << cost_model << ")";
     EXPECT_EQ(golden.vertices, data.vertices.size());
@@ -150,8 +157,9 @@ TEST_P(ConcurrencyTest, ThreadedReadsMatchSingleThreadedGolden) {
       for (int t = 0; t < kThreads; ++t) {
         clients.emplace_back([&, t] {
           bool client_ok = false;
+          std::unique_ptr<QuerySession> session = (*engine)->CreateSession();
           observed[static_cast<size_t>(t)] =
-              Observe(**engine, *mapping, probe_prop, &client_ok);
+              Observe(**engine, *session, *mapping, probe_prop, &client_ok);
           ok[static_cast<size_t>(t)] = client_ok ? 1 : 0;
         });
       }
@@ -167,6 +175,128 @@ TEST_P(ConcurrencyTest, ThreadedReadsMatchSingleThreadedGolden) {
           << ")";
     }
   }
+}
+
+// The PR-6 mixed-mode golden: reader sessions pinned to epoch E keep
+// observing the pre-batch snapshot while a writer commits the next epoch,
+// and only sessions opened after publication see the new graph.
+//
+// The epoch scheme is drain-on-publish (see src/graph/epoch.h): the
+// writer logs its batch to the WAL concurrently with the readers, then
+// blocks in BeginApply until every pinned session closes. So the
+// observable contract is exactly: (1) while any reader session is open,
+// the store stays byte-identical to the pre-batch golden even though the
+// commit is already in flight (writer_waiting() is the in-flight probe);
+// (2) a session's entire lifetime sees one snapshot; (3) after the
+// readers drain, the commit applies, the epoch advances, and new
+// sessions observe the updated graph.
+TEST_P(ConcurrencyTest, PinnedReadersKeepTheirSnapshotWhileAWriterCommits) {
+  constexpr int kReaders = 3;
+  datasets::GenOptions gen;
+  gen.scale = 0.002;
+  GraphData data = datasets::GenerateLdbc(gen);
+  ASSERT_FALSE(data.vertices.empty());
+  std::pair<std::string, PropertyValue> probe_prop;
+  for (const auto& v : data.vertices) {
+    if (!v.properties.empty()) {
+      probe_prop = v.properties.front();
+      break;
+    }
+  }
+
+  EngineOptions options;
+  options.memory_budget_bytes = 0;
+  auto engine = OpenEngine(GetParam(), options, /*honor_cost_model_env=*/false);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto mapping = (*engine)->BulkLoad(data);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  EpochManager& epochs = (*engine)->epochs();
+  uint64_t epoch_before = epochs.current();
+
+  // The golden pass closes its session before the write phase: a live
+  // pin would block the writer forever.
+  bool golden_ok = false;
+  std::unique_ptr<QuerySession> golden_session = (*engine)->CreateSession();
+  Observation golden =
+      Observe(**engine, *golden_session, *mapping, probe_prop, &golden_ok);
+  golden_session.reset();
+  ASSERT_TRUE(golden_ok);
+
+  GraphWriter writer(engine->get());
+  std::atomic<int> readers_pinned{0};
+  std::vector<Observation> before(kReaders), during(kReaders);
+  std::vector<char> ok_before(kReaders, 0), ok_during(kReaders, 0);
+  std::vector<uint64_t> session_epochs(kReaders, ~0ull);
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      std::unique_ptr<QuerySession> session = (*engine)->CreateSession();
+      session_epochs[i] = session->epoch();
+      readers_pinned.fetch_add(1);
+      bool pass_ok = false;
+      before[i] = Observe(**engine, *session, *mapping, probe_prop, &pass_ok);
+      ok_before[i] = pass_ok ? 1 : 0;
+      // Wait until the writer's commit is in flight and blocked on our
+      // pins, then read everything again through the *same* session: the
+      // snapshot must not have moved underneath us.
+      while (!epochs.writer_waiting()) {
+        std::this_thread::yield();
+      }
+      during[i] = Observe(**engine, *session, *mapping, probe_prop, &pass_ok);
+      ok_during[i] = pass_ok ? 1 : 0;
+    });  // session closes here: the reader unpins and the writer drains
+  }
+
+  // Start the commit only once every reader holds its pin, so the apply
+  // phase is guaranteed to find the gate contended.
+  while (readers_pinned.load() < kReaders) {
+    std::this_thread::yield();
+  }
+  WriteBatch batch;
+  PendingVertex added = batch.AddVertex(
+      "person", {{"mixed_golden", PropertyValue(true)}});
+  batch.AddEdge(added, VertexRef(mapping->vertex_ids[0]), "knows", {});
+  batch.SetVertexProperty(VertexRef(mapping->vertex_ids[0]), "touched",
+                          PropertyValue(true));
+  auto receipt = writer.Commit(batch);
+  ASSERT_TRUE(receipt.ok()) << receipt.status();
+  for (std::thread& r : readers) r.join();
+
+  for (int t = 0; t < kReaders; ++t) {
+    size_t i = static_cast<size_t>(t);
+    ASSERT_TRUE(ok_before[i]) << GetParam() << " reader " << t;
+    ASSERT_TRUE(ok_during[i]) << GetParam() << " reader " << t;
+    EXPECT_EQ(session_epochs[i], epoch_before) << GetParam();
+    EXPECT_TRUE(before[i] == golden)
+        << GetParam() << " reader " << t
+        << " saw a different graph before the commit";
+    EXPECT_TRUE(during[i] == golden)
+        << GetParam() << " reader " << t
+        << " saw the write leak into its pinned snapshot";
+  }
+
+  // Publication: the epoch advanced and a fresh session sees the batch.
+  EXPECT_EQ(epochs.current(), epoch_before + 1);
+  EXPECT_EQ(receipt->epoch, epoch_before + 1);
+  std::unique_ptr<QuerySession> after = (*engine)->CreateSession();
+  EXPECT_EQ(after->epoch(), epoch_before + 1);
+  CancelToken never;
+  auto vcount = (*engine)->CountVertices(*after, never);
+  auto ecount = (*engine)->CountEdges(*after, never);
+  ASSERT_TRUE(vcount.ok());
+  ASSERT_TRUE(ecount.ok());
+  EXPECT_EQ(*vcount, golden.vertices + 1);
+  EXPECT_EQ(*ecount, golden.edges + 1);
+  ASSERT_EQ(receipt->vertex_ids.size(), 1u);
+  auto added_vertex = (*engine)->GetVertex(*after, receipt->vertex_ids[0]);
+  ASSERT_TRUE(added_vertex.ok());
+  EXPECT_NE(FindProperty(added_vertex->properties, "mixed_golden"), nullptr);
+  auto touched = (*engine)->GetVertex(*after, mapping->vertex_ids[0]);
+  ASSERT_TRUE(touched.ok());
+  EXPECT_NE(FindProperty(touched->properties, "touched"), nullptr);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <map>
+#include <thread>
+#include <vector>
 
 #include "src/util/cancel.h"
 #include "src/util/json.h"
@@ -278,6 +281,42 @@ TEST(CancelTest, DeadlineExpires) {
     }
   }
   EXPECT_TRUE(expired);
+}
+
+TEST(CancelTest, ExpiredDeadlineSeenOnFirstProbe) {
+  // An already-expired deadline must not hide behind the clock stride: a
+  // short scan loop (< kClockStride probes) still has to time out.
+  CancelToken t = CancelToken::WithTimeout(std::chrono::nanoseconds(-1));
+  EXPECT_TRUE(t.Expired());
+}
+
+TEST(CancelTest, StrideSkipsClockBetweenChecks) {
+  // With a far-future deadline, probes between stride boundaries must
+  // return false without flipping the token.
+  CancelToken t = CancelToken::WithTimeout(std::chrono::hours(2));
+  for (uint32_t i = 0; i < 4 * CancelToken::kClockStride; ++i) {
+    EXPECT_FALSE(t.Expired());
+  }
+}
+
+TEST(CancelTest, SharedTokenProbesFromManyThreads) {
+  // The probe counter is shared state: hammer it from several threads
+  // (TSan-checked in CI) and confirm a cross-thread Cancel is observed.
+  CancelToken t = CancelToken::WithTimeout(std::chrono::hours(2));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&t, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (t.Expired()) break;
+      }
+    });
+  }
+  t.Cancel();
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  EXPECT_TRUE(t.Expired());
 }
 
 }  // namespace
