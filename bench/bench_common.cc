@@ -52,11 +52,17 @@ BenchProfile ParseFlags(int argc, char** argv, double default_scale,
       profile.cost_model = false;
     } else if (std::strcmp(arg, "--indexed") == 0) {
       profile.indexed = true;
+    } else if (const char* v = value_of("--stats=")) {
+      if (std::strcmp(v, "on") != 0 && std::strcmp(v, "off") != 0) {
+        std::fprintf(stderr, "--stats takes on|off, got %s\n", v);
+        std::exit(2);
+      }
+      profile.stats = std::strcmp(v, "on") == 0;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "flags: --scale=F --deadline-ms=N --batch=N --engines=a,b,c\n"
           "       --datasets=a,b,c --seed=N --memory-budget=N\n"
-          "       --no-cost-model --indexed --json=PATH\n");
+          "       --no-cost-model --indexed --stats=on|off --json=PATH\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg);
@@ -97,6 +103,7 @@ core::RunnerOptions RunnerOptionsFrom(const BenchProfile& profile) {
   options.memory_budget_bytes = profile.memory_budget;
   options.workload_seed = profile.seed;
   options.create_property_index = profile.indexed;
+  options.collect_statistics = profile.stats;
   return options;
 }
 
@@ -165,12 +172,18 @@ bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags) {
       flags->iterations = std::atoi(v);
     } else if (std::strcmp(arg, "--cost-model") == 0) {
       flags->cost_model = true;
+    } else if (const char* v = value_of("--stats=")) {
+      if (std::strcmp(v, "on") != 0 && std::strcmp(v, "off") != 0) {
+        std::fprintf(stderr, "--stats takes on|off, got %s\n", v);
+        return false;
+      }
+      flags->stats = std::strcmp(v, "on") == 0;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale=f] [--rounds=n] [--dataset=name] "
                    "[--engines=a,b,c] [--json=path] [--threads=1,2,4] "
                    "[--write-ratio=0,0.1,0.5] [--iterations=n] "
-                   "[--cost-model]\n",
+                   "[--cost-model] [--stats=on|off]\n",
                    argv[0]);
       return false;
     }

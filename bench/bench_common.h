@@ -12,6 +12,8 @@
 //   --no-cost-model    disable the out-of-process cost models
 //   --seed=<n>         workload seed
 //   --indexed          create the Q.11 attribute index before running
+//   --stats=on|off     collect load-time planner statistics (default on;
+//                      off reverts query lowering to the rule-based plans)
 //   --json=<path>      write a machine-readable BENCH_*.json artifact
 //                      (binaries that support it; others ignore the path)
 
@@ -34,6 +36,7 @@ struct BenchProfile {
   int batch = 10;
   bool cost_model = true;
   bool indexed = false;
+  bool stats = true;  // --stats=off: A/B the cost-based planner away
   uint64_t seed = 42;
   uint64_t memory_budget = 24ULL << 20;
   std::string json_path;              // --json=<path>: BENCH_*.json artifact
@@ -80,11 +83,12 @@ struct MicroBenchFlags {
   std::vector<double> write_ratios;    // --write-ratio=0,0.1,0.5 (mixed mode)
   int iterations = 0;                  // 0 = binary default
   bool cost_model = false;             // --cost-model turns the charges on
+  bool stats = true;                   // --stats=off: rule-based planning
 };
 
 /// Parses --scale/--rounds/--dataset/--engines/--json/--threads/
-/// --write-ratio/--iterations/--cost-model into `flags`. Unknown flags
-/// print usage and return false.
+/// --write-ratio/--iterations/--cost-model/--stats into `flags`. Unknown
+/// flags print usage and return false.
 bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags);
 
 /// Shared driver for the per-figure binaries: runs the Table 2 queries

@@ -44,6 +44,7 @@ Result<LoadedEngine> Runner::Load(const std::string& engine_name,
   EngineOptions engine_options;
   engine_options.enable_cost_model = options_.enable_cost_model;
   engine_options.memory_budget_bytes = options_.memory_budget_bytes;
+  engine_options.collect_statistics = options_.collect_statistics;
   // The runner's cost-model setting is an explicit benchmark-profile
   // choice, which the GDBMICRO_COST_MODEL CI toggle must not overrule.
   GDB_ASSIGN_OR_RETURN(std::unique_ptr<GraphEngine> engine,

@@ -40,6 +40,9 @@ struct RunnerOptions {
   /// Create a user attribute index on the Q.11 property before running
   /// (the paper's §6.4 indexing experiment).
   bool create_property_index = false;
+  /// Collect load-time planner statistics (GraphStatistics). Off reverts
+  /// query lowering to the rule-based plans — the --stats=off A/B knob.
+  bool collect_statistics = true;
 };
 
 /// Latency distribution over a set of per-iteration (batch mode) or

@@ -158,6 +158,10 @@ GraphStats ComputeStats(const GraphData& data, const MetricsOptions& options) {
     for (uint64_t v = 0; v < stats.vertices; ++v) {
       if (uf.Find(v) == max_root) members.push_back(v);
     }
+    // Defensive: the edges>0 guard above implies a non-trivial largest
+    // component, but Rng::Uniform(0) is UB-adjacent (asserts) — never
+    // sample from an empty member set.
+    if (members.empty()) return stats;
     Rng rng(0xD1A3ULL + stats.vertices);
     std::vector<int32_t> dist(stats.vertices, -1);
     auto bfs_farthest = [&](uint64_t source) -> std::pair<uint64_t, uint64_t> {

@@ -46,6 +46,7 @@
 #include "src/graph/cost_model.h"
 #include "src/graph/epoch.h"
 #include "src/graph/graph_data.h"
+#include "src/graph/statistics.h"
 #include "src/graph/types.h"
 #include "src/util/cancel.h"
 #include "src/util/result.h"
@@ -111,6 +112,12 @@ struct EngineOptions {
 
   /// Which ingest path BulkLoad runs (see BulkLoadMode).
   BulkLoadMode bulk_load_mode = BulkLoadMode::kNative;
+
+  /// Collect GraphStatistics during BulkLoad (see statistics.h). On by
+  /// default — the cost-based planner consults them through
+  /// GraphEngine::statistics(). Off reverts the planner to its exact
+  /// rule-based lowering (the A/B knob of bench --stats=off).
+  bool collect_statistics = true;
 };
 
 /// Measurements of the most recent BulkLoad on an engine instance (the
@@ -127,11 +134,18 @@ struct BulkLoadStats {
   /// stitching, statement-index bulk build, FK index build). Always 0 in
   /// kPerElement mode, where that work is interleaved per element.
   double index_build_millis = 0;
+  /// Wall millis spent collecting GraphStatistics (0 when
+  /// EngineOptions::collect_statistics is off). Kept out of
+  /// index_build_millis: it is planner bookkeeping, not a load phase of
+  /// the emulated system.
+  double stats_build_millis = 0;
   /// Engine-reported resident bytes after the load.
   uint64_t bytes = 0;
 
   uint64_t Elements() const { return vertices + edges; }
-  double TotalMillis() const { return element_millis + index_build_millis; }
+  double TotalMillis() const {
+    return element_millis + index_build_millis + stats_build_millis;
+  }
   double ElementsPerSec() const {
     double s = TotalMillis() / 1000.0;
     return s > 0 ? static_cast<double>(Elements()) / s : 0.0;
@@ -274,6 +288,13 @@ class GraphEngine {
 
   /// Stats of the most recent BulkLoad on this instance.
   const BulkLoadStats& load_stats() const { return load_stats_; }
+
+  /// Statistics collected by the most recent BulkLoad, or nullptr when
+  /// collection was off (EngineOptions::collect_statistics) or the
+  /// instance was populated element by element outside BulkLoad. The
+  /// planner treats nullptr as "no statistics": exact rule-based
+  /// lowering.
+  const GraphStatistics* statistics() const { return statistics_.get(); }
 
   /// The snapshot-epoch manager sessions pin and GraphWriter publishes
   /// through (see the concurrency contract above). Mutable because
@@ -465,6 +486,7 @@ class GraphEngine {
 
  private:
   BulkLoadStats load_stats_;
+  std::unique_ptr<GraphStatistics> statistics_;
   mutable EpochManager epochs_;
 };
 

@@ -170,6 +170,29 @@ Status DistinctEdgeTargetScan::Produce(const ExecContext& ctx,
                               });
 }
 
+std::string DistinctNeighborScan::args() const {
+  return AdjacencyArgs(dir_,
+                       label_.has_value() ? LabelMode::kFixed : LabelMode::kAny,
+                       label_.has_value() ? *label_ : std::string());
+}
+
+Status DistinctNeighborScan::Produce(const ExecContext& ctx, OpScratch& state,
+                                     const RowSink& sink) const {
+  OpScratch& s = Fresh(ctx, state);
+  return ctx.engine.ScanEdges(ctx.session, ctx.cancel, [&](const EdgeEnds& e) {
+    if (label_.has_value() && e.label != *label_) return true;
+    // out() emits destinations, in() emits sources, both() emits both
+    // endpoints — each vertex at most once.
+    if (dir_ != Direction::kIn && s.seen.insert(e.dst).second) {
+      if (!sink(e.dst)) return false;
+    }
+    if (dir_ != Direction::kOut && s.seen.insert(e.src).second) {
+      if (!sink(e.src)) return false;
+    }
+    return true;
+  });
+}
+
 // --- Pipeline operators ----------------------------------------------------
 
 std::string LabelFilter::args() const { return "label=" + label_; }

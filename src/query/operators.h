@@ -259,6 +259,30 @@ class DistinctEdgeTargetScan : public Operator {
                  const RowSink& sink) const override;
 };
 
+/// Cost-based generalization of DistinctEdgeTargetScan to every
+/// direction and an optional label: V().out/in/both([l]).dedup() as one
+/// ScanEdges pass with a streaming hash-dedup of the matching endpoints.
+/// The optimizer chooses it when one edge scan is estimated cheaper than
+/// a per-vertex expansion (the expansion-direction choice for both()).
+class DistinctNeighborScan : public Operator {
+ public:
+  DistinctNeighborScan(Direction dir, std::optional<std::string> label)
+      : dir_(dir), label_(std::move(label)) {}
+  std::string_view name() const override { return "DistinctNeighborScan"; }
+  std::string args() const override;
+  bool is_source() const override { return true; }
+  RowKind OutputKind(RowKind) const override { return RowKind::kVertex; }
+  std::optional<uint64_t> RowBound(std::optional<uint64_t>) const override {
+    return std::nullopt;
+  }
+  Status Produce(const ExecContext& ctx, OpScratch& state,
+                 const RowSink& sink) const override;
+
+ private:
+  Direction dir_;
+  std::optional<std::string> label_;
+};
+
 // --- Pipeline operators ----------------------------------------------------
 
 /// HasLabel(l) on vertex or edge traversers; value traversers drop.

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "src/query/operators.h"
+#include "src/query/stats.h"
+#include "src/util/string_util.h"
 
 namespace gdbmicro {
 namespace query {
@@ -13,6 +15,186 @@ namespace {
 bool IsSourceOp(LogicalOp op) {
   return op == LogicalOp::kSourceV || op == LogicalOp::kSourceVId ||
          op == LogicalOp::kSourceE || op == LogicalOp::kSourceEId;
+}
+
+bool IsFilterOp(LogicalOp op) {
+  return op == LogicalOp::kHasLabel || op == LogicalOp::kHas ||
+         op == LogicalOp::kDegreeFilter;
+}
+
+/// Row kind after a logical step given the kind flowing into it (the
+/// logical-step mirror of Operator::OutputKind, used by the optimizer
+/// before any operator exists).
+RowKind StepOutputKind(const LogicalStep& s, RowKind in) {
+  switch (s.op) {
+    case LogicalOp::kSourceV:
+    case LogicalOp::kSourceVId:
+    case LogicalOp::kOut:
+    case LogicalOp::kIn:
+    case LogicalOp::kBoth:
+    case LogicalOp::kOutV:
+    case LogicalOp::kInV:
+      return RowKind::kVertex;
+    case LogicalOp::kSourceE:
+    case LogicalOp::kSourceEId:
+    case LogicalOp::kOutE:
+    case LogicalOp::kInE:
+    case LogicalOp::kBothE:
+      return RowKind::kEdge;
+    case LogicalOp::kLabel:
+    case LogicalOp::kValues:
+      return RowKind::kValue;
+    default:
+      return in;
+  }
+}
+
+/// Fixed overhead charged to a native index/label probe, in record-fetch
+/// units — keeps the optimizer from preferring an index for plans whose
+/// scan side is already tiny.
+constexpr double kIndexProbeCost = 8.0;
+
+/// Which access-path rewrite the optimizer selected for the plan prefix.
+enum class AccessPath : uint8_t {
+  kNone,
+  kPropertyIndex,     // V().has(...) -> PropertyIndexScan
+  kEdgeLabel,         // E().hasLabel(l) -> EdgeLabelScan
+  kDistinctNeighbor,  // V().out/in/both([l]).dedup() -> DistinctNeighborScan
+};
+
+struct OptimizedSteps {
+  std::vector<LogicalStep> steps;
+  AccessPath access = AccessPath::kNone;
+};
+
+/// Pipeline cost of running `rows` input rows of kind `kind` through the
+/// filter run steps[first, last) in order: sum over the run of
+/// (surviving rows) * (per-row filter cost).
+double FilterRunCost(const std::vector<LogicalStep>& steps, size_t first,
+                     size_t last, double rows, RowKind kind,
+                     const CardinalityEstimator& est) {
+  double cost = 0.0;
+  for (size_t i = first; i < last; ++i) {
+    cost += rows * est.FilterCostPerRow(steps[i]);
+    rows *= est.Selectivity(steps[i], kind);
+  }
+  return cost;
+}
+
+/// The logical-step optimizer: (1) orders every maximal run of
+/// consecutive commutable filters by the classic rank
+/// (selectivity - 1) / cost, ascending — filters that drop the most rows
+/// per unit of work run first; since filters only drop rows (never
+/// reorder survivors), the result multiset AND its order are preserved
+/// under both policies — and (2) picks the prefix access path by
+/// estimated cost. Access-path rewrites emit in native scan/index order,
+/// so they stay off when the suffix contains a Limit (the same
+/// order-sensitivity guard the rule-based rewrites use).
+OptimizedSteps OptimizeSteps(const std::vector<LogicalStep>& in,
+                             const CardinalityEstimator& est) {
+  OptimizedSteps out;
+  out.steps = in;
+  std::vector<LogicalStep>& steps = out.steps;
+
+  // Input row kind of each step (filters keep their input kind, so the
+  // kind is stable across any permutation of a run).
+  std::vector<RowKind> in_kind(steps.size(), RowKind::kVertex);
+  RowKind kind = RowKind::kVertex;
+  for (size_t j = 0; j < steps.size(); ++j) {
+    in_kind[j] = kind;
+    kind = StepOutputKind(steps[j], kind);
+  }
+
+  for (size_t i = 1; i < steps.size();) {
+    if (!IsFilterOp(steps[i].op)) {
+      ++i;
+      continue;
+    }
+    size_t first = i;
+    while (i < steps.size() && IsFilterOp(steps[i].op)) ++i;
+    if (i - first < 2) continue;
+    RowKind run_kind = in_kind[first];
+    auto rank = [&](const LogicalStep& s) {
+      double cost = std::max(est.FilterCostPerRow(s), 1e-9);
+      return (est.Selectivity(s, run_kind) - 1.0) / cost;
+    };
+    std::stable_sort(
+        steps.begin() + static_cast<ptrdiff_t>(first),
+        steps.begin() + static_cast<ptrdiff_t>(i),
+        [&](const LogicalStep& a, const LogicalStep& b) {
+          return rank(a) < rank(b);
+        });
+  }
+
+  bool has_limit = false;
+  for (const LogicalStep& s : steps) {
+    if (s.op == LogicalOp::kCount) break;
+    if (s.op == LogicalOp::kLimit) has_limit = true;
+  }
+  if (has_limit || steps.size() < 2) return out;
+
+  const double vertices = static_cast<double>(est.stats().vertices);
+  const double edges = static_cast<double>(est.stats().edges);
+
+  if (steps[0].op == LogicalOp::kSourceV && IsFilterOp(steps[1].op) &&
+      est.supports_property_index()) {
+    // Index-vs-scan by estimated cardinality: any has() in the leading
+    // filter run is index-eligible (filters commute), so probe the one
+    // estimated cheapest — not merely the one written first.
+    size_t run_end = 1;
+    while (run_end < steps.size() && IsFilterOp(steps[run_end].op)) ++run_end;
+    size_t best = 0;
+    double best_rows = 0.0;
+    for (size_t j = 1; j < run_end; ++j) {
+      if (steps[j].op != LogicalOp::kHas) continue;
+      double rows = est.HasRows(steps[j]);
+      if (best == 0 || rows < best_rows) {
+        best = j;
+        best_rows = rows;
+      }
+    }
+    if (best != 0) {
+      double scan_cost =
+          vertices +
+          FilterRunCost(steps, 1, run_end, vertices, RowKind::kVertex, est);
+      LogicalStep chosen = steps[best];
+      steps.erase(steps.begin() + static_cast<ptrdiff_t>(best));
+      steps.insert(steps.begin() + 1, chosen);
+      double index_cost =
+          kIndexProbeCost + best_rows +
+          FilterRunCost(steps, 2, run_end, best_rows, RowKind::kVertex, est);
+      if (index_cost < scan_cost) {
+        out.access = AccessPath::kPropertyIndex;
+      } else {
+        // Undo the splice: keep the rank order the sort produced.
+        steps.erase(steps.begin() + 1);
+        steps.insert(steps.begin() + static_cast<ptrdiff_t>(best), chosen);
+      }
+    }
+  } else if (steps[0].op == LogicalOp::kSourceE &&
+             steps[1].op == LogicalOp::kHasLabel) {
+    // Native edges-by-label visits only the labeled edges; the scan
+    // pipeline visits every edge and fetches its record.
+    double labeled = static_cast<double>(est.stats().EdgesWithLabel(
+        steps[1].key));
+    if (kIndexProbeCost + labeled < edges * 2.0) {
+      out.access = AccessPath::kEdgeLabel;
+    }
+  } else if (steps[0].op == LogicalOp::kSourceV && steps.size() > 2 &&
+             (steps[1].op == LogicalOp::kOut ||
+              steps[1].op == LogicalOp::kIn ||
+              steps[1].op == LogicalOp::kBoth) &&
+             !steps[1].bound && steps[2].op == LogicalOp::kDedup) {
+    // Distinct neighbors: per-vertex expansion pays one visitor call per
+    // vertex plus every directed edge visit (both() walks each edge from
+    // both endpoints); one ScanEdges pass pays each edge once, whatever
+    // the direction. This is where the expansion-direction choice for
+    // both()/undirected chains happens.
+    double expand_cost = vertices + vertices * est.Fanout(steps[1]);
+    double scan_cost = edges;
+    if (scan_cost < expand_cost) out.access = AccessPath::kDistinctNeighbor;
+  }
+  return out;
 }
 
 /// Cap on speculative sink reservations: a statically-bounded plan never
@@ -74,33 +256,92 @@ Plan& Plan::operator=(Plan&&) noexcept = default;
 
 Result<Plan> Plan::Lower(const std::vector<LogicalStep>& steps,
                          QueryExecution policy) {
+  return Lower(steps, policy, nullptr);
+}
+
+Result<Plan> Plan::Lower(const std::vector<LogicalStep>& input,
+                         QueryExecution policy,
+                         const CardinalityEstimator* est) {
   Plan plan;
   plan.policy_ = policy;
-  if (steps.empty()) return plan;  // empty traversal runs to an empty output
-  if (!IsSourceOp(steps[0].op)) {
+  if (input.empty()) return plan;  // empty traversal runs to an empty output
+  if (!IsSourceOp(input[0].op)) {
     return Status::InvalidArgument("traversal does not start with a source");
   }
 
-  size_t i = 0;
-  // Conflated policy: prefix rewrites that push step patterns into native
-  // engine queries. These generalize what the engines' real adapters
-  // conflate (paper Table 1 "Query execution"); the remaining steps fuse
-  // into the streaming pass, so Limit()/Count() pushdown needs no
-  // pattern at all.
-  //
-  // Guard: a rewritten source emits in its own native order (edge-scan /
-  // index order), not the vertex-scan expansion order the step-wise
-  // policy produces. That is fine for every order-insensitive
-  // continuation, but a downstream Limit() selects a *subset* by order —
-  // so the rewrites stay off whenever the suffix contains one, keeping
-  // both policies answer-equivalent. (The fused streaming pass itself
-  // preserves step-wise order, so un-rewritten plans are never affected.)
+  // Cost-based path: reorder commutable filter runs and pick the prefix
+  // access path by estimated cost. Without statistics the rule-based
+  // lowering below runs unchanged (the exact-fallback contract).
+  AccessPath access = AccessPath::kNone;
+  std::vector<LogicalStep> optimized;
+  if (est != nullptr) {
+    OptimizedSteps opt = OptimizeSteps(input, *est);
+    optimized = std::move(opt.steps);
+    access = opt.access;
+  }
+  const std::vector<LogicalStep>& steps = est != nullptr ? optimized : input;
+
+  // Guard shared by every source rewrite (rule-based and cost-based): a
+  // rewritten source emits in its own native order (edge-scan / index
+  // order), not the vertex-scan expansion order the step-wise policy
+  // produces. That is fine for every order-insensitive continuation, but
+  // a downstream Limit() selects a *subset* by order — so the rewrites
+  // stay off whenever the suffix contains one, keeping both policies
+  // answer-equivalent. (The fused streaming pass itself preserves
+  // step-wise order, so un-rewritten plans are never affected.)
   bool has_limit = false;
   for (const LogicalStep& s : steps) {
     if (s.op == LogicalOp::kCount) break;  // terminal: later steps dropped
     if (s.op == LogicalOp::kLimit) has_limit = true;
   }
-  if (policy == QueryExecution::kConflated && !has_limit) {
+
+  // Running estimate threaded through the lowering: rows flowing out of
+  // the operator just pushed, and the row kind flowing into the next step.
+  double rows = 0.0;
+  RowKind ekind = RowKind::kVertex;
+  auto note = [&](double r) {
+    plan.est_rows_.push_back(r);
+    rows = r;
+  };
+
+  size_t i = 0;
+  if (est != nullptr) {
+    // The optimizer already priced these rewrites against the pipeline
+    // alternative (and against each other for multi-has chains); here we
+    // just emit what it chose. Applies under BOTH policies: a native
+    // access path beats a full scan regardless of how the remaining
+    // chain is executed.
+    switch (access) {
+      case AccessPath::kPropertyIndex:
+        plan.ops_.push_back(LowerPredicate<PropertyIndexScan>(steps[1]));
+        note(est->HasRows(steps[1]));
+        i = 2;
+        break;
+      case AccessPath::kEdgeLabel:
+        plan.ops_.push_back(std::make_unique<EdgeLabelScan>(steps[1].key));
+        note(static_cast<double>(est->stats().EdgesWithLabel(steps[1].key)));
+        ekind = RowKind::kEdge;
+        i = 2;
+        break;
+      case AccessPath::kDistinctNeighbor: {
+        Direction dir = steps[1].op == LogicalOp::kOut   ? Direction::kOut
+                        : steps[1].op == LogicalOp::kIn ? Direction::kIn
+                                                        : Direction::kBoth;
+        plan.ops_.push_back(
+            std::make_unique<DistinctNeighborScan>(dir, steps[1].label));
+        note(est->DistinctNeighbors(dir, steps[1].label));
+        i = 3;
+        break;
+      }
+      case AccessPath::kNone:
+        break;
+    }
+  } else if (policy == QueryExecution::kConflated && !has_limit) {
+    // Rule-based conflated policy: syntactic prefix rewrites that push
+    // step patterns into native engine queries. These generalize what
+    // the engines' real adapters conflate (paper Table 1 "Query
+    // execution"); the remaining steps fuse into the streaming pass, so
+    // Limit()/Count() pushdown needs no pattern at all.
     auto is = [&](size_t at, LogicalOp op) {
       return at < steps.size() && steps[at].op == op;
     };
@@ -200,6 +441,50 @@ Result<Plan> Plan::Lower(const std::vector<LogicalStep>& steps,
         plan.counted_ = true;
         break;
     }
+    if (est != nullptr) {
+      double r = rows;
+      switch (s.op) {
+        case LogicalOp::kSourceV:
+        case LogicalOp::kSourceVId:
+        case LogicalOp::kSourceE:
+        case LogicalOp::kSourceEId:
+          r = est->SourceRows(s);
+          break;
+        case LogicalOp::kHasLabel:
+        case LogicalOp::kHas:
+        case LogicalOp::kDegreeFilter:
+          r = rows * est->Selectivity(s, ekind);
+          break;
+        case LogicalOp::kOut:
+        case LogicalOp::kIn:
+        case LogicalOp::kBoth:
+        case LogicalOp::kOutE:
+        case LogicalOp::kInE:
+        case LogicalOp::kBothE:
+          r = rows * est->Fanout(s);
+          break;
+        case LogicalOp::kValues:
+          r = rows * est->KeyPresence(s.key, ekind);
+          break;
+        case LogicalOp::kDedup:
+          if (ekind == RowKind::kVertex) {
+            r = std::min(rows, static_cast<double>(est->stats().vertices));
+          } else if (ekind == RowKind::kEdge) {
+            r = std::min(rows, static_cast<double>(est->stats().edges));
+          }
+          break;
+        case LogicalOp::kLimit:
+          r = std::min(rows, static_cast<double>(s.id));
+          break;
+        case LogicalOp::kCount:
+          r = 1.0;
+          break;
+        default:  // kOutV / kInV / kLabel: row-preserving maps
+          break;
+      }
+      note(r);
+      ekind = StepOutputKind(s, ekind);
+    }
     if (plan.counted_) break;  // steps after a terminal count are unreachable
   }
 
@@ -237,6 +522,7 @@ Status Plan::RunInto(const GraphEngine& engine, QuerySession& session,
   if (stats != nullptr) {
     *stats = PlanStats{};
     stats->rows_out.assign(ops_.size(), 0);
+    stats->est_rows = est_rows_;
   }
   if (ops_.empty()) return Status::OK();
   GDB_CHECK_CANCEL(cancel);
@@ -402,10 +688,71 @@ std::string Plan::Explain() const {
       out += a;
       out += ')';
     }
+    // Annotated only for cost-based plans: rule-based Explain output is
+    // the byte-exact golden format.
+    if (i < est_rows_.size()) {
+      out += StrFormat(" ~rows=%.0f", est_rows_[i]);
+    }
     out += '\n';
     ++indent;
   }
   return out;
+}
+
+PreparedPlan::PreparedPlan(const GraphEngine* engine, Plan plan,
+                           std::vector<LogicalStep> steps,
+                           bool supports_property_index)
+    : engine_(engine), plan_(std::move(plan)), steps_(std::move(steps)),
+      supports_index_(supports_property_index) {
+  const GraphStatistics* stats = engine_->statistics();
+  if (stats == nullptr) return;
+  for (const LogicalStep& s : steps_) {
+    if (s.op == LogicalOp::kHas && s.bound) {
+      bound_has_key_ = s.key;
+      break;
+    }
+  }
+  if (bound_has_key_.empty()) return;
+  // plan_ was lowered with the bound value unknown, i.e. priced at the
+  // key-wide average; that is the class rebinding compares against.
+  CardinalityEstimator est(*stats, supports_index_);
+  base_class_ = est.SelectivityClass(bound_has_key_, PropertyValue());
+  cache_ = std::make_shared<ClassPlanCache>();
+}
+
+const Plan& PreparedPlan::RepricedPlan(const PlanParams& params) const {
+  const GraphStatistics* stats = engine_->statistics();
+  if (stats == nullptr) return plan_;
+  CardinalityEstimator est(*stats, supports_index_);
+  int cls = est.SelectivityClass(bound_has_key_, params.value);
+  if (cls == base_class_) return plan_;
+  const Plan* cached = cache_->slots[static_cast<size_t>(cls)].load(
+      std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  cached = cache_->slots[static_cast<size_t>(cls)].load(
+      std::memory_order_relaxed);
+  if (cached != nullptr) return *cached;
+
+  // Re-lower with the bound value as a pricing hint. The step stays
+  // bound — the operator still reads PlanParams at Run time — so the
+  // re-priced plan is correct for EVERY value, merely priced for this
+  // value's class.
+  std::vector<LogicalStep> hinted = steps_;
+  for (LogicalStep& s : hinted) {
+    if (s.op == LogicalOp::kHas && s.bound && s.key == bound_has_key_) {
+      s.value = params.value;
+      break;
+    }
+  }
+  Result<Plan> replan = Plan::Lower(hinted, plan_.policy(), &est);
+  if (!replan.ok()) return plan_;  // pricing is best-effort; never fail a run
+  cache_->owned.push_back(std::make_unique<Plan>(std::move(*replan)));
+  const Plan* built = cache_->owned.back().get();
+  cache_->slots[static_cast<size_t>(cls)].store(built,
+                                                std::memory_order_release);
+  return *built;
 }
 
 }  // namespace query

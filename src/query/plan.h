@@ -48,9 +48,12 @@
 #ifndef GDBMICRO_QUERY_PLAN_H_
 #define GDBMICRO_QUERY_PLAN_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -64,6 +67,13 @@ namespace gdbmicro {
 namespace query {
 
 class Operator;
+class CardinalityEstimator;
+
+/// Number of selectivity classes a bound has(k, ?) value can land in
+/// (log-scale over estimated matching rows; see
+/// CardinalityEstimator::ClassOf). PreparedPlan keeps at most one
+/// re-priced lowering per class.
+inline constexpr int kSelectivityClasses = 4;
 
 /// What a pipeline position's rows denote. Uniform per position: sources
 /// fix it, and every operator maps its input kind to one output kind, so
@@ -214,6 +224,10 @@ struct PlanStats {
   /// rows_out[i] = rows operator i pushed into its consumer (for the
   /// source, the number of elements the engine scan emitted).
   std::vector<uint64_t> rows_out;
+  /// est_rows[i] = the optimizer's estimated output rows of operator i
+  /// (empty for rule-based plans). Compare against rows_out to see where
+  /// the cost model mis-estimated.
+  std::vector<double> est_rows;
   /// Materializing barriers executed (0 under the conflated policy).
   uint64_t barriers = 0;
   /// Largest materialized frontier, in rows and approximate bytes.
@@ -241,6 +255,18 @@ class Plan {
   static Result<Plan> Lower(const std::vector<LogicalStep>& steps,
                             QueryExecution policy);
 
+  /// Cost-based lowering: with a non-null `estimator`, commutable filter
+  /// runs are ordered by estimated selectivity rank, access paths
+  /// (PropertyIndexScan / EdgeLabelScan / DistinctNeighborScan) are
+  /// chosen by estimated cardinality under BOTH policies, and per-
+  /// operator row estimates are recorded (Explain / PlanStats). A null
+  /// estimator is exactly the rule-based overload above. The optimizer
+  /// never changes the emitted result multiset, and pure filter
+  /// reordering preserves even the row order.
+  static Result<Plan> Lower(const std::vector<LogicalStep>& steps,
+                            QueryExecution policy,
+                            const CardinalityEstimator* estimator);
+
   /// Executes the plan into `out` (cleared first; its capacity is
   /// reused, so a caller that keeps one TraversalOutput across runs
   /// allocates nothing at steady state). `session` must belong to
@@ -256,8 +282,13 @@ class Plan {
                               PlanStats* stats = nullptr) const;
 
   /// Operator tree, root (last operator) first, two-space indent per
-  /// child level. One operator per line: Name or Name(args).
+  /// child level. One operator per line: Name or Name(args). Plans
+  /// lowered with an estimator append " ~rows=N" per operator;
+  /// rule-based plans print without annotations (the golden format).
   std::string Explain() const;
+
+  /// Estimated output rows per operator (empty for rule-based plans).
+  const std::vector<double>& estimated_rows() const { return est_rows_; }
 
   QueryExecution policy() const { return policy_; }
   size_t num_operators() const { return ops_.size(); }
@@ -283,11 +314,22 @@ class Plan {
                      PlanStats* stats) const;
 
   std::vector<std::unique_ptr<Operator>> ops_;
-  bool counted_ = false;  // chain ends in a CountSink
+  std::vector<double> est_rows_;  // one per operator when cost-based
+  bool counted_ = false;          // chain ends in a CountSink
   bool needs_params_ = false;
   RowKind output_kind_ = RowKind::kVertex;
   std::optional<uint64_t> row_bound_;
   QueryExecution policy_ = QueryExecution::kStepWise;
+};
+
+/// Lazily built per-selectivity-class lowerings of one prepared plan
+/// (see PreparedPlan). Slots publish through acquire/release atomics so
+/// concurrent sessions re-pricing the same class race only on the
+/// construction mutex, never on a published plan.
+struct ClassPlanCache {
+  std::mutex mu;
+  std::array<std::atomic<const Plan*>, kSelectivityClasses> slots{};
+  std::vector<std::unique_ptr<Plan>> owned;  // guarded by mu
 };
 
 /// A plan prepared for one engine (lowered once under the engine's
@@ -295,6 +337,13 @@ class Plan {
 /// Traversal::Prepare(engine), run every iteration with fresh PlanParams.
 /// Immutable and therefore shareable across concurrent client threads;
 /// the engine must outlive it.
+///
+/// Cost-based re-pricing: when the plan was lowered with statistics and
+/// has a bound has(k, ?) step, rebinding a value whose estimated
+/// cardinality falls in a different selectivity class than the one the
+/// cached lowering was priced for transparently switches to a lowering
+/// priced for that class (built once per class, cached). Values within
+/// the same class never re-lower.
 class PreparedPlan {
  public:
   PreparedPlan(PreparedPlan&&) noexcept = default;
@@ -304,7 +353,8 @@ class PreparedPlan {
   Status RunInto(QuerySession& session, const CancelToken& cancel,
                  const PlanParams& params, TraversalOutput* out,
                  PlanStats* stats = nullptr) const {
-    return plan_.RunInto(*engine_, session, cancel, &params, out, stats);
+    return PlanFor(params).RunInto(*engine_, session, cancel, &params, out,
+                                   stats);
   }
 
   Result<TraversalOutput> Run(QuerySession& session, const CancelToken& cancel,
@@ -329,13 +379,32 @@ class PreparedPlan {
   std::string Explain() const { return plan_.Explain(); }
   QueryExecution policy() const { return plan_.policy(); }
 
+  /// The lowering RunInto would execute for `params`: the base plan, or
+  /// a per-selectivity-class re-priced lowering (see the class comment).
+  const Plan& PlanFor(const PlanParams& params) const {
+    if (cache_ == nullptr) return plan_;
+    return RepricedPlan(params);
+  }
+
  private:
   friend class Traversal;
   PreparedPlan(const GraphEngine* engine, Plan plan)
       : engine_(engine), plan_(std::move(plan)) {}
+  /// Cost-based ctor (statistics present at Prepare time): enables
+  /// re-pricing iff `steps` contain a bound has(k, ?).
+  PreparedPlan(const GraphEngine* engine, Plan plan,
+               std::vector<LogicalStep> steps, bool supports_property_index);
+
+  const Plan& RepricedPlan(const PlanParams& params) const;
 
   const GraphEngine* engine_;
   Plan plan_;
+  /// Re-pricing state; cache_ stays null unless it applies.
+  std::vector<LogicalStep> steps_;
+  std::string bound_has_key_;
+  int base_class_ = -1;  // class plan_ was priced for (-1 = off)
+  bool supports_index_ = false;
+  std::shared_ptr<ClassPlanCache> cache_;
 };
 
 }  // namespace query

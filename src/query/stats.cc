@@ -1,0 +1,156 @@
+#include "src/query/stats.h"
+
+#include <algorithm>
+
+namespace gdbmicro {
+namespace query {
+
+namespace {
+
+double Ratio(double part, double whole) {
+  if (whole <= 0.0) return 0.0;
+  return std::min(1.0, part / whole);
+}
+
+}  // namespace
+
+double CardinalityEstimator::SourceRows(const LogicalStep& s) const {
+  switch (s.op) {
+    case LogicalOp::kSourceV:
+      return static_cast<double>(stats_.vertices);
+    case LogicalOp::kSourceE:
+      return static_cast<double>(stats_.edges);
+    case LogicalOp::kSourceVId:
+    case LogicalOp::kSourceEId:
+      return 1.0;
+    default:
+      return 0.0;
+  }
+}
+
+double CardinalityEstimator::Selectivity(const LogicalStep& s,
+                                         RowKind in) const {
+  // Filters drop value rows outright (operators.h), so their selectivity
+  // over a value position is 0.
+  switch (s.op) {
+    case LogicalOp::kHasLabel:
+      if (in == RowKind::kVertex) {
+        return Ratio(static_cast<double>(stats_.VerticesWithLabel(s.key)),
+                     static_cast<double>(stats_.vertices));
+      }
+      if (in == RowKind::kEdge) {
+        return Ratio(static_cast<double>(stats_.EdgesWithLabel(s.key)),
+                     static_cast<double>(stats_.edges));
+      }
+      return 0.0;
+    case LogicalOp::kHas:
+      if (in == RowKind::kVertex) {
+        return Ratio(HasRows(s), static_cast<double>(stats_.vertices));
+      }
+      if (in == RowKind::kEdge) {
+        const PropertyKeyStats* key = stats_.EdgeProperty(s.key);
+        if (key == nullptr) return 0.0;
+        return Ratio(key->EstimateEq(s.value),
+                     static_cast<double>(stats_.edges));
+      }
+      return 0.0;
+    case LogicalOp::kDegreeFilter:
+      if (in != RowKind::kVertex) return 0.0;
+      return stats_.FractionDegreeAtLeast(s.dir, s.id);
+    default:
+      return 1.0;
+  }
+}
+
+double CardinalityEstimator::FilterCostPerRow(const LogicalStep& s) const {
+  switch (s.op) {
+    case LogicalOp::kHasLabel:
+    case LogicalOp::kHas:
+      return 1.0;  // one record fetch
+    case LogicalOp::kDegreeFilter:
+      // The inner it.xE.count() walks the whole neighborhood.
+      return 1.0 + stats_.AvgDegree(s.dir);
+    default:
+      return 0.0;
+  }
+}
+
+double CardinalityEstimator::Fanout(const LogicalStep& s) const {
+  Direction dir = Direction::kBoth;
+  switch (s.op) {
+    case LogicalOp::kOut:
+    case LogicalOp::kOutE:
+      dir = Direction::kOut;
+      break;
+    case LogicalOp::kIn:
+    case LogicalOp::kInE:
+      dir = Direction::kIn;
+      break;
+    case LogicalOp::kBoth:
+    case LogicalOp::kBothE:
+      dir = Direction::kBoth;
+      break;
+    default:
+      return 1.0;
+  }
+  // A label bound at Run time is unknown here: price at the mean fanout
+  // of a uniformly chosen edge label.
+  if (s.bound) {
+    size_t labels = std::max<size_t>(stats_.edge_label_counts.size(), 1);
+    return stats_.AvgDegree(dir) / static_cast<double>(labels);
+  }
+  if (s.label.has_value()) return stats_.AvgDegree(dir, *s.label);
+  return stats_.AvgDegree(dir);
+}
+
+double CardinalityEstimator::HasRows(const LogicalStep& s) const {
+  const PropertyKeyStats* key = stats_.VertexProperty(s.key);
+  if (key == nullptr) return 0.0;
+  // s.value is the fixed predicate value, the PreparedPlan re-pricing
+  // hint, or null for an unhinted bound slot (EstimateEq then averages).
+  return key->EstimateEq(s.value);
+}
+
+double CardinalityEstimator::DistinctNeighbors(
+    Direction dir, const std::optional<std::string>& label) const {
+  double edges = label.has_value()
+                     ? static_cast<double>(stats_.EdgesWithLabel(*label))
+                     : static_cast<double>(stats_.edges);
+  double endpoints = dir == Direction::kBoth ? 2.0 * edges : edges;
+  return std::min(static_cast<double>(stats_.vertices), endpoints);
+}
+
+double CardinalityEstimator::KeyPresence(const std::string& key,
+                                         RowKind in) const {
+  if (in == RowKind::kVertex) {
+    const PropertyKeyStats* stats = stats_.VertexProperty(key);
+    if (stats == nullptr) return 0.0;
+    return Ratio(static_cast<double>(stats->count),
+                 static_cast<double>(stats_.vertices));
+  }
+  if (in == RowKind::kEdge) {
+    const PropertyKeyStats* stats = stats_.EdgeProperty(key);
+    if (stats == nullptr) return 0.0;
+    return Ratio(static_cast<double>(stats->count),
+                 static_cast<double>(stats_.edges));
+  }
+  return 0.0;
+}
+
+int CardinalityEstimator::ClassOf(double rows) {
+  if (rows <= 2.0) return 0;
+  if (rows <= 32.0) return 1;
+  if (rows <= 1024.0) return 2;
+  return 3;
+}
+
+int CardinalityEstimator::SelectivityClass(const std::string& key,
+                                           const PropertyValue& value) const {
+  LogicalStep probe{LogicalOp::kHas};
+  probe.key = key;
+  probe.value = value;
+  return ClassOf(HasRows(probe));
+}
+
+}  // namespace query
+}  // namespace gdbmicro

@@ -1,7 +1,21 @@
 #include "src/query/traversal.h"
 
+#include "src/query/stats.h"
+
 namespace gdbmicro {
 namespace query {
+
+namespace {
+
+/// The engine's cost estimator, when BulkLoad collected statistics
+/// (nullopt reverts Execute/Prepare to rule-based lowering).
+std::optional<CardinalityEstimator> EstimatorFor(const GraphEngine& engine) {
+  const GraphStatistics* stats = engine.statistics();
+  if (stats == nullptr) return std::nullopt;
+  return CardinalityEstimator(*stats, engine.info().supports_property_index);
+}
+
+}  // namespace
 
 Traversal Traversal::V() {
   Traversal t;
@@ -207,6 +221,12 @@ Result<Plan> Traversal::Lower(QueryExecution policy) const {
   return Plan::Lower(steps_, policy);
 }
 
+Result<Plan> Traversal::LowerFor(const GraphEngine& engine,
+                                 QueryExecution policy) const {
+  std::optional<CardinalityEstimator> est = EstimatorFor(engine);
+  return Plan::Lower(steps_, policy, est ? &*est : nullptr);
+}
+
 Result<std::string> Traversal::ExplainPlan(QueryExecution policy) const {
   GDB_ASSIGN_OR_RETURN(Plan plan, Plan::Lower(steps_, policy));
   return plan.Explain();
@@ -215,12 +235,22 @@ Result<std::string> Traversal::ExplainPlan(QueryExecution policy) const {
 Result<TraversalOutput> Traversal::Execute(const GraphEngine& engine,
                                            QuerySession& session,
                                            const CancelToken& cancel) const {
-  GDB_ASSIGN_OR_RETURN(Plan plan, Plan::Lower(steps_, PolicyFor(engine)));
+  std::optional<CardinalityEstimator> est = EstimatorFor(engine);
+  GDB_ASSIGN_OR_RETURN(
+      Plan plan,
+      Plan::Lower(steps_, PolicyFor(engine), est ? &*est : nullptr));
   return plan.Run(engine, session, cancel);
 }
 
 Result<PreparedPlan> Traversal::Prepare(const GraphEngine& engine) const {
-  GDB_ASSIGN_OR_RETURN(Plan plan, Plan::Lower(steps_, PolicyFor(engine)));
+  std::optional<CardinalityEstimator> est = EstimatorFor(engine);
+  GDB_ASSIGN_OR_RETURN(
+      Plan plan,
+      Plan::Lower(steps_, PolicyFor(engine), est ? &*est : nullptr));
+  if (est) {
+    return PreparedPlan(&engine, std::move(plan), steps_,
+                        engine.info().supports_property_index);
+  }
   return PreparedPlan(&engine, std::move(plan));
 }
 

@@ -104,6 +104,12 @@ class Traversal {
   /// Lowers this traversal under an explicit policy without executing.
   Result<Plan> Lower(QueryExecution policy) const;
 
+  /// Like Lower(), but cost-based when `engine` carries load-time
+  /// statistics (rule-based otherwise) — the lowering Execute()/Prepare()
+  /// use, exposed for plan inspection and optimizer A/B tests.
+  Result<Plan> LowerFor(const GraphEngine& engine,
+                        QueryExecution policy) const;
+
   /// Renders the lowered operator tree (see Plan::Explain).
   Result<std::string> ExplainPlan(QueryExecution policy) const;
 
