@@ -170,6 +170,27 @@ bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags) {
       }
     } else if (const char* v = value_of("--iterations=")) {
       flags->iterations = std::atoi(v);
+    } else if (const char* v = value_of("--fault-rate=")) {
+      double rate = std::atof(v);
+      if (rate < 0.0 || rate > 1.0) {
+        std::fprintf(stderr, "--fault-rate must be in [0,1]: %s\n", v);
+        return false;
+      }
+      flags->fault_rate = rate;
+    } else if (const char* v = value_of("--fault-seed=")) {
+      flags->fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--max-attempts=")) {
+      flags->max_attempts = std::atoi(v);
+      if (flags->max_attempts < 1) {
+        std::fprintf(stderr, "--max-attempts must be >= 1: %s\n", v);
+        return false;
+      }
+    } else if (const char* v = value_of("--memory-budgets=")) {
+      flags->memory_budgets.clear();
+      for (const std::string& b : SplitList(v)) {
+        flags->memory_budgets.push_back(
+            std::strtoull(b.c_str(), nullptr, 10));
+      }
     } else if (std::strcmp(arg, "--cost-model") == 0) {
       flags->cost_model = true;
     } else if (const char* v = value_of("--stats=")) {
@@ -183,7 +204,9 @@ bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags) {
                    "usage: %s [--scale=f] [--rounds=n] [--dataset=name] "
                    "[--engines=a,b,c] [--json=path] [--threads=1,2,4] "
                    "[--write-ratio=0,0.1,0.5] [--iterations=n] "
-                   "[--cost-model] [--stats=on|off]\n",
+                   "[--fault-rate=p] [--fault-seed=n] [--max-attempts=n] "
+                   "[--memory-budgets=a,b,c] [--cost-model] "
+                   "[--stats=on|off]\n",
                    argv[0]);
       return false;
     }

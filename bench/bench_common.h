@@ -84,11 +84,17 @@ struct MicroBenchFlags {
   int iterations = 0;                  // 0 = binary default
   bool cost_model = false;             // --cost-model turns the charges on
   bool stats = true;                   // --stats=off: rule-based planning
+  // Robustness knobs (the chaos bench; other binaries ignore them).
+  double fault_rate = 0.01;            // --fault-rate=p (transient faults)
+  uint64_t fault_seed = 7;             // --fault-seed=n (injector stream)
+  int max_attempts = 3;                // --max-attempts=n (1 = no retry)
+  std::vector<uint64_t> memory_budgets;  // --memory-budgets=a,b,c (bytes)
 };
 
 /// Parses --scale/--rounds/--dataset/--engines/--json/--threads/
-/// --write-ratio/--iterations/--cost-model/--stats into `flags`. Unknown
-/// flags print usage and return false.
+/// --write-ratio/--iterations/--cost-model/--stats plus the robustness
+/// knobs (--fault-rate/--fault-seed/--max-attempts/--memory-budgets) into
+/// `flags`. Unknown flags print usage and return false.
 bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags);
 
 /// Shared driver for the per-figure binaries: runs the Table 2 queries

@@ -49,6 +49,25 @@ int main(int argc, char** argv) {
                   (unsigned long long)interactive[engine],
                   (unsigned long long)batch[engine]);
     }
+
+    // The same bars split by governor class: which DNFs were deadline
+    // trips and which were memory trips, per execution mode (the paper
+    // reports them as one "failed" bar; the governor can tell them apart).
+    auto single_dnf = core::CountOutcomes(all, core::Measurement::Mode::kSingle);
+    auto batch_dnf = core::CountOutcomes(all, core::Measurement::Mode::kBatch);
+    std::printf("\ngovernor DNF classes through %s (I=interactive B=batch):\n",
+                name.c_str());
+    std::printf("%-9s %10s %10s %10s %10s %10s %10s\n", "engine", "I-timeout",
+                "I-oom", "I-err", "B-timeout", "B-oom", "B-err");
+    for (const std::string& engine : engines) {
+      const core::OutcomeCounters& s = single_dnf[engine];
+      const core::OutcomeCounters& b = batch_dnf[engine];
+      std::printf("%-9s %10llu %10llu %10llu %10llu %10llu %10llu\n",
+                  engine.c_str(), (unsigned long long)s.timeout,
+                  (unsigned long long)s.oom, (unsigned long long)s.failed,
+                  (unsigned long long)b.timeout, (unsigned long long)b.oom,
+                  (unsigned long long)b.failed);
+    }
     std::fflush(stdout);
   }
   std::printf(

@@ -1,0 +1,375 @@
+// Chaos micro-bench: graceful degradation of the full query stack under
+// injected transient faults and shrinking governor memory budgets.
+//
+// Per engine, four sequential legs against freshly loaded instances:
+//
+//   1. baseline   — fault-free run of the light read mix (Q.14, Q.15,
+//                   Q.22, Q.23), recording golden item counts and the
+//                   per-class outcome counters.
+//   2. faulted x2 — same mix with a QueryFaultInjector at --fault-rate
+//                   and bounded retry (--max-attempts). Run twice with
+//                   the same seed: counters, item counts, and the
+//                   injector's probe/fault totals must be identical
+//                   (the determinism contract), goodput must stay within
+//                   10% of baseline, and completed runs must reproduce
+//                   the golden items (no correctness drift).
+//   3. mixed      — single-threaded mixed read/write leg under the same
+//                   injector: commits route through GraphWriter, whose
+//                   injected aborts leave the store intact and retry.
+//   4. memory     — fault-free sweep over --memory-budgets (ascending,
+//                   0 = unlimited) with the allocation-heavy queries
+//                   (Q.10, Q.31, Q.32): OOM counts must be monotone
+//                   non-increasing in the budget, every leg must keep
+//                   the outcome identity ok+retried+timeout+oom+failed
+//                   == issued, and whatever completes must match the
+//                   unlimited leg's items.
+//
+// Any violated invariant is recorded and the binary exits nonzero —
+// this is the regression harness for the governor/retry machinery, not
+// just a reporter. --json writes BENCH_robustness.json (archived by CI).
+//
+// Usage: bench_micro_robustness [--scale=<f>] [--engines=a,b,c]
+//        [--dataset=<name>] [--iterations=<n>] [--fault-rate=<p>]
+//        [--fault-seed=<n>] [--max-attempts=<n>]
+//        [--memory-budgets=a,b,c] [--json=<path>] [--cost-model]
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "src/core/queries.h"
+#include "src/core/runner.h"
+#include "src/graph/fault.h"
+#include "src/util/json.h"
+#include "src/util/string_util.h"
+
+namespace gdbmicro {
+namespace {
+
+// Light per-query fault surface (~1-3 emulated remote probes each) so a
+// per-probe fault rate of 0.01 keeps per-attempt success high and the
+// retry policy — not luck — carries the goodput.
+const std::vector<int> kFaultQueryNumbers = {14, 15, 22, 23};
+
+// Allocation-heavy queries for the budget sweep: dedup hash sets (Q.10,
+// Q.31), streamed row charges, and the BFS visited structures (Q.32).
+const std::vector<int> kMemoryQueryNumbers = {10, 31, 32};
+
+// Mixed-mode mixes for the writer-abort leg.
+const std::vector<int> kMixedReadNumbers = {14, 22};
+const std::vector<int> kMixedWriteNumbers = {5, 16, 17};
+
+struct LegResult {
+  core::OutcomeCounters outcomes;
+  double wall_ms = 0;
+  // (query name, mode) -> (completed iterations, summed items): the
+  // correctness fingerprint compared across legs.
+  std::map<std::pair<std::string, int>, std::pair<uint64_t, uint64_t>> items;
+};
+
+LegResult RunLeg(const core::Runner& runner, const std::string& engine,
+                 const GraphData& data,
+                 const std::vector<const core::QuerySpec*>& specs,
+                 std::vector<std::string>* violations) {
+  LegResult leg;
+  auto loaded = runner.Load(engine, data);
+  if (!loaded.ok()) {
+    violations->push_back(engine + ": load failed: " +
+                          loaded.status().ToString());
+    return leg;
+  }
+  for (const core::QuerySpec* spec : specs) {
+    for (core::Measurement& m : runner.RunQuery(*loaded, data, *spec)) {
+      leg.outcomes.Merge(m.outcomes);
+      leg.wall_ms += m.millis;
+      leg.items[{m.query, static_cast<int>(m.mode)}] = {
+          m.outcomes.Completed(), m.items};
+    }
+  }
+  return leg;
+}
+
+Json CountersJson(const core::OutcomeCounters& c) {
+  Json doc = Json::MakeObject();
+  doc.Set("issued", c.Issued());
+  doc.Set("ok", c.ok);
+  doc.Set("retried", c.retried);
+  doc.Set("timeout", c.timeout);
+  doc.Set("oom", c.oom);
+  doc.Set("failed", c.failed);
+  doc.Set("retry_attempts", c.retry_attempts);
+  return doc;
+}
+
+bool SameCounters(const core::OutcomeCounters& a,
+                  const core::OutcomeCounters& b) {
+  return a.ok == b.ok && a.retried == b.retried && a.timeout == b.timeout &&
+         a.oom == b.oom && a.failed == b.failed &&
+         a.retry_attempts == b.retry_attempts;
+}
+
+}  // namespace
+}  // namespace gdbmicro
+
+int main(int argc, char** argv) {
+  using namespace gdbmicro;
+  bench::MicroBenchFlags flags;
+  if (!bench::ParseMicroBenchFlags(argc, argv, &flags)) return 2;
+  if (flags.memory_budgets.empty()) {
+    flags.memory_budgets = {16ULL << 10, 256ULL << 10, 0};
+  }
+  // Ascending budgets, unlimited (0) last: the monotonicity check below
+  // walks them as ever-looser limits.
+  std::sort(flags.memory_budgets.begin(), flags.memory_budgets.end(),
+            [](uint64_t a, uint64_t b) {
+              if (a == 0) return false;
+              if (b == 0) return true;
+              return a < b;
+            });
+  int iterations = flags.iterations > 0 ? flags.iterations : 10;
+
+  std::vector<std::string> engines =
+      flags.engines.empty() ? bench::AllEngines() : flags.engines;
+  const GraphData& data = bench::GetDataset(flags.dataset, flags.scale);
+
+  core::RunnerOptions base;
+  base.deadline = std::chrono::milliseconds(10000);
+  base.batch_iterations = iterations;
+  base.run_batch = true;
+  base.enable_cost_model = flags.cost_model;
+  base.workload_seed = 42;
+  base.collect_statistics = flags.stats;
+  base.max_attempts = flags.max_attempts;
+
+  auto fault_specs = core::QueriesByNumber(kFaultQueryNumbers);
+  auto memory_specs = core::QueriesByNumber(kMemoryQueryNumbers);
+  auto mixed_reads = core::QueriesByNumber(kMixedReadNumbers);
+  auto mixed_writes = core::QueriesByNumber(kMixedWriteNumbers);
+  // Every fault-mix query issues 1 single + `iterations` batch runs.
+  const uint64_t expected_issued = fault_specs.size() * (1 + iterations);
+
+  std::printf(
+      "robustness micro-bench: dataset=%s scale=%.3f (%zu vertices, %zu "
+      "edges)\nfault-rate=%.3f fault-seed=%llu max-attempts=%d "
+      "iterations=%d\n\n",
+      flags.dataset.c_str(), flags.scale, data.vertices.size(),
+      data.edges.size(), flags.fault_rate,
+      (unsigned long long)flags.fault_seed, flags.max_attempts, iterations);
+  std::printf("%-9s %8s %8s %8s %8s %8s %8s %9s %8s\n", "engine", "issued",
+              "ok", "retried", "timeout", "oom", "failed", "goodput",
+              "probes");
+
+  std::vector<std::string> violations;
+  Json engines_json = Json::MakeArray();
+
+  for (const std::string& engine : engines) {
+    auto fail = [&](const std::string& what) {
+      violations.push_back(engine + ": " + what);
+    };
+
+    // Leg 1: fault-free baseline (golden items, reference goodput).
+    core::Runner base_runner(base);
+    LegResult baseline =
+        RunLeg(base_runner, engine, data, fault_specs, &violations);
+    if (baseline.outcomes.Issued() != expected_issued) {
+      fail(StrFormat("baseline issued %llu != expected %llu",
+                     (unsigned long long)baseline.outcomes.Issued(),
+                     (unsigned long long)expected_issued));
+    }
+
+    // Leg 2: the same mix under injected faults, twice with the same
+    // seed — byte-identical accounting or the determinism contract is
+    // broken.
+    LegResult faulted[2];
+    uint64_t probes[2] = {0, 0};
+    uint64_t faults[2] = {0, 0};
+    core::OutcomeCounters mixed_outcomes[2];
+    uint64_t mixed_epochs[2] = {0, 0};
+    for (int rep = 0; rep < 2; ++rep) {
+      QueryFaultInjector injector(
+          {flags.fault_rate, flags.fault_seed});
+      core::RunnerOptions with_faults = base;
+      with_faults.fault_injector = &injector;
+      core::Runner fault_runner(with_faults);
+      faulted[rep] =
+          RunLeg(fault_runner, engine, data, fault_specs, &violations);
+
+      // Leg 3 (same injector stream): mixed read/write ops, one client,
+      // commits through the writer — injected aborts must retry cleanly.
+      auto loaded = fault_runner.Load(engine, data);
+      if (!loaded.ok()) {
+        fail("mixed-mode load failed: " + loaded.status().ToString());
+      } else {
+        auto mixed = fault_runner.RunMixed(*loaded, data, mixed_reads,
+                                           mixed_writes, /*threads=*/1,
+                                           /*iterations_per_thread=*/
+                                           2 * iterations,
+                                           /*write_ratio=*/0.5);
+        if (!mixed.ok()) {
+          fail("mixed-mode run failed: " + mixed.status().ToString());
+        } else {
+          mixed_outcomes[rep] = mixed->outcomes;
+          mixed_epochs[rep] = mixed->epochs_published;
+          if (mixed->outcomes.Issued() !=
+              static_cast<uint64_t>(2 * iterations)) {
+            fail(StrFormat("mixed issued %llu != expected %d",
+                           (unsigned long long)mixed->outcomes.Issued(),
+                           2 * iterations));
+          }
+        }
+      }
+      probes[rep] = injector.probes();
+      faults[rep] = injector.faults();
+    }
+    if (!SameCounters(faulted[0].outcomes, faulted[1].outcomes) ||
+        faulted[0].items != faulted[1].items || probes[0] != probes[1] ||
+        faults[0] != faults[1] ||
+        !SameCounters(mixed_outcomes[0], mixed_outcomes[1]) ||
+        mixed_epochs[0] != mixed_epochs[1]) {
+      fail("fault legs with the same seed diverged (determinism broken)");
+    }
+    const LegResult& chaos = faulted[0];
+    if (chaos.outcomes.Issued() != expected_issued) {
+      fail(StrFormat("faulted issued %llu != expected %llu",
+                     (unsigned long long)chaos.outcomes.Issued(),
+                     (unsigned long long)expected_issued));
+    }
+    // Goodput in completed queries: the retry policy must absorb the
+    // fault rate to within 10% of fault-free completion.
+    if (10 * chaos.outcomes.Completed() < 9 * baseline.outcomes.Completed()) {
+      fail(StrFormat("goodput %llu/%llu below 90%% of baseline",
+                     (unsigned long long)chaos.outcomes.Completed(),
+                     (unsigned long long)baseline.outcomes.Completed()));
+    }
+    // No correctness drift: a (query, mode) cell that completed as many
+    // iterations as the baseline must report the same items.
+    for (const auto& [key, golden] : baseline.items) {
+      auto it = chaos.items.find(key);
+      if (it == chaos.items.end()) continue;
+      if (it->second.first == golden.first &&
+          it->second.second != golden.second) {
+        fail(key.first + " drifted under faults: items " +
+             std::to_string(it->second.second) + " != golden " +
+             std::to_string(golden.second));
+      }
+    }
+
+    double goodput_ratio =
+        baseline.outcomes.Completed() > 0
+            ? static_cast<double>(chaos.outcomes.Completed()) /
+                  static_cast<double>(baseline.outcomes.Completed())
+            : 0.0;
+    std::printf("%-9s %8llu %8llu %8llu %8llu %8llu %8llu %8.1f%% %8llu\n",
+                engine.c_str(), (unsigned long long)chaos.outcomes.Issued(),
+                (unsigned long long)chaos.outcomes.ok,
+                (unsigned long long)chaos.outcomes.retried,
+                (unsigned long long)chaos.outcomes.timeout,
+                (unsigned long long)chaos.outcomes.oom,
+                (unsigned long long)chaos.outcomes.failed,
+                100.0 * goodput_ratio, (unsigned long long)probes[0]);
+    std::fflush(stdout);
+
+    // Leg 4: fault-free budget sweep, loosest budget last. OOM counts
+    // must fall (or hold) as the budget grows, and anything that
+    // completes under a limit must match the unlimited leg's items.
+    std::vector<LegResult> sweep;
+    for (uint64_t budget : flags.memory_budgets) {
+      core::RunnerOptions with_budget = base;
+      with_budget.governor_memory_budget_bytes = budget;
+      core::Runner budget_runner(with_budget);
+      sweep.push_back(
+          RunLeg(budget_runner, engine, data, memory_specs, &violations));
+      const LegResult& leg = sweep.back();
+      if (leg.outcomes.failed != 0) {
+        fail(StrFormat("budget %llu produced %llu permanent failures",
+                       (unsigned long long)budget,
+                       (unsigned long long)leg.outcomes.failed));
+      }
+      if (!sweep.empty() && sweep.size() >= 2 &&
+          leg.outcomes.oom > sweep[sweep.size() - 2].outcomes.oom) {
+        fail(StrFormat("oom count rose with a looser budget (%llu bytes)",
+                       (unsigned long long)budget));
+      }
+    }
+    if (!sweep.empty() && flags.memory_budgets.back() == 0) {
+      const LegResult& unlimited = sweep.back();
+      if (unlimited.outcomes.oom != 0) {
+        fail("unlimited budget still reported oom");
+      }
+      for (size_t i = 0; i + 1 < sweep.size(); ++i) {
+        for (const auto& [key, golden] : unlimited.items) {
+          auto it = sweep[i].items.find(key);
+          if (it == sweep[i].items.end()) continue;
+          if (it->second.first == golden.first &&
+              it->second.second != golden.second) {
+            fail(key.first + " drifted under a memory budget");
+          }
+        }
+      }
+    }
+
+    std::printf("  budget sweep:");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      uint64_t budget = flags.memory_budgets[i];
+      std::printf("  %s -> %llu oom",
+                  budget == 0 ? "unlimited"
+                              : StrFormat("%lluKiB", (unsigned long long)(
+                                                         budget >> 10))
+                                    .c_str(),
+                  (unsigned long long)sweep[i].outcomes.oom);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+
+    Json row = Json::MakeObject();
+    row.Set("engine", engine);
+    row.Set("baseline", CountersJson(baseline.outcomes));
+    Json chaos_json = CountersJson(chaos.outcomes);
+    chaos_json.Set("probes", probes[0]);
+    chaos_json.Set("faults", faults[0]);
+    chaos_json.Set("goodput_ratio", goodput_ratio);
+    row.Set("faulted", chaos_json);
+    Json mixed_json = CountersJson(mixed_outcomes[0]);
+    mixed_json.Set("epochs_published", mixed_epochs[0]);
+    row.Set("mixed", mixed_json);
+    Json sweep_json = Json::MakeArray();
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      Json leg_json = CountersJson(sweep[i].outcomes);
+      leg_json.Set("budget_bytes", flags.memory_budgets[i]);
+      sweep_json.Append(std::move(leg_json));
+    }
+    row.Set("memory_sweep", std::move(sweep_json));
+    engines_json.Append(std::move(row));
+  }
+
+  if (!violations.empty()) {
+    std::printf("\nINVARIANT VIOLATIONS:\n");
+    for (const std::string& v : violations) {
+      std::printf("  %s\n", v.c_str());
+    }
+  } else {
+    std::printf(
+        "\nall robustness invariants held: deterministic chaos, goodput "
+        "within 10%%, no drift, monotone oom\n");
+  }
+
+  if (!flags.json_path.empty()) {
+    Json doc = Json::MakeObject();
+    doc.Set("bench", "robustness");
+    doc.Set("dataset", flags.dataset);
+    doc.Set("scale", flags.scale);
+    doc.Set("fault_rate", flags.fault_rate);
+    doc.Set("fault_seed", flags.fault_seed);
+    doc.Set("max_attempts", flags.max_attempts);
+    doc.Set("iterations", iterations);
+    doc.Set("engines", std::move(engines_json));
+    Json violations_json = Json::MakeArray();
+    for (const std::string& v : violations) violations_json.Append(v);
+    doc.Set("violations", std::move(violations_json));
+    if (!bench::WriteJsonArtifact(flags.json_path, doc)) return 1;
+  }
+  return violations.empty() ? 0 : 1;
+}

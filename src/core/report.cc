@@ -94,6 +94,16 @@ std::map<std::string, uint64_t> CountFailures(
   return counts;
 }
 
+std::map<std::string, OutcomeCounters> CountOutcomes(
+    const std::vector<Measurement>& results, Measurement::Mode mode) {
+  std::map<std::string, OutcomeCounters> counts;
+  for (const Measurement& m : results) {
+    if (m.mode != mode) continue;
+    counts[m.engine].Merge(m.outcomes);
+  }
+  return counts;
+}
+
 std::map<std::string, double> CumulativeMillis(
     const std::vector<Measurement>& results, const std::string& dataset,
     Measurement::Mode mode, double deadline_millis) {

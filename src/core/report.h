@@ -41,6 +41,13 @@ std::string PivotTable(const std::vector<Measurement>& results,
 std::map<std::string, uint64_t> CountFailures(
     const std::vector<Measurement>& results, Measurement::Mode mode);
 
+/// Governor-enforced DNF accounting per engine: the per-iteration outcome
+/// counters summed over every measurement of the given mode. Splits the
+/// Fig. 1(c) failure bar into its classes (deadline vs memory vs permanent
+/// error) and carries the retry bookkeeping alongside.
+std::map<std::string, OutcomeCounters> CountOutcomes(
+    const std::vector<Measurement>& results, Measurement::Mode mode);
+
 /// Cumulative suite time per engine on a dataset; failed tests are charged
 /// the deadline, as the paper's Fig. 7(c,d) totals do.
 std::map<std::string, double> CumulativeMillis(

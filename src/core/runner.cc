@@ -5,11 +5,91 @@
 #include <numeric>
 #include <thread>
 
+#include "src/query/governor.h"
+#include "src/util/hash.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
 
 namespace gdbmicro {
 namespace core {
+
+namespace {
+
+/// Nanoseconds of `budget` left after `elapsed_ms`; <= 0 means spent.
+std::chrono::nanoseconds RemainingNanos(std::chrono::milliseconds budget,
+                                        double elapsed_ms) {
+  double left_ms = static_cast<double>(budget.count()) - elapsed_ms;
+  return std::chrono::nanoseconds(static_cast<int64_t>(left_ms * 1e6));
+}
+
+/// Deterministic exponential backoff before re-attempt `attempt` (the
+/// first retry is attempt 1): base << (attempt-1) microseconds plus
+/// seeded jitter, spun on the cost-model clock (SpinFor burns the calling
+/// thread's CPU clock), so the same (seed, stream, attempt) always waits
+/// the same emulated time.
+void BackoffBeforeRetry(const RunnerOptions& options, uint64_t stream_key,
+                        int attempt) {
+  int shift = attempt - 1;
+  if (shift > 10) shift = 10;  // cap the exponent, not the determinism
+  uint64_t base = options.retry_backoff_us << shift;
+  if (base == 0) return;
+  uint64_t jitter =
+      HashInt(options.workload_seed ^ (stream_key * 0x9e3779b97f4a7c15ULL) ^
+              static_cast<uint64_t>(attempt)) %
+      (base / 2 + 1);
+  SpinFor(static_cast<int64_t>(base + jitter));
+}
+
+/// Runs one spec under the Runner's bounded-retry policy: only transient
+/// (kUnavailable) failures are re-attempted, up to options.max_attempts
+/// total tries, with deterministic backoff between them. Successful
+/// outcomes are classed ok/retried here; failures are returned for the
+/// caller to classify (timeout/oom/failed).
+Result<QueryResult> RunAttempts(const QuerySpec& spec, QueryContext& ctx,
+                                QuerySession* session,
+                                const RunnerOptions& options,
+                                uint64_t stream_key,
+                                OutcomeCounters* outcomes) {
+  for (int attempt = 1;; ++attempt) {
+    if (session != nullptr) session->BeginQuery();
+    Result<QueryResult> r = spec.run(ctx);
+    if (r.ok()) {
+      if (attempt > 1) {
+        ++outcomes->retried;
+      } else {
+        ++outcomes->ok;
+      }
+      return r;
+    }
+    if (!r.status().IsUnavailable() || attempt >= options.max_attempts) {
+      return r;
+    }
+    ++outcomes->retry_attempts;
+    BackoffBeforeRetry(options, stream_key, attempt);
+  }
+}
+
+/// Classifies a permanent (post-retry) failure into its outcome class and
+/// keeps the first non-OK status for display. Returns true when the run
+/// should stop: the deadline class means the time budget is spent, so
+/// further iterations cannot complete either; memory exhaustion and
+/// permanent errors leave the session reusable and the loop continues.
+bool ClassifyFailure(const Status& s, OutcomeCounters* outcomes,
+                     Status* first) {
+  if (first->ok()) *first = s;
+  if (s.IsDeadlineExceeded()) {
+    ++outcomes->timeout;
+    return true;
+  }
+  if (s.IsResourceExhausted()) {
+    ++outcomes->oom;
+    return false;
+  }
+  ++outcomes->failed;
+  return false;
+}
+
+}  // namespace
 
 LatencyStats LatencyStats::FromSamples(std::vector<double> samples_ms) {
   LatencyStats s;
@@ -45,6 +125,7 @@ Result<LoadedEngine> Runner::Load(const std::string& engine_name,
   engine_options.enable_cost_model = options_.enable_cost_model;
   engine_options.memory_budget_bytes = options_.memory_budget_bytes;
   engine_options.collect_statistics = options_.collect_statistics;
+  engine_options.query_fault_injector = options_.fault_injector;
   // The runner's cost-model setting is an explicit benchmark-profile
   // choice, which the GDBMICRO_COST_MODEL CI toggle must not overrule.
   GDB_ASSIGN_OR_RETURN(std::unique_ptr<GraphEngine> engine,
@@ -60,6 +141,7 @@ Result<LoadedEngine> Runner::Load(const std::string& engine_name,
   loaded.session = loaded.engine->CreateSession();
   loaded.prepared = std::make_unique<PreparedQueryCache>(loaded.engine.get());
   loaded.writer = std::make_unique<GraphWriter>(loaded.engine.get());
+  loaded.writer->set_fault_injector(options_.fault_injector);
   loaded.mapping = std::make_unique<LoadMapping>(std::move(mapping));
   loaded.workload = std::make_unique<datasets::Workload>(
       &data, loaded.mapping.get(), options_.workload_seed);
@@ -97,7 +179,6 @@ std::vector<Measurement> Runner::RunQuery(LoadedEngine& loaded,
     ctx.session = loaded.session.get();
     ctx.workload = loaded.workload.get();
     ctx.prepared = loaded.prepared.get();
-    ctx.cancel = CancelToken::WithTimeout(options_.deadline);
     Timer timer;
     Status status = Status::OK();
     uint64_t items = 0;
@@ -107,21 +188,38 @@ std::vector<Measurement> Runner::RunQuery(LoadedEngine& loaded,
       // Batch iterations use indexes 1..N so they never resample the
       // single run's pick (deletion victims must be distinct).
       ctx.iteration = mode == Measurement::Mode::kBatch ? i + 1 : 0;
-      loaded.session->BeginQuery();
+      // One governor per iteration, armed with whatever is left of the
+      // mode's deadline: the whole mode still runs under one time budget,
+      // but each iteration's trip carries its own typed diagnostics and a
+      // memory DNF does not poison the next iteration.
+      std::chrono::nanoseconds remaining =
+          RemainingNanos(options_.deadline, timer.ElapsedMillis());
+      if (remaining.count() <= 0) {
+        if (status.ok()) {
+          status = Status::DeadlineExceeded(
+              "deadline budget (" +
+              std::to_string(options_.deadline.count()) + " ms) spent after " +
+              std::to_string(i) + " of " + std::to_string(iterations) +
+              " iterations");
+        }
+        ++m.outcomes.timeout;
+        break;
+      }
+      query::ResourceGovernor governor(
+          {remaining, options_.governor_memory_budget_bytes});
+      ctx.cancel = governor.token();
       Timer iteration_timer;
-      Result<QueryResult> r = spec.run(ctx);
-      if (!r.ok()) {
-        status = std::move(r).status();
-        break;
+      Result<QueryResult> r =
+          RunAttempts(spec, ctx, loaded.session.get(), options_,
+                      static_cast<uint64_t>(ctx.iteration), &m.outcomes);
+      if (r.ok()) {
+        // Only completed iterations enter the distribution (a failed run
+        // has samples == 0; see the LatencyStats contract in runner.h).
+        iteration_ms.push_back(iteration_timer.ElapsedMillis());
+        items += r->items;
+        continue;
       }
-      // Only completed iterations enter the distribution (a failed run
-      // has samples == 0; see the LatencyStats contract in runner.h).
-      iteration_ms.push_back(iteration_timer.ElapsedMillis());
-      items += r->items;
-      if (ctx.cancel.Expired()) {
-        status = ctx.cancel.ToStatus();
-        break;
-      }
+      if (ClassifyFailure(r.status(), &m.outcomes, &status)) break;
     }
     m.millis = timer.ElapsedMillis();
     m.status = std::move(status);
@@ -167,6 +265,7 @@ Result<ConcurrentMeasurement> Runner::RunConcurrent(
     uint64_t ok_queries = 0;
     uint64_t failures = 0;
     Status status;
+    OutcomeCounters outcomes;
   };
   std::vector<ThreadResult> results(static_cast<size_t>(threads));
   // Per-thread workloads: same dataset, disjoint parameter streams.
@@ -195,28 +294,49 @@ Result<ConcurrentMeasurement> Runner::RunConcurrent(
         // lowering happens once, every thread runs the same plan through
         // its own session scratch.
         ctx.prepared = loaded.prepared.get();
-        // One deadline per client covering its whole closed loop.
-        ctx.cancel = CancelToken::WithTimeout(options_.deadline);
         slot.latencies_ms.reserve(static_cast<size_t>(iterations_per_thread) *
                                   specs.size());
-        for (int it = 0; it < iterations_per_thread && slot.status.ok();
-             ++it) {
+        // One time budget per client covering its whole closed loop; each
+        // query gets a governor armed with what remains of it. Timeouts
+        // stop the client (its budget is spent); memory DNFs and permanent
+        // failures are counted and the loop continues — the session stays
+        // reusable by contract.
+        Timer client_timer;
+        bool stop = false;
+        for (int it = 0; it < iterations_per_thread && !stop; ++it) {
           ctx.iteration = it;
           for (const QuerySpec* spec : specs) {
-            ctx.session->BeginQuery();
-            Timer query_timer;
-            Result<QueryResult> r = spec->run(ctx);
-            if (!r.ok()) {
-              slot.status = std::move(r).status();
+            std::chrono::nanoseconds remaining =
+                RemainingNanos(options_.deadline, client_timer.ElapsedMillis());
+            if (remaining.count() <= 0) {
+              if (slot.status.ok()) {
+                slot.status = Status::DeadlineExceeded(
+                    "client deadline budget spent mid-loop");
+              }
+              ++slot.outcomes.timeout;
               ++slot.failures;
+              stop = true;
               break;
             }
-            // The latency distribution covers completed queries only;
-            // failures are counted separately.
-            slot.latencies_ms.push_back(query_timer.ElapsedMillis());
-            ++slot.ok_queries;
-            if (ctx.cancel.Expired()) {
-              slot.status = ctx.cancel.ToStatus();
+            query::ResourceGovernor governor(
+                {remaining, options_.governor_memory_budget_bytes});
+            ctx.cancel = governor.token();
+            Timer query_timer;
+            uint64_t stream_key = static_cast<uint64_t>(t) * 1000003ULL +
+                                  static_cast<uint64_t>(it);
+            Result<QueryResult> r = RunAttempts(*spec, ctx, ctx.session,
+                                                options_, stream_key,
+                                                &slot.outcomes);
+            if (r.ok()) {
+              // The latency distribution covers completed queries only;
+              // failures are counted separately.
+              slot.latencies_ms.push_back(query_timer.ElapsedMillis());
+              ++slot.ok_queries;
+              continue;
+            }
+            ++slot.failures;
+            if (ClassifyFailure(r.status(), &slot.outcomes, &slot.status)) {
+              stop = true;
               break;
             }
           }
@@ -231,6 +351,7 @@ Result<ConcurrentMeasurement> Runner::RunConcurrent(
   for (ThreadResult& slot : results) {
     out.queries += slot.ok_queries;
     out.failures += slot.failures;
+    out.outcomes.Merge(slot.outcomes);
     all_latencies.insert(all_latencies.end(), slot.latencies_ms.begin(),
                          slot.latencies_ms.end());
     if (out.status.ok() && !slot.status.ok()) out.status = slot.status;
@@ -291,6 +412,7 @@ Result<MixedMeasurement> Runner::RunMixed(
     uint64_t writes_ok = 0;
     uint64_t failures = 0;
     Status status;
+    OutcomeCounters outcomes;
   };
   std::vector<ThreadResult> results(static_cast<size_t>(threads));
   std::vector<std::unique_ptr<datasets::Workload>> workloads;
@@ -317,11 +439,11 @@ Result<MixedMeasurement> Runner::RunMixed(
         ctx.workload = workloads[static_cast<size_t>(t)].get();
         ctx.prepared = loaded.prepared.get();
         ctx.writer = loaded.writer.get();
-        ctx.cancel = CancelToken::WithTimeout(options_.deadline);
         size_t next_read = 0;
         size_t next_write = 0;
-        for (int it = 0; it < iterations_per_thread && slot.status.ok();
-             ++it) {
+        Timer client_timer;
+        bool stop = false;
+        for (int it = 0; it < iterations_per_thread && !stop; ++it) {
           // Victim streams must be globally disjoint: Q.18's delete pool
           // is indexed by iteration, and two threads sharing an index
           // would race to the same victim every round.
@@ -330,27 +452,46 @@ Result<MixedMeasurement> Runner::RunMixed(
           const QuerySpec* spec =
               is_write ? write_specs[next_write++ % write_specs.size()]
                        : read_specs[next_read++ % read_specs.size()];
+          std::chrono::nanoseconds remaining =
+              RemainingNanos(options_.deadline, client_timer.ElapsedMillis());
+          if (remaining.count() <= 0) {
+            if (slot.status.ok()) {
+              slot.status = Status::DeadlineExceeded(
+                  "client deadline budget spent mid-loop");
+            }
+            ++slot.outcomes.timeout;
+            ++slot.failures;
+            break;
+          }
+          query::ResourceGovernor governor(
+              {remaining, options_.governor_memory_budget_bytes});
+          ctx.cancel = governor.token();
+          uint64_t stream_key = static_cast<uint64_t>(ctx.iteration);
           Timer op_timer;
           Result<QueryResult> r = QueryResult{};
           if (is_write) {
             // Writes never touch a session: the spec stages a WriteBatch
-            // and commits through the shared writer.
+            // and commits through the shared writer. An injected commit
+            // fault aborts with the store and epoch gate intact, which is
+            // what makes the retry here safe.
             ctx.session = nullptr;
-            r = spec->run(ctx);
+            r = RunAttempts(*spec, ctx, nullptr, options_, stream_key,
+                            &slot.outcomes);
           } else {
             // One session per read op. Sessions pin their epoch for life,
             // so short-lived sessions are what lets the writer drain; the
-            // pin also makes the read's snapshot explicit.
+            // pin also makes the read's snapshot explicit. Retries reuse
+            // the op's session (same snapshot, BeginQuery per attempt).
             std::unique_ptr<QuerySession> session =
                 loaded.engine->CreateSession();
             ctx.session = session.get();
-            ctx.session->BeginQuery();
-            r = spec->run(ctx);
+            r = RunAttempts(*spec, ctx, session.get(), options_, stream_key,
+                            &slot.outcomes);
           }
           if (!r.ok()) {
-            slot.status = std::move(r).status();
             ++slot.failures;
-            break;
+            stop = ClassifyFailure(r.status(), &slot.outcomes, &slot.status);
+            continue;
           }
           const double ms = op_timer.ElapsedMillis();
           if (!is_write) {
@@ -370,10 +511,6 @@ Result<MixedMeasurement> Runner::RunMixed(
                 break;
             }
           }
-          if (ctx.cancel.Expired()) {
-            slot.status = ctx.cancel.ToStatus();
-            break;
-          }
         }
       });
     }
@@ -387,6 +524,7 @@ Result<MixedMeasurement> Runner::RunMixed(
     out.reads_ok += slot.reads_ok;
     out.writes_ok += slot.writes_ok;
     out.failures += slot.failures;
+    out.outcomes.Merge(slot.outcomes);
     read_ms.insert(read_ms.end(), slot.read_ms.begin(), slot.read_ms.end());
     create_ms.insert(create_ms.end(), slot.create_ms.begin(),
                      slot.create_ms.end());

@@ -43,6 +43,50 @@ struct RunnerOptions {
   /// Collect load-time planner statistics (GraphStatistics). Off reverts
   /// query lowering to the rule-based plans — the --stats=off A/B knob.
   bool collect_statistics = true;
+  /// Per-query governor memory budget in bytes, enforced across the whole
+  /// query stack (operator sinks, dedup sets, BFS/SP visited structures,
+  /// engine materialization; see src/query/governor.h). 0 = unlimited.
+  /// Distinct from memory_budget_bytes above, which is the *engine-level*
+  /// budget only arena-tracking engines honor.
+  uint64_t governor_memory_budget_bytes = 0;
+  /// Bounded retry for transient (kUnavailable) failures: total attempts
+  /// per query, 1 = no retry.
+  int max_attempts = 1;
+  /// Base backoff before re-attempt k (exponential: base << (k-1), plus
+  /// deterministic jitter), charged through the cost-model clock so it is
+  /// deterministic and visible to the wall-clock measurements.
+  uint64_t retry_backoff_us = 100;
+  /// Optional transient-fault injector wired into the loaded engine and
+  /// its writer (see src/graph/fault.h). Not owned; must outlive every
+  /// LoadedEngine created from these options.
+  const QueryFaultInjector* fault_injector = nullptr;
+};
+
+/// Per-class outcome accounting for a run: every issued query lands in
+/// exactly one class, so ok + retried + timeout + oom + failed == issued
+/// (the invariant the robustness bench asserts). This is the paper's DNF
+/// bookkeeping made typed: timeouts and memory exhaustion are data, and
+/// they are no longer conflated with permanent errors.
+struct OutcomeCounters {
+  uint64_t ok = 0;       // succeeded on the first attempt
+  uint64_t retried = 0;  // succeeded after >= 1 transient failure
+  uint64_t timeout = 0;  // governor deadline DNF
+  uint64_t oom = 0;      // governor / engine memory DNF
+  uint64_t failed = 0;   // permanent failure (incl. retry exhaustion)
+  /// Total re-attempts across all queries (not a class: a query that
+  /// retried twice and succeeded counts retried=1, retry_attempts=2).
+  uint64_t retry_attempts = 0;
+
+  uint64_t Issued() const { return ok + retried + timeout + oom + failed; }
+  uint64_t Completed() const { return ok + retried; }
+  void Merge(const OutcomeCounters& o) {
+    ok += o.ok;
+    retried += o.retried;
+    timeout += o.timeout;
+    oom += o.oom;
+    failed += o.failed;
+    retry_attempts += o.retry_attempts;
+  }
 };
 
 /// Latency distribution over a set of per-iteration (batch mode) or
@@ -75,6 +119,10 @@ struct Measurement {
   /// Batch mode: the distribution of the individual iteration latencies
   /// (min/median/p95/p99/max), not just the aggregate wall time above.
   LatencyStats latency;
+  /// Per-iteration outcome classes (see OutcomeCounters). `status` above
+  /// stays the first non-OK status for display; the counters are the full
+  /// accounting.
+  OutcomeCounters outcomes;
 
   bool ok() const { return status.ok(); }
   bool timed_out() const { return status.IsDeadlineExceeded(); }
@@ -114,6 +162,7 @@ struct ConcurrentMeasurement {
   double wall_millis = 0;         // first thread started -> last joined
   LatencyStats latency;           // per-query latency across all threads
   Status status;                  // first non-OK status observed, else OK
+  OutcomeCounters outcomes;       // per-class accounting across threads
 
   double QueriesPerSec() const {
     return wall_millis > 0 ? static_cast<double>(queries) /
@@ -151,6 +200,7 @@ struct MixedMeasurement {
   uint64_t wal_bytes = 0;
   uint64_t values_separated = 0;
   Status status;  // first non-OK status observed, else OK
+  OutcomeCounters outcomes;  // per-class accounting across threads
 
   uint64_t Ops() const { return reads_ok + writes_ok; }
   double OpsPerSec() const {

@@ -23,9 +23,15 @@ EngineInfo BitmapEngine::info() const {
 }
 
 Status BitmapEngine::ChargeArena(QuerySession& session,
+                                 const CancelToken& cancel,
                                  uint64_t bytes) const {
   BitmapSession& s = static_cast<BitmapSession&>(session);
   s.arena_bytes_ += bytes;
+  // Arena growth is double-accounted on purpose: against the engine-level
+  // budget (the emulated system's own working-memory cap) and against the
+  // per-query governor token (the harness-level budget, with typed
+  // diagnostics). Either trip stops the query.
+  if (!cancel.Charge(bytes)) return cancel.ToStatus();
   if (options_.memory_budget_bytes != 0 &&
       s.arena_bytes_ > options_.memory_budget_bytes) {
     return Status::ResourceExhausted(
@@ -418,7 +424,8 @@ Result<uint64_t> BitmapEngine::CountEdgesOf(QuerySession& session,
   // ends (the defect the paper links to the Q.28-Q.31 memory exhaustion).
   GDB_ASSIGN_OR_RETURN(std::vector<EdgeId> edges,
                        EdgesOf(session, v, dir, nullptr, cancel));
-  GDB_RETURN_IF_ERROR(ChargeArena(session, kArenaPerCall + edges.size() * 8));
+  GDB_RETURN_IF_ERROR(
+      ChargeArena(session, cancel, kArenaPerCall + edges.size() * 8));
   return static_cast<uint64_t>(edges.size());
 }
 

@@ -132,7 +132,8 @@ class BitmapEngine : public GraphEngine {
   // (session buffers in the Gremlin adapter), plus 8 bytes per edge id.
   static constexpr uint64_t kArenaPerCall = 1024;
 
-  Status ChargeArena(QuerySession& session, uint64_t bytes) const;
+  Status ChargeArena(QuerySession& session, const CancelToken& cancel,
+                     uint64_t bytes) const;
 
   // The shared incidence walk: streams matching edge oids out of the
   // out/in bitmaps, self-loops emitted once via the out bitmap.

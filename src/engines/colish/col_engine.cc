@@ -228,12 +228,19 @@ Result<std::vector<VertexId>> ColEngine::FindVerticesByProperty(QuerySession& /*
     const CancelToken& cancel) const {
   auto it = indexes_.find(prop);
   if (it != indexes_.end()) {
-    // Graph-centric index.
+    // Graph-centric index. The fast path stays cooperative: a hot key
+    // can fan out to a large posting list.
     std::vector<VertexId> out;
+    bool cancelled = false;
     it->second.ScanKey(value, [&](const VertexId& id) {
+      if (cancel.Expired()) {
+        cancelled = true;
+        return false;
+      }
       out.push_back(id);
       return true;
     });
+    if (cancelled) return cancel.ToStatus();
     return out;
   }
   // Unindexed: a full sliced scan of the row store (batched backend

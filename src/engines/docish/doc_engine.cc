@@ -255,6 +255,10 @@ Status DocEngine::SetEdgeProperty(EdgeId e, std::string_view name,
 
 Result<VertexRecord> DocEngine::GetVertex(QuerySession& /*session*/, VertexId id) const {
   rest_.ChargeCall();
+  // The REST round trip is where the emulated remote can fail transiently.
+  if (const QueryFaultInjector* f = options().query_fault_injector) {
+    GDB_RETURN_IF_ERROR(f->Intercept("DocEngine::GetVertex"));
+  }
   const std::string* doc = vertex_docs_.Get(id);
   if (doc == nullptr) return Status::NotFound("vertex not found");
   GDB_ASSIGN_OR_RETURN(Json parsed, Json::Parse(*doc));
@@ -271,6 +275,9 @@ Result<VertexRecord> DocEngine::GetVertex(QuerySession& /*session*/, VertexId id
 
 Result<EdgeRecord> DocEngine::GetEdge(QuerySession& /*session*/, EdgeId id) const {
   rest_.ChargeCall();
+  if (const QueryFaultInjector* f = options().query_fault_injector) {
+    GDB_RETURN_IF_ERROR(f->Intercept("DocEngine::GetEdge"));
+  }
   GDB_ASSIGN_OR_RETURN(ParsedEdge e, ParseEdgeDoc(id));
   EdgeRecord rec;
   rec.id = id;
@@ -386,6 +393,13 @@ Status DocEngine::ScanEdges(QuerySession& /*session*/,
       status = cancel.ToStatus();
       return false;
     }
+    // Each materialized document is charged against the query's memory
+    // budget — the cursor holds the whole result set, which is exactly
+    // what exhausted RAM in the paper's Q.9/Q.10 runs.
+    if (!cancel.Charge(doc.size())) {
+      status = cancel.ToStatus();
+      return false;
+    }
     rest_.ChargeCall();  // per-item cursor materialization
     auto parsed = Json::Parse(doc);
     if (!parsed.ok()) {
@@ -407,6 +421,9 @@ Status DocEngine::WalkIncident(
     const std::string* label, const CancelToken& cancel, bool want_other,
     const std::function<bool(EdgeId, VertexId)>& fn) const {
   rest_.ChargeCall();  // one AQL round trip per neighborhood step
+  if (const QueryFaultInjector* f = options().query_fault_injector) {
+    GDB_RETURN_IF_ERROR(f->Intercept("DocEngine::WalkIncident"));
+  }
   if (!vertex_docs_.Contains(v)) return Status::NotFound("vertex not found");
   // Edge envelopes decode into the session scratch: the per-edge parse
   // (the layout's honest price) stays, the buffer churn does not.

@@ -675,11 +675,20 @@ Result<std::vector<VertexId>> NeoEngine::FindVerticesByProperty(QuerySession& se
     const CancelToken& cancel) const {
   auto it = indexes_.find(prop);
   if (it != indexes_.end()) {
+    // The indexed fast path stays cooperative: a hot key can match a
+    // large fraction of the store, and a tripped token must stop the
+    // result copy promptly.
     std::vector<VertexId> out;
+    bool cancelled = false;
     it->second.ScanKey(value, [&](const VertexId& id) {
+      if (cancel.Expired()) {
+        cancelled = true;
+        return false;
+      }
       out.push_back(id);
       return true;
     });
+    if (cancelled) return cancel.ToStatus();
     return out;
   }
   // Unindexed: one scan over the node store with in-engine property

@@ -345,11 +345,12 @@ Result<EdgeRecord> OrientEngine::GetEdge(QuerySession& /*session*/, EdgeId id) c
 
 Result<std::vector<std::string>> OrientEngine::DistinctEdgeLabels(QuerySession& /*session*/, 
     const CancelToken& cancel) const {
-  (void)cancel;
-  // Edge classes are schema objects: one per cluster.
+  // Edge classes are schema objects: one per cluster. Still cooperative —
+  // datasets with many labels make even the catalog walk interruptible.
   std::vector<std::string> labels;
   labels.reserve(clusters_.size());
   for (const Cluster& c : clusters_) {
+    GDB_CHECK_CANCEL(cancel);
     if (c.store.LiveCount() > 0) labels.push_back(c.label);
   }
   std::sort(labels.begin(), labels.end());
@@ -375,11 +376,18 @@ Result<std::vector<VertexId>> OrientEngine::FindVerticesByProperty(QuerySession&
     const CancelToken& cancel) const {
   auto it = indexes_.find(prop);
   if (it != indexes_.end()) {
+    // Cooperative even on the indexed fast path (see FindEdgesByLabel).
     std::vector<VertexId> out;
+    bool cancelled = false;
     it->second.ScanKey(value, [&](const VertexId& id) {
+      if (cancel.Expired()) {
+        cancelled = true;
+        return false;
+      }
       out.push_back(id);
       return true;
     });
+    if (cancelled) return cancel.ToStatus();
     return out;
   }
   return GraphEngine::FindVerticesByProperty(session, prop, value, cancel);

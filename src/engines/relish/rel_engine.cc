@@ -248,11 +248,13 @@ Result<EdgeRecord> RelEngine::GetEdge(QuerySession& /*session*/, EdgeId id) cons
   return rec;
 }
 
-Result<std::vector<std::string>> RelEngine::DistinctEdgeLabels(QuerySession& /*session*/, 
-    const CancelToken&) const {
-  // Labels are schema: DISTINCT over table names, a catalog query.
+Result<std::vector<std::string>> RelEngine::DistinctEdgeLabels(QuerySession& /*session*/,
+    const CancelToken& cancel) const {
+  // Labels are schema: DISTINCT over table names, a catalog query. Still
+  // cooperative — wide schemas make even catalog walks cancellable.
   std::vector<std::string> labels;
   for (const ETable& t : etables_) {
+    GDB_CHECK_CANCEL(cancel);
     if (t.live_count > 0) labels.push_back(t.label);
   }
   std::sort(labels.begin(), labels.end());
@@ -279,11 +281,20 @@ Result<std::vector<VertexId>> RelEngine::FindVerticesByProperty(QuerySession& /*
     const CancelToken& cancel) const {
   auto idx = indexes_.find(prop);
   if (idx != indexes_.end()) {
+    // Even the indexed fast path stays cooperative: a hot key can match
+    // a large fraction of the table, and a tripped token must stop the
+    // result copy promptly.
     std::vector<VertexId> out;
+    bool cancelled = false;
     idx->second.ScanKey(value, [&](const VertexId& id) {
+      if (cancel.Expired()) {
+        cancelled = true;
+        return false;
+      }
       out.push_back(id);
       return true;
     });
+    if (cancelled) return cancel.ToStatus();
     return out;
   }
   // UNION ALL of sequential scans; tight row loops, no per-row record
@@ -423,6 +434,11 @@ Status RelEngine::WalkIncident(
     VertexId v, Direction dir, const std::string* label,
     const CancelToken& cancel,
     const std::function<bool(uint64_t, uint64_t)>& fn) const {
+  // The per-step backend round trip is where the emulated remote can
+  // fail transiently.
+  if (const QueryFaultInjector* f = options().query_fault_injector) {
+    GDB_RETURN_IF_ERROR(f->Intercept("RelEngine::WalkIncident"));
+  }
   // Restricted to one label: a single table's FK index probe (fast path).
   // Unrestricted: UNION ALL over every edge table (the slow path the
   // paper measures for BFS/SP/degree queries).

@@ -45,6 +45,7 @@
 
 #include "src/graph/cost_model.h"
 #include "src/graph/epoch.h"
+#include "src/graph/fault.h"
 #include "src/graph/graph_data.h"
 #include "src/graph/statistics.h"
 #include "src/graph/types.h"
@@ -118,6 +119,14 @@ struct EngineOptions {
   /// GraphEngine::statistics(). Off reverts the planner to its exact
   /// rule-based lowering (the A/B knob of bench --stats=off).
   bool collect_statistics = true;
+
+  /// Optional transient-fault injector (see src/graph/fault.h). Engines
+  /// that emulate a remote dependency (the document engine's REST-like
+  /// fetches, the relational engine's per-probe table walks) call
+  /// Intercept at those boundaries; a fired fault surfaces as
+  /// kUnavailable. Not owned; must outlive the engine. nullptr disables
+  /// injection entirely.
+  const QueryFaultInjector* query_fault_injector = nullptr;
 };
 
 /// Measurements of the most recent BulkLoad on an engine instance (the

@@ -1,0 +1,39 @@
+#include "src/graph/fault.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "src/util/hash.h"
+
+namespace gdbmicro {
+
+void QueryFaultInjector::Reset(Options options) {
+  double rate = options.fault_rate;
+  if (rate < 0.0) rate = 0.0;
+  if (rate > 1.0) rate = 1.0;
+  rate_ = rate;
+  seed_ = options.seed;
+  // ldexp(rate, 64) would overflow uint64_t at rate == 1; saturate so a
+  // rate-1 injector fails every probe.
+  if (rate >= 1.0) {
+    threshold_ = std::numeric_limits<uint64_t>::max();
+  } else {
+    threshold_ = static_cast<uint64_t>(std::ldexp(rate, 64));
+  }
+  probes_.store(0, std::memory_order_relaxed);
+  faults_.store(0, std::memory_order_relaxed);
+}
+
+Status QueryFaultInjector::Intercept(const char* site) const {
+  uint64_t n = probes_.fetch_add(1, std::memory_order_relaxed);
+  if (threshold_ == 0) return Status::OK();
+  bool fail = rate_ >= 1.0 ||
+              HashInt(seed_ ^ (n * 0x9e3779b97f4a7c15ULL)) < threshold_;
+  if (!fail) return Status::OK();
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Unavailable(std::string("injected transient fault at ") +
+                             site + " (probe " + std::to_string(n) + ")");
+}
+
+}  // namespace gdbmicro

@@ -1,0 +1,72 @@
+// Deterministic transient-fault injection for the query path — the
+// read-side counterpart of the storage FaultInjector (src/storage/
+// journal.h), which injects *durability* faults below the WAL frame
+// layer. This one injects *availability* faults at the emulated remote
+// boundaries above it: the document engine's REST-like fetches and
+// neighborhood round trips, the relational engine's per-probe table
+// walks, and GraphWriter::Commit. A fired fault returns kUnavailable —
+// the operation did not happen, the store is untouched, and the Runner's
+// bounded retry/backoff policy may re-attempt it.
+//
+// Determinism: the Nth probe fails iff a seeded hash of N lands under
+// the configured rate, so a sequential run replays the exact same fault
+// sequence for the same (seed, rate) — the chaos bench's reproducibility
+// contract. The probe counter is atomic, so concurrent sessions may
+// share one injector (the per-thread fault pattern then depends on
+// interleaving, but the total fault fraction still converges to the
+// rate).
+
+#ifndef GDBMICRO_GRAPH_FAULT_H_
+#define GDBMICRO_GRAPH_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/status.h"
+
+namespace gdbmicro {
+
+class QueryFaultInjector {
+ public:
+  struct Options {
+    /// Probability in [0, 1] that a probe fails. 0 disables injection
+    /// (probes are still counted), 1 fails every probe.
+    double fault_rate = 0.0;
+    /// Fixes which probes fail (see the determinism contract above).
+    uint64_t seed = 42;
+  };
+
+  QueryFaultInjector() { Reset(Options{}); }
+  explicit QueryFaultInjector(Options options) { Reset(options); }
+
+  /// Reconfigures rate/seed and zeroes the probe/fault counters. NOT
+  /// thread-safe: call only with no queries in flight (between bench
+  /// phases).
+  void Reset(Options options);
+
+  /// One emulated remote round trip: OK, or kUnavailable naming `site`
+  /// and the probe index when the fault fires. `site` must be a
+  /// static-lifetime string (a literal at the injection point).
+  Status Intercept(const char* site) const;
+
+  uint64_t probes() const {
+    return probes_.load(std::memory_order_relaxed);
+  }
+  uint64_t faults() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
+  double fault_rate() const { return rate_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  double rate_ = 0.0;
+  uint64_t seed_ = 42;
+  /// rate as a 64-bit threshold: probe n fails iff hash(seed, n) < this.
+  uint64_t threshold_ = 0;
+  mutable std::atomic<uint64_t> probes_{0};
+  mutable std::atomic<uint64_t> faults_{0};
+};
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_GRAPH_FAULT_H_

@@ -81,6 +81,12 @@ GraphWriter::GraphWriter(GraphEngine* engine, WalOptions options)
 Result<CommitReceipt> GraphWriter::Commit(const WriteBatch& batch) {
   std::lock_guard<std::mutex> lock(commit_mu_);
 
+  // Transient-fault window: fires before anything is logged, so the abort
+  // leaves WAL, store, and epoch gate untouched and the caller may retry.
+  if (fault_injector_ != nullptr) {
+    GDB_RETURN_IF_ERROR(fault_injector_->Intercept("GraphWriter::Commit"));
+  }
+
   // Phase 1: log. Readers keep running — the store is untouched, and a
   // device failure here aborts with the snapshot intact.
   GDB_ASSIGN_OR_RETURN(uint64_t sequence, wal_.LogBatch(batch));

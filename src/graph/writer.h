@@ -70,6 +70,14 @@ class GraphWriter {
   /// batch. Thread-safe.
   Result<CommitReceipt> Commit(const WriteBatch& batch);
 
+  /// Arms transient-fault injection on the commit path. An injected fault
+  /// fires before the batch is logged, so an aborted commit leaves the
+  /// WAL, the store, and the epoch gate untouched — the kUnavailable it
+  /// returns is safely retryable. Not owned; nullptr disarms.
+  void set_fault_injector(const QueryFaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
   /// Flushes staged group-commit frames to the log journal.
   Status Flush();
 
@@ -89,6 +97,7 @@ class GraphWriter {
   Wal wal_;
   std::mutex commit_mu_;
   std::atomic<uint64_t> commits_{0};
+  const QueryFaultInjector* fault_injector_ = nullptr;  // not owned
 };
 
 }  // namespace gdbmicro

@@ -76,10 +76,17 @@ Result<BfsResult> BreadthFirst(const GraphEngine& engine,
   // BfsResult contract in algorithms.h).
   VisitedSet stored(&scratch, engine.VertexIdUpperBound());
   stored.Insert(start);
+  cancel.set_position("BreadthFirst");
   std::vector<VertexId>& frontier = scratch.frontier;
   std::vector<VertexId>& next = scratch.next;
   frontier.assign(1, start);
   next.clear();
+  // Each newly reached vertex grows three per-session structures (next
+  // frontier, visited list, stamp/set slot); the governor is charged that
+  // footprint. A trip can't travel through the bool-valued visitor, so it
+  // parks and stops the walk.
+  Status charge_error = Status::OK();
+  constexpr uint64_t kVisitedVertexBytes = 2 * sizeof(VertexId) + 1;
   for (int depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
     next.clear();
     for (VertexId v : frontier) {
@@ -89,11 +96,16 @@ Result<BfsResult> BreadthFirst(const GraphEngine& engine,
       GDB_RETURN_IF_ERROR(engine.ForEachNeighbor(
           session, v, Direction::kBoth, label_ptr, cancel, [&](VertexId n) {
             if (stored.Insert(n)) {
+              if (!cancel.Charge(kVisitedVertexBytes)) {
+                charge_error = cancel.ToStatus();
+                return false;
+              }
               next.push_back(n);
               result.visited.push_back(n);
             }
             return true;
           }));
+      GDB_RETURN_IF_ERROR(charge_error);
     }
     if (!next.empty()) result.depth_reached = depth + 1;
     std::swap(frontier, next);
@@ -121,11 +133,16 @@ Result<PathResult> ShortestPath(const GraphEngine& engine,
   std::unordered_map<VertexId, VertexId> parent;  // child -> parent
   parent.reserve(1024);
   reached.Insert(src);
+  cancel.set_position("ShortestPath");
   std::vector<VertexId>& frontier = scratch.frontier;
   std::vector<VertexId>& next = scratch.next;
   frontier.assign(1, src);
   next.clear();
   bool found = false;
+  // Per reached vertex: frontier slot, visited stamp, and a parent-map
+  // entry (hash node + two ids), all governor-accounted.
+  Status charge_error = Status::OK();
+  constexpr uint64_t kReachedVertexBytes = sizeof(VertexId) + 1 + 48;
   for (int depth = 0; depth < max_depth && !frontier.empty() && !found;
        ++depth) {
     next.clear();
@@ -134,6 +151,10 @@ Result<PathResult> ShortestPath(const GraphEngine& engine,
       GDB_RETURN_IF_ERROR(engine.ForEachNeighbor(
           session, v, Direction::kBoth, label_ptr, cancel, [&](VertexId n) {
             if (reached.Insert(n)) {
+              if (!cancel.Charge(kReachedVertexBytes)) {
+                charge_error = cancel.ToStatus();
+                return false;
+              }
               parent.emplace(n, v);
               if (n == dst) {
                 found = true;
@@ -143,6 +164,7 @@ Result<PathResult> ShortestPath(const GraphEngine& engine,
             }
             return true;
           }));
+      GDB_RETURN_IF_ERROR(charge_error);
       if (found) break;
     }
     std::swap(frontier, next);

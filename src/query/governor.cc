@@ -1,0 +1,18 @@
+#include "src/query/governor.h"
+
+namespace gdbmicro {
+namespace query {
+
+ResourceGovernor::ResourceGovernor(const GovernorOptions& options)
+    : options_(options),
+      token_(CancelToken::WithLimits(options.deadline,
+                                     options.memory_budget_bytes)) {}
+
+Status ResourceGovernor::Charge(uint64_t bytes, const char* site) const {
+  if (site != nullptr) token_.set_position(site);
+  if (!token_.Charge(bytes)) return token_.ToStatus();
+  return Status::OK();
+}
+
+}  // namespace query
+}  // namespace gdbmicro

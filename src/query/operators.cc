@@ -41,6 +41,23 @@ const std::string* VisitLabel(const ExecContext& ctx, LabelMode mode,
   return nullptr;
 }
 
+/// Approximate heap bytes of one unordered-set/-map entry (node, bucket
+/// share, key), used to charge the governor for dedup-set growth.
+constexpr uint64_t kHashSetEntryBytes = 32;
+/// Approximate fixed overhead of one interned pool value (deque slot,
+/// index entry) on top of its string payload.
+constexpr uint64_t kPoolEntryBytes = 48;
+
+/// Charges the governor for pool growth across an intern call: a repeat
+/// value is free, a new one pays its payload plus entry overhead. OK, or
+/// the typed kResourceExhausted once the budget trips.
+Status ChargePoolGrowth(const ExecContext& ctx, size_t size_before,
+                        size_t payload_bytes) {
+  if (ctx.scratch.pool.size() == size_before) return Status::OK();
+  GDB_CHECK_CHARGE(ctx.cancel, kPoolEntryBytes + payload_bytes);
+  return Status::OK();
+}
+
 /// Interns a rendered property value into the session pool without a
 /// per-row temporary: strings intern their payload directly, scalars
 /// render into the scratch's reused buffer first.
@@ -49,6 +66,12 @@ uint64_t InternValue(const ExecContext& ctx, const PropertyValue& v) {
   ctx.scratch.value_buf.clear();
   v.AppendTo(&ctx.scratch.value_buf);
   return ctx.scratch.pool.Intern(ctx.scratch.value_buf);
+}
+
+/// Payload size InternValue would intern for `v` (for the growth charge).
+size_t InternPayloadBytes(const ExecContext& ctx, const PropertyValue& v) {
+  if (v.is_string()) return v.string_value().size();
+  return ctx.scratch.value_buf.size();
 }
 
 }  // namespace
@@ -163,11 +186,19 @@ Status DistinctEdgeTargetScan::Produce(const ExecContext& ctx,
                                        OpScratch& state,
                                        const RowSink& sink) const {
   OpScratch& s = Fresh(ctx, state);
-  return ctx.engine.ScanEdges(ctx.session, ctx.cancel,
-                              [&](const EdgeEnds& e) {
-                                if (!s.seen.insert(e.dst).second) return true;
-                                return sink(e.dst);
-                              });
+  // Dedup-set growth is governor-accounted; a budget trip can't travel
+  // through the bool-valued visitor, so it parks and stops the walk.
+  Status charge_error = Status::OK();
+  GDB_RETURN_IF_ERROR(ctx.engine.ScanEdges(
+      ctx.session, ctx.cancel, [&](const EdgeEnds& e) {
+        if (!s.seen.insert(e.dst).second) return true;
+        if (!ctx.cancel.Charge(kHashSetEntryBytes)) {
+          charge_error = ctx.cancel.ToStatus();
+          return false;
+        }
+        return sink(e.dst);
+      }));
+  return charge_error;
 }
 
 std::string DistinctNeighborScan::args() const {
@@ -179,18 +210,33 @@ std::string DistinctNeighborScan::args() const {
 Status DistinctNeighborScan::Produce(const ExecContext& ctx, OpScratch& state,
                                      const RowSink& sink) const {
   OpScratch& s = Fresh(ctx, state);
-  return ctx.engine.ScanEdges(ctx.session, ctx.cancel, [&](const EdgeEnds& e) {
-    if (label_.has_value() && e.label != *label_) return true;
-    // out() emits destinations, in() emits sources, both() emits both
-    // endpoints — each vertex at most once.
-    if (dir_ != Direction::kIn && s.seen.insert(e.dst).second) {
-      if (!sink(e.dst)) return false;
+  Status charge_error = Status::OK();
+  auto admit = [&](VertexId v) {
+    if (!s.seen.insert(v).second) return 0;  // duplicate: skip, keep going
+    if (!ctx.cancel.Charge(kHashSetEntryBytes)) {
+      charge_error = ctx.cancel.ToStatus();
+      return -1;  // budget tripped: stop the walk
     }
-    if (dir_ != Direction::kOut && s.seen.insert(e.src).second) {
-      if (!sink(e.src)) return false;
-    }
-    return true;
-  });
+    return 1;  // fresh: emit
+  };
+  GDB_RETURN_IF_ERROR(ctx.engine.ScanEdges(
+      ctx.session, ctx.cancel, [&](const EdgeEnds& e) {
+        if (label_.has_value() && e.label != *label_) return true;
+        // out() emits destinations, in() emits sources, both() emits both
+        // endpoints — each vertex at most once.
+        if (dir_ != Direction::kIn) {
+          int a = admit(e.dst);
+          if (a < 0) return false;
+          if (a > 0 && !sink(e.dst)) return false;
+        }
+        if (dir_ != Direction::kOut) {
+          int a = admit(e.src);
+          if (a < 0) return false;
+          if (a > 0 && !sink(e.src)) return false;
+        }
+        return true;
+      }));
+  return charge_error;
 }
 
 // --- Pipeline operators ----------------------------------------------------
@@ -282,11 +328,17 @@ Result<bool> LabelMap::Process(const ExecContext& ctx, OpScratch& state,
   GDB_CHECK_CANCEL(ctx.cancel);
   if (input_kind() == RowKind::kEdge) {
     GDB_ASSIGN_OR_RETURN(EdgeEnds ends, ctx.engine.GetEdgeEnds(ctx.session, row));
-    return sink(ctx.scratch.pool.Intern(ends.label));
+    size_t before = ctx.scratch.pool.size();
+    uint64_t id = ctx.scratch.pool.Intern(ends.label);
+    GDB_RETURN_IF_ERROR(ChargePoolGrowth(ctx, before, ends.label.size()));
+    return sink(id);
   }
   if (input_kind() == RowKind::kVertex) {
     GDB_ASSIGN_OR_RETURN(VertexRecord rec, ctx.engine.GetVertex(ctx.session, row));
-    return sink(ctx.scratch.pool.Intern(rec.label));
+    size_t before = ctx.scratch.pool.size();
+    uint64_t id = ctx.scratch.pool.Intern(rec.label);
+    GDB_RETURN_IF_ERROR(ChargePoolGrowth(ctx, before, rec.label.size()));
+    return sink(id);
   }
   return true;
 }
@@ -306,7 +358,11 @@ Result<bool> ValuesMap::Process(const ExecContext& ctx, OpScratch& state,
     return true;
   }
   if (const PropertyValue* v = FindProperty(props, key_)) {
-    return sink(InternValue(ctx, *v));
+    size_t before = ctx.scratch.pool.size();
+    uint64_t id = InternValue(ctx, *v);
+    GDB_RETURN_IF_ERROR(
+        ChargePoolGrowth(ctx, before, InternPayloadBytes(ctx, *v)));
+    return sink(id);
   }
   return true;
 }
@@ -315,7 +371,10 @@ Result<bool> Dedup::Process(const ExecContext& ctx, OpScratch& state,
                             uint64_t row, const RowSink& sink) const {
   GDB_CHECK_CANCEL(ctx.cancel);
   OpScratch& s = Fresh(ctx, state);
-  if (s.seen.insert(row).second) return sink(row);
+  if (s.seen.insert(row).second) {
+    GDB_CHECK_CHARGE(ctx.cancel, kHashSetEntryBytes);
+    return sink(row);
+  }
   return true;
 }
 

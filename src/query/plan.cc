@@ -582,6 +582,13 @@ struct StreamDriver {
   /// Feeds `row` (emitted by operator idx-1) into operator idx.
   bool Feed(size_t idx, uint64_t row) {
     if (idx == ops.size()) {
+      // Materialized output is governor-accounted: one flat row per
+      // element. A budget trip parks the typed status like any Process
+      // error and collapses the chain.
+      if (!ctx.cancel.Charge(sizeof(uint64_t))) {
+        error = ctx.cancel.ToStatus();
+        return false;
+      }
       out->rows.push_back(row);
       return true;
     }
@@ -607,6 +614,9 @@ Status Plan::RunStreaming(const GraphEngine& engine, QuerySession& session,
                           PlanStats* stats) const {
   ExecContext ctx{engine, session, cancel, scratch, params};
   StreamDriver driver{ops_, ctx, out, stats, Status::OK()};
+  // Coarse position for trip diagnostics: the streamed chain runs inside
+  // the source's Produce, so the source names the whole pipeline.
+  cancel.set_position(ops_[0]->name().data());
   auto source_sink = [&driver, stats](uint64_t row) {
     if (stats != nullptr) ++stats->rows_out[0];
     return driver.Feed(1, row);
@@ -641,11 +651,21 @@ Status Plan::RunStepWise(const GraphEngine& engine, QuerySession& session,
         stats->peak_frontier_bytes, FrontierBytes(rows, kind, scratch.pool));
   };
 
-  auto collect = [&frontier](uint64_t row) {
+  // Every materialized barrier row is governor-accounted. A budget trip
+  // can't travel through the bool-valued sink, so it parks here and the
+  // collection stops via `false` — the same convention StreamDriver uses.
+  Status charge_error = Status::OK();
+  auto collect = [&frontier, &cancel, &charge_error](uint64_t row) {
+    if (!cancel.Charge(sizeof(uint64_t))) {
+      charge_error = cancel.ToStatus();
+      return false;
+    }
     frontier.push_back(row);
     return true;
   };
+  cancel.set_position(ops_[0]->name().data());
   GDB_RETURN_IF_ERROR(ops_[0]->Produce(ctx, scratch.ops[0], RowSink(collect)));
+  GDB_RETURN_IF_ERROR(charge_error);
   if (stats != nullptr) stats->rows_out[0] = frontier.size();
   kind = ops_[0]->OutputKind(kind);
   note_barrier(frontier);
@@ -653,15 +673,21 @@ Status Plan::RunStepWise(const GraphEngine& engine, QuerySession& session,
   for (size_t idx = 1; idx < ops_.size(); ++idx) {
     const Operator* op = ops_[idx].get();
     next.clear();
-    auto push = [&next](uint64_t row) {
+    auto push = [&next, &cancel, &charge_error](uint64_t row) {
+      if (!cancel.Charge(sizeof(uint64_t))) {
+        charge_error = cancel.ToStatus();
+        return false;
+      }
       next.push_back(row);
       return true;
     };
     RowSink push_sink(push);
+    cancel.set_position(op->name().data());
     for (uint64_t row : frontier) {
       GDB_CHECK_CANCEL(cancel);
       GDB_ASSIGN_OR_RETURN(
           bool more, op->Process(ctx, scratch.ops[idx], row, push_sink));
+      GDB_RETURN_IF_ERROR(charge_error);
       if (!more) break;
     }
     if (stats != nullptr) stats->rows_out[idx] += next.size();
@@ -671,6 +697,9 @@ Status Plan::RunStepWise(const GraphEngine& engine, QuerySession& session,
   }
 
   if (!counted_) {
+    // The output copy is a second materialization of the final frontier;
+    // it is charged like any other growable structure.
+    GDB_CHECK_CHARGE(cancel, frontier.size() * sizeof(uint64_t));
     out->rows.assign(frontier.begin(), frontier.end());
   }
   return Status::OK();

@@ -33,6 +33,11 @@ enum class StatusCode : uint8_t {
   kIOError = 9,
   kCorruption = 10,
   kInternal = 11,
+  /// A transient failure of an emulated remote dependency (REST round
+  /// trip, backend probe, commit path): the operation did not happen but
+  /// may succeed if retried — the one class the Runner's bounded
+  /// retry/backoff policy re-attempts. Everything else is permanent.
+  kUnavailable = 12,
 };
 
 /// Returns a stable human-readable name for a code ("NotFound", ...).
@@ -83,6 +88,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -96,6 +104,7 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
