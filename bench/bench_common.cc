@@ -134,6 +134,46 @@ bool WriteJsonArtifact(const std::string& path, const Json& doc) {
   return true;
 }
 
+Json MeasurementsJson(const std::vector<core::Measurement>& rows) {
+  Json::Array out;
+  for (const core::Measurement& m : rows) {
+    Json::Object row{
+        {"engine", Json(m.engine)},
+        {"dataset", Json(m.dataset)},
+        {"query", Json(m.query)},
+        {"mode", Json(m.mode == core::Measurement::Mode::kBatch ? "batch"
+                                                                : "single")},
+        {"ok", Json(m.ok())},
+        {"millis", Json(m.millis)},
+        {"items", Json(m.items)},
+    };
+    if (!m.ok()) row.emplace_back("status", Json(m.status.ToString()));
+    if (m.latency.samples > 0) {
+      row.emplace_back("latency_ms",
+                       Json(Json::Object{
+                           {"samples", Json(m.latency.samples)},
+                           {"min", Json(m.latency.min_ms)},
+                           {"p50", Json(m.latency.p50_ms)},
+                           {"p95", Json(m.latency.p95_ms)},
+                           {"p99", Json(m.latency.p99_ms)},
+                           {"max", Json(m.latency.max_ms)},
+                       }));
+    }
+    if (m.outcomes.Issued() > 0) {
+      row.emplace_back("outcomes",
+                       Json(Json::Object{
+                           {"ok", Json(m.outcomes.ok)},
+                           {"retried", Json(m.outcomes.retried)},
+                           {"timeout", Json(m.outcomes.timeout)},
+                           {"oom", Json(m.outcomes.oom)},
+                           {"failed", Json(m.outcomes.failed)},
+                       }));
+    }
+    out.push_back(Json(std::move(row)));
+  }
+  return Json(std::move(out));
+}
+
 bool ParseMicroBenchFlags(int argc, char** argv, MicroBenchFlags* flags) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];

@@ -68,6 +68,15 @@ void PrintBanner(const std::string& title, const BenchProfile& profile);
 /// BENCH_*.json artifacts CI archives). Returns false on I/O error.
 bool WriteJsonArtifact(const std::string& path, const Json& doc);
 
+/// Measurement rows as a Json array (engine/dataset/query/status/millis/
+/// items, latency percentiles when batch mode sampled them, and the DNF
+/// outcome counters) — the per-figure binaries' half of --json support:
+///   auto rows = RunAndPrint(profile, ...);
+///   WriteJsonArtifact(profile.json_path,
+///                     Json(Json::Object{..., {"results",
+///                         MeasurementsJson(rows)}}));
+Json MeasurementsJson(const std::vector<core::Measurement>& rows);
+
 /// Flags shared by all bench_micro_* binaries, which run without the
 /// full BenchProfile (the cost model defaults to off there by design —
 /// they measure the data structures). One parser serves every binary so

@@ -1,17 +1,29 @@
 // Figure 6: breadth-first traversal (Q.32) at depths 2, 3, 4 and 5 on the
-// Freebase samples.
+// Freebase samples. --json=<path> writes the per-cell measurements as a
+// BENCH_*.json artifact like the micro benches.
 
 #include "bench_common.h"
+#include "src/util/json.h"
 
 int main(int argc, char** argv) {
   using namespace gdbmicro;
   bench::BenchProfile profile = bench::ParseFlags(argc, argv, 0.01, 2500);
   bench::PrintBanner("Figure 6: breadth-first traversal, depths 2-5 (Q32)",
                      profile);
-  bench::RunAndPrint(profile, {"frb-s", "frb-o", "frb-m", "frb-l"}, {32});
+  std::vector<core::Measurement> rows =
+      bench::RunAndPrint(profile, {"frb-s", "frb-o", "frb-m", "frb-l"}, {32});
   std::printf(
       "(paper shape: neo4j scales best at every depth; orient and titan\n"
       " second at depth 2, orient slightly ahead deeper; sqlg and sparksee\n"
       " slowest — sqlg pays a join union across every edge table per hop)\n");
+  if (!profile.json_path.empty()) {
+    Json doc(Json::Object{
+        {"bench", Json("fig6_bfs")},
+        {"scale", Json(profile.scale)},
+        {"cost_model", Json(profile.cost_model)},
+        {"results", bench::MeasurementsJson(rows)},
+    });
+    if (!bench::WriteJsonArtifact(profile.json_path, doc)) return 1;
+  }
   return 0;
 }

@@ -2,15 +2,18 @@
 // label-constrained traversals (Q.33 at depths 2-5, Q.35) on ldbc — the
 // label filter empties out almost immediately on Freebase (paper §6.4),
 // so the constrained variants are reported on ldbc exactly as the paper
-// does.
+// does. --json=<path> writes both panels' measurements as one
+// BENCH_*.json artifact.
 
 #include "bench_common.h"
+#include "src/util/json.h"
 
 int main(int argc, char** argv) {
   using namespace gdbmicro;
   bench::BenchProfile profile = bench::ParseFlags(argc, argv, 0.01, 2500);
   bench::PrintBanner("Figure 7(a): shortest path (Q34) on Freebase", profile);
-  bench::RunAndPrint(profile, {"frb-s", "frb-o", "frb-m", "frb-l"}, {34});
+  std::vector<core::Measurement> rows =
+      bench::RunAndPrint(profile, {"frb-s", "frb-o", "frb-m", "frb-l"}, {34});
 
   std::printf("\n");
   bench::PrintBanner(
@@ -19,10 +22,21 @@ int main(int argc, char** argv) {
       profile);
   bench::BenchProfile ldbc_profile = profile;
   ldbc_profile.datasets.clear();
-  bench::RunAndPrint(ldbc_profile, {"ldbc"}, {33, 35});
+  std::vector<core::Measurement> ldbc_rows =
+      bench::RunAndPrint(ldbc_profile, {"ldbc"}, {33, 35});
   std::printf(
       "(paper shape: neo4j fastest; sparksee on par with orient for the\n"
       " label-filtered BFS; titan10 second on the label-filtered SP; sqlg\n"
       " slowest on unconstrained SP — it joins across all edge tables)\n");
+  if (!profile.json_path.empty()) {
+    rows.insert(rows.end(), ldbc_rows.begin(), ldbc_rows.end());
+    Json doc(Json::Object{
+        {"bench", Json("fig7_sp")},
+        {"scale", Json(profile.scale)},
+        {"cost_model", Json(profile.cost_model)},
+        {"results", bench::MeasurementsJson(rows)},
+    });
+    if (!bench::WriteJsonArtifact(profile.json_path, doc)) return 1;
+  }
   return 0;
 }

@@ -1,0 +1,385 @@
+// Micro-benchmark for the post-load path/reachability index tier
+// (src/graph/path_index.h): every workload runs twice per engine — the
+// paper-faithful frontier execution (PathMode::kFrontierOnly, the
+// reference) and the indexed execution (PathMode::kAuto) — on identical
+// query pairs. Any answer disagreement fails the run (CI's smoke step).
+//
+// The graph is a deterministic "archipelago": disconnected islands, each
+// a directed ring (one big SCC) with chords, tendril chains hanging off
+// it, a few parallel edges and self-loops. Cross-island probes are the
+// negative-reachability workload the index answers from its component
+// tier without any search; in-island probes exercise the landmark-pruned
+// bidirectional search against the frontier's engine-visitor expansion.
+//
+// Workloads (all label-free, cost model off — the index is the subject):
+//   neg-reach  unbounded both-direction reachability, cross-island pairs
+//   pos-reach  unbounded directed reachability, in-island pairs
+//   khop-4     4-hop bounded reachability, mixed pairs
+//   sp-fig7    shortest path, max_depth=30 (the paper's Q.34/Q.35 bound),
+//              in-island pairs plus a cross-island tail
+//   bfs-d3     breadth-first to depth 3 (Q.32/Q.33 shape)
+//
+// Acceptance bar (ISSUE 9): indexed >= 5x frontier queries/sec on
+// neg-reach and >= 1.5x on sp-fig7, same engine, on >= 6 of 9 engines,
+// with zero disagreements. The summary line reports the count; result
+// mismatches (not a missed bar) make the exit status non-zero.
+//
+// Usage: bench_micro_pathindex [--scale=<f>] [--engines=a,b,c]
+//        [--rounds=<n>] [--json=<path>]
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "src/graph/registry.h"
+#include "src/query/algorithms.h"
+#include "src/util/json.h"
+#include "src/util/timer.h"
+
+namespace gdbmicro {
+namespace {
+
+using query::BreadthFirst;
+using query::KHopReachable;
+using query::PathMode;
+using query::ShortestPath;
+
+constexpr int kIslands = 8;
+constexpr int kSpMaxDepth = 30;  // the suite's Q.34/Q.35 loop bound
+
+/// Deterministic archipelago sized by --scale (0.02 ~ 2K vertices).
+/// Island i occupies a contiguous vertex range; within it:
+///   * ring 0..ring_n-1 closed directed cycle (one SCC per island)
+///   * chord every 7th ring vertex jumping +ring_n/4 (shrinks diameter)
+///   * tendril chains of length 3 hanging off every 11th ring vertex
+///   * a parallel duplicate of the first ring edge and one self-loop
+GraphData ArchipelagoData(double scale) {
+  size_t total = std::max<size_t>(800, static_cast<size_t>(100000.0 * scale));
+  size_t per_island = total / kIslands;
+  // 3/4 ring, 1/4 tendrils (chains of 3 => one anchor per 11 ring slots).
+  size_t ring_n = per_island * 3 / 4;
+  GraphData data;
+  data.name = "archipelago";
+  auto add_vertex = [&](const char* label) {
+    GraphData::Vertex v;
+    v.label = label;
+    data.vertices.push_back(std::move(v));
+    return data.vertices.size() - 1;
+  };
+  auto add_edge = [&](uint64_t src, uint64_t dst, const char* label) {
+    GraphData::Edge e;
+    e.src = src;
+    e.dst = dst;
+    e.label = label;
+    data.edges.push_back(std::move(e));
+  };
+  for (int island = 0; island < kIslands; ++island) {
+    std::vector<uint64_t> ring;
+    ring.reserve(ring_n);
+    for (size_t i = 0; i < ring_n; ++i) ring.push_back(add_vertex("isle"));
+    for (size_t i = 0; i < ring_n; ++i) {
+      add_edge(ring[i], ring[(i + 1) % ring_n], "ring");
+    }
+    for (size_t i = 0; i < ring_n; i += 7) {
+      add_edge(ring[i], ring[(i + ring_n / 4) % ring_n], "chord");
+    }
+    for (size_t i = 0; i < ring_n; i += 11) {
+      uint64_t prev = ring[i];
+      for (int hop = 0; hop < 3; ++hop) {
+        uint64_t t = add_vertex("tendril");
+        add_edge(prev, t, "tendril");
+        prev = t;
+      }
+    }
+    add_edge(ring[0], ring[1], "ring");     // parallel edge
+    add_edge(ring[2], ring[2], "self");     // self-loop
+  }
+  return data;
+}
+
+enum class Kind { kNegReach, kPosReach, kKHop, kShortestPath, kBfs };
+
+struct Workload {
+  const char* name;
+  Kind kind;
+  // Pairs are indexes into the LoadMapping's vertex_ids (BFS uses .first).
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+};
+
+/// Deterministic query pairs over the archipelago layout. `island_span`
+/// is the number of dataset vertices per island (contiguous ranges).
+std::vector<Workload> Workloads(size_t n_vertices, size_t island_span) {
+  std::mt19937_64 rng(0xA5C1D3);
+  auto pick = [&](uint64_t lo, uint64_t hi) {  // [lo, hi)
+    return lo + rng() % (hi - lo);
+  };
+  auto island_range = [&](int island) {
+    uint64_t lo = static_cast<uint64_t>(island) * island_span;
+    uint64_t hi = std::min<uint64_t>(lo + island_span, n_vertices);
+    return std::make_pair(lo, hi);
+  };
+  std::vector<Workload> loads;
+  const int kPairs = 48;
+
+  Workload neg{"neg-reach", Kind::kNegReach, {}};
+  for (int i = 0; i < kPairs; ++i) {
+    int a = i % kIslands;
+    int b = (a + 1 + static_cast<int>(rng() % (kIslands - 1))) % kIslands;
+    auto [alo, ahi] = island_range(a);
+    auto [blo, bhi] = island_range(b);
+    neg.pairs.emplace_back(pick(alo, ahi), pick(blo, bhi));
+  }
+  loads.push_back(std::move(neg));
+
+  Workload pos{"pos-reach", Kind::kPosReach, {}};
+  for (int i = 0; i < kPairs; ++i) {
+    auto [lo, hi] = island_range(i % kIslands);
+    pos.pairs.emplace_back(pick(lo, hi), pick(lo, hi));
+  }
+  loads.push_back(std::move(pos));
+
+  Workload khop{"khop-4", Kind::kKHop, {}};
+  for (int i = 0; i < kPairs; ++i) {
+    auto [lo, hi] = island_range(i % kIslands);
+    // Half in-island (mixed yes/no at 4 hops), half cross-island (no).
+    if (i % 2 == 0) {
+      khop.pairs.emplace_back(pick(lo, hi), pick(lo, hi));
+    } else {
+      auto [olo, ohi] = island_range((i + 3) % kIslands);
+      khop.pairs.emplace_back(pick(lo, hi), pick(olo, ohi));
+    }
+  }
+  loads.push_back(std::move(khop));
+
+  Workload sp{"sp-fig7", Kind::kShortestPath, {}};
+  for (int i = 0; i < kPairs; ++i) {
+    if (i % 4 == 3) {  // cross-island tail: certain negatives
+      auto [lo, hi] = island_range(i % kIslands);
+      auto [olo, ohi] = island_range((i + 5) % kIslands);
+      sp.pairs.emplace_back(pick(lo, hi), pick(olo, ohi));
+    } else {
+      auto [lo, hi] = island_range(i % kIslands);
+      sp.pairs.emplace_back(pick(lo, hi), pick(lo, hi));
+    }
+  }
+  loads.push_back(std::move(sp));
+
+  Workload bfs{"bfs-d3", Kind::kBfs, {}};
+  for (int i = 0; i < 16; ++i) {
+    auto [lo, hi] = island_range(i % kIslands);
+    bfs.pairs.emplace_back(pick(lo, hi), 0);
+  }
+  loads.push_back(std::move(bfs));
+  return loads;
+}
+
+/// One query; the answer is encoded so both modes can be compared:
+/// reachability -> 0/1, SP -> path length (0 = not found), BFS -> number
+/// of vertices reached.
+Result<uint64_t> RunOne(const GraphEngine& engine, QuerySession& session,
+                        Kind kind, VertexId src, VertexId dst, PathMode mode,
+                        const CancelToken& cancel) {
+  switch (kind) {
+    case Kind::kNegReach: {
+      GDB_ASSIGN_OR_RETURN(query::ReachResult r,
+                           KHopReachable(engine, session, src, dst,
+                                         Direction::kBoth, -1, std::nullopt,
+                                         cancel, mode));
+      return r.reachable ? 1u : 0u;
+    }
+    case Kind::kPosReach: {
+      GDB_ASSIGN_OR_RETURN(query::ReachResult r,
+                           KHopReachable(engine, session, src, dst,
+                                         Direction::kOut, -1, std::nullopt,
+                                         cancel, mode));
+      return r.reachable ? 1u : 0u;
+    }
+    case Kind::kKHop: {
+      GDB_ASSIGN_OR_RETURN(query::ReachResult r,
+                           KHopReachable(engine, session, src, dst,
+                                         Direction::kBoth, 4, std::nullopt,
+                                         cancel, mode));
+      return r.reachable ? 1u : 0u;
+    }
+    case Kind::kShortestPath: {
+      GDB_ASSIGN_OR_RETURN(query::PathResult r,
+                           ShortestPath(engine, session, src, dst,
+                                        std::nullopt, kSpMaxDepth, cancel,
+                                        mode));
+      return r.found ? r.path.size() : 0u;
+    }
+    case Kind::kBfs: {
+      GDB_ASSIGN_OR_RETURN(query::BfsResult r,
+                           BreadthFirst(engine, session, src, 3, std::nullopt,
+                                        cancel, mode));
+      return r.visited.size();
+    }
+  }
+  return Status::InvalidArgument("unknown workload kind");
+}
+
+struct ModeRun {
+  std::vector<uint64_t> answers;
+  double qps = 0;
+};
+
+Result<ModeRun> RunMode(const GraphEngine& engine, QuerySession& session,
+                        const Workload& load,
+                        const std::vector<VertexId>& ids, PathMode mode,
+                        int rounds, const CancelToken& cancel) {
+  ModeRun run;
+  run.answers.reserve(load.pairs.size());
+  // Verification pass (also warms per-session scratch), then timed rounds.
+  for (const auto& [a, b] : load.pairs) {
+    GDB_ASSIGN_OR_RETURN(
+        uint64_t answer,
+        RunOne(engine, session, load.kind, ids[a], ids[b], mode, cancel));
+    run.answers.push_back(answer);
+  }
+  Timer timer;
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto& [a, b] : load.pairs) {
+      GDB_RETURN_IF_ERROR(
+          RunOne(engine, session, load.kind, ids[a], ids[b], mode, cancel)
+              .status());
+    }
+  }
+  double seconds = timer.ElapsedSeconds();
+  run.qps = seconds > 0
+                ? static_cast<double>(load.pairs.size()) * rounds / seconds
+                : 0.0;
+  return run;
+}
+
+int Run(int argc, char** argv) {
+  bench::MicroBenchFlags flags;
+  if (!bench::ParseMicroBenchFlags(argc, argv, &flags)) return 2;
+
+  RegisterBuiltinEngines();
+  std::vector<std::string> engines = flags.engines;
+  if (engines.empty()) engines = EngineRegistry::Instance().Names();
+
+  GraphData data = ArchipelagoData(flags.scale);
+  size_t island_span = data.vertices.size() / kIslands;
+  std::vector<Workload> loads =
+      Workloads(data.vertices.size(), island_span);
+  std::printf(
+      "path-index micro-bench: %zu vertices, %zu edges, %d islands, "
+      "%d rounds\n\n",
+      data.vertices.size(), data.edges.size(), kIslands, flags.rounds);
+  std::printf("%-9s %-10s %12s %12s %9s\n", "engine", "workload",
+              "frontier q/s", "indexed q/s", "speedup");
+
+  CancelToken never;
+  Json::Array json_rows;
+  bool mismatch = false;
+  int engines_meeting_bar = 0;
+  for (const std::string& name : engines) {
+    // Cost model off: the index tier is the subject, not the simulated
+    // per-operation penalties.
+    auto engine =
+        OpenEngine(name, EngineOptions{}, /*honor_cost_model_env=*/false);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   engine.status().ToString().c_str());
+      continue;
+    }
+    auto mapping = (*engine)->BulkLoad(data);
+    if (!mapping.ok()) {
+      std::fprintf(stderr, "%s load: %s\n", name.c_str(),
+                   mapping.status().ToString().c_str());
+      continue;
+    }
+    Status built = (*engine)->BuildPathIndex(never);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s index build: %s\n", name.c_str(),
+                   built.ToString().c_str());
+      continue;
+    }
+    const PathIndexStats& ist = (*engine)->path_index()->stats();
+    auto session = (*engine)->CreateSession();
+
+    double neg_speedup = 0, sp_speedup = 0;
+    for (const Workload& load : loads) {
+      auto frontier = RunMode(**engine, *session, load, mapping->vertex_ids,
+                              PathMode::kFrontierOnly, flags.rounds, never);
+      auto indexed = RunMode(**engine, *session, load, mapping->vertex_ids,
+                             PathMode::kAuto, flags.rounds, never);
+      if (!frontier.ok() || !indexed.ok()) {
+        std::fprintf(stderr, "%s %s: run failed: %s\n", name.c_str(),
+                     load.name,
+                     (!frontier.ok() ? frontier.status() : indexed.status())
+                         .ToString()
+                         .c_str());
+        mismatch = true;
+        continue;
+      }
+      for (size_t i = 0; i < load.pairs.size(); ++i) {
+        if (frontier->answers[i] != indexed->answers[i]) {
+          mismatch = true;
+          std::fprintf(
+              stderr,
+              "%s %s: DISAGREEMENT pair %zu (v%llu, v%llu): frontier=%llu "
+              "indexed=%llu\n",
+              name.c_str(), load.name, i,
+              (unsigned long long)load.pairs[i].first,
+              (unsigned long long)load.pairs[i].second,
+              (unsigned long long)frontier->answers[i],
+              (unsigned long long)indexed->answers[i]);
+        }
+      }
+      double speedup =
+          frontier->qps > 0 ? indexed->qps / frontier->qps : 0.0;
+      if (load.kind == Kind::kNegReach) neg_speedup = speedup;
+      if (load.kind == Kind::kShortestPath) sp_speedup = speedup;
+      std::printf("%-9s %-10s %12.0f %12.0f %8.2fx\n", name.c_str(),
+                  load.name, frontier->qps, indexed->qps, speedup);
+      json_rows.push_back(Json(Json::Object{
+          {"engine", Json(name)},
+          {"workload", Json(load.name)},
+          {"pairs", Json(static_cast<uint64_t>(load.pairs.size()))},
+          {"frontier_qps", Json(frontier->qps)},
+          {"indexed_qps", Json(indexed->qps)},
+          {"speedup", Json(speedup)},
+          {"index_build_ms", Json(ist.build_millis)},
+          {"index_bytes", Json(ist.bytes)},
+      }));
+    }
+    bool meets = neg_speedup >= 5.0 && sp_speedup >= 1.5;
+    if (meets) ++engines_meeting_bar;
+    std::printf(
+        "%-9s index: %.1f ms build, %llu SCCs, %llu components, %d "
+        "landmarks, %.1f KiB%s\n",
+        name.c_str(), ist.build_millis, (unsigned long long)ist.sccs,
+        (unsigned long long)ist.components, ist.landmarks,
+        ist.bytes / 1024.0, meets ? "  [meets bar]" : "");
+  }
+
+  std::printf(
+      "\n%d engine(s) met the acceptance bar (indexed >= 5x frontier on\n"
+      "neg-reach and >= 1.5x on sp-fig7; the bar asks for >= 6 of 9,\n"
+      "zero disagreements).%s\n",
+      engines_meeting_bar,
+      mismatch ? "  RESULT DISAGREEMENTS FOUND." : "");
+
+  if (!flags.json_path.empty()) {
+    Json doc(Json::Object{
+        {"bench", Json("micro_pathindex")},
+        {"scale", Json(flags.scale)},
+        {"rounds", Json(flags.rounds)},
+        {"engines_meeting_bar", Json(engines_meeting_bar)},
+        {"disagreements", Json(mismatch)},
+        {"results", Json(std::move(json_rows))},
+    });
+    if (!bench::WriteJsonArtifact(flags.json_path, doc)) return 1;
+  }
+  return mismatch ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace gdbmicro
+
+int main(int argc, char** argv) { return gdbmicro::Run(argc, argv); }

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <set>
 
+#include "src/graph/path_index.h"
 #include "src/util/timer.h"
 
 namespace gdbmicro {
@@ -35,6 +36,29 @@ std::string_view BulkLoadModeToString(BulkLoadMode m) {
   return "?";
 }
 
+Status GraphEngine::BuildPathIndex(const CancelToken& cancel) {
+  // Drop any stale index first: a failed rebuild must not leave a live
+  // index describing an older snapshot.
+  path_index_.reset();
+  Result<std::unique_ptr<PathIndex>> built =
+      PathIndex::Build(*this, PathIndexOptions{}, cancel);
+  if (!built.ok()) {
+    path_index_status_ = built.status();
+    return built.status();
+  }
+  path_index_ = std::move(built).value();
+  path_index_status_ = Status::OK();
+  return Status::OK();
+}
+
+void GraphEngine::InvalidatePathIndex(const Status& reason) {
+  // Nothing live: keep the original status ("not built", or a build
+  // failure) — it is the more useful diagnostic.
+  if (path_index_ == nullptr) return;
+  path_index_.reset();
+  path_index_status_ = reason;
+}
+
 Result<LoadMapping> GraphEngine::BulkLoad(const GraphData& data) {
   GDB_RETURN_IF_ERROR(data.Validate());
   load_stats_ = BulkLoadStats{};
@@ -60,6 +84,14 @@ Result<LoadMapping> GraphEngine::BulkLoad(const GraphData& data) {
     statistics_ =
         std::make_unique<GraphStatistics>(GraphStatistics::Collect(data));
     load_stats_.stats_build_millis = stats_timer.ElapsedMillis();
+  }
+  // Optional post-load path-index tier (see path_index.h). Unlimited
+  // token: the load path has no governor; governed (re)builds go through
+  // BuildPathIndex directly.
+  if (options_.build_path_index) {
+    Timer index_timer;
+    GDB_RETURN_IF_ERROR(BuildPathIndex(CancelToken()));
+    load_stats_.path_index_build_millis = index_timer.ElapsedMillis();
   }
   return mapping;
 }

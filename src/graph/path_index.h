@@ -1,0 +1,227 @@
+// PathIndex: an optional post-load reachability / shortest-path index
+// tier for the paper's Fig. 6/7 traversal workloads (BFS, k-hop
+// reachability, unweighted shortest path).
+//
+// The paper measures those workloads frontier-at-a-time: every query
+// re-walks the engine's adjacency from scratch, O(V+E) per probe. The
+// index spends bounded build time once, after load, to turn most probes
+// into near-constant work (the workload-conscious-indexing move of the
+// RDF-3X / FERRARI lineage):
+//
+//  * SCC condensation — the directed graph is condensed to its strongly
+//    connected components (iterative Kosaraju), so cycles collapse and
+//    directed reachability becomes a DAG question: same SCC => reachable.
+//  * Interval labels — each condensation node carries k interval labels
+//    [begin, rank] assigned by randomized DFS passes (FERRARI-style
+//    approximate intervals in the GRAIL formulation): if any labeling
+//    fails to nest target inside source, the target is *certainly* not
+//    reachable — a negative certificate in O(k) integer compares. Nesting
+//    in every labeling is only "maybe"; the exact fallback is a DFS over
+//    the condensation DAG pruned by the same intervals.
+//  * Components + landmarks — the undirected view (the both() direction
+//    every Q.32-Q.35 query traverses) gets exact connected components and
+//    ~16 high-degree landmarks with precomputed BFS distance vectors.
+//    |d(s,l) - d(t,l)| <= d(s,t) <= d(s,l) + d(t,l) bounds any distance
+//    in O(landmarks), answering negative/positive k-hop questions without
+//    touching a frontier and pruning bidirectional shortest-path search.
+//  * CSR snapshot — the index keeps its own compressed adjacency (both
+//    directions), so indexed searches that do need expansion walk flat
+//    arrays instead of paying the engine's per-hop storage costs.
+//
+// Consistency contract: the index describes exactly the snapshot it was
+// built from. GraphEngine::BulkLoad builds it (behind
+// EngineOptions::build_path_index, off by default) and GraphWriter
+// invalidates it when a commit publishes a new epoch — and since the
+// epoch gate drains every reader session before applying, no live session
+// can ever observe a graph that disagrees with a live index. Probes are
+// const and thread-safe: any number of sessions may share one index.
+//
+// Build is governor-cooperative: it checks the CancelToken at bounded
+// strides and charges every index structure against the token's byte
+// budget, so a deadline or memory trip aborts the build with a typed
+// status and no index installed (the engine stays fully usable on the
+// frontier path).
+
+#ifndef GDBMICRO_GRAPH_PATH_INDEX_H_
+#define GDBMICRO_GRAPH_PATH_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/util/cancel.h"
+#include "src/util/result.h"
+
+namespace gdbmicro {
+
+class GraphEngine;
+
+struct PathIndexOptions {
+  /// High-degree landmarks with precomputed distance vectors (0 disables
+  /// the distance-bound tier).
+  int landmarks = 16;
+  /// Randomized interval labelings per condensation node. More labelings
+  /// sharpen the negative-reachability certificate at k extra integer
+  /// compares per probe.
+  int labelings = 3;
+  /// Seed of the randomized DFS passes (deterministic builds).
+  uint64_t seed = 0x5eed;
+};
+
+/// Build-time measurements and structure sizes of one PathIndex.
+struct PathIndexStats {
+  uint64_t vertices = 0;
+  uint64_t edges = 0;
+  uint64_t sccs = 0;        // condensation nodes
+  uint64_t components = 0;  // undirected connected components
+  int landmarks = 0;
+  int labelings = 0;
+  double build_millis = 0;
+  uint64_t bytes = 0;  // resident bytes of the index structures
+};
+
+class PathIndex {
+ public:
+  /// Distance value meaning "unreachable" in landmark vectors.
+  static constexpr uint32_t kUnreachable = 0xFFFFFFFFu;
+
+  /// Tri-state probe answer: certain (kNo/kYes) answers need no search;
+  /// kMaybe sends the caller to the exact fallback.
+  enum class Answer : uint8_t { kNo, kYes, kMaybe };
+
+  /// Builds the index over `engine`'s current snapshot through its own
+  /// read primitives (a private session is created for the scan).
+  /// Governor-cooperative via `cancel` (see the file comment).
+  static Result<std::unique_ptr<PathIndex>> Build(const GraphEngine& engine,
+                                                  const PathIndexOptions& options,
+                                                  const CancelToken& cancel);
+
+  // --- id mapping ---------------------------------------------------------
+
+  /// Dense ordinal of an engine vertex id, or kNoOrd when the id was not
+  /// part of the indexed snapshot (the caller must fall back to the
+  /// frontier path).
+  static constexpr uint32_t kNoOrd = 0xFFFFFFFFu;
+  uint32_t OrdOf(VertexId id) const {
+    if (!dense_ids_.empty()) {
+      return id < dense_ids_.size() ? dense_ids_[id] : kNoOrd;
+    }
+    auto it = sparse_ids_.find(id);
+    return it == sparse_ids_.end() ? kNoOrd : it->second;
+  }
+  VertexId IdOf(uint32_t ord) const { return ord_to_id_[ord]; }
+  uint32_t NumVertices() const { return static_cast<uint32_t>(ord_to_id_.size()); }
+
+  // --- directed reachability (SCC + interval labels) ----------------------
+
+  /// Interval probe for "is t reachable from s" (directed, any number of
+  /// hops): kYes when s and t share an SCC, kNo when any labeling refutes
+  /// containment (the near-constant negative certificate), else kMaybe.
+  Answer Reachable(uint32_t s_ord, uint32_t t_ord) const;
+
+  /// Exact directed reachability: the interval probe, falling back to a
+  /// DFS over the condensation DAG pruned by the same intervals. `probes`
+  /// (optional) accumulates DAG nodes expanded by the fallback.
+  Result<bool> ReachableExact(uint32_t s_ord, uint32_t t_ord,
+                              const CancelToken& cancel,
+                              uint64_t* probes = nullptr) const;
+
+  // --- undirected distance bounds (components + landmarks) ----------------
+
+  bool SameComponent(uint32_t s_ord, uint32_t t_ord) const {
+    return comp_of_[s_ord] == comp_of_[t_ord];
+  }
+  uint64_t ComponentSize(uint32_t ord) const {
+    return comp_size_[comp_of_[ord]];
+  }
+
+  /// max_l |d(s,l) - d(t,l)| over landmarks covering both sides; 0 when
+  /// no landmark covers the pair.
+  uint32_t DistanceLowerBound(uint32_t s_ord, uint32_t t_ord) const;
+  /// min_l d(s,l) + d(t,l); kUnreachable when no landmark covers the pair.
+  uint32_t DistanceUpperBound(uint32_t s_ord, uint32_t t_ord) const;
+
+  /// Tri-state "is t within k undirected hops of s": kNo across
+  /// components or when the landmark lower bound exceeds k, kYes when the
+  /// landmark upper bound fits, else kMaybe (bounded search required).
+  Answer WithinHops(uint32_t s_ord, uint32_t t_ord, uint64_t k) const;
+
+  // --- CSR adjacency snapshot (for index-side searches) --------------------
+  //
+  // Flat ordinal adjacency in both directions; parallel edges and
+  // self-loops appear exactly as loaded (BFS-style consumers dedup via
+  // their visited set, like the engine visitors' contract).
+
+  struct NeighborRange {
+    const uint32_t* begin_ptr;
+    const uint32_t* end_ptr;
+    const uint32_t* begin() const { return begin_ptr; }
+    const uint32_t* end() const { return end_ptr; }
+    size_t size() const { return static_cast<size_t>(end_ptr - begin_ptr); }
+  };
+  NeighborRange OutNeighbors(uint32_t ord) const {
+    return {out_tgt_.data() + out_off_[ord], out_tgt_.data() + out_off_[ord + 1]};
+  }
+  NeighborRange InNeighbors(uint32_t ord) const {
+    return {in_tgt_.data() + in_off_[ord], in_tgt_.data() + in_off_[ord + 1]};
+  }
+
+  const PathIndexStats& stats() const { return stats_; }
+
+  /// One-line description for Explain-style output.
+  std::string Describe() const;
+
+ private:
+  PathIndex() = default;
+
+  /// [begin, rank] interval of one labeling, per condensation node.
+  struct Interval {
+    uint32_t begin = 0;
+    uint32_t rank = 0;
+  };
+
+  Status BuildAdjacency(const GraphEngine& engine, const CancelToken& cancel);
+  Status BuildSccs(const CancelToken& cancel);
+  Status BuildIntervals(const CancelToken& cancel);
+  Status BuildComponents(const CancelToken& cancel);
+  Status BuildLandmarks(const CancelToken& cancel);
+
+  PathIndexOptions options_;
+  PathIndexStats stats_;
+
+  // Id mapping: dense stamp array when the engine exposes a dense id
+  // bound, hash map otherwise (the relational engine's packed ids).
+  std::vector<uint32_t> dense_ids_;
+  std::unordered_map<VertexId, uint32_t> sparse_ids_;
+  std::vector<VertexId> ord_to_id_;
+
+  // CSR adjacency, both directions, ordinal-keyed.
+  std::vector<uint64_t> out_off_, in_off_;
+  std::vector<uint32_t> out_tgt_, in_tgt_;
+
+  // SCC condensation: scc_of_[ord] -> condensation node; DAG CSR over
+  // condensation nodes (cross-SCC edges, deduplicated).
+  std::vector<uint32_t> scc_of_;
+  uint32_t num_sccs_ = 0;
+  std::vector<uint64_t> dag_off_;
+  std::vector<uint32_t> dag_tgt_;
+
+  // Interval labels: labelings x condensation nodes, row-major.
+  std::vector<Interval> intervals_;
+
+  // Undirected components.
+  std::vector<uint32_t> comp_of_;
+  std::vector<uint64_t> comp_size_;
+
+  // Landmarks: ordinals plus one distance vector each (row-major,
+  // landmark-major).
+  std::vector<uint32_t> landmark_ords_;
+  std::vector<uint32_t> landmark_dist_;
+};
+
+}  // namespace gdbmicro
+
+#endif  // GDBMICRO_GRAPH_PATH_INDEX_H_

@@ -68,6 +68,9 @@ Status ApplyWriteBatch(GraphEngine& engine, const WriteBatch& batch,
                        std::vector<VertexId>* vertex_ids,
                        std::vector<EdgeId>* edge_ids) {
   GDB_RETURN_IF_ERROR(batch.Validate());
+  engine.InvalidatePathIndex(Status::Unavailable(
+      "path index invalidated by direct write (ApplyWriteBatch); rebuild "
+      "via GraphEngine::BuildPathIndex"));
   std::vector<VertexId> local_vertices;
   std::vector<EdgeId> local_edges;
   return ApplyBatchOps(engine, batch.ops(),
@@ -99,6 +102,13 @@ Result<CommitReceipt> GraphWriter::Commit(const WriteBatch& batch) {
   EpochManager& epochs = engine_->epochs();
   uint64_t retiring = epochs.current();
   epochs.BeginApply();
+  // Inside the drained apply window (no pinned sessions), so no reader
+  // can observe the index swap: the graph is about to change and any
+  // PathIndex describes the retiring snapshot.
+  engine_->InvalidatePathIndex(Status::Unavailable(
+      "path index invalidated by commit (epoch " +
+      std::to_string(retiring + 1) + " published); rebuild via "
+      "GraphEngine::BuildPathIndex"));
   Status applied = ApplyBatchOps(*engine_, batch.ops(), &receipt.vertex_ids,
                                  &receipt.edge_ids);
   // Publish even on failure: the gate must reopen, and recovery replay is

@@ -16,6 +16,39 @@
 namespace gdbmicro {
 namespace query {
 
+/// Execution-path selector for the traversal algorithms. kAuto consults
+/// the engine's optional PathIndex (src/graph/path_index.h) when one is
+/// live and the query shape qualifies (no label filter, endpoints in the
+/// indexed snapshot); kFrontierOnly pins the paper-faithful
+/// frontier-at-a-time execution — the reference the index is verified
+/// against (tests/path_index_test.cc, bench_micro_pathindex).
+enum class PathMode { kAuto, kFrontierOnly };
+
+/// Which execution path answered a traversal query, for Explain-style
+/// reporting and the indexed-vs-frontier benches. `route` is a static
+/// string naming the decisive tier:
+///   "frontier"           engine-visitor expansion (index absent/unusable)
+///   "index-bfs"          level-synchronous BFS over the index CSR
+///   "index-component"    certain answer from connected components
+///   "index-landmark"     certain answer from landmark distance bounds
+///   "index-interval"     certain answer from SCC/interval labels
+///   "index-bidir"        landmark-pruned bidirectional search on the CSR
+///   "index-dag-dfs"      interval-pruned DFS over the condensation DAG
+///   "index-csr-bfs"      bounded directed BFS over the index CSR
+struct PathSearchStats {
+  /// A live PathIndex existed on the engine when the query ran.
+  bool index_available = false;
+  /// The answer came from the index tier (any index-* route).
+  bool used_index = false;
+  const char* route = "frontier";
+  /// Index probe operations consulted (interval containments, landmark
+  /// bound evaluations, component lookups).
+  uint64_t index_probes = 0;
+  /// Vertices expanded by whichever search ultimately ran (0 when a
+  /// certain probe answered without expansion).
+  uint64_t expanded = 0;
+};
+
 struct BfsResult {
   /// Vertices *reached* from the start, in visit order — the start vertex
   /// itself is deliberately absent. This mirrors the Gremlin query shape
@@ -28,6 +61,8 @@ struct BfsResult {
   std::vector<VertexId> visited;
   /// Depth actually reached (may be < max_depth if the frontier died out).
   int depth_reached = 0;
+  /// Which execution path ran (see PathSearchStats).
+  PathSearchStats stats;
 };
 
 /// Breadth-first exploration from `start` up to `max_depth` hops following
@@ -38,27 +73,63 @@ struct BfsResult {
 /// `session` is the calling client's read session; the frontier/visited
 /// buffers live in its TraversalScratch, so concurrent clients never
 /// share them and repeated searches in one session reuse their capacity.
+/// With a live PathIndex and no label filter, kAuto runs the expansion
+/// level-synchronously over the index's CSR snapshot (same visited set
+/// and depth semantics, engine-order-free visit order) and stops early
+/// once the start's connected component is exhausted.
 Result<BfsResult> BreadthFirst(const GraphEngine& engine,
                                QuerySession& session, VertexId start,
                                int max_depth,
                                const std::optional<std::string>& label,
-                               const CancelToken& cancel);
+                               const CancelToken& cancel,
+                               PathMode mode = PathMode::kAuto);
 
 struct PathResult {
   /// Vertex sequence from src to dst inclusive; empty if unreachable.
   std::vector<VertexId> path;
   bool found = false;
+  /// Which execution path ran (see PathSearchStats).
+  PathSearchStats stats;
 };
 
 /// Unweighted shortest path between two vertices following both edge
 /// directions, optionally restricted to one edge label (Q.34 / Q.35).
 /// `max_depth` bounds the search (Gremlin loops are depth-bounded in the
 /// suite to keep the semantics of the paper's queries).
+/// With a live PathIndex and no label filter, kAuto answers certain
+/// negatives from components/landmark bounds without a frontier, and
+/// otherwise runs landmark-pruned bidirectional search over the index
+/// CSR. Semantics match the frontier path exactly: found iff a path of
+/// <= max_depth hops exists, the returned path is a valid minimum-hop
+/// path (tie-broken arbitrarily, like engine visit order), and
+/// `src == dst` returns {src} without an existence check.
 Result<PathResult> ShortestPath(const GraphEngine& engine,
                                 QuerySession& session, VertexId src,
                                 VertexId dst,
                                 const std::optional<std::string>& label,
-                                int max_depth, const CancelToken& cancel);
+                                int max_depth, const CancelToken& cancel,
+                                PathMode mode = PathMode::kAuto);
+
+struct ReachResult {
+  bool reachable = false;
+  PathSearchStats stats;
+};
+
+/// Reachability probe: is `dst` reachable from `src` within `max_hops`
+/// edges traversed in direction `dir` (kBoth = the paper's both()
+/// semantics; kOut/kIn = directed), optionally restricted to `label`?
+/// `max_hops < 0` means unbounded. `src == dst` is reachable in 0 hops.
+/// This is the probe shape the PathIndex answers near-O(1): certain
+/// negatives from interval labels (directed) or components/landmarks
+/// (undirected), certain positives from landmark upper bounds, with
+/// index-CSR search only for the residue — and a frontier BFS with early
+/// target exit as the exact fallback (always, under kFrontierOnly).
+Result<ReachResult> KHopReachable(const GraphEngine& engine,
+                                  QuerySession& session, VertexId src,
+                                  VertexId dst, Direction dir, int max_hops,
+                                  const std::optional<std::string>& label,
+                                  const CancelToken& cancel,
+                                  PathMode mode = PathMode::kAuto);
 
 }  // namespace query
 }  // namespace gdbmicro

@@ -1,0 +1,451 @@
+// PathIndex conformance across all nine engines: every indexed
+// reachability / BFS / shortest-path answer must equal the reference
+// frontier answer on a cyclic multi-component graph (SCC condensation,
+// interval labels, components, and landmarks all exercised), the index
+// must invalidate with a typed status when a commit publishes a new
+// epoch, and a governor trip during build must leave the engine fully
+// usable on the frontier path. The concurrent-probe test runs under the
+// TSan CI job: probes are const and thread-safe by contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/graph/registry.h"
+#include "src/graph/writer.h"
+#include "src/query/algorithms.h"
+#include "src/query/governor.h"
+
+namespace gdbmicro {
+namespace {
+
+using query::BreadthFirst;
+using query::KHopReachable;
+using query::PathMode;
+using query::ShortestPath;
+
+// Fixture graph — three undirected components, cycles and tendrils:
+//
+//   A:  r0 -> r1 -> r2 -> r3 -> r0   (directed 4-cycle: one SCC)
+//       r0 -> r2                     (chord)
+//       r0 -> r1                     (parallel edge)
+//       r2 -> r2                     (self-loop)
+//       r1 -> a0 -> a1               (DAG tail)
+//   B:  b0 -> b1 -> b2, b2 -> b1     ({b1, b2} is an SCC)
+//   C:  c0                           (isolated)
+//
+// 10 vertices, 6 SCCs, 3 components — small enough that the
+// cost-model-on ctest leg stays fast, rich enough that every index tier
+// (condensation, intervals, components, landmarks) decides something.
+class PathIndexTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    RegisterBuiltinEngines();
+    auto engine = OpenEngine(GetParam(), EngineOptions{});
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    engine_ = std::move(engine).value();
+
+    auto add = [&](const char* label) {
+      auto v = engine_->AddVertex(label, {});
+      EXPECT_TRUE(v.ok());
+      all_.push_back(*v);
+      return *v;
+    };
+    r_[0] = add("ring");
+    r_[1] = add("ring");
+    r_[2] = add("ring");
+    r_[3] = add("ring");
+    a_[0] = add("tail");
+    a_[1] = add("tail");
+    b_[0] = add("line");
+    b_[1] = add("line");
+    b_[2] = add("line");
+    c_ = add("lone");
+    auto edge = [&](VertexId s, VertexId t) {
+      ASSERT_TRUE(engine_->AddEdge(s, t, "e", {}).ok());
+    };
+    edge(r_[0], r_[1]);
+    edge(r_[1], r_[2]);
+    edge(r_[2], r_[3]);
+    edge(r_[3], r_[0]);
+    edge(r_[0], r_[2]);  // chord
+    edge(r_[0], r_[1]);  // parallel
+    edge(r_[2], r_[2]);  // self-loop
+    edge(r_[1], a_[0]);
+    edge(a_[0], a_[1]);
+    edge(b_[0], b_[1]);
+    edge(b_[1], b_[2]);
+    edge(b_[2], b_[1]);
+
+    ASSERT_TRUE(engine_->BuildPathIndex(never_).ok())
+        << engine_->path_index_status();
+    session_ = engine_->CreateSession();
+  }
+
+  std::set<VertexId> VisitedSetOf(const query::BfsResult& r) {
+    return std::set<VertexId>(r.visited.begin(), r.visited.end());
+  }
+
+  /// Every consecutive pair of an SP path must be engine-adjacent.
+  void ExpectValidPath(const std::vector<VertexId>& path, VertexId src,
+                       VertexId dst) {
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), src);
+    EXPECT_EQ(path.back(), dst);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      auto neighbors = engine_->NeighborsOf(*session_, path[i],
+                                            Direction::kBoth, nullptr, never_);
+      ASSERT_TRUE(neighbors.ok());
+      EXPECT_TRUE(std::find(neighbors->begin(), neighbors->end(),
+                            path[i + 1]) != neighbors->end())
+          << "path edge " << path[i] << " -> " << path[i + 1]
+          << " is not an engine edge";
+    }
+  }
+
+  std::unique_ptr<GraphEngine> engine_;
+  std::unique_ptr<QuerySession> session_;
+  std::vector<VertexId> all_;
+  VertexId r_[4], a_[2], b_[3], c_ = 0;
+  CancelToken never_;
+};
+
+TEST_P(PathIndexTest, BuildStatsDescribeTheGraph) {
+  const PathIndex* index = engine_->path_index();
+  ASSERT_NE(index, nullptr);
+  EXPECT_TRUE(engine_->path_index_status().ok());
+  const PathIndexStats& st = index->stats();
+  EXPECT_EQ(st.vertices, 10u);
+  EXPECT_EQ(st.edges, 12u);
+  EXPECT_EQ(st.sccs, 6u);  // {r0..r3}, {a0}, {a1}, {b0}, {b1,b2}, {c0}
+  EXPECT_EQ(st.components, 3u);
+  EXPECT_GT(st.landmarks, 0);
+  EXPECT_GT(st.bytes, 0u);
+  EXPECT_FALSE(index->Describe().empty());
+}
+
+TEST_P(PathIndexTest, NotBuiltByDefault) {
+  auto other = OpenEngine(GetParam(), EngineOptions{});
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ((*other)->path_index(), nullptr);
+  EXPECT_TRUE((*other)->path_index_status().IsUnavailable());
+}
+
+TEST_P(PathIndexTest, IndexedBfsMatchesFrontierEverywhere) {
+  for (VertexId start : all_) {
+    for (int depth = 1; depth <= 4; ++depth) {
+      auto indexed = BreadthFirst(*engine_, *session_, start, depth,
+                                  std::nullopt, never_, PathMode::kAuto);
+      auto frontier =
+          BreadthFirst(*engine_, *session_, start, depth, std::nullopt,
+                       never_, PathMode::kFrontierOnly);
+      ASSERT_TRUE(indexed.ok()) << indexed.status();
+      ASSERT_TRUE(frontier.ok()) << frontier.status();
+      EXPECT_TRUE(indexed->stats.used_index);
+      EXPECT_STREQ(indexed->stats.route, "index-bfs");
+      EXPECT_FALSE(frontier->stats.used_index);
+      EXPECT_EQ(VisitedSetOf(*indexed), VisitedSetOf(*frontier))
+          << "start " << start << " depth " << depth;
+      EXPECT_EQ(indexed->depth_reached, frontier->depth_reached);
+      // Start-vertex semantics survive the indexed route: never reported.
+      EXPECT_EQ(std::count(indexed->visited.begin(), indexed->visited.end(),
+                           start),
+                0);
+    }
+  }
+}
+
+TEST_P(PathIndexTest, IndexedShortestPathAgreesOnAllPairs) {
+  for (VertexId src : all_) {
+    for (VertexId dst : all_) {
+      for (int max_depth : {1, 10}) {
+        auto indexed = ShortestPath(*engine_, *session_, src, dst,
+                                    std::nullopt, max_depth, never_,
+                                    PathMode::kAuto);
+        auto frontier = ShortestPath(*engine_, *session_, src, dst,
+                                     std::nullopt, max_depth, never_,
+                                     PathMode::kFrontierOnly);
+        ASSERT_TRUE(indexed.ok()) << indexed.status();
+        ASSERT_TRUE(frontier.ok()) << frontier.status();
+        EXPECT_EQ(indexed->found, frontier->found)
+            << src << " -> " << dst << " depth " << max_depth;
+        if (indexed->found) {
+          // Minimum-hop length must agree; the witness path may differ
+          // (ties broken by visit order on either route) but must be a
+          // real path.
+          EXPECT_EQ(indexed->path.size(), frontier->path.size());
+          ExpectValidPath(indexed->path, src, dst);
+        } else {
+          EXPECT_TRUE(indexed->path.empty());
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PathIndexTest, KHopReachableAgreesAcrossDirectionsAndBudgets) {
+  for (VertexId src : all_) {
+    for (VertexId dst : all_) {
+      for (Direction dir :
+           {Direction::kBoth, Direction::kOut, Direction::kIn}) {
+        for (int k : {0, 1, 2, 3, -1}) {
+          auto indexed = KHopReachable(*engine_, *session_, src, dst, dir, k,
+                                       std::nullopt, never_, PathMode::kAuto);
+          auto frontier =
+              KHopReachable(*engine_, *session_, src, dst, dir, k,
+                            std::nullopt, never_, PathMode::kFrontierOnly);
+          ASSERT_TRUE(indexed.ok()) << indexed.status();
+          ASSERT_TRUE(frontier.ok()) << frontier.status();
+          EXPECT_EQ(indexed->reachable, frontier->reachable)
+              << src << " -> " << dst << " dir " << static_cast<int>(dir)
+              << " k " << k << " (route " << indexed->stats.route << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PathIndexTest, DirectedCertainAnswersComeFromTheIndex) {
+  // a1 cannot reach the ring (all its edges point away from it): the
+  // interval labels refute containment without any search.
+  auto neg = KHopReachable(*engine_, *session_, a_[1], r_[0], Direction::kOut,
+                           -1, std::nullopt, never_);
+  ASSERT_TRUE(neg.ok());
+  EXPECT_FALSE(neg->reachable);
+  EXPECT_TRUE(neg->stats.used_index);
+  EXPECT_EQ(neg->stats.expanded, 0u);
+
+  // Same-SCC pairs are a certain yes.
+  auto pos = KHopReachable(*engine_, *session_, r_[0], r_[3], Direction::kOut,
+                           -1, std::nullopt, never_);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_TRUE(pos->reachable);
+  EXPECT_STREQ(pos->stats.route, "index-interval");
+
+  // Cross-component shortest path: certain negative from components.
+  auto cross = ShortestPath(*engine_, *session_, r_[0], b_[0], std::nullopt,
+                            30, never_);
+  ASSERT_TRUE(cross.ok());
+  EXPECT_FALSE(cross->found);
+  EXPECT_STREQ(cross->stats.route, "index-component");
+  EXPECT_EQ(cross->stats.expanded, 0u);
+}
+
+TEST_P(PathIndexTest, EdgeCaseSemanticsAgree) {
+  // source == target: {src}, found, no existence check — both routes.
+  for (PathMode mode : {PathMode::kAuto, PathMode::kFrontierOnly}) {
+    auto self = ShortestPath(*engine_, *session_, r_[2], r_[2], std::nullopt,
+                             10, never_, mode);
+    ASSERT_TRUE(self.ok());
+    EXPECT_TRUE(self->found);
+    EXPECT_EQ(self->path, std::vector<VertexId>{r_[2]});
+  }
+  // Self-loop vertex: BFS from r2 never reports r2 itself.
+  auto bfs = BreadthFirst(*engine_, *session_, r_[2], 3, std::nullopt,
+                          never_, PathMode::kAuto);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_EQ(std::count(bfs->visited.begin(), bfs->visited.end(), r_[2]), 0);
+  // Parallel edges: r1 appears exactly once in r0's BFS.
+  auto par = BreadthFirst(*engine_, *session_, r_[0], 1, std::nullopt,
+                          never_, PathMode::kAuto);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(std::count(par->visited.begin(), par->visited.end(), r_[1]), 1);
+  // Unreachable target: both routes agree, indexed answers without search.
+  for (PathMode mode : {PathMode::kAuto, PathMode::kFrontierOnly}) {
+    auto un = ShortestPath(*engine_, *session_, r_[0], c_, std::nullopt, 30,
+                           never_, mode);
+    ASSERT_TRUE(un.ok());
+    EXPECT_FALSE(un->found);
+    EXPECT_TRUE(un->path.empty());
+  }
+  // Unknown start id: the indexed route must defer to the engine's
+  // missing-vertex semantics (whatever they are, both modes agree).
+  const VertexId no_such = 0x7FFFFFFFFFFFULL;
+  auto missing_auto = BreadthFirst(*engine_, *session_, no_such, 2,
+                                   std::nullopt, never_, PathMode::kAuto);
+  auto missing_frontier =
+      BreadthFirst(*engine_, *session_, no_such, 2, std::nullopt, never_,
+                   PathMode::kFrontierOnly);
+  EXPECT_EQ(missing_auto.ok(), missing_frontier.ok());
+  if (missing_auto.ok()) {
+    EXPECT_EQ(VisitedSetOf(*missing_auto), VisitedSetOf(*missing_frontier));
+  }
+}
+
+TEST_P(PathIndexTest, LabelFilteredQueriesNeverUseTheIndex) {
+  auto bfs = BreadthFirst(*engine_, *session_, r_[0], 3, std::string("e"),
+                          never_, PathMode::kAuto);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_TRUE(bfs->stats.index_available);
+  EXPECT_FALSE(bfs->stats.used_index);
+  EXPECT_STREQ(bfs->stats.route, "frontier");
+}
+
+TEST_P(PathIndexTest, CommitInvalidatesWithTypedStatus) {
+  ASSERT_NE(engine_->path_index(), nullptr);
+  // Sessions pin the snapshot epoch; the commit's apply phase drains them,
+  // so release ours first (holding it would deadlock BeginApply — which is
+  // exactly the guarantee that makes invalidation race-free).
+  session_.reset();
+
+  GraphWriter writer(engine_.get());
+  WriteBatch batch;
+  PendingVertex nv = batch.AddVertex("ring", {});
+  batch.AddEdge(nv, VertexRef(r_[0]), "e", {});
+  auto receipt = writer.Commit(batch);
+  ASSERT_TRUE(receipt.ok()) << receipt.status();
+
+  EXPECT_EQ(engine_->path_index(), nullptr);
+  Status st = engine_->path_index_status();
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_NE(st.message().find("invalidated by commit"), std::string::npos)
+      << st;
+
+  // Queries still run (frontier fallback) and see the new vertex.
+  session_ = engine_->CreateSession();
+  VertexId added = receipt->vertex_ids[0];
+  auto bfs = BreadthFirst(*engine_, *session_, r_[0], 1, std::nullopt,
+                          never_, PathMode::kAuto);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_FALSE(bfs->stats.used_index);
+  EXPECT_EQ(VisitedSetOf(*bfs).count(added), 1u);
+
+  // Rebuild covers the committed write; indexed answers include it.
+  ASSERT_TRUE(engine_->BuildPathIndex(never_).ok());
+  auto rebuilt = BreadthFirst(*engine_, *session_, r_[0], 1, std::nullopt,
+                              never_, PathMode::kAuto);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(rebuilt->stats.used_index);
+  EXPECT_EQ(VisitedSetOf(*rebuilt).count(added), 1u);
+}
+
+TEST_P(PathIndexTest, GovernorTripDuringBuildLeavesEngineUsable) {
+  // Memory trip: a budget far below the index's own structures.
+  query::GovernorOptions tight;
+  tight.memory_budget_bytes = 64;
+  query::ResourceGovernor memory_gov(tight);
+  Status build = engine_->BuildPathIndex(memory_gov.token());
+  EXPECT_TRUE(build.IsResourceExhausted()) << build;
+  EXPECT_EQ(engine_->path_index(), nullptr);
+  EXPECT_TRUE(engine_->path_index_status().IsResourceExhausted());
+
+  // Deadline trip: an already-spent deadline.
+  query::GovernorOptions spent;
+  spent.deadline = std::chrono::nanoseconds(-1);
+  query::ResourceGovernor deadline_gov(spent);
+  build = engine_->BuildPathIndex(deadline_gov.token());
+  EXPECT_TRUE(build.IsDeadlineExceeded()) << build;
+  EXPECT_EQ(engine_->path_index(), nullptr);
+
+  // The engine stays fully usable on the frontier path...
+  auto bfs = BreadthFirst(*engine_, *session_, r_[0], 2, std::nullopt,
+                          never_, PathMode::kAuto);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_FALSE(bfs->stats.used_index);
+  EXPECT_EQ(VisitedSetOf(*bfs),
+            (std::set<VertexId>{r_[1], r_[2], r_[3], a_[0]}));
+
+  // ...and an ungoverned rebuild recovers completely.
+  ASSERT_TRUE(engine_->BuildPathIndex(never_).ok());
+  auto indexed = BreadthFirst(*engine_, *session_, r_[0], 2, std::nullopt,
+                              never_, PathMode::kAuto);
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_TRUE(indexed->stats.used_index);
+  EXPECT_EQ(VisitedSetOf(*indexed),
+            (std::set<VertexId>{r_[1], r_[2], r_[3], a_[0]}));
+}
+
+TEST_P(PathIndexTest, BulkLoadBuildsAndChargesTheIndex) {
+  GraphData data;
+  data.name = "tiny";
+  for (int i = 0; i < 6; ++i) data.vertices.push_back({"n", {}});
+  auto edge = [&](uint64_t s, uint64_t t) {
+    data.edges.push_back({s, t, "e", {}});
+  };
+  edge(0, 1);
+  edge(1, 2);
+  edge(2, 0);  // cycle
+  edge(2, 3);
+  edge(4, 5);  // second component
+
+  auto plain = OpenEngine(GetParam(), EngineOptions{});
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE((*plain)->BulkLoad(data).ok());
+  EXPECT_EQ((*plain)->path_index(), nullptr);  // off by default
+  EXPECT_EQ((*plain)->load_stats().path_index_build_millis, 0.0);
+
+  EngineOptions with_index;
+  with_index.build_path_index = true;
+  auto indexed = OpenEngine(GetParam(), with_index);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE((*indexed)->BulkLoad(data).ok());
+  const PathIndex* index = (*indexed)->path_index();
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->stats().vertices, 6u);
+  EXPECT_EQ(index->stats().components, 2u);
+  const BulkLoadStats& ls = (*indexed)->load_stats();
+  EXPECT_GT(ls.path_index_build_millis, 0.0);
+  EXPECT_GE(ls.TotalMillis(), ls.path_index_build_millis);
+}
+
+TEST_P(PathIndexTest, ConcurrentSessionsShareOneIndex) {
+  // Reference answers computed single-threaded on the frontier path.
+  auto ref_bfs = BreadthFirst(*engine_, *session_, r_[0], 3, std::nullopt,
+                              never_, PathMode::kFrontierOnly);
+  ASSERT_TRUE(ref_bfs.ok());
+  const std::set<VertexId> want_bfs = VisitedSetOf(*ref_bfs);
+  auto ref_sp = ShortestPath(*engine_, *session_, r_[0], a_[1], std::nullopt,
+                             30, never_, PathMode::kFrontierOnly);
+  ASSERT_TRUE(ref_sp.ok());
+  const size_t want_sp_len = ref_sp->path.size();
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 50;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&] {
+      auto session = engine_->CreateSession();
+      CancelToken never;
+      for (int i = 0; i < kIterations; ++i) {
+        auto bfs = BreadthFirst(*engine_, *session, r_[0], 3, std::nullopt,
+                                never, PathMode::kAuto);
+        if (!bfs.ok() || !bfs->stats.used_index ||
+            std::set<VertexId>(bfs->visited.begin(), bfs->visited.end()) !=
+                want_bfs) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        auto sp = ShortestPath(*engine_, *session, r_[0], a_[1], std::nullopt,
+                               30, never, PathMode::kAuto);
+        if (!sp.ok() || !sp->found || sp->path.size() != want_sp_len) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        auto reach = KHopReachable(*engine_, *session, b_[0], c_,
+                                   Direction::kBoth, -1, std::nullopt, never,
+                                   PathMode::kAuto);
+        if (!reach.ok() || reach->reachable) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, PathIndexTest,
+    ::testing::Values("arango", "blaze", "neo19", "neo30", "orient",
+                      "sparksee", "sqlg", "titan05", "titan10"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace gdbmicro

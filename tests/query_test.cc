@@ -287,6 +287,98 @@ TEST_P(QueryTest, ShortestPaths) {
   EXPECT_FALSE(labeled->found);
 }
 
+TEST_P(QueryTest, ShortestPathDepthBound) {
+  // p0 -> p3 needs 2 hops; a 1-hop budget must report unreachable with an
+  // empty path, on both execution routes.
+  for (query::PathMode mode :
+       {query::PathMode::kAuto, query::PathMode::kFrontierOnly}) {
+    auto bounded = ShortestPath(*engine_, *session_, p_[0], p_[3],
+                                std::nullopt, 1, never_, mode);
+    ASSERT_TRUE(bounded.ok());
+    EXPECT_FALSE(bounded->found);
+    EXPECT_TRUE(bounded->path.empty());
+  }
+}
+
+TEST_P(QueryTest, ParallelEdgesVisitOnce) {
+  // A duplicate knows edge must not duplicate BFS results or shorten the
+  // shortest path.
+  ASSERT_TRUE(engine_->AddEdge(p_[0], p_[1], "knows", {}).ok());
+  auto bfs = BreadthFirst(*engine_, *session_, p_[0], 1, std::nullopt, never_);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_EQ(std::count(bfs->visited.begin(), bfs->visited.end(), p_[1]), 1);
+  auto sp = ShortestPath(*engine_, *session_, p_[0], p_[3], std::nullopt, 10,
+                         never_);
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->path.size(), 3u);
+}
+
+TEST_P(QueryTest, UnknownVertexIdsStayCheap) {
+  // Regression: an id far beyond the engine's id bound must not make the
+  // dense visited set allocate proportionally to the id value (it spills
+  // to the sparse overflow set instead). Whatever the engine's
+  // missing-vertex semantics, the query must return (not crash) and both
+  // execution modes must agree.
+  const VertexId no_such = 0x7FFFFFFFFFFFULL;
+  auto bfs_auto = BreadthFirst(*engine_, *session_, no_such, 2, std::nullopt,
+                               never_, query::PathMode::kAuto);
+  auto bfs_frontier =
+      BreadthFirst(*engine_, *session_, no_such, 2, std::nullopt, never_,
+                   query::PathMode::kFrontierOnly);
+  EXPECT_EQ(bfs_auto.ok(), bfs_frontier.ok());
+  if (bfs_auto.ok()) {
+    EXPECT_EQ(bfs_auto->visited, bfs_frontier->visited);
+  }
+  auto sp = ShortestPath(*engine_, *session_, p_[0], no_such, std::nullopt,
+                         5, never_);
+  if (sp.ok()) {
+    EXPECT_FALSE(sp->found);
+  }
+}
+
+TEST_P(QueryTest, IndexedRoutePreservesGoldenAnswers) {
+  // Building the optional path index must not change any Q.32-Q.35
+  // answer: re-run the golden assertions from BreadthFirstDepths /
+  // ShortestPaths with the index live and verify it actually served the
+  // label-free queries.
+  ASSERT_TRUE(engine_->BuildPathIndex(never_).ok());
+
+  auto d2 = BreadthFirst(*engine_, *session_, p_[0], 2, std::nullopt, never_);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_TRUE(d2->stats.used_index);
+  EXPECT_EQ(std::set<VertexId>(d2->visited.begin(), d2->visited.end()),
+            (std::set<VertexId>{p_[1], p_[2], p_[3], post_}));
+  EXPECT_EQ(d2->depth_reached, 2);
+
+  auto direct = ShortestPath(*engine_, *session_, p_[0], p_[3], std::nullopt,
+                             10, never_);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(direct->stats.used_index);
+  ASSERT_TRUE(direct->found);
+  EXPECT_EQ(direct->path.size(), 3u);
+
+  // source == target: {src}, found, no existence check — on both routes.
+  auto to_self = ShortestPath(*engine_, *session_, p_[1], p_[1], std::nullopt,
+                              10, never_);
+  ASSERT_TRUE(to_self.ok());
+  EXPECT_EQ(to_self->path, std::vector<VertexId>{p_[1]});
+
+  // Unreachable target answered without a frontier.
+  auto unreachable = ShortestPath(*engine_, *session_, p_[0], p_[4],
+                                  std::nullopt, 10, never_);
+  ASSERT_TRUE(unreachable.ok());
+  EXPECT_FALSE(unreachable->found);
+  EXPECT_TRUE(unreachable->stats.used_index);
+  EXPECT_EQ(unreachable->stats.expanded, 0u);
+
+  // Label filters bypass the index and keep their golden answer.
+  auto labeled = ShortestPath(*engine_, *session_, p_[0], tag_,
+                              std::string("knows"), 10, never_);
+  ASSERT_TRUE(labeled.ok());
+  EXPECT_FALSE(labeled->stats.used_index);
+  EXPECT_FALSE(labeled->found);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllEngines, QueryTest,
     ::testing::Values("arango", "blaze", "neo19", "neo30", "orient",
